@@ -1,0 +1,345 @@
+(* The testbed's user interface (paper §3.1): an interactive shell over a
+   D/KBMS session. Horn clauses go to the Workspace D/KB (facts for
+   defined base relations go straight to the extensional database),
+   [?- goal.] compiles and runs a query, and dot-commands drive the rest
+   of the testbed.
+
+   Run interactively:   dune exec bin/dkb.exe
+   Run a script:        dune exec bin/dkb.exe -- examples/scripts/family.dkb *)
+
+module Session = Core.Session
+module V = Rdbms.Value
+
+type state = {
+  mutable session : Session.t;
+  cache : Core.Precompiled.t;
+  mutable options : Session.options;
+  mutable use_cache : bool;
+  mutable interactive : bool;
+}
+
+let help_text =
+  {|commands:
+  fact.                          add a fact (EDB if its base relation exists)
+  head(..) :- body, ... .        add a workspace rule
+  ?- goal(..).                   compile and run a query
+  .base name(col type, ...)      define a base relation (types: integer|char)
+  .index name(col) [ordered]     build a hash (or ordered/range) index
+  .options [magic off|on|sup|auto] [strategy naive|semi] [indexderived on|off]
+                                 set query-processing options
+  .cache on|off                  toggle the precompiled-query cache
+  .explain goal(..)              show the compiled program without running it
+  .emitc goal(..)                show the generated embedded-SQL/C program
+  .store [nocompiled]            persist workspace rules into the Stored D/KB
+  .rules                         list workspace and stored rules
+  .tables                        list DBMS tables
+  .sql <statement>               run raw SQL against the DBMS
+  .stats                         show cumulative DBMS counters
+  .load <file>                   execute a script of shell commands
+  .save <file>                   persist the D/KB (EDB + stored rules) to a file
+  .open <file>                   replace the session with a saved D/KB
+  .clear                         clear the workspace
+  .help                          this message
+  .quit                          leave|}
+
+let printf = Printf.printf
+
+let report_error msg = printf "error: %s\n" msg
+
+let on_result ~ok = function
+  | Ok v -> ok v
+  | Error msg -> report_error msg
+
+(* .base parent(par char, child char) *)
+let parse_base_spec spec =
+  match Rdbms.Sql_parser.parse ("CREATE TABLE " ^ spec) with
+  | Rdbms.Sql_ast.Create_table { name; columns } -> Ok (name, columns)
+  | _ -> Error "expected name(col type, ...)"
+  | exception Rdbms.Sql_parser.Parse_error (msg, _) -> Error msg
+  | exception Rdbms.Sql_lexer.Lex_error (msg, _) -> Error msg
+
+let parse_index_spec spec =
+  match String.index_opt spec '(' with
+  | Some i when String.length spec > i + 2 && spec.[String.length spec - 1] = ')' ->
+      let table = String.trim (String.sub spec 0 i) in
+      let col = String.trim (String.sub spec (i + 1) (String.length spec - i - 2)) in
+      Ok (table, col)
+  | _ -> Error "expected name(column)"
+
+let run_query st text =
+  let t0 = Dkb_util.Timer.now_ms () in
+  let result =
+    if st.use_cache then
+      match Datalog.Parser.parse_query text with
+      | goal ->
+          Result.map fst (Core.Precompiled.query st.cache st.session ~options:st.options goal)
+      | exception Datalog.Parser.Parse_error (msg, pos) ->
+          Error (Printf.sprintf "parse error at %d: %s" pos msg)
+    else Session.query st.session ~options:st.options text
+  in
+  on_result result ~ok:(fun answer ->
+      let run = answer.Session.run in
+      (match run.Core.Runtime.boolean with
+      | Some b -> printf "%s\n" (if b then "yes" else "no")
+      | None ->
+          let columns, rows = Session.answer_rows answer in
+          printf "%s\n" (String.concat "\t" columns);
+          List.iter
+            (fun row ->
+              printf "%s\n" (String.concat "\t" (Array.to_list (Array.map V.to_string row))))
+            rows;
+          printf "(%d rows)\n" (List.length rows));
+      printf "t_c=%.2f ms  t_e=%.2f ms  total=%.2f ms%s\n"
+        answer.Session.compiled.Core.Compiler.compile_ms run.Core.Runtime.exec_ms
+        (Dkb_util.Timer.now_ms () -. t0)
+        (if answer.Session.compiled.Core.Compiler.optimized then "  [magic]" else ""))
+
+let add_clause st text =
+  (* facts for existing base relations go to the EDB *)
+  match Datalog.Parser.parse_clause text with
+  | exception Datalog.Parser.Parse_error (msg, pos) ->
+      report_error (Printf.sprintf "parse error at %d: %s" pos msg)
+  | exception Datalog.Lexer.Lex_error (msg, pos) ->
+      report_error (Printf.sprintf "lex error at %d: %s" pos msg)
+  | clause ->
+      if Datalog.Ast.is_fact clause then begin
+        let pred = Datalog.Ast.head_pred clause in
+        let catalog = Rdbms.Engine.catalog (Session.engine st.session) in
+        if Rdbms.Catalog.table_exists catalog pred then
+          let values =
+            List.map
+              (function Datalog.Ast.Const v -> v | Datalog.Ast.Var _ -> assert false)
+              clause.Datalog.Ast.head.Datalog.Ast.args
+          in
+          on_result (Session.add_fact st.session pred values) ~ok:(fun () ->
+              if st.interactive then printf "fact stored in %s\n" pred)
+        else
+          on_result
+            (Core.Workspace.add_clause (Session.workspace st.session) clause)
+            ~ok:(fun () -> if st.interactive then printf "fact added to workspace\n")
+      end
+      else
+        on_result
+          (Core.Workspace.add_clause (Session.workspace st.session) clause)
+          ~ok:(fun () -> if st.interactive then printf "rule added to workspace\n")
+
+let set_options st words =
+  let rec go = function
+    | [] -> Ok ()
+    | "magic" :: v :: rest ->
+        let set m = st.options <- { st.options with optimize = m } in
+        (match v with
+        | "off" -> set Core.Compiler.Opt_off; go rest
+        | "on" -> set Core.Compiler.Opt_on; go rest
+        | "sup" -> set Core.Compiler.Opt_supplementary; go rest
+        | "auto" -> set Core.Compiler.Opt_auto; go rest
+        | _ -> Error ("unknown magic mode " ^ v))
+    | "strategy" :: v :: rest ->
+        let set m = st.options <- { st.options with strategy = m } in
+        (match v with
+        | "naive" -> set Core.Runtime.Naive; go rest
+        | "semi" | "seminaive" -> set Core.Runtime.Seminaive; go rest
+        | _ -> Error ("unknown strategy " ^ v))
+    | "indexderived" :: v :: rest ->
+        st.options <- { st.options with index_derived = v = "on" };
+        go rest
+    | w :: _ -> Error ("unknown option " ^ w)
+  in
+  on_result (go words) ~ok:(fun () ->
+      printf "options: magic=%s strategy=%s indexderived=%b cache=%b\n"
+        (match st.options.Session.optimize with
+        | Core.Compiler.Opt_off -> "off"
+        | Core.Compiler.Opt_on -> "on"
+        | Core.Compiler.Opt_supplementary -> "sup"
+        | Core.Compiler.Opt_auto -> "auto")
+        (Core.Runtime.strategy_to_string st.options.Session.strategy)
+        st.options.Session.index_derived st.use_cache)
+
+let show_rules st =
+  let ws = Core.Workspace.rules (Session.workspace st.session) in
+  let wf = Core.Workspace.facts (Session.workspace st.session) in
+  printf "workspace (%d rules, %d facts):\n" (List.length ws) (List.length wf);
+  List.iter (fun c -> printf "  %s\n" (Datalog.Ast.clause_to_string c)) (ws @ wf);
+  let stored = Core.Stored_dkb.stored_rules (Session.stored st.session) in
+  printf "stored (%d rules):\n" (List.length stored);
+  List.iter (fun c -> printf "  %s\n" (Datalog.Ast.clause_to_string c)) stored
+
+let show_tables st =
+  let catalog = Rdbms.Engine.catalog (Session.engine st.session) in
+  List.iter
+    (fun tbl ->
+      printf "  %-20s %6d rows  %s\n" tbl.Rdbms.Catalog.tbl_name
+        (Rdbms.Relation.cardinal tbl.Rdbms.Catalog.tbl_relation)
+        (Rdbms.Schema.to_string (Rdbms.Relation.schema tbl.Rdbms.Catalog.tbl_relation)))
+    (Rdbms.Catalog.tables catalog)
+
+let run_sql st sql =
+  match Rdbms.Engine.exec (Session.engine st.session) sql with
+  | Rdbms.Engine.Rows { columns; rows } ->
+      printf "%s\n" (String.concat "\t" columns);
+      List.iter
+        (fun row -> printf "%s\n" (String.concat "\t" (Array.to_list (Array.map V.to_string row))))
+        rows;
+      printf "(%d rows)\n" (List.length rows)
+  | Rdbms.Engine.Affected n -> printf "(%d rows affected)\n" n
+  | Rdbms.Engine.Done -> printf "ok\n"
+  | exception Rdbms.Engine.Sql_error msg -> report_error msg
+
+let explain_goal st text =
+  on_result (Session.explain st.session ~options:st.options text) ~ok:print_string
+
+let emit_c_goal st text =
+  match Datalog.Parser.parse_query text with
+  | exception Datalog.Parser.Parse_error (msg, pos) ->
+      report_error (Printf.sprintf "parse error at %d: %s" pos msg)
+  | goal ->
+      on_result
+        (Core.Compiler.compile ~stored:(Session.stored st.session)
+           ~workspace:(Session.workspace st.session) ~optimize:st.options.Session.optimize ~goal ())
+        ~ok:(fun compiled -> print_string (Core.Emit_c.program compiled))
+
+let rec handle st line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '%' then true
+  else if line.[0] = '.' then begin
+    let words =
+      String.split_on_char ' ' line |> List.filter (fun w -> w <> "") |> function
+      | cmd :: rest -> (cmd, rest)
+      | [] -> (".", [])
+    in
+    let rest_text (cmd : string) =
+      String.trim (String.sub line (String.length cmd) (String.length line - String.length cmd))
+    in
+    match words with
+    | ".quit", _ | ".exit", _ -> false
+    | ".help", _ ->
+        print_endline help_text;
+        true
+    | ".base", _ ->
+        on_result (parse_base_spec (rest_text ".base")) ~ok:(fun (name, columns) ->
+            on_result (Session.define_base st.session name columns ()) ~ok:(fun () ->
+                printf "base relation %s defined\n" name));
+        true
+    | ".index", rest ->
+        let ordered = List.mem "ordered" rest in
+        let spec =
+          let t = rest_text ".index" in
+          match Astring.String.cut ~sep:" ordered" t with
+          | Some (before, _) -> before
+          | None -> t
+        in
+        on_result (parse_index_spec spec) ~ok:(fun (table, col) ->
+            run_sql st
+              (Printf.sprintf "CREATE %sINDEX idx__%s__%s ON %s (%s)"
+                 (if ordered then "ORDERED " else "")
+                 table col table col));
+        true
+    | ".options", rest ->
+        set_options st rest;
+        true
+    | ".cache", [ v ] ->
+        st.use_cache <- v = "on";
+        printf "cache %s\n" (if st.use_cache then "on" else "off");
+        true
+    | ".explain", _ ->
+        explain_goal st (rest_text ".explain");
+        true
+    | ".emitc", _ ->
+        emit_c_goal st (rest_text ".emitc");
+        true
+    | ".store", rest ->
+        let compiled_storage = not (List.mem "nocompiled" rest) in
+        on_result (Session.update_stored st.session ~compiled_storage ()) ~ok:(fun r ->
+            printf "stored %d rules in %.2f ms (%d reachability pairs)\n"
+              r.Core.Update.rules_stored r.Core.Update.total_ms r.Core.Update.tc_edges);
+        true
+    | ".rules", _ ->
+        show_rules st;
+        true
+    | ".tables", _ ->
+        show_tables st;
+        true
+    | ".sql", _ ->
+        run_sql st (rest_text ".sql");
+        true
+    | ".stats", _ ->
+        printf "%s\n" (Rdbms.Stats.to_string (Rdbms.Engine.stats (Session.engine st.session)));
+        true
+    | ".clear", _ ->
+        Session.clear_workspace st.session;
+        printf "workspace cleared\n";
+        true
+    | ".load", [ file ] ->
+        load_file st file;
+        true
+    | ".save", [ file ] ->
+        on_result (Session.save st.session file) ~ok:(fun () -> printf "saved to %s
+" file);
+        true
+    | ".open", [ file ] ->
+        on_result (Session.restore file) ~ok:(fun session ->
+            st.session <- session;
+            Core.Precompiled.clear st.cache;
+            printf "opened %s
+" file);
+        true
+    | cmd, _ ->
+        report_error (Printf.sprintf "unknown command %s (try .help)" cmd);
+        true
+  end
+  else if String.length line >= 2 && String.sub line 0 2 = "?-" then begin
+    run_query st (String.sub line 2 (String.length line - 2));
+    true
+  end
+  else begin
+    add_clause st line;
+    true
+  end
+
+and load_file st file =
+  match open_in file with
+  | exception Sys_error msg -> report_error msg
+  | ic ->
+      let was_interactive = st.interactive in
+      st.interactive <- false;
+      (try
+         let rec loop () =
+           match input_line ic with
+           | line ->
+               ignore (handle st line);
+               loop ()
+           | exception End_of_file -> ()
+         in
+         loop ()
+       with e ->
+         close_in ic;
+         st.interactive <- was_interactive;
+         raise e);
+      close_in ic;
+      st.interactive <- was_interactive
+
+let () =
+  let st =
+    {
+      session = Session.create ();
+      cache = Core.Precompiled.create ();
+      options = Session.default_options;
+      use_cache = false;
+      interactive = true;
+    }
+  in
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ file ] -> load_file st file
+  | [] ->
+      printf "D/KBMS testbed shell - .help for commands\n";
+      let rec loop () =
+        printf "dkb> %!";
+        match input_line stdin with
+        | line -> if handle st line then loop ()
+        | exception End_of_file -> ()
+      in
+      loop ()
+  | _ ->
+      prerr_endline "usage: dkb [script.dkb]";
+      exit 2

@@ -1,0 +1,1 @@
+examples/bill_of_materials.ml: Array Core Datalog Dkb_util List Printf Rdbms Workload

@@ -1,0 +1,1 @@
+examples/corporate_policy.ml: Array Core List Printf Rdbms String

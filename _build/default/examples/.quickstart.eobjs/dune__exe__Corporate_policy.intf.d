@@ -1,0 +1,1 @@
+examples/corporate_policy.mli:

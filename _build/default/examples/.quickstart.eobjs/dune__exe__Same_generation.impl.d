@@ -1,0 +1,1 @@
+examples/same_generation.ml: Core List Printf Rdbms String Workload

@@ -1,0 +1,71 @@
+(* Quickstart: the ancestor query end-to-end.
+
+   Build and run:  dune exec examples/quickstart.exe *)
+
+let () =
+  let open Core in
+  let s = Session.create () in
+  (* 1. define a base relation and load facts *)
+  (match
+     Session.define_base s "parent"
+       [ ("par", Rdbms.Datatype.TStr); ("child", Rdbms.Datatype.TStr) ]
+       ~indexes:[ "par"; "child" ] ()
+   with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  let facts =
+    [
+      ("john", "mary"); ("john", "tom"); ("mary", "alice"); ("mary", "bob");
+      ("tom", "carol"); ("alice", "dave"); ("eve", "john");
+    ]
+  in
+  (match
+     Session.add_facts s "parent"
+       (List.map (fun (a, b) -> [ Rdbms.Value.Str a; Rdbms.Value.Str b ]) facts)
+   with
+  | Ok n -> Printf.printf "loaded %d parent facts\n" n
+  | Error e -> failwith e);
+  (* 2. load rules into the workspace *)
+  (match
+     Session.load_rules s
+       {|
+         ancestor(X, Y) :- parent(X, Y).
+         ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).
+       |}
+   with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  (* 3. query, with each strategy and with magic sets *)
+  let show label options =
+    match Session.query s ~options "?- ancestor(john, W)." with
+    | Error e -> failwith (label ^ ": " ^ e)
+    | Ok answer ->
+        let columns, rows = Session.answer_rows answer in
+        Printf.printf "%-28s -> %d rows (%s): %s\n" label (List.length rows)
+          (String.concat "," columns)
+          (String.concat " "
+             (List.map (fun r -> Rdbms.Value.to_string r.(0)) rows))
+  in
+  show "semi-naive" Session.default_options;
+  show "naive" { Session.default_options with strategy = Core.Runtime.Naive };
+  show "semi-naive + magic"
+    { Session.default_options with optimize = Core.Compiler.Opt_on };
+  show "naive + magic"
+    {
+      Session.default_options with
+      optimize = Core.Compiler.Opt_on;
+      strategy = Core.Runtime.Naive;
+    };
+  (* 4. persist the workspace rules and read them back *)
+  (match Session.update_stored s () with
+  | Ok r ->
+      Printf.printf "stored %d rules (%d closure edges)\n" r.Core.Update.rules_stored
+        r.Core.Update.tc_edges
+  | Error e -> failwith e);
+  Session.clear_workspace s;
+  (match Session.query s "?- ancestor(eve, W)." with
+  | Ok answer ->
+      let _, rows = Session.answer_rows answer in
+      Printf.printf "after storing rules, ancestor(eve, W) has %d answers\n" (List.length rows)
+  | Error e -> failwith e);
+  print_endline "quickstart done"

@@ -1,0 +1,60 @@
+(* The classic same-generation query, showing what the optimizer does:
+   the adorned/magic program, the evaluation order list, and the paper's
+   central performance effect — magic sets restricting the LFP to the
+   relevant part of the database (Test 7 in miniature).
+
+   Run:  dune exec examples/same_generation.exe *)
+
+module Session = Core.Session
+module Graphgen = Workload.Graphgen
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith e
+
+let () =
+  let s = Session.create () in
+  (* a full binary tree of depth 9: 510 parent tuples *)
+  let tree = Graphgen.full_binary_tree ~depth:9 () in
+  ok (Workload.Queries.setup_parent s tree.Graphgen.t_edges);
+  ok (Session.load_rules s Workload.Queries.same_generation_rules);
+  let leaf = List.hd (Graphgen.tree_nodes_at_level tree 9) in
+  let goal_text = Printf.sprintf "sg(%d, W)" leaf in
+  Printf.printf "same-generation over a depth-%d tree (%d parent tuples)\n" tree.Graphgen.t_depth
+    (List.length tree.Graphgen.t_edges);
+  Printf.printf "goal: ?- %s.\n\n" goal_text;
+
+  (* 1. show the compiled (rewritten) program *)
+  print_endline "--- magic-sets program (explain) ---";
+  print_string
+    (ok
+       (Session.explain s
+          ~options:{ Session.default_options with optimize = Core.Compiler.Opt_on }
+          goal_text));
+  print_newline ();
+
+  (* 2. run with and without optimization and compare the work done *)
+  let run label options =
+    let answer = ok (Session.query s ~options goal_text) in
+    let run = answer.Session.run in
+    Printf.printf "%-24s %4d answers  t_e=%8.2f ms  rows_read=%7d  iterations=%s\n" label
+      (List.length run.Core.Runtime.rows) run.Core.Runtime.exec_ms
+      run.Core.Runtime.io.Rdbms.Stats.rows_read
+      (String.concat ","
+         (List.map (fun (_, n) -> string_of_int n) run.Core.Runtime.iterations));
+    run
+  in
+  print_endline "--- execution comparison ---";
+  let base = run "no optimization" Session.default_options in
+  let magic = run "generalized magic" { Session.default_options with optimize = Core.Compiler.Opt_on } in
+  let sup =
+    run "supplementary magic"
+      { Session.default_options with optimize = Core.Compiler.Opt_supplementary }
+  in
+  let sorted r = List.sort Rdbms.Tuple.compare r.Core.Runtime.rows in
+  assert (sorted base = sorted magic && sorted magic = sorted sup);
+  Printf.printf "\nall three strategies agree on the %d answers.\n"
+    (List.length base.Core.Runtime.rows);
+  Printf.printf "magic sets read %.1fx fewer rows than unoptimized evaluation.\n"
+    (float_of_int base.Core.Runtime.io.Rdbms.Stats.rows_read
+    /. float_of_int (max 1 magic.Core.Runtime.io.Rdbms.Stats.rows_read))

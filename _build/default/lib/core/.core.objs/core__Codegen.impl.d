@@ -1,0 +1,1 @@
+lib/core/codegen.ml: Array Datalog List Printf Rdbms String

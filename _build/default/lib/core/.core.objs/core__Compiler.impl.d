@@ -1,0 +1,1 @@
+lib/core/compiler.ml: Codegen Datalog Dkb_util Hashtbl List Option Printf Rdbms Stored_dkb String Workspace

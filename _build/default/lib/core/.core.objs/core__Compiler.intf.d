@@ -1,0 +1,1 @@
+lib/core/compiler.mli: Codegen Datalog Dkb_util Rdbms Stored_dkb Workspace

@@ -1,0 +1,1 @@
+lib/core/emit_c.ml: Buffer Codegen Compiler Datalog List Printf Rdbms String

@@ -1,0 +1,1 @@
+lib/core/precompiled.ml: Compiler Datalog Hashtbl List Rdbms Runtime Session String

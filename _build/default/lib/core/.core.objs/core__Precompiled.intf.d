@@ -1,0 +1,1 @@
+lib/core/precompiled.mli: Datalog Session

@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Codegen Datalog Dkb_util List Printf Rdbms String

@@ -1,0 +1,1 @@
+lib/core/session.ml: Buffer Codegen Compiler Datalog Dkb_util List Printf Rdbms Runtime Stored_dkb String Update Workspace

@@ -1,0 +1,1 @@
+lib/core/session.mli: Compiler Datalog Rdbms Runtime Stored_dkb Update Workspace

@@ -1,0 +1,1 @@
+lib/core/stored_dkb.ml: Array Datalog Hashtbl List Option Printf Rdbms String

@@ -1,0 +1,1 @@
+lib/core/stored_dkb.mli: Datalog Rdbms

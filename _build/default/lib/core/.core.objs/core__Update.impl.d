@@ -1,0 +1,1 @@
+lib/core/update.ml: Datalog Dkb_util Hashtbl List Rdbms Set Stored_dkb String Workspace

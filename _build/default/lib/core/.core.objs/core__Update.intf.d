@@ -1,0 +1,1 @@
+lib/core/update.mli: Dkb_util Stored_dkb Workspace

@@ -1,0 +1,1 @@
+lib/core/workspace.ml: Datalog List Printf

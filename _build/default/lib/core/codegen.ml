@@ -1,0 +1,164 @@
+module Ast = Datalog.Ast
+module Names = Datalog.Names
+module Sqlgen = Datalog.Sqlgen
+
+type compiled_rule = {
+  cr_rule : Ast.clause;
+  cr_select : string;
+  cr_delta_selects : string list;
+}
+
+type entry =
+  | E_pred of {
+      pred : string;
+      types : Rdbms.Datatype.t list;
+      fact_inserts : string list;
+      rules : compiled_rule list;
+    }
+  | E_clique of {
+      label : string;
+      members : (string * Rdbms.Datatype.t list) list;
+      fact_inserts : (string * string list) list;
+      exit_rules : (string * compiled_rule) list;
+      rec_rules : (string * compiled_rule) list;
+    }
+
+type query_shape =
+  | Q_rows of string list
+  | Q_boolean
+
+type t = {
+  entries : entry list;
+  query_pred : string;
+  query_sql : string;
+  query_shape : query_shape;
+  derived_tables : (string * Rdbms.Datatype.t list) list;
+}
+
+exception Codegen_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Codegen_error s)) fmt
+
+let select_text ~columns ?table_of clause =
+  Rdbms.Sql_printer.query (Sqlgen.select_for_rule ~columns ?table_of clause)
+
+(* Delta variants: one per positive occurrence of a clique member in the
+   body; that occurrence reads the delta table. *)
+let delta_variants ~columns ~in_clique clause =
+  let body = Array.of_list clause.Ast.body in
+  let occurrence_indices =
+    List.filter
+      (fun i ->
+        match body.(i) with
+        | Ast.Pos a -> in_clique a.Ast.pred
+        | Ast.Neg _ | Ast.Cmp _ -> false)
+      (List.init (Array.length body) (fun i -> i))
+  in
+  List.map
+    (fun j ->
+      let table_of i =
+        if i = j then
+          match body.(i) with
+          | Ast.Pos a -> Names.delta a.Ast.pred
+          | Ast.Neg _ | Ast.Cmp _ -> assert false
+        else ""
+      in
+      select_text ~columns ~table_of clause)
+    occurrence_indices
+
+let compile_rule ~columns ?(in_clique = fun _ -> false) clause =
+  {
+    cr_rule = clause;
+    cr_select = select_text ~columns clause;
+    cr_delta_selects = delta_variants ~columns ~in_clique clause;
+  }
+
+let facts_of clauses p =
+  List.filter (fun c -> Ast.is_fact c && String.equal (Ast.head_pred c) p) clauses
+
+let fact_inserts clauses p =
+  List.map (fun c -> Sqlgen.insert_fact ~target:p c) (facts_of clauses p)
+
+let query_sql_of ~columns goal =
+  let vars = Ast.vars_of_atom goal in
+  if vars = [] then begin
+    (* ground goal: count matching tuples *)
+    let conds =
+      List.mapi
+        (fun k arg ->
+          match arg with
+          | Ast.Const v ->
+              let cols = columns goal.Ast.pred in
+              Printf.sprintf "t1.%s = %s" (List.nth cols k) (Rdbms.Value.to_sql v)
+          | Ast.Var _ -> assert false)
+        goal.Ast.args
+    in
+    let where = if conds = [] then "" else " WHERE " ^ String.concat " AND " conds in
+    (Printf.sprintf "SELECT COUNT(*) FROM %s t1%s" goal.Ast.pred where, Q_boolean)
+  end
+  else begin
+    let answer = Ast.atom "answer" (List.map (fun v -> Ast.Var v) vars) in
+    let clause = Ast.rule answer [ Ast.Pos goal ] in
+    let q = Sqlgen.select_for_rule ~columns ~head_columns:vars clause in
+    (Rdbms.Sql_printer.query q, Q_rows vars)
+  end
+
+let generate ~columns ~types ~order ~clauses ~goal =
+  let types_of p = try types p with Not_found -> err "no inferred types for predicate %s" p in
+  let entries =
+    List.map
+      (fun node ->
+        match node with
+        | Datalog.Evalgraph.N_pred p ->
+            let rules =
+              List.map (compile_rule ~columns) (Datalog.Pcg.defining_rules clauses p)
+            in
+            E_pred { pred = p; types = types_of p; fact_inserts = fact_inserts clauses p; rules }
+        | Datalog.Evalgraph.N_clique c ->
+            let preds = c.Datalog.Clique.preds in
+            let in_clique p = List.mem p preds in
+            let label = "clique(" ^ String.concat "," preds ^ ")" in
+            let members = List.map (fun p -> (p, types_of p)) preds in
+            let facts =
+              List.filter_map
+                (fun p ->
+                  match fact_inserts clauses p with
+                  | [] -> None
+                  | l -> Some (p, l))
+                preds
+            in
+            let exit_rules =
+              List.map
+                (fun r -> (Ast.head_pred r, compile_rule ~columns r))
+                c.Datalog.Clique.exit_rules
+            in
+            let rec_rules =
+              List.map
+                (fun r -> (Ast.head_pred r, compile_rule ~columns ~in_clique r))
+                c.Datalog.Clique.recursive_rules
+            in
+            E_clique { label; members; fact_inserts = facts; exit_rules; rec_rules })
+      order
+  in
+  let query_sql, query_shape = query_sql_of ~columns goal in
+  let derived_tables =
+    List.concat_map
+      (function
+        | E_pred { pred; types; _ } -> [ (pred, types) ]
+        | E_clique { members; _ } -> members)
+      entries
+  in
+  { entries; query_pred = goal.Ast.pred; query_sql; query_shape; derived_tables }
+
+let all_sql_texts t =
+  let of_rule r = r.cr_select :: r.cr_delta_selects in
+  List.concat_map
+    (function
+      | E_pred { fact_inserts; rules; _ } -> fact_inserts @ List.concat_map of_rule rules
+      | E_clique { fact_inserts; exit_rules; rec_rules; _ } ->
+          List.concat_map snd fact_inserts
+          @ List.concat_map (fun (_, r) -> of_rule r) (exit_rules @ rec_rules))
+    t.entries
+  @ [ t.query_sql ]
+
+let statement_count t = List.length (all_sql_texts t)

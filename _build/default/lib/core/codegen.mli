@@ -1,0 +1,63 @@
+(** The Code Generator (paper §3.2.6): lowers the evaluation order list
+    into a program structure whose data mirrors what the paper's C code
+    fragment loads — per-predicate schema information and the SQL text
+    evaluating each rule body; clique entries additionally distinguish
+    exit rules from recursive rules and carry the semi-naive delta
+    variants of the latter. The Run Time Library ({!Runtime}) interprets
+    this structure. *)
+
+type compiled_rule = {
+  cr_rule : Datalog.Ast.clause;
+  cr_select : string;
+      (** SELECT text reading the current full extent of every predicate *)
+  cr_delta_selects : string list;
+      (** semi-naive variants: one per occurrence of a clique predicate in
+          the body, that occurrence reading the delta table instead *)
+}
+
+type entry =
+  | E_pred of {
+      pred : string;
+      types : Rdbms.Datatype.t list;
+      fact_inserts : string list;  (** full INSERT statements *)
+      rules : compiled_rule list;
+    }  (** non-recursive derived predicate *)
+  | E_clique of {
+      label : string;
+      members : (string * Rdbms.Datatype.t list) list;
+      fact_inserts : (string * string list) list;  (** per member *)
+      exit_rules : (string * compiled_rule) list;  (** (head, rule) *)
+      rec_rules : (string * compiled_rule) list;
+    }
+
+type query_shape =
+  | Q_rows of string list  (** output column names (the goal's variables) *)
+  | Q_boolean  (** ground goal: did any matching fact derive? *)
+
+type t = {
+  entries : entry list;
+  query_pred : string;
+  query_sql : string;
+  query_shape : query_shape;
+  derived_tables : (string * Rdbms.Datatype.t list) list;
+      (** every table the runtime must create, in creation order *)
+}
+
+exception Codegen_error of string
+
+val generate :
+  columns:(string -> string list) ->
+  types:(string -> Rdbms.Datatype.t list) ->
+  order:Datalog.Evalgraph.node list ->
+  clauses:Datalog.Ast.clause list ->
+  goal:Datalog.Ast.atom ->
+  t
+(** [columns p] gives the DBMS column names of predicate [p]'s table
+    (base relations: their schema; derived: [c1..cn]); [types p] gives
+    the inferred column types of derived predicate [p]. *)
+
+val statement_count : t -> int
+(** Number of SQL texts in the program (rules, variants, facts, query). *)
+
+val all_sql_texts : t -> string list
+(** Every SQL text in the program, for the compile/validation phase. *)

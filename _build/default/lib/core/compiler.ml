@@ -1,0 +1,211 @@
+module Ast = Datalog.Ast
+module Timer = Dkb_util.Timer
+
+type optimize_mode =
+  | Opt_off
+  | Opt_on
+  | Opt_supplementary
+  | Opt_auto
+
+type compiled = {
+  program : Codegen.t;
+  phases : Timer.Phases.t;
+  goal : Ast.atom;
+  original_goal : Ast.atom;
+  clauses : Ast.clause list;
+  original_clauses : Ast.clause list;
+  optimized : bool;
+  eval_order : Datalog.Evalgraph.node list;
+  relevant_stored_rules : int;
+  relevant_derived_preds : int;
+  derived_types : (string * Rdbms.Datatype.t list) list;
+  compile_ms : float;
+}
+
+exception Compile_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Compile_error s)) fmt
+
+let check r = match r with Ok v -> v | Error msg -> raise (Compile_error msg)
+
+(* §4.2 step 1: find the relevant rule set from the Workspace and Stored
+   D/KBs, iterating stored-rule extraction to a fixpoint. Returns the full
+   clause set together with the number of stored rules pulled in. *)
+let extract_relevant ~stored ~workspace ~is_base goal =
+  let ws_clauses = Workspace.rules workspace @ Workspace.facts workspace in
+  let rec loop acc_extracted covered =
+    let all = ws_clauses @ acc_extracted in
+    let pcg = Datalog.Pcg.build all in
+    let relevant = Datalog.Pcg.reachable_closure pcg [ goal.Ast.pred ] in
+    let candidates =
+      List.filter (fun p -> (not (is_base p)) && not (List.mem p covered)) relevant
+    in
+    if candidates = [] then (acc_extracted, covered)
+    else begin
+      let extracted = Stored_dkb.extract_rules_for stored candidates in
+      let fresh =
+        List.filter
+          (fun c -> not (List.exists (Ast.equal_clause c) all))
+          extracted
+      in
+      loop (acc_extracted @ fresh) (covered @ candidates)
+    end
+  in
+  let extracted, covered = loop [] [] in
+  let all = ws_clauses @ extracted in
+  (* restrict to clauses whose head is relevant to the goal *)
+  let pcg = Datalog.Pcg.build all in
+  let relevant = Datalog.Pcg.reachable_closure pcg [ goal.Ast.pred ] in
+  let clauses = List.filter (fun c -> List.mem (Ast.head_pred c) relevant) all in
+  (clauses, List.length extracted, covered)
+
+let compile ~stored ~workspace ?(optimize = Opt_off) ~goal () =
+  let engine = Stored_dkb.engine stored in
+  let catalog = Rdbms.Engine.catalog engine in
+  let phases = Timer.Phases.create () in
+  let t0 = Timer.now_ms () in
+  try
+    (* ---- setup ------------------------------------------------------ *)
+    let is_base =
+      Timer.Phases.record phases "setup" (fun () ->
+          check (Datalog.Names.check_user_pred goal.Ast.pred);
+          let dict_bases = Hashtbl.create 16 in
+          fun p ->
+            match Hashtbl.find_opt dict_bases p with
+            | Some b -> b
+            | None ->
+                let b =
+                  Rdbms.Catalog.table_exists catalog p
+                  && not (Stored_dkb.has_rules_for stored p)
+                in
+                Hashtbl.add dict_bases p b;
+                b)
+    in
+    (* ---- extract ---------------------------------------------------- *)
+    let clauses, n_extracted, _covered =
+      Timer.Phases.record phases "extract" (fun () ->
+          extract_relevant ~stored ~workspace ~is_base goal)
+    in
+    let pcg = Datalog.Pcg.build clauses in
+    let relevant = Datalog.Pcg.reachable_closure pcg [ goal.Ast.pred ] in
+    let relevant_base = List.filter is_base relevant in
+    let relevant_derived = List.filter (fun p -> not (is_base p)) relevant in
+    (* ---- readdict --------------------------------------------------- *)
+    let base_schemas =
+      Timer.Phases.record phases "readdict" (fun () ->
+          let _bases, _deriveds =
+            Stored_dkb.read_dictionaries stored ~base:relevant_base ~derived:relevant_derived
+          in
+          (* the authoritative base schemas, including column names *)
+          List.filter_map
+            (fun p -> Option.map (fun cols -> (p, cols)) (Stored_dkb.base_schema stored p))
+            relevant_base)
+    in
+    let base_types p = Option.map (List.map snd) (List.assoc_opt p base_schemas) in
+    (* ---- semantic (on the original program) ------------------------- *)
+    Timer.Phases.record phases "semantic" (fun () ->
+        List.iter (fun c -> check (Datalog.Typecheck.check_safety c)) clauses;
+        check
+          (Datalog.Typecheck.check_defined ~rules:clauses ~is_base ~goals:[ goal.Ast.pred ]);
+        check (Datalog.Evalgraph.check_stratified clauses);
+        (* goal must be well-formed against its predicate *)
+        let goal_arity_ok =
+          if is_base goal.Ast.pred then
+            match base_types goal.Ast.pred with
+            | Some tys -> List.length tys = Ast.arity goal
+            | None -> false
+          else
+            List.exists
+              (fun c -> String.equal (Ast.head_pred c) goal.Ast.pred
+                        && Ast.arity c.Ast.head = Ast.arity goal)
+              clauses
+        in
+        if not goal_arity_ok then fail "goal %s has the wrong arity" (Ast.atom_to_string goal))
+    ;
+    (* ---- optimize ---------------------------------------------------- *)
+    let want_opt =
+      match optimize with
+      | Opt_off -> false
+      | Opt_on | Opt_supplementary -> true
+      | Opt_auto -> List.exists (function Ast.Const _ -> true | Ast.Var _ -> false) goal.Ast.args
+    in
+    let rewriter =
+      match optimize with
+      | Opt_supplementary -> Datalog.Magic.rewrite_supplementary
+      | Opt_off | Opt_on | Opt_auto -> Datalog.Magic.rewrite
+    in
+    let final_clauses, final_goal, optimized =
+      Timer.Phases.record phases "optimize" (fun () ->
+          if not want_opt then (clauses, goal, false)
+          else
+            match
+              rewriter
+                ~is_derived:(fun p -> not (is_base p))
+                ~rules:(List.filter Ast.is_rule clauses)
+                ~query:goal
+            with
+            | Datalog.Magic.Not_rewritten _ -> (clauses, goal, false)
+            | Datalog.Magic.Rewritten { program; query; _ } ->
+                (* keep original facts (for derived preds with facts) *)
+                let facts = List.filter Ast.is_fact clauses in
+                (program @ facts, query, true))
+    in
+    (* type inference over the final program *)
+    let derived_types =
+      Timer.Phases.record phases "semantic" (fun () ->
+          check (Datalog.Typecheck.infer ~base:base_types ~rules:final_clauses))
+    in
+    (* ---- evaluation order list --------------------------------------- *)
+    let eval_order =
+      Timer.Phases.record phases "eol" (fun () ->
+          Datalog.Evalgraph.evaluation_order ~rules:final_clauses ~is_base
+            ~goals:[ final_goal.Ast.pred ])
+    in
+    (* ---- codegen ------------------------------------------------------ *)
+    let program =
+      Timer.Phases.record phases "codegen" (fun () ->
+          let columns p =
+            match List.assoc_opt p base_schemas with
+            | Some cols -> List.map fst cols
+            | None -> (
+                match List.assoc_opt p derived_types with
+                | Some tys -> Datalog.Sqlgen.default_columns (List.length tys)
+                | None -> fail "no schema known for predicate %s" p)
+          in
+          let types p =
+            match List.assoc_opt p derived_types with
+            | Some tys -> tys
+            | None -> raise Not_found
+          in
+          Codegen.generate ~columns ~types ~order:eval_order ~clauses:final_clauses
+            ~goal:final_goal)
+    in
+    (* ---- compile (lower/validate the generated SQL) ------------------ *)
+    Timer.Phases.record phases "compile" (fun () ->
+        List.iter
+          (fun sql ->
+            match Rdbms.Sql_parser.parse sql with
+            | (_ : Rdbms.Sql_ast.stmt) -> ()
+            | exception Rdbms.Sql_parser.Parse_error (msg, _) ->
+                fail "generated SQL does not parse (%s): %s" msg sql)
+          (Codegen.all_sql_texts program));
+    Ok
+      {
+        program;
+        phases;
+        goal = final_goal;
+        original_goal = goal;
+        clauses = final_clauses;
+        original_clauses = clauses;
+        optimized;
+        eval_order;
+        relevant_stored_rules = n_extracted;
+        relevant_derived_preds = List.length relevant_derived;
+        derived_types;
+        compile_ms = Timer.now_ms () -. t0;
+      }
+  with
+  | Compile_error msg -> Error msg
+  | Datalog.Sqlgen.Codegen_error msg -> Error msg
+  | Codegen.Codegen_error msg -> Error msg
+  | Rdbms.Engine.Sql_error msg -> Error ("DBMS error during compilation: " ^ msg)

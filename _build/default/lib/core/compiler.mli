@@ -1,0 +1,50 @@
+(** The D/KB query compiler: the paper's §4.2 processing pipeline with
+    per-phase wall-clock timing, producing an executable program
+    ({!Codegen.t}) for the Run Time Library.
+
+    Phase buckets (Timer.Phases keys), matching the t_c components of
+    Test 3 / Table 4:
+    - ["setup"]    — building query-related data structures;
+    - ["extract"]  — pulling relevant rules out of the Stored D/KB
+                     (§4.2 step 1, iterated to a fixpoint);
+    - ["readdict"] — reading the extensional and intensional data
+                     dictionaries;
+    - ["semantic"] — safety, rule-coverage, stratification and type
+                     inference checks;
+    - ["optimize"] — generalized magic-sets rewriting (when enabled);
+    - ["eol"]      — PCG construction, clique finding and the evaluation
+                     order list;
+    - ["codegen"]  — generating the program and its SQL texts;
+    - ["compile"]  — lowering/validating the generated SQL (the stand-in
+                     for the paper's C-compile-and-link step). *)
+
+type optimize_mode =
+  | Opt_off
+  | Opt_on  (** generalized magic sets *)
+  | Opt_supplementary  (** supplementary magic sets (shared SIP prefixes) *)
+  | Opt_auto
+      (** magic sets are applied iff the goal has at least one constant —
+          the paper's "tune the optimizer dynamically" suggestion *)
+
+type compiled = {
+  program : Codegen.t;
+  phases : Dkb_util.Timer.Phases.t;
+  goal : Datalog.Ast.atom;  (** possibly adorned *)
+  original_goal : Datalog.Ast.atom;
+  clauses : Datalog.Ast.clause list;  (** the compiled (possibly rewritten) program *)
+  original_clauses : Datalog.Ast.clause list;  (** relevant rules before optimization *)
+  optimized : bool;
+  eval_order : Datalog.Evalgraph.node list;
+  relevant_stored_rules : int;  (** R_rs: stored rules extracted *)
+  relevant_derived_preds : int;  (** P_rs *)
+  derived_types : (string * Rdbms.Datatype.t list) list;
+  compile_ms : float;  (** total t_c *)
+}
+
+val compile :
+  stored:Stored_dkb.t ->
+  workspace:Workspace.t ->
+  ?optimize:optimize_mode ->
+  goal:Datalog.Ast.atom ->
+  unit ->
+  (compiled, string) result

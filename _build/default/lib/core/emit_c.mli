@@ -1,0 +1,14 @@
+(** Rendering of a compiled program as the C-with-embedded-SQL program
+    segment the paper's Code Generator emitted (§3.2.6, §3.3): struct
+    definitions loaded with predicate names, schema information, and the
+    SQL text of every rule, followed by calls into the Run Time Library.
+
+    The testbed executes {!Codegen.t} directly ({!Runtime}); this module
+    exists for the paper's "demonstration platform" role — showing users
+    exactly what the generated embedded-SQL program looks like. *)
+
+val program : Compiler.compiled -> string
+(** The complete C program segment for a compiled query. *)
+
+val entry : Codegen.entry -> string
+(** Just the data-structure loading code for one evaluation-order entry. *)

@@ -1,0 +1,33 @@
+(** Precompiled-query cache (paper conclusion: "precompilation of D/KB
+    queries can prove to be very useful ... during updates, this
+    information is checked to see whether the update invalidates any
+    compiled query").
+
+    A cache entry records the session's rule epoch and the predicates the
+    compiled program depends on; a later rule change invalidates exactly
+    the entries that depend on a changed predicate. *)
+
+type t
+
+val create : unit -> t
+
+type outcome =
+  | Hit  (** served from cache, no compilation *)
+  | Miss  (** first compilation of this goal/options pair *)
+  | Invalidated  (** cached program was stale and was recompiled *)
+
+val query :
+  t ->
+  Session.t ->
+  ?options:Session.options ->
+  Datalog.Ast.atom ->
+  ((Session.answer * outcome), string) result
+(** Like {!Session.query_goal}, but reusing the compiled program when the
+    rule base has not changed in a way that affects it. Execution always
+    runs (data may have changed); only compilation is cached. *)
+
+val size : t -> int
+val clear : t -> unit
+
+val invalidations : t -> int
+(** Total number of entries discarded due to rule changes so far. *)

@@ -1,0 +1,235 @@
+module Engine = Rdbms.Engine
+module Names = Datalog.Names
+module Timer = Dkb_util.Timer
+
+type strategy =
+  | Naive
+  | Seminaive
+
+let strategy_to_string = function
+  | Naive -> "naive"
+  | Seminaive -> "semi-naive"
+
+type report = {
+  rows : Rdbms.Tuple.t list;
+  columns : string list;
+  boolean : bool option;
+  iterations : (string * int) list;
+  phases : Timer.Phases.t;
+  entry_ms : (string * float) list;
+  exec_ms : float;
+  io : Rdbms.Stats.t;
+}
+
+type ctx = {
+  engine : Engine.t;
+  phases : Timer.Phases.t;
+  index_derived : bool;
+  max_iterations : int;
+}
+
+let exec ctx bucket sql =
+  Timer.Phases.record ctx.phases bucket (fun () -> ignore (Engine.exec ctx.engine sql))
+
+let create_table ctx ?(with_index = false) name types =
+  exec ctx "create_drop" (Datalog.Sqlgen.create_table ~name ~types ());
+  if with_index && ctx.index_derived && types <> [] then
+    exec ctx "create_drop" (Printf.sprintf "CREATE INDEX idx__%s__c1 ON %s (c1)" name name)
+
+let drop_table ctx name = exec ctx "create_drop" ("DROP TABLE IF EXISTS " ^ name)
+
+let insert_select ctx bucket target select =
+  exec ctx bucket (Printf.sprintf "INSERT INTO %s %s" target select)
+
+let count_of ctx name =
+  Timer.Phases.record ctx.phases "termination" (fun () ->
+      Engine.scalar_int ctx.engine ("SELECT COUNT(*) FROM " ^ name))
+
+let copy_into ctx target source =
+  exec ctx "copy" (Printf.sprintf "INSERT INTO %s SELECT * FROM %s" target source)
+
+(* ------------------------------------------------------------------ *)
+(* Non-recursive predicate entry *)
+
+let eval_pred ctx ~pred ~types ~fact_inserts ~rules =
+  create_table ctx ~with_index:true pred types;
+  List.iter (fun sql -> exec ctx "eval" sql) fact_inserts;
+  List.iter
+    (fun r -> insert_select ctx "eval" pred r.Codegen.cr_select)
+    rules
+
+(* ------------------------------------------------------------------ *)
+(* Clique evaluation: naive *)
+
+let eval_clique_naive ctx ~members ~fact_inserts ~exit_rules ~rec_rules =
+  (* member tables start empty; each iteration recomputes F from scratch
+     into next tables and swaps *)
+  List.iter (fun (p, types) -> create_table ctx ~with_index:true p types) members;
+  let iterations = ref 0 in
+  let changed = ref true in
+  while !changed do
+    incr iterations;
+    if !iterations > ctx.max_iterations then failwith "naive evaluation exceeded max iterations";
+    changed := false;
+    List.iter (fun (p, types) -> create_table ctx (Names.next p) types) members;
+    List.iter
+      (fun (p, inserts) ->
+        List.iter
+          (fun sql ->
+            (* retarget the fact insert at the next-table *)
+            let retargeted =
+              Printf.sprintf "INSERT INTO %s%s" (Names.next p)
+                (let prefix = "INSERT INTO " ^ p in
+                 String.sub sql (String.length prefix) (String.length sql - String.length prefix))
+            in
+            exec ctx "eval" retargeted)
+          inserts)
+      fact_inserts;
+    List.iter
+      (fun (head, r) -> insert_select ctx "eval" (Names.next head) r.Codegen.cr_select)
+      (exit_rules @ rec_rules);
+    (* termination: next EXCEPT current, per member *)
+    List.iter
+      (fun (p, types) ->
+        create_table ctx (Names.diff p) types;
+        insert_select ctx "termination" (Names.diff p)
+          (Printf.sprintf "(SELECT * FROM %s) EXCEPT (SELECT * FROM %s)" (Names.next p) p);
+        if count_of ctx (Names.diff p) > 0 then changed := true;
+        drop_table ctx (Names.diff p))
+      members;
+    (* swap: current <- next (a full table copy, as the paper laments) *)
+    List.iter
+      (fun (p, types) ->
+        drop_table ctx p;
+        create_table ctx ~with_index:true p types;
+        copy_into ctx p (Names.next p);
+        drop_table ctx (Names.next p))
+      members
+  done;
+  !iterations
+
+(* ------------------------------------------------------------------ *)
+(* Clique evaluation: semi-naive *)
+
+let eval_clique_seminaive ctx ~members ~fact_inserts ~exit_rules ~rec_rules =
+  (* init: facts and exit rules, delta = everything so far *)
+  List.iter (fun (p, types) -> create_table ctx ~with_index:true p types) members;
+  List.iter
+    (fun (_, inserts) -> List.iter (fun sql -> exec ctx "eval" sql) inserts)
+    fact_inserts;
+  List.iter (fun (head, r) -> insert_select ctx "eval" head r.Codegen.cr_select) exit_rules;
+  List.iter
+    (fun (p, types) ->
+      create_table ctx (Names.delta p) types;
+      copy_into ctx (Names.delta p) p)
+    members;
+  let iterations = ref 0 in
+  let changed = ref true in
+  while !changed do
+    incr iterations;
+    if !iterations > ctx.max_iterations then failwith "semi-naive evaluation exceeded max iterations";
+    changed := false;
+    List.iter (fun (p, types) -> create_table ctx (Names.new_delta p) types) members;
+    List.iter
+      (fun (head, r) ->
+        match r.Codegen.cr_delta_selects with
+        | [] ->
+            (* defensive: a "recursive" rule with no clique occurrence *)
+            insert_select ctx "eval" (Names.new_delta head) r.Codegen.cr_select
+        | variants ->
+            List.iter (fun sel -> insert_select ctx "eval" (Names.new_delta head) sel) variants)
+      rec_rules;
+    List.iter
+      (fun (p, types) ->
+        create_table ctx (Names.diff p) types;
+        insert_select ctx "termination" (Names.diff p)
+          (Printf.sprintf "(SELECT * FROM %s) EXCEPT (SELECT * FROM %s)" (Names.new_delta p) p);
+        let n = count_of ctx (Names.diff p) in
+        drop_table ctx (Names.delta p);
+        create_table ctx (Names.delta p) types;
+        copy_into ctx (Names.delta p) (Names.diff p);
+        copy_into ctx p (Names.delta p);
+        drop_table ctx (Names.diff p);
+        drop_table ctx (Names.new_delta p);
+        if n > 0 then changed := true)
+      members
+  done;
+  List.iter (fun (p, _) -> drop_table ctx (Names.delta p)) members;
+  !iterations
+
+(* ------------------------------------------------------------------ *)
+
+(* drop every table this program could have created, including the
+   scratch tables of an interrupted LFP loop *)
+let drop_all_program_tables ctx (program : Codegen.t) =
+  List.iter
+    (fun (name, _) ->
+      List.iter
+        (fun n -> drop_table ctx n)
+        [ name; Names.next name; Names.delta name; Names.new_delta name; Names.diff name ])
+    program.Codegen.derived_tables
+
+let execute engine ?(strategy = Seminaive) ?(index_derived = false) ?(max_iterations = 100_000)
+    ?(cleanup = true) (program : Codegen.t) =
+  let phases = Timer.Phases.create () in
+  let ctx = { engine; phases; index_derived; max_iterations } in
+  let io_before = Rdbms.Stats.copy (Engine.stats engine) in
+  let t0 = Timer.now_ms () in
+  let iterations = ref [] in
+  let entry_ms = ref [] in
+  try
+  List.iter
+    (fun entry ->
+      let label, run =
+        match entry with
+        | Codegen.E_pred { pred; types; fact_inserts; rules } ->
+            (pred, fun () -> eval_pred ctx ~pred ~types ~fact_inserts ~rules)
+        | Codegen.E_clique { label; members; fact_inserts; exit_rules; rec_rules } ->
+            ( label,
+              fun () ->
+                let iters =
+                  match strategy with
+                  | Naive -> eval_clique_naive ctx ~members ~fact_inserts ~exit_rules ~rec_rules
+                  | Seminaive ->
+                      eval_clique_seminaive ctx ~members ~fact_inserts ~exit_rules ~rec_rules
+                in
+                iterations := !iterations @ [ (label, iters) ] )
+      in
+      let (), ms = Timer.time run in
+      entry_ms := !entry_ms @ [ (label, ms) ])
+    program.Codegen.entries;
+  (* final answer *)
+  let result =
+    Timer.Phases.record phases "eval" (fun () -> Engine.exec engine program.Codegen.query_sql)
+  in
+  let rows, columns =
+    match result with
+    | Engine.Rows { rows; columns } -> (rows, columns)
+    | Engine.Affected _ | Engine.Done -> failwith "query program did not produce rows"
+  in
+  let boolean =
+    match program.Codegen.query_shape with
+    | Codegen.Q_boolean -> (
+        match rows with
+        | [ [| Rdbms.Value.Int n |] ] -> Some (n > 0)
+        | _ -> Some false)
+    | Codegen.Q_rows _ -> None
+  in
+  if cleanup then
+    List.iter (fun (name, _) -> drop_table ctx name) program.Codegen.derived_tables;
+  let exec_ms = Timer.now_ms () -. t0 in
+  let io = Rdbms.Stats.diff (Engine.stats engine) io_before in
+  {
+    rows;
+    columns;
+    boolean;
+    iterations = !iterations;
+    phases;
+    entry_ms = !entry_ms;
+    exec_ms;
+    io;
+  }
+  with e ->
+    (* never leak temp tables out of a failed evaluation *)
+    drop_all_program_tables ctx program;
+    raise e

@@ -1,0 +1,43 @@
+(** The Run Time Library (paper §3.3): interprets the generated program
+    against the DBMS, computing least fixed points bottom-up with either
+    naive or semi-naive iteration, entirely through SQL — including the
+    temp-table churn and EXCEPT-based termination checks whose cost the
+    paper analyses in Test 6.
+
+    Wall-clock time is accumulated into four step buckets matching the
+    paper's breakdown:
+    - ["create_drop"] — creating and dropping temporary tables;
+    - ["eval"] — evaluating rule right-hand sides (INSERT ... SELECT);
+    - ["termination"] — set differences and COUNT( * ) termination checks;
+    - ["copy"] — table-to-table copies. *)
+
+type strategy =
+  | Naive
+  | Seminaive
+
+type report = {
+  rows : Rdbms.Tuple.t list;
+  columns : string list;
+  boolean : bool option;  (** [Some b] for a ground (yes/no) goal *)
+  iterations : (string * int) list;  (** per-clique iteration counts *)
+  phases : Dkb_util.Timer.Phases.t;  (** the four step buckets *)
+  entry_ms : (string * float) list;  (** wall time per evaluation-order entry *)
+  exec_ms : float;  (** total execution wall time, [t_e] *)
+  io : Rdbms.Stats.t;  (** simulated I/O counters for the execution *)
+}
+
+val execute :
+  Rdbms.Engine.t ->
+  ?strategy:strategy ->
+  ?index_derived:bool ->
+  ?max_iterations:int ->
+  ?cleanup:bool ->
+  Codegen.t ->
+  report
+(** Runs the program. [index_derived] creates a hash index on the first
+    column of every derived table (the paper's "dynamically adaptable
+    indexing" future-work idea; off by default). [cleanup] (default true)
+    drops all derived tables afterwards. Raises [Failure] if a clique
+    exceeds [max_iterations] (default 100_000). *)
+
+val strategy_to_string : strategy -> string

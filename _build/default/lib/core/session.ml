@@ -1,0 +1,238 @@
+module Engine = Rdbms.Engine
+module Value = Rdbms.Value
+module Ast = Datalog.Ast
+module Timer = Dkb_util.Timer
+
+type t = {
+  engine : Engine.t;
+  stored : Stored_dkb.t;
+  workspace : Workspace.t;
+  mutable epoch : int;
+  mutable changes : (int * string) list; (* (epoch, head pred) *)
+}
+
+let create () =
+  let engine = Engine.create () in
+  {
+    engine;
+    stored = Stored_dkb.init engine;
+    workspace = Workspace.create ();
+    epoch = 0;
+    changes = [];
+  }
+
+let engine t = t.engine
+let stored t = t.stored
+let workspace t = t.workspace
+let rule_epoch t = t.epoch
+
+let changed_since t epoch =
+  List.filter_map (fun (e, p) -> if e > epoch then Some p else None) t.changes
+
+let bump t pred =
+  t.epoch <- t.epoch + 1;
+  t.changes <- (t.epoch, pred) :: t.changes
+
+(* ------------------------------------------------------------------ *)
+(* Extensional database *)
+
+let define_base t name cols ?(indexes = []) () =
+  match Datalog.Names.check_user_pred name with
+  | Error _ as e -> e
+  | Ok () -> (
+      if cols = [] then Error "a base relation needs at least one column"
+      else
+        match
+          Engine.exec t.engine
+            (Rdbms.Sql_printer.stmt (Rdbms.Sql_ast.Create_table { name; columns = cols }))
+        with
+        | exception Engine.Sql_error msg -> Error msg
+        | _ ->
+            Stored_dkb.register_base t.stored name cols;
+            let rec build = function
+              | [] -> Ok ()
+              | col :: rest -> (
+                  match
+                    Engine.exec t.engine
+                      (Printf.sprintf "CREATE INDEX idx__%s__%s ON %s (%s)" name col name col)
+                  with
+                  | exception Engine.Sql_error msg -> Error msg
+                  | _ -> build rest)
+            in
+            build indexes)
+
+let add_fact t name values =
+  match
+    Engine.exec t.engine
+      (Printf.sprintf "INSERT INTO %s VALUES (%s)" name
+         (String.concat ", " (List.map Value.to_sql values)))
+  with
+  | exception Engine.Sql_error msg -> Error msg
+  | _ -> Ok ()
+
+let add_facts t name rows =
+  if rows = [] then Ok 0
+  else begin
+    (* batch VALUES lists to keep statements a sane size *)
+    let batch = 500 in
+    let rec chunks acc = function
+      | [] -> List.rev acc
+      | l ->
+          let rec take n acc = function
+            | [] -> (List.rev acc, [])
+            | x :: rest when n > 0 -> take (n - 1) (x :: acc) rest
+            | rest -> (List.rev acc, rest)
+          in
+          let chunk, rest = take batch [] l in
+          chunks (chunk :: acc) rest
+    in
+    let inserted = ref 0 in
+    let rec run = function
+      | [] -> Ok !inserted
+      | chunk :: rest -> (
+          let values =
+            String.concat ", "
+              (List.map
+                 (fun row -> "(" ^ String.concat ", " (List.map Value.to_sql row) ^ ")")
+                 chunk)
+          in
+          match Engine.exec t.engine (Printf.sprintf "INSERT INTO %s VALUES %s" name values) with
+          | exception Engine.Sql_error msg -> Error msg
+          | Engine.Affected n ->
+              inserted := !inserted + n;
+              run rest
+          | Engine.Rows _ | Engine.Done -> run rest)
+    in
+    run (chunks [] rows)
+  end
+
+let base_count t name =
+  try Engine.table_cardinality t.engine name with Engine.Sql_error _ -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Workspace rules *)
+
+let add_rule t text =
+  match Datalog.Parser.parse_clause text with
+  | exception Datalog.Parser.Parse_error (msg, pos) ->
+      Error (Printf.sprintf "parse error at offset %d: %s" pos msg)
+  | exception Datalog.Lexer.Lex_error (msg, pos) ->
+      Error (Printf.sprintf "lex error at offset %d: %s" pos msg)
+  | clause -> (
+      match Workspace.add_clause t.workspace clause with
+      | Ok () ->
+          bump t (Ast.head_pred clause);
+          Ok ()
+      | Error _ as e -> e)
+
+let load_rules t text =
+  match Workspace.add_text t.workspace text with
+  | Ok () ->
+      List.iter (fun p -> bump t p) (Workspace.head_predicates t.workspace);
+      Ok ()
+  | Error _ as e -> e
+
+let clear_workspace t =
+  List.iter (fun p -> bump t p) (Workspace.head_predicates t.workspace);
+  Workspace.clear t.workspace
+
+(* ------------------------------------------------------------------ *)
+(* Querying *)
+
+type options = {
+  optimize : Compiler.optimize_mode;
+  strategy : Runtime.strategy;
+  index_derived : bool;
+}
+
+let default_options =
+  { optimize = Compiler.Opt_off; strategy = Runtime.Seminaive; index_derived = false }
+
+type answer = {
+  compiled : Compiler.compiled;
+  run : Runtime.report;
+  total_ms : float;
+}
+
+let query_goal t ?(options = default_options) goal =
+  match
+    Compiler.compile ~stored:t.stored ~workspace:t.workspace ~optimize:options.optimize ~goal ()
+  with
+  | Error _ as e -> e
+  | Ok compiled -> (
+      match
+        Runtime.execute t.engine ~strategy:options.strategy
+          ~index_derived:options.index_derived compiled.Compiler.program
+      with
+      | exception Engine.Sql_error msg -> Error ("DBMS error during execution: " ^ msg)
+      | exception Failure msg -> Error msg
+      | run -> Ok { compiled; run; total_ms = compiled.Compiler.compile_ms +. run.Runtime.exec_ms })
+
+let query t ?options text =
+  match Datalog.Parser.parse_query text with
+  | exception Datalog.Parser.Parse_error (msg, pos) ->
+      Error (Printf.sprintf "parse error at offset %d: %s" pos msg)
+  | exception Datalog.Lexer.Lex_error (msg, pos) ->
+      Error (Printf.sprintf "lex error at offset %d: %s" pos msg)
+  | goal -> query_goal t ?options goal
+
+let answer_rows a = (a.run.Runtime.columns, a.run.Runtime.rows)
+
+(* ------------------------------------------------------------------ *)
+(* Stored D/KB updates *)
+
+let update_stored t ?compiled_storage ?(clear = false) () =
+  match Update.update ~stored:t.stored ~workspace:t.workspace ?compiled_storage () with
+  | Ok report ->
+      List.iter (fun p -> bump t p) (Workspace.head_predicates t.workspace);
+      if clear then Workspace.clear t.workspace;
+      Ok report
+  | Error _ as e -> e
+
+(* ------------------------------------------------------------------ *)
+(* Inspection *)
+
+let explain t ?(options = default_options) text =
+  match Datalog.Parser.parse_query text with
+  | exception Datalog.Parser.Parse_error (msg, pos) ->
+      Error (Printf.sprintf "parse error at offset %d: %s" pos msg)
+  | goal -> (
+      match
+        Compiler.compile ~stored:t.stored ~workspace:t.workspace ~optimize:options.optimize
+          ~goal ()
+      with
+      | Error _ as e -> e
+      | Ok compiled ->
+          let buf = Buffer.create 256 in
+          Buffer.add_string buf
+            (Printf.sprintf "goal: %s%s\n" (Ast.atom_to_string compiled.Compiler.goal)
+               (if compiled.Compiler.optimized then " (magic-sets optimized)" else ""));
+          Buffer.add_string buf
+            ("evaluation order: " ^ Datalog.Evalgraph.pp compiled.Compiler.eval_order ^ "\n");
+          Buffer.add_string buf "program clauses:\n";
+          List.iter
+            (fun c -> Buffer.add_string buf ("  " ^ Ast.clause_to_string c ^ "\n"))
+            compiled.Compiler.clauses;
+          Buffer.add_string buf "generated SQL:\n";
+          List.iter
+            (fun sql -> Buffer.add_string buf ("  " ^ sql ^ "\n"))
+            (Codegen.all_sql_texts compiled.Compiler.program);
+          Ok (Buffer.contents buf))
+
+(* ------------------------------------------------------------------ *)
+(* Persistence *)
+
+let save t path = Rdbms.Persist.save t.engine path
+
+let restore path =
+  match Rdbms.Persist.restore path with
+  | Error _ as e -> e
+  | Ok engine ->
+      Ok
+        {
+          engine;
+          stored = Stored_dkb.init engine;
+          workspace = Workspace.create ();
+          epoch = 0;
+          changes = [];
+        }

@@ -1,0 +1,96 @@
+(** The testbed facade: one object tying together the DBMS engine, the
+    Stored D/KB, and the Workspace D/KB — the "typical session" of paper
+    §3.1. Create a session, define base relations, load facts and rules,
+    query, and persist the workspace into the Stored D/KB. *)
+
+type t
+
+val create : unit -> t
+
+val engine : t -> Rdbms.Engine.t
+val stored : t -> Stored_dkb.t
+val workspace : t -> Workspace.t
+
+val rule_epoch : t -> int
+(** Bumped whenever the rule base (workspace or stored) changes; used by
+    {!Precompiled} for cache invalidation. *)
+
+val changed_since : t -> int -> string list
+(** Head predicates of rules changed after the given epoch. *)
+
+(** {1 Extensional database} *)
+
+val define_base :
+  t -> string -> (string * Rdbms.Datatype.t) list -> ?indexes:string list -> unit ->
+  (unit, string) result
+(** Creates the base relation, registers it in the extensional data
+    dictionary, and builds hash indexes on the named columns. *)
+
+val add_fact : t -> string -> Rdbms.Value.t list -> (unit, string) result
+(** Inserts one tuple into a base relation (via SQL). *)
+
+val add_facts : t -> string -> Rdbms.Value.t list list -> (int, string) result
+(** Bulk insert, batched; returns the number of new tuples. *)
+
+val base_count : t -> string -> int
+
+(** {1 Workspace rules} *)
+
+val add_rule : t -> string -> (unit, string) result
+(** Parses one clause into the workspace. *)
+
+val load_rules : t -> string -> (unit, string) result
+(** Parses a whole program text into the workspace. *)
+
+val clear_workspace : t -> unit
+
+(** {1 Querying} *)
+
+type options = {
+  optimize : Compiler.optimize_mode;
+  strategy : Runtime.strategy;
+  index_derived : bool;
+}
+
+val default_options : options
+(** Semi-naive, no optimization, no derived-table indexes — the paper's
+    baseline configuration. *)
+
+type answer = {
+  compiled : Compiler.compiled;
+  run : Runtime.report;
+  total_ms : float;  (** t_c + t_e *)
+}
+
+val query : t -> ?options:options -> string -> (answer, string) result
+(** Compiles and executes a goal given as text (e.g.
+    ["ancestor(john, W)"] or ["?- ancestor(john, W)."]). *)
+
+val query_goal : t -> ?options:options -> Datalog.Ast.atom -> (answer, string) result
+
+val answer_rows : answer -> (string list * Rdbms.Tuple.t list)
+(** Column names and rows of an answer. *)
+
+(** {1 Stored D/KB updates} *)
+
+val update_stored :
+  t -> ?compiled_storage:bool -> ?clear:bool -> unit -> (Update.report, string) result
+(** Persists the workspace rules (paper §4.3). [clear] (default false)
+    empties the workspace afterwards. *)
+
+(** {1 Inspection} *)
+
+val explain : t -> ?options:options -> string -> (string, string) result
+(** Compiles a goal and renders the evaluation order list and the
+    generated SQL program without executing it. *)
+
+(** {1 Persistence} *)
+
+val save : t -> string -> (unit, string) result
+(** Persists the whole D/KB — base relations, indexes, and the Stored
+    D/KB's rule and dictionary tables — to a file as a SQL script. The
+    (memory-resident) workspace is not saved; call {!update_stored}
+    first if its rules should survive. *)
+
+val restore : string -> (t, string) result
+(** Reopens a saved D/KB in a fresh session with an empty workspace. *)

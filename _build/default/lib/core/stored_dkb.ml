@@ -1,0 +1,238 @@
+module Engine = Rdbms.Engine
+module Value = Rdbms.Value
+module Datatype = Rdbms.Datatype
+
+type t = {
+  engine : Engine.t;
+  mutable next_ruleid : int;
+}
+
+let sqls = Value.to_sql
+let sq s = sqls (Value.Str s)
+
+let exec t sql = ignore (Engine.exec t.engine sql)
+
+let ddl =
+  [
+    "CREATE TABLE rulesource (ruleid integer, headpredname char, ruletext char)";
+    "CREATE INDEX idx_rulesource_head ON rulesource (headpredname)";
+    "CREATE TABLE reachablepreds (frompredname char, topredname char)";
+    "CREATE INDEX idx_reachable_from ON reachablepreds (frompredname)";
+    "CREATE INDEX idx_reachable_to ON reachablepreds (topredname)";
+    "CREATE TABLE idb_tables (tablename char, arity integer)";
+    "CREATE INDEX idx_idb_tables_name ON idb_tables (tablename)";
+    "CREATE TABLE idb_columns (tablename char, colnumber integer, coltype char)";
+    "CREATE INDEX idx_idb_columns_name ON idb_columns (tablename)";
+    "CREATE TABLE edb_tables (tablename char, arity integer)";
+    "CREATE INDEX idx_edb_tables_name ON edb_tables (tablename)";
+    "CREATE TABLE edb_columns (tablename char, colnumber integer, colname char, coltype char)";
+    "CREATE INDEX idx_edb_columns_name ON edb_columns (tablename)";
+  ]
+
+let init engine =
+  let t = { engine; next_ruleid = 1 } in
+  let catalog = Engine.catalog engine in
+  if not (Rdbms.Catalog.table_exists catalog "rulesource") then
+    List.iter (exec t) ddl
+  else begin
+    (* resume the ruleid counter from the stored rules *)
+    let rows = Engine.query engine "SELECT ruleid FROM rulesource" in
+    let max_id =
+      List.fold_left
+        (fun acc row -> match row.(0) with Value.Int n -> max acc n | Value.Str _ -> acc)
+        0 rows
+    in
+    t.next_ruleid <- max_id + 1
+  end;
+  t
+
+let engine t = t.engine
+
+(* ------------------------------------------------------------------ *)
+(* Extensional dictionary *)
+
+let register_base t name cols =
+  exec t (Printf.sprintf "DELETE FROM edb_tables WHERE tablename = %s" (sq name));
+  exec t (Printf.sprintf "DELETE FROM edb_columns WHERE tablename = %s" (sq name));
+  exec t
+    (Printf.sprintf "INSERT INTO edb_tables VALUES (%s, %d)" (sq name) (List.length cols));
+  List.iteri
+    (fun i (colname, ty) ->
+      exec t
+        (Printf.sprintf "INSERT INTO edb_columns VALUES (%s, %d, %s, %s)" (sq name) (i + 1)
+           (sq colname)
+           (sq (Datatype.to_string ty))))
+    cols
+
+let parse_type s =
+  match Datatype.of_string s with
+  | Some ty -> ty
+  | None -> failwith (Printf.sprintf "corrupt dictionary: unknown type %s" s)
+
+let base_schema t name =
+  let rows =
+    Engine.query t.engine
+      (Printf.sprintf
+         "SELECT colnumber, colname, coltype FROM edb_columns WHERE tablename = %s ORDER BY 1"
+         (sq name))
+  in
+  if rows = [] then None
+  else
+    Some
+      (List.map
+         (fun row ->
+           match row with
+           | [| Value.Int _; Value.Str colname; Value.Str ty |] -> (colname, parse_type ty)
+           | _ -> failwith "corrupt edb_columns row")
+         rows)
+
+let base_predicates t =
+  Engine.query t.engine "SELECT tablename FROM edb_tables ORDER BY 1"
+  |> List.map (fun row -> Value.to_string row.(0))
+
+(* ------------------------------------------------------------------ *)
+(* Intensional dictionary *)
+
+let put_derived_types t name types =
+  exec t (Printf.sprintf "DELETE FROM idb_tables WHERE tablename = %s" (sq name));
+  exec t (Printf.sprintf "DELETE FROM idb_columns WHERE tablename = %s" (sq name));
+  exec t
+    (Printf.sprintf "INSERT INTO idb_tables VALUES (%s, %d)" (sq name) (List.length types));
+  List.iteri
+    (fun i ty ->
+      exec t
+        (Printf.sprintf "INSERT INTO idb_columns VALUES (%s, %d, %s)" (sq name) (i + 1)
+           (sq (Datatype.to_string ty))))
+    types
+
+let derived_types t name =
+  let rows =
+    Engine.query t.engine
+      (Printf.sprintf "SELECT colnumber, coltype FROM idb_columns WHERE tablename = %s ORDER BY 1"
+         (sq name))
+  in
+  if rows = [] then None
+  else
+    Some
+      (List.map
+         (fun row ->
+           match row with
+           | [| Value.Int _; Value.Str ty |] -> parse_type ty
+           | _ -> failwith "corrupt idb_columns row")
+         rows)
+
+let read_dictionaries t ~base ~derived =
+  let bases =
+    List.filter_map (fun p -> Option.map (fun cols -> (p, List.map snd cols)) (base_schema t p)) base
+  in
+  let deriveds = List.filter_map (fun p -> Option.map (fun tys -> (p, tys)) (derived_types t p)) derived in
+  (bases, deriveds)
+
+(* ------------------------------------------------------------------ *)
+(* Rule storage *)
+
+let store_rule t clause =
+  let text = Datalog.Ast.clause_to_string clause in
+  let head = Datalog.Ast.head_pred clause in
+  let existing =
+    Engine.query t.engine
+      (Printf.sprintf "SELECT ruleid, ruletext FROM rulesource WHERE headpredname = %s" (sq head))
+  in
+  let dup =
+    List.find_opt
+      (fun row -> match row.(1) with Value.Str s -> String.equal s text | _ -> false)
+      existing
+  in
+  match dup with
+  | Some row -> ( match row.(0) with Value.Int id -> id | _ -> assert false)
+  | None ->
+      let id = t.next_ruleid in
+      t.next_ruleid <- id + 1;
+      exec t
+        (Printf.sprintf "INSERT INTO rulesource VALUES (%d, %s, %s)" id (sq head) (sq text));
+      id
+
+let rule_count t = Engine.scalar_int t.engine "SELECT COUNT(*) FROM rulesource"
+
+let parse_rule_text s =
+  try Datalog.Parser.parse_clause s
+  with Datalog.Parser.Parse_error (msg, _) ->
+    failwith (Printf.sprintf "corrupt rulesource text %S: %s" s msg)
+
+let stored_rules t =
+  Engine.query t.engine "SELECT ruleid, ruletext FROM rulesource ORDER BY 1"
+  |> List.map (fun row -> parse_rule_text (Value.to_string row.(1)))
+
+let replace_reachable t from tos =
+  exec t (Printf.sprintf "DELETE FROM reachablepreds WHERE frompredname = %s" (sq from));
+  List.iter
+    (fun p ->
+      exec t (Printf.sprintf "INSERT INTO reachablepreds VALUES (%s, %s)" (sq from) (sq p)))
+    tos
+
+let reachable_of t from =
+  Engine.query t.engine
+    (Printf.sprintf "SELECT topredname FROM reachablepreds WHERE frompredname = %s" (sq from))
+  |> List.map (fun row -> Value.to_string row.(0))
+
+let reachable_pair_count t = Engine.scalar_int t.engine "SELECT COUNT(*) FROM reachablepreds"
+
+(* The §4.1 extraction, one indexed probe pair per seed predicate: rules
+   whose head is the seed, plus rules whose head is reachable from it. *)
+let extract_rules_for t preds =
+  let seen = Hashtbl.create 32 in
+  let out = ref [] in
+  let add_row row =
+    match row with
+    | [| Value.Int id; Value.Str text |] ->
+        if not (Hashtbl.mem seen id) then begin
+          Hashtbl.add seen id ();
+          out := parse_rule_text text :: !out
+        end
+    | _ -> failwith "corrupt rulesource row"
+  in
+  List.iter
+    (fun p ->
+      List.iter add_row
+        (Engine.query t.engine
+           (Printf.sprintf
+              "SELECT r.ruleid, r.ruletext FROM rulesource r WHERE r.headpredname = %s" (sq p)));
+      List.iter add_row
+        (Engine.query t.engine
+           (Printf.sprintf
+              "SELECT r.ruleid, r.ruletext FROM reachablepreds t, rulesource r WHERE \
+               t.frompredname = %s AND r.headpredname = t.topredname"
+              (sq p))))
+    preds;
+  List.rev !out
+
+let has_rules_for t p =
+  Engine.scalar_int t.engine
+    (Printf.sprintf "SELECT COUNT(*) FROM rulesource WHERE headpredname = %s" (sq p))
+  > 0
+
+let dependents_of t p =
+  Engine.query t.engine
+    (Printf.sprintf
+       "SELECT DISTINCT frompredname FROM reachablepreds WHERE topredname = %s" (sq p))
+  |> List.map (fun row -> Value.to_string row.(0))
+
+let rules_with_head t preds =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun row ->
+          match row with
+          | [| Value.Int id; Value.Str text |] ->
+              if not (Hashtbl.mem seen id) then begin
+                Hashtbl.add seen id ();
+                out := parse_rule_text text :: !out
+              end
+          | _ -> failwith "corrupt rulesource row")
+        (Engine.query t.engine
+           (Printf.sprintf
+              "SELECT r.ruleid, r.ruletext FROM rulesource r WHERE r.headpredname = %s" (sq p))))
+    preds;
+  List.rev !out

@@ -1,0 +1,137 @@
+module Ast = Datalog.Ast
+module Timer = Dkb_util.Timer
+
+type report = {
+  phases : Timer.Phases.t;
+  total_ms : float;
+  rules_stored : int;
+  tc_edges : int;
+  affected_preds : int;
+}
+
+let dedup xs =
+  List.fold_left (fun acc x -> if List.mem x acc then acc else acc @ [ x ]) [] xs
+
+module SS = Set.Make (String)
+
+(* Incremental closure recomputation (paper §4.3): only the closures of
+   the {e affected} predicates — workspace rule heads and the stored
+   predicates that can already reach them — can change. Each affected
+   predicate's new closure is rebuilt from its direct edges, reusing the
+   stored closures of unaffected predicates, iterated to a fixpoint over
+   the affected set (cycles among affected predicates converge). *)
+let recompute_closures ~direct ~stored_reach affected =
+  let closures = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace closures p SS.empty) affected;
+  let is_affected p = Hashtbl.mem closures p in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun p ->
+        let next =
+          List.fold_left
+            (fun acc q ->
+              let acc = SS.add q acc in
+              let reach_q =
+                if is_affected q then Hashtbl.find closures q
+                else SS.of_list (stored_reach q)
+              in
+              SS.union acc reach_q)
+            SS.empty (direct p)
+        in
+        if not (SS.equal next (Hashtbl.find closures p)) then begin
+          Hashtbl.replace closures p next;
+          changed := true
+        end)
+      affected
+  done;
+  closures
+
+let update ~stored ~workspace ?(compiled_storage = true) () =
+  let ws_rules = Workspace.rules workspace in
+  if ws_rules = [] then Error "workspace holds no rules to store"
+  else begin
+    let phases = Timer.Phases.create () in
+    let t0 = Timer.now_ms () in
+    try
+      let rules_stored = ref 0 in
+      let tc_edges = ref 0 in
+      let affected_count = ref 0 in
+      if compiled_storage then begin
+        let ws_heads = dedup (List.map Ast.head_pred ws_rules) in
+        (* affected: heads of new rules plus every stored predicate that
+           can already reach one of them (their closures may grow) *)
+        let upstream, stored_defs =
+          Timer.Phases.record phases "extract" (fun () ->
+              let upstream =
+                dedup (List.concat_map (fun p -> Stored_dkb.dependents_of stored p) ws_heads)
+              in
+              let affected = dedup (ws_heads @ upstream) in
+              (upstream, Stored_dkb.rules_with_head stored affected))
+        in
+        let affected = dedup (ws_heads @ upstream) in
+        affected_count := List.length affected;
+        let composite =
+          ws_rules
+          @ List.filter (fun c -> not (List.exists (Ast.equal_clause c) ws_rules)) stored_defs
+        in
+        (* paper step 4: type checking of the composite rule set; body
+           predicates defined outside the composite resolve through the
+           data dictionaries *)
+        let derived_types =
+          Timer.Phases.record phases "typecheck" (fun () ->
+              let base p =
+                match Stored_dkb.base_schema stored p with
+                | Some cols -> Some (List.map snd cols)
+                | None -> Stored_dkb.derived_types stored p
+              in
+              match Datalog.Typecheck.infer_partial ~base ~rules:composite with
+              | Ok types -> types
+              | Error msg -> failwith msg)
+        in
+        (* steps 2-3 + 5-6: incremental transitive closure and dictionary *)
+        Timer.Phases.record phases "compiled" (fun () ->
+            let pcg = Datalog.Pcg.build composite in
+            let reach_cache = Hashtbl.create 16 in
+            let stored_reach q =
+              match Hashtbl.find_opt reach_cache q with
+              | Some r -> r
+              | None ->
+                  let r = Stored_dkb.reachable_of stored q in
+                  Hashtbl.add reach_cache q r;
+                  r
+            in
+            let closures =
+              recompute_closures ~direct:(Datalog.Pcg.depends_on pcg) ~stored_reach affected
+            in
+            List.iter
+              (fun p ->
+                let reach = SS.elements (Hashtbl.find closures p) in
+                tc_edges := !tc_edges + List.length reach;
+                Stored_dkb.replace_reachable stored p reach)
+              affected;
+            List.iter
+              (fun (p, tys) ->
+                if List.mem p affected then Stored_dkb.put_derived_types stored p tys)
+              derived_types)
+      end;
+      (* step 7: source form *)
+      Timer.Phases.record phases "source" (fun () ->
+          List.iter
+            (fun c ->
+              let (_ : int) = Stored_dkb.store_rule stored c in
+              incr rules_stored)
+            ws_rules);
+      Ok
+        {
+          phases;
+          total_ms = Timer.now_ms () -. t0;
+          rules_stored = !rules_stored;
+          tc_edges = !tc_edges;
+          affected_preds = !affected_count;
+        }
+    with
+    | Failure msg -> Error msg
+    | Rdbms.Engine.Sql_error msg -> Error ("DBMS error during update: " ^ msg)
+  end

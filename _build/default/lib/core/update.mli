@@ -1,0 +1,32 @@
+(** The Stored D/KB update algorithm (paper §4.3): persist the Workspace
+    D/KB rules, maintaining the compiled rule storage structure (the PCG
+    transitive closure in [reachablepreds]) {e incrementally} — only the
+    portion of the stored rule base affected by the update is recomputed.
+
+    Phase buckets:
+    - ["extract"]   — t_u1: extracting the stored rules relevant to the
+                      workspace rules (both directions: what they reach
+                      and what reaches them);
+    - ["typecheck"] — the paper's step 4;
+    - ["compiled"]  — t_u2: recomputing the affected part of the
+                      transitive closure and updating [reachablepreds]
+                      and the intensional dictionary;
+    - ["source"]    — t_u3: storing the source form in [rulesource]. *)
+
+type report = {
+  phases : Dkb_util.Timer.Phases.t;
+  total_ms : float;  (** t_u *)
+  rules_stored : int;  (** workspace rules written (deduplicated) *)
+  tc_edges : int;  (** reachability pairs written *)
+  affected_preds : int;  (** predicates whose closure was recomputed *)
+}
+
+val update :
+  stored:Stored_dkb.t ->
+  workspace:Workspace.t ->
+  ?compiled_storage:bool ->
+  unit ->
+  (report, string) result
+(** [compiled_storage] (default true) also maintains [reachablepreds] and
+    the intensional dictionary; with [false] only the source form is
+    stored — the comparison of Test 8 / Figure 15. *)

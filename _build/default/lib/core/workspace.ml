@@ -1,0 +1,62 @@
+module Ast = Datalog.Ast
+
+type t = {
+  mutable ws_rules : Ast.clause list;
+  mutable ws_facts : Ast.clause list;
+}
+
+let create () = { ws_rules = []; ws_facts = [] }
+
+let add_clause t c =
+  match Datalog.Names.check_user_pred (Ast.head_pred c) with
+  | Error _ as e -> e
+  | Ok () -> (
+      match Datalog.Typecheck.check_safety c with
+      | Error _ as e -> e
+      | Ok () ->
+          if Ast.is_fact c then begin
+            if not (List.exists (Ast.equal_clause c) t.ws_facts) then
+              t.ws_facts <- t.ws_facts @ [ c ]
+          end
+          else if not (List.exists (Ast.equal_clause c) t.ws_rules) then
+            t.ws_rules <- t.ws_rules @ [ c ];
+          Ok ())
+
+let add_text t text =
+  match Datalog.Parser.parse_program text with
+  | exception Datalog.Parser.Parse_error (msg, pos) ->
+      Error (Printf.sprintf "parse error at offset %d: %s" pos msg)
+  | exception Datalog.Lexer.Lex_error (msg, pos) ->
+      Error (Printf.sprintf "lex error at offset %d: %s" pos msg)
+  | items ->
+      let rec add = function
+        | [] -> Ok ()
+        | Datalog.Parser.Query _ :: _ -> Error "queries are not workspace clauses; use Session.query"
+        | Datalog.Parser.Clause c :: rest -> (
+            match add_clause t c with
+            | Ok () -> add rest
+            | Error _ as e -> e)
+      in
+      add items
+
+let rules t = t.ws_rules
+let facts t = t.ws_facts
+
+let clear t =
+  t.ws_rules <- [];
+  t.ws_facts <- []
+
+let rule_count t = List.length t.ws_rules
+
+let head_predicates t =
+  List.fold_left
+    (fun acc c ->
+      let p = Ast.head_pred c in
+      if List.mem p acc then acc else acc @ [ p ])
+    [] t.ws_rules
+
+let reachable_preds t seeds =
+  let pcg = Datalog.Pcg.build t.ws_rules in
+  Datalog.Pcg.reachable_closure pcg seeds
+
+let cliques t = Datalog.Clique.find_all t.ws_rules

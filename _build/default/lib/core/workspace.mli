@@ -1,0 +1,31 @@
+(** The Workspace D/KB (paper §3.1–3.2.2): the memory-resident set of
+    rules and facts the user is currently editing. Workspace rules may
+    refer to stored rules and vice versa; queries compile against the
+    union (the compiler pulls the relevant stored rules in). *)
+
+type t
+
+val create : unit -> t
+
+val add_clause : t -> Datalog.Ast.clause -> (unit, string) result
+(** Adds a parsed clause after safety and naming checks. Facts accumulate
+    separately from rules. *)
+
+val add_text : t -> string -> (unit, string) result
+(** Parses and adds a whole program text (clauses only; [?-] items are
+    rejected here). *)
+
+val rules : t -> Datalog.Ast.clause list
+val facts : t -> Datalog.Ast.clause list
+val clear : t -> unit
+val rule_count : t -> int
+
+val head_predicates : t -> string list
+(** Distinct head predicates of workspace rules, in first-use order. *)
+
+val reachable_preds : t -> string list -> string list
+(** Predicates reachable from the given seeds in the workspace PCG
+    (paper §3.2.2 "determine all predicates reachable"). *)
+
+val cliques : t -> Datalog.Clique.t list
+(** Cliques of the workspace rules alone. *)

@@ -1,0 +1,1 @@
+lib/datalog/adorn.ml: Ast Hashtbl List Names Pcg Queue String

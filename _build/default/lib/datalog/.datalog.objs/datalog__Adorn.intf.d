@@ -1,0 +1,1 @@
+lib/datalog/adorn.mli: Ast

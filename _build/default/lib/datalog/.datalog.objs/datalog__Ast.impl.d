@@ -1,0 +1,1 @@
+lib/datalog/ast.ml: List Printf Rdbms String

@@ -1,0 +1,1 @@
+lib/datalog/clique.ml: Ast List Pcg Printf String

@@ -1,0 +1,1 @@
+lib/datalog/evalgraph.ml: Clique List Pcg Printf Scc String

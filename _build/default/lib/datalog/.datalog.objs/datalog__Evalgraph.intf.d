@@ -1,0 +1,1 @@
+lib/datalog/evalgraph.mli: Ast Clique

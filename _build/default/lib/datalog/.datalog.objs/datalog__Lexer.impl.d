@@ -1,0 +1,1 @@
+lib/datalog/lexer.ml: Ast Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/datalog/magic.ml: Adorn Array Ast Hashtbl List Names Option String

@@ -1,0 +1,1 @@
+lib/datalog/names.ml: Printf String

@@ -1,0 +1,1 @@
+lib/datalog/parser.ml: Ast Lexer List Printf Rdbms

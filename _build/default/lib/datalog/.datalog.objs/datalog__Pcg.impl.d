@@ -1,0 +1,1 @@
+lib/datalog/pcg.ml: Ast Hashtbl List Option Queue Scc String

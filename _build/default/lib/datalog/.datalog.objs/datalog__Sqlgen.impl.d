@@ -1,0 +1,1 @@
+lib/datalog/sqlgen.ml: Array Ast Hashtbl List Option Printf Rdbms String

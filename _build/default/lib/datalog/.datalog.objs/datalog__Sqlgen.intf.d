@@ -1,0 +1,1 @@
+lib/datalog/sqlgen.mli: Ast Rdbms

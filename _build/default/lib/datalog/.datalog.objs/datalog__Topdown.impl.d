@@ -1,0 +1,1 @@
+lib/datalog/topdown.ml: Array Ast Hashtbl List Option Printf Rdbms

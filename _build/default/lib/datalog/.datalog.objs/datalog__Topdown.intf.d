@@ -1,0 +1,1 @@
+lib/datalog/topdown.mli: Ast Rdbms

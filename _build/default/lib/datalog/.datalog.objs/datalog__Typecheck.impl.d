@@ -1,0 +1,1 @@
+lib/datalog/typecheck.ml: Ast Hashtbl List Option Pcg Printf Rdbms String

@@ -1,0 +1,1 @@
+lib/datalog/typecheck.mli: Ast Rdbms

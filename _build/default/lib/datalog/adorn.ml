@@ -1,0 +1,89 @@
+open Ast
+
+type binding = {
+  ad_name : string;
+  ad_base : string;
+  ad_ad : string;
+}
+
+type result_t = {
+  adorned_rules : Ast.clause list;
+  adorned_query : Ast.atom;
+  bindings : binding list;
+}
+
+let adornment_of_atom ~bound a =
+  String.init (List.length a.args) (fun i ->
+      match List.nth a.args i with
+      | Const _ -> 'b'
+      | Var v -> if bound v then 'b' else 'f')
+
+let all_free a = String.make (List.length a.args) 'f'
+
+(* Adorn one rule for a given head adornment. Returns the adorned clause
+   and the (base pred, adornment) pairs discovered in the body. *)
+let adorn_rule ~is_derived head_ad c =
+  let bound_vars = Hashtbl.create 8 in
+  List.iteri
+    (fun i arg ->
+      match arg with
+      | Var v when i < String.length head_ad && head_ad.[i] = 'b' -> Hashtbl.replace bound_vars v ()
+      | Var _ | Const _ -> ())
+    c.head.args;
+  let bound v = Hashtbl.mem bound_vars v in
+  let discovered = ref [] in
+  let note base ad =
+    if not (List.mem (base, ad) !discovered) then discovered := !discovered @ [ (base, ad) ]
+  in
+  let body =
+    List.map
+      (fun l ->
+        match l with
+        | Pos a when is_derived a.pred ->
+            let ad = adornment_of_atom ~bound a in
+            note a.pred ad;
+            let renamed = rename_atom (fun p -> Names.adorned p ad) a in
+            List.iter (fun v -> Hashtbl.replace bound_vars v ()) (vars_of_atom a);
+            Pos renamed
+        | Pos a ->
+            List.iter (fun v -> Hashtbl.replace bound_vars v ()) (vars_of_atom a);
+            Pos a
+        | Neg a when is_derived a.pred ->
+            let ad = all_free a in
+            note a.pred ad;
+            Neg (rename_atom (fun p -> Names.adorned p ad) a)
+        | Neg a -> Neg a
+        | Cmp _ as l -> l)
+      c.body
+  in
+  let head = rename_atom (fun p -> Names.adorned p head_ad) c.head in
+  ({ head; body }, !discovered)
+
+let adorn ~is_derived ~rules ~query =
+  let query_ad = adornment_of_atom ~bound:(fun _ -> false) query in
+  let adorned_query =
+    if is_derived query.pred then rename_atom (fun p -> Names.adorned p query_ad) query else query
+  in
+  let processed = Hashtbl.create 16 in
+  let queue = Queue.create () in
+  let bindings = ref [] in
+  let enqueue base ad =
+    if not (Hashtbl.mem processed (base, ad)) then begin
+      Hashtbl.add processed (base, ad) ();
+      Queue.add (base, ad) queue;
+      bindings := !bindings @ [ { ad_name = Names.adorned base ad; ad_base = base; ad_ad = ad } ]
+    end
+  in
+  if is_derived query.pred then enqueue query.pred query_ad;
+  let out = ref [] in
+  while not (Queue.is_empty queue) do
+    let base, ad = Queue.pop queue in
+    let defining = Pcg.defining_rules rules base in
+    List.iter
+      (fun c ->
+        let adorned, discovered = adorn_rule ~is_derived ad c in
+        out := !out @ [ adorned ];
+        List.iter (fun (b, a) -> enqueue b a) discovered)
+      defining
+  done;
+  { adorned_rules = !out; adorned_query; bindings = !bindings }

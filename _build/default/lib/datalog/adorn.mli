@@ -1,0 +1,28 @@
+(** Adornment of rules with respect to a query, using left-to-right
+    sideways information passing (paper §3.2.5, after Beeri–Ramakrishnan).
+
+    An adornment is a string over ['b']/['f'], one character per argument
+    position. Adorned predicates are renamed via {!Names.adorned}; base
+    predicates are never adorned. Negated derived literals are adorned
+    all-free (the whole negated relation is computed), which keeps
+    stratified negation correct under the magic rewriting. *)
+
+type binding = {
+  ad_name : string;  (** adorned predicate name, e.g. [p__bf] *)
+  ad_base : string;  (** original predicate, e.g. [p] *)
+  ad_ad : string;    (** adornment string, e.g. ["bf"] *)
+}
+
+type result_t = {
+  adorned_rules : Ast.clause list;
+  adorned_query : Ast.atom;
+  bindings : binding list;  (** one per distinct adorned predicate *)
+}
+
+val adornment_of_atom : bound:(string -> bool) -> Ast.atom -> string
+(** ['b'] for constants and bound variables, ['f'] otherwise. *)
+
+val adorn :
+  is_derived:(string -> bool) -> rules:Ast.clause list -> query:Ast.atom -> result_t
+(** Adorns every rule relevant to the query. The query's own adornment
+    marks constants bound. Rules must already be safe. *)

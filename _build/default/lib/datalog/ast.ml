@@ -1,0 +1,145 @@
+type term =
+  | Var of string
+  | Const of Rdbms.Value.t
+
+type atom = {
+  pred : string;
+  args : term list;
+}
+
+type cmp =
+  | C_eq
+  | C_neq
+  | C_lt
+  | C_le
+  | C_gt
+  | C_ge
+
+type literal =
+  | Pos of atom
+  | Neg of atom
+  | Cmp of term * cmp * term
+
+type clause = {
+  head : atom;
+  body : literal list;
+}
+
+type program = clause list
+
+let atom pred args = { pred; args }
+let fact pred values = { head = atom pred (List.map (fun v -> Const v) values); body = [] }
+let rule head body = { head; body }
+
+let atom_of_literal = function
+  | Pos a | Neg a -> a
+  | Cmp _ -> invalid_arg "Ast.atom_of_literal: comparison literal"
+
+let is_positive = function
+  | Pos _ -> true
+  | Neg _ | Cmp _ -> false
+
+let cmp_to_string = function
+  | C_eq -> "="
+  | C_neq -> "<>"
+  | C_lt -> "<"
+  | C_le -> "<="
+  | C_gt -> ">"
+  | C_ge -> ">="
+
+let eval_cmp op a b =
+  let c = Rdbms.Value.compare a b in
+  match op with
+  | C_eq -> c = 0
+  | C_neq -> c <> 0
+  | C_lt -> c < 0
+  | C_le -> c <= 0
+  | C_gt -> c > 0
+  | C_ge -> c >= 0
+
+let arity a = List.length a.args
+
+let is_ground a = List.for_all (function Const _ -> true | Var _ -> false) a.args
+
+let is_fact c = c.body = [] && is_ground c.head
+let is_rule c = not (is_fact c)
+
+let vars_of_atom a =
+  List.fold_left
+    (fun acc t -> match t with Var v when not (List.mem v acc) -> acc @ [ v ] | _ -> acc)
+    [] a.args
+
+let vars_of_literal = function
+  | Pos a | Neg a -> vars_of_atom a
+  | Cmp (x, _, y) ->
+      List.filter_map (function Var v -> Some v | Const _ -> None) [ x; y ]
+
+let vars_of_clause c =
+  let var_lists = vars_of_atom c.head :: List.map vars_of_literal c.body in
+  List.fold_left
+    (fun acc vs -> List.fold_left (fun acc v -> if List.mem v acc then acc else acc @ [ v ]) acc vs)
+    [] var_lists
+
+let head_pred c = c.head.pred
+
+let body_preds c =
+  List.filter_map
+    (function
+      | Pos a -> Some (a.pred, true)
+      | Neg a -> Some (a.pred, false)
+      | Cmp _ -> None)
+    c.body
+
+let rename_atom f a = { a with pred = f a.pred }
+
+let map_vars f a =
+  { a with args = List.map (function Var v -> f v | Const _ as t -> t) a.args }
+
+let equal_term a b =
+  match (a, b) with
+  | Var x, Var y -> String.equal x y
+  | Const x, Const y -> Rdbms.Value.equal x y
+  | Var _, Const _ | Const _, Var _ -> false
+
+let equal_atom a b =
+  String.equal a.pred b.pred && List.length a.args = List.length b.args
+  && List.for_all2 equal_term a.args b.args
+
+let equal_literal a b =
+  match (a, b) with
+  | Pos x, Pos y | Neg x, Neg y -> equal_atom x y
+  | Cmp (x1, o1, y1), Cmp (x2, o2, y2) -> o1 = o2 && equal_term x1 x2 && equal_term y1 y2
+  | (Pos _ | Neg _ | Cmp _), _ -> false
+
+let equal_clause a b =
+  equal_atom a.head b.head && List.length a.body = List.length b.body
+  && List.for_all2 equal_literal a.body b.body
+
+let term_to_string = function
+  | Var v -> v
+  | Const (Rdbms.Value.Int n) -> string_of_int n
+  | Const (Rdbms.Value.Str s) ->
+      (* strings that look like constants print bare; others quoted *)
+      let bare =
+        s <> ""
+        && (s.[0] >= 'a' && s.[0] <= 'z')
+        && String.for_all
+             (fun c ->
+               (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_')
+             s
+      in
+      if bare then s else "\"" ^ s ^ "\""
+
+let atom_to_string a =
+  a.pred ^ "(" ^ String.concat ", " (List.map term_to_string a.args) ^ ")"
+
+let literal_to_string = function
+  | Pos a -> atom_to_string a
+  | Neg a -> "not " ^ atom_to_string a
+  | Cmp (x, op, y) ->
+      Printf.sprintf "%s %s %s" (term_to_string x) (cmp_to_string op) (term_to_string y)
+
+let clause_to_string c =
+  if c.body = [] then atom_to_string c.head ^ "."
+  else
+    atom_to_string c.head ^ " :- " ^ String.concat ", " (List.map literal_to_string c.body) ^ "."

@@ -1,0 +1,83 @@
+(** Abstract syntax of the testbed's rule language: pure, function-free
+    Horn clauses (Datalog), extended with stratified negation in rule
+    bodies (listed as future work in the paper; implemented here).
+
+    Terms are variables or constants; constants carry the DBMS value
+    type ({!Rdbms.Value.t}). *)
+
+type term =
+  | Var of string
+  | Const of Rdbms.Value.t
+
+type atom = {
+  pred : string;
+  args : term list;
+}
+
+(** Comparison operators usable as body literals (built-ins). *)
+type cmp =
+  | C_eq
+  | C_neq
+  | C_lt
+  | C_le
+  | C_gt
+  | C_ge
+
+type literal =
+  | Pos of atom
+  | Neg of atom
+  | Cmp of term * cmp * term
+      (** a built-in comparison, e.g. [X <> Y] or [N < 10]; both sides
+          must be bound by positive literals (safety) *)
+
+type clause = {
+  head : atom;
+  body : literal list;
+}
+(** A clause with an empty body and a ground head is a fact; anything else
+    is a rule. *)
+
+type program = clause list
+
+val atom : string -> term list -> atom
+val fact : string -> Rdbms.Value.t list -> clause
+val rule : atom -> literal list -> clause
+
+val atom_of_literal : literal -> atom
+(** Raises [Invalid_argument] on a comparison literal. *)
+
+val is_positive : literal -> bool
+val cmp_to_string : cmp -> string
+val eval_cmp : cmp -> Rdbms.Value.t -> Rdbms.Value.t -> bool
+
+val arity : atom -> int
+val is_ground : atom -> bool
+val is_fact : clause -> bool
+val is_rule : clause -> bool
+
+val vars_of_atom : atom -> string list
+(** Distinct variables in first-occurrence order. *)
+
+val vars_of_literal : literal -> string list
+val vars_of_clause : clause -> string list
+val head_pred : clause -> string
+val body_preds : clause -> (string * bool) list
+(** Predicates occurring in the body with their polarity ([true] =
+    positive), in order, with duplicates. Comparison literals contribute
+    none. *)
+
+val rename_atom : (string -> string) -> atom -> atom
+(** Renames the predicate (not the variables). *)
+
+val map_vars : (string -> term) -> atom -> atom
+(** Substitutes variables. *)
+
+val equal_term : term -> term -> bool
+val equal_atom : atom -> atom -> bool
+val equal_clause : clause -> clause -> bool
+
+val term_to_string : term -> string
+val atom_to_string : atom -> string
+val literal_to_string : literal -> string
+val clause_to_string : clause -> string
+(** Concrete syntax, e.g. ["p(X, Y) :- q(X, Z), not r(Z, Y)."]. *)

@@ -1,0 +1,42 @@
+type t = {
+  preds : string list;
+  recursive_rules : Ast.clause list;
+  exit_rules : Ast.clause list;
+}
+
+let is_recursive_scc clauses scc =
+  match scc with
+  | [] -> false
+  | [ p ] ->
+      List.exists
+        (fun c ->
+          String.equal (Ast.head_pred c) p
+          && List.exists (fun (q, _) -> String.equal q p) (Ast.body_preds c))
+        clauses
+  | _ -> true
+
+let of_scc clauses scc =
+  if not (is_recursive_scc clauses scc) then None
+  else begin
+    let in_scc p = List.mem p scc in
+    let defining = List.filter (fun c -> Ast.is_rule c && in_scc (Ast.head_pred c)) clauses in
+    let recursive, exit =
+      List.partition
+        (fun c -> List.exists (fun (q, _) -> in_scc q) (Ast.body_preds c))
+        defining
+    in
+    Some { preds = scc; recursive_rules = recursive; exit_rules = exit }
+  end
+
+let find_all clauses =
+  let pcg = Pcg.build clauses in
+  List.filter_map (of_scc clauses) (Pcg.sccs pcg)
+
+let rules_of t = t.exit_rules @ t.recursive_rules
+
+let pp t =
+  Printf.sprintf "clique {%s}\n  exit:\n%s  recursive:\n%s" (String.concat ", " t.preds)
+    (String.concat ""
+       (List.map (fun c -> "    " ^ Ast.clause_to_string c ^ "\n") t.exit_rules))
+    (String.concat ""
+       (List.map (fun c -> "    " ^ Ast.clause_to_string c ^ "\n") t.recursive_rules))

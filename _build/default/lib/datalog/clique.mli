@@ -1,0 +1,22 @@
+(** Cliques (paper §2.2–2.3): a set of mutually recursive predicates
+    together with the rules defining them, partitioned into recursive
+    rules (some body literal's predicate lies in the clique) and exit
+    rules. *)
+
+type t = {
+  preds : string list;
+  recursive_rules : Ast.clause list;
+  exit_rules : Ast.clause list;
+}
+
+val of_scc : Ast.clause list -> string list -> t option
+(** [of_scc rules scc] is the clique for an SCC of the PCG, or [None] when
+    the SCC is not recursive (a single predicate with no self-dependency). *)
+
+val find_all : Ast.clause list -> t list
+(** All cliques of a rule set, dependencies first. *)
+
+val rules_of : t -> Ast.clause list
+(** Exit rules followed by recursive rules. *)
+
+val pp : t -> string

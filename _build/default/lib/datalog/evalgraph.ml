@@ -1,0 +1,53 @@
+type node =
+  | N_clique of Clique.t
+  | N_pred of string
+
+let node_preds = function
+  | N_clique c -> c.Clique.preds
+  | N_pred p -> [ p ]
+
+let evaluation_order ~rules ~is_base ~goals =
+  let pcg = Pcg.build rules in
+  let relevant = Pcg.reachable_closure pcg goals in
+  let derived = List.filter (fun p -> not (is_base p)) relevant in
+  let in_scope p = List.mem p derived in
+  let succ p = List.filter in_scope (Pcg.depends_on pcg p) in
+  let sccs = Scc.compute ~nodes:derived ~succ in
+  List.map
+    (fun scc ->
+      match Clique.of_scc rules scc with
+      | Some clique -> N_clique clique
+      | None -> (
+          match scc with
+          | [ p ] -> N_pred p
+          | _ -> assert false))
+    sccs
+
+let check_stratified rules =
+  let pcg = Pcg.build rules in
+  let sccs = Pcg.sccs pcg in
+  let bad =
+    List.find_map
+      (fun scc ->
+        List.find_map
+          (fun p ->
+            List.find_map
+              (fun q ->
+                if List.mem q scc && Pcg.has_negative_edge pcg p q then Some (p, q) else None)
+              (Pcg.depends_on pcg p))
+          scc)
+      sccs
+  in
+  match bad with
+  | Some (p, q) ->
+      Error
+        (Printf.sprintf "recursion through negation: %s negatively depends on %s within a clique" p q)
+  | None -> Ok ()
+
+let pp nodes =
+  String.concat " -> "
+    (List.map
+       (function
+         | N_pred p -> p
+         | N_clique c -> "{" ^ String.concat "," c.Clique.preds ^ "}")
+       nodes)

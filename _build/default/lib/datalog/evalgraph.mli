@@ -1,0 +1,22 @@
+(** The evaluation graph and evaluation order list (paper §2.3, §4.2 step
+    3): cliques collapsed to single nodes, non-recursive derived
+    predicates kept as predicate nodes, ordered so that everything a node
+    needs is evaluated before it. *)
+
+type node =
+  | N_clique of Clique.t
+  | N_pred of string  (** non-recursive derived predicate *)
+
+val node_preds : node -> string list
+
+val evaluation_order :
+  rules:Ast.clause list -> is_base:(string -> bool) -> goals:string list -> node list
+(** Evaluation order list for the derived predicates among [goals] and
+    everything they reach. Dependencies come first; base predicates are
+    omitted (they are already stored). *)
+
+val check_stratified : Ast.clause list -> (unit, string) result
+(** Fails when a negated dependency occurs inside a clique (recursion
+    through negation), which the runtime cannot evaluate. *)
+
+val pp : node list -> string

@@ -1,0 +1,23 @@
+(** Lexer for the Horn-clause rule language. [%] starts a line comment.
+    Identifiers beginning with an uppercase letter or [_] are variables;
+    lowercase identifiers are predicate names or string constants;
+    double-quoted strings and integers are constants. *)
+
+type token =
+  | LIDENT of string  (** lowercase identifier *)
+  | UIDENT of string  (** variable *)
+  | INT of int
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | IMPLIES  (** [:-] or [<-] *)
+  | QUERY    (** [?-] *)
+  | CMP of Ast.cmp  (** [=], [<>], [<], [<=], [>], [>=] *)
+  | EOF
+
+exception Lex_error of string * int
+
+val tokenize : string -> (token * int) list
+val token_to_string : token -> string

@@ -1,0 +1,258 @@
+open Ast
+
+type outcome =
+  | Not_rewritten of string
+  | Rewritten of {
+      program : Ast.clause list;
+      query : Ast.atom;
+      magic_preds : string list;
+      adorned_preds : Adorn.binding list;
+    }
+
+let is_magic_pred name = String.length name > 3 && String.sub name 0 3 = "m__"
+
+let bound_args ad args =
+  List.filteri (fun i _ -> i < String.length ad && ad.[i] = 'b') args
+
+(* magic atom for an adorned occurrence: m__p__ad(bound args) *)
+let magic_atom base ad args = atom (Names.magic base ad) (bound_args ad args)
+
+let has_bound ad = String.contains ad 'b'
+
+(* Split an adorned predicate name p__ad back into (p, ad) using the
+   binding table. *)
+let find_binding bindings name =
+  List.find_opt (fun b -> String.equal b.Adorn.ad_name name) bindings
+
+let rewrite ~is_derived ~rules ~query =
+  if not (is_derived query.pred) then Not_rewritten "query predicate is a base relation"
+  else begin
+    let query_ad = Adorn.adornment_of_atom ~bound:(fun _ -> false) query in
+    if not (has_bound query_ad) then Not_rewritten "query has no bound argument"
+    else begin
+      let { Adorn.adorned_rules; adorned_query; bindings } =
+        Adorn.adorn ~is_derived ~rules ~query
+      in
+      let magic_preds = ref [] in
+      let note_magic m = if not (List.mem m !magic_preds) then magic_preds := !magic_preds @ [ m ] in
+      (* seed: m__q__ad(constants) *)
+      let seed =
+        let m = magic_atom query.pred query_ad query.args in
+        note_magic m.pred;
+        { head = m; body = [] }
+      in
+      let magic_rules = ref [] in
+      let modified_rules = ref [] in
+      List.iter
+        (fun c ->
+          let hb = find_binding bindings c.head.pred in
+          let head_base, head_ad =
+            match hb with
+            | Some b -> (b.Adorn.ad_base, b.Adorn.ad_ad)
+            | None -> (c.head.pred, String.make (arity c.head) 'f')
+          in
+          let guard =
+            if has_bound head_ad then begin
+              let m = magic_atom head_base head_ad c.head.args in
+              note_magic m.pred;
+              Some (Pos m)
+            end
+            else None
+          in
+          (* magic rules from body occurrences, using the positive SIP
+             prefix (guard included) *)
+          let prefix = ref (match guard with Some g -> [ g ] | None -> []) in
+          List.iter
+            (fun l ->
+              (match l with
+              | Pos a -> (
+                  match find_binding bindings a.pred with
+                  | Some b when has_bound b.Adorn.ad_ad ->
+                      let m = magic_atom b.Adorn.ad_base b.Adorn.ad_ad a.args in
+                      note_magic m.pred;
+                      magic_rules := !magic_rules @ [ { head = m; body = !prefix } ]
+                  | Some _ | None -> ())
+              | Neg _ | Cmp _ -> ());
+              match l with
+              | Pos _ -> prefix := !prefix @ [ l ]
+              | Neg _ | Cmp _ -> ())
+            c.body;
+          let body = match guard with Some g -> g :: c.body | None -> c.body in
+          modified_rules := !modified_rules @ [ { head = c.head; body } ])
+        adorned_rules;
+      Rewritten
+        {
+          program = (seed :: !magic_rules) @ !modified_rules;
+          query = adorned_query;
+          magic_preds = !magic_preds;
+          adorned_preds = bindings;
+        }
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Supplementary magic sets *)
+
+let dedup_vars vars =
+  List.fold_left (fun acc v -> if List.mem v acc then acc else acc @ [ v ]) [] vars
+
+let bound_head_vars ad args =
+  dedup_vars
+    (List.concat
+       (List.mapi
+          (fun i arg ->
+            match arg with
+            | Ast.Var v when i < String.length ad && ad.[i] = 'b' -> [ v ]
+            | Ast.Var _ | Ast.Const _ -> [])
+          args))
+
+(* plain-magic lowering of a single adorned rule: guard + magic rules *)
+let plain_rule note_magic bindings c head_base head_ad magic_rules modified_rules =
+  let guard =
+    if has_bound head_ad then begin
+      let m = magic_atom head_base head_ad c.head.args in
+      note_magic m.pred;
+      Some (Pos m)
+    end
+    else None
+  in
+  let prefix = ref (match guard with Some g -> [ g ] | None -> []) in
+  List.iter
+    (fun l ->
+      (match l with
+      | Pos a -> (
+          match find_binding bindings a.pred with
+          | Some b when has_bound b.Adorn.ad_ad ->
+              let m = magic_atom b.Adorn.ad_base b.Adorn.ad_ad a.args in
+              note_magic m.pred;
+              magic_rules := !magic_rules @ [ { head = m; body = !prefix } ]
+          | Some _ | None -> ())
+      | Neg _ | Cmp _ -> ());
+      match l with
+      | Pos _ -> prefix := !prefix @ [ l ]
+      | Neg _ | Cmp _ -> ())
+    c.body;
+  let body = match guard with Some g -> g :: c.body | None -> c.body in
+  modified_rules := !modified_rules @ [ { head = c.head; body } ]
+
+(* supplementary lowering of one adorned rule (rule index r within its
+   adorned predicate). Returns None when the prefix chain would carry an
+   empty variable set somewhere (caller falls back to plain). *)
+let supplementary_rule note_magic bindings c head_base head_ad r =
+  let body = Array.of_list c.body in
+  let n = Array.length body in
+  if n < 2 || not (has_bound head_ad) then None
+  else begin
+    let head_vars = Ast.vars_of_atom c.head in
+    let hb_vars = bound_head_vars head_ad c.head.args in
+    if hb_vars = [] then None
+    else begin
+      (* vars needed strictly after literal i (0-based): literals i+1..n-1
+         and the head *)
+      let needed_after i =
+        dedup_vars
+          (List.concat
+             (List.map
+                (fun j -> Ast.vars_of_literal body.(j))
+                (List.init (n - 1 - i) (fun k -> i + 1 + k)))
+          @ head_vars)
+      in
+      (* vars bound after consuming literals 0..i (positive only) *)
+      let bound_after i =
+        dedup_vars
+          (hb_vars
+          @ List.concat
+              (List.map
+                 (fun j ->
+                   match body.(j) with
+                   | Pos a -> Ast.vars_of_atom a
+                   | Neg _ | Cmp _ -> [])
+                 (List.init (i + 1) (fun k -> k))))
+      in
+      (* sup_i carries the prefix through literals 0..i-1; sup_0 = guard *)
+      let sup_vars i =
+        let bound = if i = 0 then hb_vars else bound_after (i - 1) in
+        List.filter (fun v -> List.mem v (needed_after (i - 1))) bound
+      in
+      let var_sets = List.init n sup_vars in
+      if List.exists (fun vs -> vs = []) var_sets then None
+      else begin
+        let sup_atom i =
+          Ast.atom
+            (Names.supplementary head_base head_ad r i)
+            (List.map (fun v -> Ast.Var v) (List.nth var_sets i))
+        in
+        let out = ref [] in
+        (* sup_0 :- m_h(bound head args) *)
+        let m = magic_atom head_base head_ad c.head.args in
+        note_magic m.pred;
+        out := [ { head = sup_atom 0; body = [ Pos m ] } ];
+        let magic_out = ref [] in
+        for i = 0 to n - 1 do
+          (* magic rule for a bound derived literal i, from sup_i *)
+          (match body.(i) with
+          | Pos a -> (
+              match find_binding bindings a.pred with
+              | Some b when has_bound b.Adorn.ad_ad ->
+                  let ma = magic_atom b.Adorn.ad_base b.Adorn.ad_ad a.args in
+                  note_magic ma.pred;
+                  magic_out := !magic_out @ [ { head = ma; body = [ Pos (sup_atom i) ] } ]
+              | Some _ | None -> ())
+          | Neg _ | Cmp _ -> ());
+          if i < n - 1 then
+            (* sup_{i+1} :- sup_i, l_i *)
+            out := !out @ [ { head = sup_atom (i + 1); body = [ Pos (sup_atom i); body.(i) ] } ]
+        done;
+        (* modified rule: h :- sup_{n-1}, l_{n-1} *)
+        let modified = { head = c.head; body = [ Pos (sup_atom (n - 1)); body.(n - 1) ] } in
+        Some (!out, !magic_out, modified)
+      end
+    end
+  end
+
+let rewrite_supplementary ~is_derived ~rules ~query =
+  if not (is_derived query.pred) then Not_rewritten "query predicate is a base relation"
+  else begin
+    let query_ad = Adorn.adornment_of_atom ~bound:(fun _ -> false) query in
+    if not (has_bound query_ad) then Not_rewritten "query has no bound argument"
+    else begin
+      let { Adorn.adorned_rules; adorned_query; bindings } =
+        Adorn.adorn ~is_derived ~rules ~query
+      in
+      let magic_preds = ref [] in
+      let note_magic m = if not (List.mem m !magic_preds) then magic_preds := !magic_preds @ [ m ] in
+      let seed =
+        let m = magic_atom query.pred query_ad query.args in
+        note_magic m.pred;
+        { head = m; body = [] }
+      in
+      let sup_rules = ref [] in
+      let magic_rules = ref [] in
+      let modified_rules = ref [] in
+      let rule_counter = Hashtbl.create 8 in
+      List.iter
+        (fun c ->
+          let hb = find_binding bindings c.head.pred in
+          let head_base, head_ad =
+            match hb with
+            | Some b -> (b.Adorn.ad_base, b.Adorn.ad_ad)
+            | None -> (c.head.pred, String.make (arity c.head) 'f')
+          in
+          let r = Option.value (Hashtbl.find_opt rule_counter c.head.pred) ~default:0 in
+          Hashtbl.replace rule_counter c.head.pred (r + 1);
+          match supplementary_rule note_magic bindings c head_base head_ad r with
+          | Some (sups, magics, modified) ->
+              sup_rules := !sup_rules @ sups;
+              magic_rules := !magic_rules @ magics;
+              modified_rules := !modified_rules @ [ modified ]
+          | None -> plain_rule note_magic bindings c head_base head_ad magic_rules modified_rules)
+        adorned_rules;
+      Rewritten
+        {
+          program = (seed :: !sup_rules) @ !magic_rules @ !modified_rules;
+          query = adorned_query;
+          magic_preds = !magic_preds;
+          adorned_preds = bindings;
+        }
+    end
+  end

@@ -1,0 +1,42 @@
+(** Generalized magic sets rewriting (paper §3.2.5, after
+    Beeri–Ramakrishnan [10]).
+
+    Given a query with at least one bound (constant) argument, rewrites
+    the relevant rules into:
+    - a ground {e seed} fact for the query's magic predicate,
+    - one {e magic rule} per bound derived-body occurrence, whose body is
+      the head's magic guard followed by the SIP prefix of positive
+      literals, and
+    - {e modified rules}: the adorned originals guarded by their magic
+      predicate.
+
+    Evaluating the rewritten program bottom-up computes only facts
+    relevant to the query constants. *)
+
+type outcome =
+  | Not_rewritten of string
+      (** reason: no bound argument, base-predicate query, ... The
+          original program should be evaluated as-is. *)
+  | Rewritten of {
+      program : Ast.clause list;
+          (** seed fact, magic rules, then modified rules *)
+      query : Ast.atom;  (** the adorned query goal *)
+      magic_preds : string list;  (** names of all magic predicates *)
+      adorned_preds : Adorn.binding list;
+    }
+
+val rewrite :
+  is_derived:(string -> bool) -> rules:Ast.clause list -> query:Ast.atom -> outcome
+
+val is_magic_pred : string -> bool
+(** Recognizes {!Names.magic}-generated names. *)
+
+val rewrite_supplementary :
+  is_derived:(string -> bool) -> rules:Ast.clause list -> query:Ast.atom -> outcome
+(** The {e supplementary} magic sets variant (paper §2.5, after [8]):
+    each adorned rule's sideways-information-passing prefixes are
+    materialized in supplementary predicates [sup__p__ad__r<k>__<i>], so
+    the magic rules and the modified rule share the prefix joins instead
+    of recomputing them. Rules where a prefix would carry no variables
+    (or with fewer than two body literals) fall back to the plain
+    generalized rewriting. *)

@@ -1,0 +1,159 @@
+exception Parse_error of string * int
+
+type item =
+  | Clause of Ast.clause
+  | Query of Ast.atom
+
+type state = { mutable toks : (Lexer.token * int) list }
+
+let peek st =
+  match st.toks with
+  | (tok, pos) :: _ -> (tok, pos)
+  | [] -> (Lexer.EOF, 0)
+
+let advance st =
+  match st.toks with
+  | _ :: rest -> st.toks <- rest
+  | [] -> ()
+
+let error st msg =
+  let tok, pos = peek st in
+  raise (Parse_error (Printf.sprintf "%s (found %s)" msg (Lexer.token_to_string tok), pos))
+
+let expect st tok msg = if fst (peek st) = tok then advance st else error st msg
+
+let parse_term st =
+  match peek st with
+  | Lexer.UIDENT v, _ ->
+      advance st;
+      Ast.Var v
+  | Lexer.LIDENT s, _ ->
+      advance st;
+      Ast.Const (Rdbms.Value.Str s)
+  | Lexer.STRING s, _ ->
+      advance st;
+      Ast.Const (Rdbms.Value.Str s)
+  | Lexer.INT n, _ ->
+      advance st;
+      Ast.Const (Rdbms.Value.Int n)
+  | _ -> error st "expected a term (variable or constant)"
+
+let parse_atom st =
+  match peek st with
+  | Lexer.LIDENT pred, _ ->
+      advance st;
+      if fst (peek st) = Lexer.LPAREN then begin
+        advance st;
+        let rec terms () =
+          let t = parse_term st in
+          if fst (peek st) = Lexer.COMMA then begin
+            advance st;
+            t :: terms ()
+          end
+          else [ t ]
+        in
+        let args = terms () in
+        expect st Lexer.RPAREN "expected ) after atom arguments";
+        Ast.atom pred args
+      end
+      else Ast.atom pred []
+  | _ -> error st "expected a predicate name"
+
+(* a body item: negation, an atom, or a built-in comparison *)
+let parse_literal st =
+  match peek st with
+  | Lexer.LIDENT "not", _ ->
+      advance st;
+      Ast.Neg (parse_atom st)
+  | Lexer.UIDENT v, _ -> (
+      advance st;
+      match peek st with
+      | Lexer.CMP op, _ ->
+          advance st;
+          Ast.Cmp (Ast.Var v, op, parse_term st)
+      | _ -> error st "expected a comparison operator after a variable in a body")
+  | (Lexer.INT _ | Lexer.STRING _), _ -> (
+      let lhs = parse_term st in
+      match peek st with
+      | Lexer.CMP op, _ ->
+          advance st;
+          Ast.Cmp (lhs, op, parse_term st)
+      | _ -> error st "expected a comparison operator after a constant in a body")
+  | Lexer.LIDENT name, _ -> (
+      advance st;
+      match peek st with
+      | Lexer.LPAREN, _ ->
+          (* reuse atom argument parsing *)
+          advance st;
+          let rec terms () =
+            let t = parse_term st in
+            if fst (peek st) = Lexer.COMMA then begin
+              advance st;
+              t :: terms ()
+            end
+            else [ t ]
+          in
+          let args = terms () in
+          expect st Lexer.RPAREN "expected ) after atom arguments";
+          Ast.Pos (Ast.atom name args)
+      | Lexer.CMP op, _ ->
+          advance st;
+          Ast.Cmp (Ast.Const (Rdbms.Value.Str name), op, parse_term st)
+      | _ -> Ast.Pos (Ast.atom name []))
+  | _ -> error st "expected a body literal"
+
+let parse_body st =
+  let rec literals () =
+    let l = parse_literal st in
+    if fst (peek st) = Lexer.COMMA then begin
+      advance st;
+      l :: literals ()
+    end
+    else [ l ]
+  in
+  literals ()
+
+let parse_clause_inner st =
+  let head = parse_atom st in
+  if fst (peek st) = Lexer.IMPLIES then begin
+    advance st;
+    let body = parse_body st in
+    Ast.rule head body
+  end
+  else Ast.rule head []
+
+let eat_dot st = if fst (peek st) = Lexer.DOT then advance st
+
+let parse_program input =
+  let st = { toks = Lexer.tokenize input } in
+  let rec loop acc =
+    match peek st with
+    | Lexer.EOF, _ -> List.rev acc
+    | Lexer.QUERY, _ ->
+        advance st;
+        let goal = parse_atom st in
+        expect st Lexer.DOT "expected . after query";
+        loop (Query goal :: acc)
+    | _ ->
+        let c = parse_clause_inner st in
+        expect st Lexer.DOT "expected . after clause";
+        loop (Clause c :: acc)
+  in
+  loop []
+
+let check_eof st = match peek st with Lexer.EOF, _ -> () | _ -> error st "trailing input"
+
+let parse_clause input =
+  let st = { toks = Lexer.tokenize input } in
+  let c = parse_clause_inner st in
+  eat_dot st;
+  check_eof st;
+  c
+
+let parse_query input =
+  let st = { toks = Lexer.tokenize input } in
+  if fst (peek st) = Lexer.QUERY then advance st;
+  let goal = parse_atom st in
+  eat_dot st;
+  check_eof st;
+  goal

@@ -1,0 +1,24 @@
+(** Parser for the Horn-clause rule language.
+
+    Concrete syntax:
+    {v
+    ancestor(X, Y) :- parent(X, Y).
+    ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).
+    parent(john, mary).
+    ?- ancestor(john, W).
+    v} *)
+
+exception Parse_error of string * int
+
+type item =
+  | Clause of Ast.clause
+  | Query of Ast.atom
+
+val parse_program : string -> item list
+(** Parses a sequence of clauses and queries. *)
+
+val parse_clause : string -> Ast.clause
+(** Parses exactly one clause (the trailing [.] is optional). *)
+
+val parse_query : string -> Ast.atom
+(** Parses a goal, with or without the [?-] prefix and trailing [.]. *)

@@ -1,0 +1,75 @@
+type t = {
+  order : string list; (* first-mention order *)
+  deps : (string, string list) Hashtbl.t; (* p -> body preds *)
+  rdeps : (string, string list) Hashtbl.t;
+  neg : (string * string, unit) Hashtbl.t; (* (p, q) has a negated edge *)
+}
+
+let add_node seen name =
+  if Hashtbl.mem seen name then false
+  else begin
+    Hashtbl.add seen name ();
+    true
+  end
+
+let build clauses =
+  let deps = Hashtbl.create 64 in
+  let rdeps = Hashtbl.create 64 in
+  let neg = Hashtbl.create 16 in
+  let seen = Hashtbl.create 64 in
+  let order = ref [] in
+  let t = { order = []; deps; rdeps; neg } in
+  let note name = if add_node seen name then order := name :: !order in
+  let add_edge tbl a b =
+    let existing = Option.value (Hashtbl.find_opt tbl a) ~default:[] in
+    if not (List.mem b existing) then Hashtbl.replace tbl a (existing @ [ b ])
+  in
+  List.iter
+    (fun c ->
+      let p = Ast.head_pred c in
+      note p;
+      List.iter
+        (fun (q, positive) ->
+          note q;
+          add_edge deps p q;
+          add_edge rdeps q p;
+          if not positive then Hashtbl.replace neg (p, q) ())
+        (Ast.body_preds c))
+    clauses;
+  { t with order = List.rev !order }
+
+let predicates t = t.order
+let mem t p = List.mem p t.order
+let depends_on t p = Option.value (Hashtbl.find_opt t.deps p) ~default:[]
+let dependents_of t q = Option.value (Hashtbl.find_opt t.rdeps q) ~default:[]
+let has_negative_edge t p q = Hashtbl.mem t.neg (p, q)
+
+let reachable_from t seeds =
+  let visited = Hashtbl.create 64 in
+  let out = ref [] in
+  let queue = Queue.create () in
+  let push q =
+    if not (Hashtbl.mem visited q) then begin
+      Hashtbl.add visited q ();
+      Queue.add q queue;
+      out := q :: !out
+    end
+  in
+  List.iter (fun s -> List.iter push (depends_on t s)) seeds;
+  while not (Queue.is_empty queue) do
+    let p = Queue.pop queue in
+    List.iter push (depends_on t p)
+  done;
+  List.rev !out
+
+let reachable_closure t seeds =
+  let r = reachable_from t seeds in
+  seeds @ List.filter (fun p -> not (List.mem p seeds)) r
+
+let transitive_closure t =
+  List.concat_map (fun p -> List.map (fun q -> (p, q)) (reachable_from t [ p ])) t.order
+
+let sccs t = Scc.compute ~nodes:t.order ~succ:(depends_on t)
+
+let defining_rules clauses p =
+  List.filter (fun c -> Ast.is_rule c && String.equal (Ast.head_pred c) p) clauses

@@ -1,0 +1,45 @@
+(** The Predicate Connection Graph (PCG) of a rule set (paper §2.2).
+
+    Nodes are predicate names. For every rule [p :- q1, ..., qn] there is
+    a dependency edge from [p] to each [qi]; an edge is negative when the
+    body literal is negated. "[q] is reachable from [p]" follows these
+    dependency edges. *)
+
+type t
+
+val build : Ast.clause list -> t
+(** Only rules contribute edges; facts contribute their head predicate as
+    a node. *)
+
+val predicates : t -> string list
+(** All nodes, in first-mention order. *)
+
+val mem : t -> string -> bool
+
+val depends_on : t -> string -> string list
+(** Body predicates of rules defining the given predicate (no duplicates,
+    stable order). Unknown predicates yield []. *)
+
+val dependents_of : t -> string -> string list
+(** Inverse edges: predicates having the given one in a rule body. *)
+
+val has_negative_edge : t -> string -> string -> bool
+(** Is some dependency of [p] on [q] through a negated literal? *)
+
+val reachable_from : t -> string list -> string list
+(** All predicates reachable from the given seeds (excluding seeds unless
+    they lie on a cycle), in BFS order. *)
+
+val reachable_closure : t -> string list -> string list
+(** Seeds plus everything reachable from them. *)
+
+val transitive_closure : t -> (string * string) list
+(** All pairs (p, q) with q reachable from p. This is the compiled rule
+    storage structure the Stored D/KB persists in [reachablepreds]. *)
+
+val sccs : t -> string list list
+(** Strongly connected components in dependency-first order (see
+    {!Scc.compute}). *)
+
+val defining_rules : Ast.clause list -> string -> Ast.clause list
+(** Rules (not facts) whose head is the given predicate. *)

@@ -1,0 +1,81 @@
+(* Iterative Tarjan: recursion on user-sized rule graphs could overflow the
+   stack, so we maintain an explicit work stack of (node, next-successor)
+   frames. *)
+
+type info = {
+  mutable index : int;
+  mutable lowlink : int;
+  mutable on_stack : bool;
+}
+
+let compute ~nodes ~succ =
+  let infos : (string, info) Hashtbl.t = Hashtbl.create 64 in
+  let counter = ref 0 in
+  let stack = ref [] in
+  let sccs = ref [] in
+  let info_of v = Hashtbl.find infos v in
+  let visit root =
+    if not (Hashtbl.mem infos root) then begin
+      (* frame: node, its info, remaining successors *)
+      let open_node v =
+        let i = { index = !counter; lowlink = !counter; on_stack = true } in
+        incr counter;
+        Hashtbl.add infos v i;
+        stack := v :: !stack;
+        (v, i, succ v)
+      in
+      let frames = ref [ open_node root ] in
+      let pop_scc v i =
+        if i.lowlink = i.index then begin
+          let rec take acc = function
+            | [] -> (acc, [])
+            | w :: rest ->
+                (info_of w).on_stack <- false;
+                if String.equal w v then (w :: acc, rest) else take (w :: acc) rest
+          in
+          let comp, rest = take [] !stack in
+          stack := rest;
+          sccs := comp :: !sccs
+        end
+      in
+      let rec step () =
+        match !frames with
+        | [] -> ()
+        | (v, i, succs) :: rest -> (
+            match succs with
+            | [] ->
+                frames := rest;
+                pop_scc v i;
+                (match rest with
+                | (p, pi, psuccs) :: more ->
+                    pi.lowlink <- min pi.lowlink i.lowlink;
+                    frames := (p, pi, psuccs) :: more
+                | [] -> ());
+                step ()
+            | w :: ws -> (
+                frames := (v, i, ws) :: rest;
+                match Hashtbl.find_opt infos w with
+                | None ->
+                    frames := open_node w :: !frames;
+                    step ()
+                | Some wi ->
+                    if wi.on_stack then i.lowlink <- min i.lowlink wi.index;
+                    step ()))
+      in
+      step ()
+    end
+  in
+  List.iter visit nodes;
+  List.rev !sccs
+
+let topo_sort ~nodes ~succ =
+  let sccs = compute ~nodes ~succ in
+  let singletons =
+    List.for_all
+      (fun comp ->
+        match comp with
+        | [ v ] -> not (List.exists (String.equal v) (succ v))
+        | _ -> false)
+      sccs
+  in
+  if singletons then Some (List.map List.hd sccs) else None

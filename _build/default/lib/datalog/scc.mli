@@ -1,0 +1,11 @@
+(** Tarjan's strongly-connected-components algorithm over string-keyed
+    graphs. *)
+
+val compute : nodes:string list -> succ:(string -> string list) -> string list list
+(** SCCs in reverse topological order of the condensation: a component is
+    emitted only after every component reachable from it. Node order
+    within a component follows discovery. *)
+
+val topo_sort : nodes:string list -> succ:(string -> string list) -> string list option
+(** Topological order of an acyclic graph such that each node's successors
+    come before it; [None] if the graph has a cycle. *)

@@ -1,0 +1,245 @@
+open Ast
+module Value = Rdbms.Value
+
+exception Unsupported of string
+
+(* ------------------------------------------------------------------ *)
+(* Subgoal keys: a predicate plus its argument pattern with constants
+   kept and variables normalized by first occurrence, so p(X, a, X) and
+   p(Y, a, Y) are the same subgoal. *)
+
+type pat =
+  | P_const of Value.t
+  | P_var of int
+
+type subgoal = {
+  sg_pred : string;
+  sg_pat : pat list;
+}
+
+let subgoal_of_atom env a =
+  let seen = Hashtbl.create 4 in
+  let next = ref 0 in
+  let pat =
+    List.map
+      (fun t ->
+        match t with
+        | Const v -> P_const v
+        | Var x -> (
+            match Hashtbl.find_opt env x with
+            | Some v -> P_const v
+            | None -> (
+                match Hashtbl.find_opt seen x with
+                | Some i -> P_var i
+                | None ->
+                    let i = !next in
+                    incr next;
+                    Hashtbl.add seen x i;
+                    P_var i)))
+      a.args
+  in
+  { sg_pred = a.pred; sg_pat = pat }
+
+(* does a ground tuple match a subgoal pattern? *)
+let matches pat (row : Value.t array) =
+  let bindings = Hashtbl.create 4 in
+  let rec go i = function
+    | [] -> true
+    | P_const v :: rest -> Value.equal v row.(i) && go (i + 1) rest
+    | P_var x :: rest -> (
+        match Hashtbl.find_opt bindings x with
+        | Some v -> Value.equal v row.(i) && go (i + 1) rest
+        | None ->
+            Hashtbl.add bindings x row.(i);
+            go (i + 1) rest)
+  in
+  go 0 pat
+
+(* ------------------------------------------------------------------ *)
+
+type table = {
+  mutable answers : Rdbms.Tuple.t list; (* reverse discovery order *)
+  seen : Rdbms.Tuple.Hashset.t;
+}
+
+let last_subgoal_count = ref 0
+
+let subgoal_count () = !last_subgoal_count
+
+let solve ~facts ~is_base ~rules ~goal =
+  let tables : (subgoal, table) Hashtbl.t = Hashtbl.create 32 in
+  let changed = ref true in
+  let register sg =
+    match Hashtbl.find_opt tables sg with
+    | Some t -> t
+    | None ->
+        let t = { answers = []; seen = Rdbms.Tuple.Hashset.create 16 } in
+        Hashtbl.add tables sg t;
+        changed := true;
+        t
+  in
+  let add_answer t row =
+    if Rdbms.Tuple.Hashset.add t.seen row then begin
+      t.answers <- row :: t.answers;
+      changed := true
+    end
+  in
+  (* unify an atom against a ground tuple under an environment *)
+  let unify env a row =
+    let env' = Hashtbl.copy env in
+    let rec go i = function
+      | [] -> Some env'
+      | Const v :: rest -> if Value.equal v row.(i) then go (i + 1) rest else None
+      | Var x :: rest -> (
+          match Hashtbl.find_opt env' x with
+          | Some v -> if Value.equal v row.(i) then go (i + 1) rest else None
+          | None ->
+              Hashtbl.add env' x row.(i);
+              go (i + 1) rest)
+    in
+    go 0 a.args
+  in
+  let candidate_rows env a =
+    if is_base a.pred then List.map Array.of_list (facts a.pred)
+    else begin
+      let sg = subgoal_of_atom env a in
+      let t = register sg in
+      List.rev t.answers
+    end
+  in
+  (* one resolution pass for a subgoal against one rule *)
+  let resolve_rule sg t rule =
+    (* head must be compatible with the subgoal pattern: bind head vars
+       from the pattern's constants *)
+    let env = Hashtbl.create 8 in
+    let rec bind_head i pats args ok =
+      if not ok then false
+      else
+        match (pats, args) with
+        | [], [] -> true
+        | P_const v :: ps, Const c :: asx -> bind_head (i + 1) ps asx (Value.equal v c)
+        | P_const v :: ps, Var x :: asx -> (
+            match Hashtbl.find_opt env x with
+            | Some v' -> bind_head (i + 1) ps asx (Value.equal v v')
+            | None ->
+                Hashtbl.add env x v;
+                bind_head (i + 1) ps asx true)
+        | P_var _ :: ps, _ :: asx -> bind_head (i + 1) ps asx true
+        | _ -> false
+    in
+    if not (bind_head 0 sg.sg_pat rule.head.args true) then ()
+    else begin
+      (* left-to-right SLD over the body, propagating bindings; built-in
+         comparisons are deferred until their variables are bound by the
+         positive literals (they may be written earlier in the rule) *)
+      let body =
+        let bound = Hashtbl.create 8 in
+        let ready l =
+          List.for_all (fun v -> Hashtbl.mem bound v) (vars_of_literal l)
+        in
+        let cmps, others = List.partition (function Cmp _ -> true | _ -> false) rule.body in
+        let pending = ref cmps in
+        let out = ref [] in
+        let flush () =
+          let now, later = List.partition ready !pending in
+          pending := later;
+          out := !out @ now
+        in
+        List.iter
+          (fun l ->
+            out := !out @ [ l ];
+            (match l with
+            | Pos a -> List.iter (fun v -> Hashtbl.replace bound v ()) (vars_of_atom a)
+            | Neg _ | Cmp _ -> ());
+            flush ())
+          others;
+        !out @ !pending
+      in
+      let envs = ref [ env ] in
+      List.iter
+        (fun l ->
+          match l with
+          | Neg _ -> raise (Unsupported "top-down evaluation does not support negation")
+          | Cmp (x, op, y) ->
+              let side e = function
+                | Const v -> Some v
+                | Var v -> Hashtbl.find_opt e v
+              in
+              envs :=
+                List.filter
+                  (fun e ->
+                    match (side e x, side e y) with
+                    | Some a, Some b -> eval_cmp op a b
+                    | _ ->
+                        invalid_arg
+                          "Topdown.solve: comparison over unbound variables (unsafe rule)")
+                  !envs
+          | Pos a ->
+              let next =
+                List.concat_map
+                  (fun e ->
+                    List.filter_map (fun row -> unify e a row) (candidate_rows e a))
+                  !envs
+              in
+              envs := next)
+        body;
+      (* emit head instances *)
+      List.iter
+        (fun e ->
+          let row =
+            Array.of_list
+              (List.map
+                 (fun arg ->
+                   match arg with
+                   | Const v -> v
+                   | Var x -> (
+                       match Hashtbl.find_opt e x with
+                       | Some v -> v
+                       | None -> invalid_arg "Topdown.solve: unsafe rule (unbound head variable)"))
+                 rule.head.args)
+          in
+          if matches sg.sg_pat row then add_answer t row)
+        !envs
+    end
+  in
+  let defining = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      let p = head_pred c in
+      Hashtbl.replace defining p (Option.value (Hashtbl.find_opt defining p) ~default:[] @ [ c ]))
+    (List.filter is_rule rules);
+  (* facts in the rule set behave like base tuples of their predicate *)
+  let program_facts = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      if is_fact c then
+        let row =
+          Array.of_list
+            (List.map (function Const v -> v | Var _ -> assert false) c.head.args)
+        in
+        Hashtbl.replace program_facts (head_pred c)
+          (row :: Option.value (Hashtbl.find_opt program_facts (head_pred c)) ~default:[]))
+    rules;
+  let root = subgoal_of_atom (Hashtbl.create 1) goal in
+  ignore (register root);
+  while !changed do
+    changed := false;
+    (* snapshot: resolution registers new subgoals, which must not be
+       added while iterating the table *)
+    let snapshot = Hashtbl.fold (fun sg t acc -> (sg, t) :: acc) tables [] in
+    List.iter
+      (fun (sg, t) ->
+        (* program facts first *)
+        (match Hashtbl.find_opt program_facts sg.sg_pred with
+        | Some rows -> List.iter (fun row -> if matches sg.sg_pat row then add_answer t row) rows
+        | None -> ());
+        match Hashtbl.find_opt defining sg.sg_pred with
+        | Some rules -> List.iter (resolve_rule sg t) rules
+        | None ->
+            if not (is_base sg.sg_pred) && not (Hashtbl.mem program_facts sg.sg_pred) then
+              invalid_arg (Printf.sprintf "Topdown.solve: no rules or facts for %s" sg.sg_pred))
+      snapshot
+  done;
+  last_subgoal_count := Hashtbl.length tables;
+  let root_table = Hashtbl.find tables root in
+  List.rev root_table.answers

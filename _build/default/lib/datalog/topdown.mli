@@ -1,0 +1,35 @@
+(** A top-down evaluation baseline (paper §2.4: "Top-down evaluation
+    starts with the query and keeps evaluating predicates in the body of
+    the relevant rules by propagating the bindings in the head predicates
+    of these rules", citing Henschen–Naqvi and Prolog).
+
+    This is a memoizing Query/Subquery (QSQ-style) evaluator: subgoals —
+    predicate calls with a normalized binding pattern — are tabled, new
+    subgoals are spawned as rule bodies are resolved left to right with
+    the bindings propagated sideways, and the mutually dependent tables
+    are iterated to a fixpoint. Memoization makes it terminate on cyclic
+    data, unlike pure Prolog.
+
+    It evaluates directly over in-memory fact lists (tuple-at-a-time)
+    rather than through the DBMS, which is exactly the architectural
+    contrast the paper draws with its compiled bottom-up approach.
+
+    Restrictions: pure Horn clauses only (negation is rejected — the
+    bottom-up runtime handles stratified negation). *)
+
+exception Unsupported of string
+
+val solve :
+  facts:(string -> Rdbms.Value.t list list) ->
+  is_base:(string -> bool) ->
+  rules:Ast.clause list ->
+  goal:Ast.atom ->
+  Rdbms.Value.t array list
+(** All ground instances of [goal] derivable from the rules and facts,
+    as full-arity tuples in discovery order (deduplicated).
+    Raises {!Unsupported} on negated literals and [Invalid_argument] on
+    unsafe rules. *)
+
+val subgoal_count : unit -> int
+(** Number of distinct subgoals tabled by the most recent {!solve} call
+    (instrumentation for the relevance comparison with magic sets). *)

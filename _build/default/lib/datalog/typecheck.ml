@@ -1,0 +1,240 @@
+open Ast
+
+type types = Rdbms.Datatype.t list
+
+let check_safety c =
+  if c.body = [] then
+    if is_ground c.head then Ok ()
+    else Error (Printf.sprintf "unsafe fact (non-ground head): %s" (clause_to_string c))
+  else begin
+    let positive_vars =
+      List.concat_map
+        (function Pos a -> vars_of_atom a | Neg _ | Cmp _ -> [])
+        c.body
+    in
+    let missing_head =
+      List.find_opt (fun v -> not (List.mem v positive_vars)) (vars_of_atom c.head)
+    in
+    let missing_neg =
+      List.find_map
+        (function
+          | Neg a -> List.find_opt (fun v -> not (List.mem v positive_vars)) (vars_of_atom a)
+          | Cmp _ as l ->
+              List.find_opt (fun v -> not (List.mem v positive_vars)) (vars_of_literal l)
+          | Pos _ -> None)
+        c.body
+    in
+    match (missing_head, missing_neg) with
+    | Some v, _ ->
+        Error
+          (Printf.sprintf "unsafe rule: head variable %s not bound in a positive body literal: %s" v
+             (clause_to_string c))
+    | None, Some v ->
+        Error
+          (Printf.sprintf
+             "unsafe rule: variable %s of a negated or comparison literal not bound positively: \
+              %s"
+             v (clause_to_string c))
+    | None, None -> Ok ()
+  end
+
+let check_defined ~rules ~is_base ~goals =
+  let pcg = Pcg.build rules in
+  let relevant = Pcg.reachable_closure pcg goals in
+  let has_rule p = List.exists (fun c -> Ast.is_rule c && String.equal (head_pred c) p) rules in
+  match List.find_opt (fun p -> (not (is_base p)) && not (has_rule p)) relevant with
+  | Some p -> Error (Printf.sprintf "no rule or base relation defines predicate %s" p)
+  | None -> Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Type inference *)
+
+let dt = Rdbms.Datatype.to_string
+
+(* Bind variables of an atom against a known type vector; accumulate into
+   a mutable variable environment. *)
+let bind_atom ctx var_types a tys =
+  if List.length a.args <> List.length tys then
+    Error (Printf.sprintf "%s: %s used with arity %d but defined with arity %d" ctx a.pred
+             (List.length a.args) (List.length tys))
+  else begin
+    let rec loop args tys =
+      match (args, tys) with
+      | [], [] -> Ok ()
+      | arg :: args, ty :: tys -> (
+          match arg with
+          | Const v ->
+              let vt = Rdbms.Datatype.of_value v in
+              if Rdbms.Datatype.equal vt ty then loop args tys
+              else
+                Error
+                  (Printf.sprintf "%s: constant %s has type %s where %s expects %s" ctx
+                     (Rdbms.Value.to_string v) (dt vt) a.pred (dt ty))
+          | Var v -> (
+              match Hashtbl.find_opt var_types v with
+              | None ->
+                  Hashtbl.add var_types v ty;
+                  loop args tys
+              | Some prev ->
+                  if Rdbms.Datatype.equal prev ty then loop args tys
+                  else
+                    Error
+                      (Printf.sprintf "%s: variable %s used both as %s and %s" ctx v (dt prev)
+                         (dt ty))))
+      | _ -> assert false
+    in
+    loop a.args tys
+  end
+
+(* Try to derive the head type vector of a rule given currently known
+   predicate types. Returns Ok (Some tys) on success, Ok None when not
+   enough information yet, Error on a hard conflict. *)
+(* type of a comparison side under the current variable environment *)
+let cmp_side_type var_types = function
+  | Const v -> Some (Rdbms.Datatype.of_value v)
+  | Var v -> Hashtbl.find_opt var_types v
+
+let check_cmp ctx var_types x y =
+  match (cmp_side_type var_types x, cmp_side_type var_types y) with
+  | Some a, Some b when not (Rdbms.Datatype.equal a b) ->
+      Error (Printf.sprintf "%s: comparison between %s and %s" ctx (dt a) (dt b))
+  | _ -> Ok ()
+
+let try_rule known c =
+  let ctx = clause_to_string c in
+  let var_types = Hashtbl.create 8 in
+  let rec scan = function
+    | [] -> Ok ()
+    | Cmp (x, _, y) :: rest -> (
+        match check_cmp ctx var_types x y with
+        | Ok () -> scan rest
+        | Error _ as e -> e)
+    | ((Pos a | Neg a) as _l) :: rest -> (
+        match Hashtbl.find_opt known a.pred with
+        | None -> scan rest (* unknown yet: skip, may resolve next round *)
+        | Some tys -> (
+            match bind_atom ctx var_types a tys with
+            | Ok () -> scan rest
+            | Error _ as e -> e))
+  in
+  match scan c.body with
+  | Error _ as e -> e
+  | Ok () -> (
+      let resolve arg =
+        match arg with
+        | Const v -> Some (Rdbms.Datatype.of_value v)
+        | Var v -> Hashtbl.find_opt var_types v
+      in
+      let resolved = List.map resolve c.head.args in
+      if List.for_all Option.is_some resolved then Ok (Some (List.map Option.get resolved))
+      else Ok None)
+
+let infer_gen ~strict ~base ~rules =
+  let rules_only = List.filter is_rule rules in
+  let fact_clauses = List.filter is_fact rules in
+  let known : (string, types) Hashtbl.t = Hashtbl.create 32 in
+  let derived_order = ref [] in
+  (* seed base predicate types on demand *)
+  let pcg = Pcg.build (rules_only @ fact_clauses) in
+  let lookup_seed p =
+    if not (Hashtbl.mem known p) then
+      match base p with
+      | Some tys -> Hashtbl.add known p tys
+      | None -> ()
+  in
+  List.iter lookup_seed (Pcg.predicates pcg);
+  List.iter
+    (fun c ->
+      let p = head_pred c in
+      if not (List.mem p !derived_order) then derived_order := !derived_order @ [ p ])
+    (rules_only @ fact_clauses);
+  let error = ref None in
+  let set_error e = if !error = None then error := Some e in
+  (* facts contribute types directly (e.g. magic-set seed facts) *)
+  List.iter
+    (fun c ->
+      let p = head_pred c in
+      let tys =
+        List.map
+          (function Const v -> Rdbms.Datatype.of_value v | Var _ -> assert false)
+          c.head.args
+      in
+      match Hashtbl.find_opt known p with
+      | None -> Hashtbl.add known p tys
+      | Some prev ->
+          if not (List.equal Rdbms.Datatype.equal prev tys) then
+            set_error
+              (Printf.sprintf "fact %s conflicts with the types of %s" (clause_to_string c) p))
+    fact_clauses;
+  let changed = ref true in
+  while !changed && !error = None do
+    changed := false;
+    List.iter
+      (fun c ->
+        if !error = None then
+          match try_rule known c with
+          | Error e -> set_error e
+          | Ok None -> ()
+          | Ok (Some tys) -> (
+              let p = head_pred c in
+              match Hashtbl.find_opt known p with
+              | None ->
+                  Hashtbl.add known p tys;
+                  changed := true
+              | Some prev ->
+                  if not (List.equal Rdbms.Datatype.equal prev tys) then
+                    set_error
+                      (Printf.sprintf
+                         "conflicting types inferred for %s: (%s) vs (%s) from rule %s" p
+                         (String.concat ", " (List.map dt prev))
+                         (String.concat ", " (List.map dt tys))
+                         (clause_to_string c))))
+      rules_only
+  done;
+  match !error with
+  | Some e -> Error e
+  | None when not strict ->
+      (* lenient mode: report whatever is determinable *)
+      Ok
+        (List.filter_map
+           (fun p -> Option.map (fun tys -> (p, tys)) (Hashtbl.find_opt known p))
+           !derived_order)
+  | None -> (
+      (* final pass: every rule must now check completely *)
+      let full_check c =
+        let ctx = clause_to_string c in
+        let var_types = Hashtbl.create 8 in
+        let rec scan = function
+          | [] -> Ok ()
+          | Cmp (x, _, y) :: rest -> (
+              match check_cmp ctx var_types x y with
+              | Ok () -> scan rest
+              | Error _ as e -> e)
+          | (Pos a | Neg a) :: rest -> (
+              match Hashtbl.find_opt known a.pred with
+              | None -> Error (Printf.sprintf "%s: cannot infer types for predicate %s" ctx a.pred)
+              | Some tys -> (
+                  match bind_atom ctx var_types a tys with
+                  | Ok () -> scan rest
+                  | Error _ as e -> e))
+        in
+        scan c.body
+      in
+      let rec check_all = function
+        | [] -> Ok ()
+        | c :: rest -> (
+            match full_check c with
+            | Ok () -> check_all rest
+            | Error _ as e -> e)
+      in
+      match check_all rules_only with
+      | Error e -> Error e
+      | Ok () -> (
+          match
+            List.find_opt (fun p -> not (Hashtbl.mem known p)) !derived_order
+          with
+          | Some p -> Error (Printf.sprintf "cannot infer column types for predicate %s" p)
+          | None -> Ok (List.map (fun p -> (p, Hashtbl.find known p)) !derived_order)))
+
+let infer ~base ~rules = infer_gen ~strict:true ~base ~rules
+let infer_partial ~base ~rules = infer_gen ~strict:false ~base ~rules

@@ -1,0 +1,43 @@
+(** The Semantic Checker's two checks (paper §3.2.4):
+
+    1. every derived predicate reachable from the query has a defining
+       rule;
+    2. column types of derived predicates are inferable from the base
+       relations and agree across all the rules defining a predicate.
+
+    Plus the usual Datalog safety conditions, which the paper assumes. *)
+
+type types = Rdbms.Datatype.t list
+
+val check_safety : Ast.clause -> (unit, string) result
+(** A fact must be ground; a rule's head variables must occur in a
+    positive body literal; a negated literal's variables must occur in a
+    positive body literal. *)
+
+val check_defined :
+  rules:Ast.clause list ->
+  is_base:(string -> bool) ->
+  goals:string list ->
+  (unit, string) result
+(** Check 1 above, for all predicates reachable from [goals]. *)
+
+val infer :
+  base:(string -> types option) ->
+  rules:Ast.clause list ->
+  ((string * types) list, string) result
+(** Check 2: returns inferred column types for every derived predicate
+    (every rule head), in stable order. Fails on arity mismatches, type
+    conflicts (between rules or within a rule), references to unknown
+    predicates, and underdetermined predicates (recursion with no path to
+    base relations). *)
+
+val infer_partial :
+  base:(string -> types option) ->
+  rules:Ast.clause list ->
+  ((string * types) list, string) result
+(** Like {!infer}, but tolerant of forward references: predicates whose
+    types cannot (yet) be determined are simply omitted from the result
+    instead of failing. Hard conflicts (a variable or predicate used at
+    two different types) still fail. Used by the Stored D/KB update,
+    where a workspace batch may reference predicates that will only be
+    defined by a later batch. *)

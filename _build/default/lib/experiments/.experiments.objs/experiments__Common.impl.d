@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Core Dkb_util List Printf Rdbms Workload

@@ -1,0 +1,1 @@
+lib/experiments/test1.ml: Common Core Datalog Dkb_util List Option Rdbms Workload

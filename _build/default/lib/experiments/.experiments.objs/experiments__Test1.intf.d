@@ -1,0 +1,1 @@
+lib/experiments/test1.mli: Common

@@ -1,0 +1,1 @@
+lib/experiments/test2.ml: Common Core Dkb_util List Option Rdbms Workload

@@ -1,0 +1,1 @@
+lib/experiments/test2.mli: Common

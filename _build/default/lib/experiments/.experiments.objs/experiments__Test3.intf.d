@@ -1,0 +1,1 @@
+lib/experiments/test3.mli: Common

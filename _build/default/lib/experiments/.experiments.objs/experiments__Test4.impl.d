@@ -1,0 +1,1 @@
+lib/experiments/test4.ml: Common Core List Rdbms Workload

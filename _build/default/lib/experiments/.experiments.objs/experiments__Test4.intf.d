@@ -1,0 +1,1 @@
+lib/experiments/test4.mli: Common

@@ -1,0 +1,1 @@
+lib/experiments/test5.ml: Common Core List Printf Rdbms Workload

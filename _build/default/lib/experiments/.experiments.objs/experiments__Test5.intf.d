@@ -1,0 +1,1 @@
+lib/experiments/test5.mli: Common

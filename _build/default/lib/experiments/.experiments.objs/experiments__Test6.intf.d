@@ -1,0 +1,1 @@
+lib/experiments/test6.mli: Common

@@ -1,0 +1,1 @@
+lib/experiments/test7.ml: Common Core List Option Printf String Workload

@@ -1,0 +1,1 @@
+lib/experiments/test7.mli: Common

@@ -1,0 +1,1 @@
+lib/experiments/test8.ml: Common Core List Printf Rdbms Workload

@@ -1,0 +1,1 @@
+lib/experiments/test8.mli: Common

@@ -1,0 +1,1 @@
+lib/experiments/test9.ml: Common Core Dkb_util List Workload

@@ -1,0 +1,1 @@
+lib/experiments/test9.mli: Common

@@ -1,0 +1,7 @@
+(** Ablation benches for the design choices DESIGN.md calls out: the
+    built-in TC operator vs the SQL-loop LFP (paper conclusion #8),
+    derived-table indexing (#6c), base-relation indexing, top-down QSQ
+    vs the compiled bottom-up strategies (§2.4), and planner join
+    ordering (#6d). Prints tables and shape checks. *)
+
+val run : scale:Common.scale -> unit -> unit

@@ -1,0 +1,71 @@
+module Session = Core.Session
+
+type scale =
+  | Quick
+  | Full
+
+let median samples =
+  match List.sort compare samples with
+  | [] -> 0.0
+  | sorted ->
+      let n = List.length sorted in
+      if n mod 2 = 1 then List.nth sorted (n / 2)
+      else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.0
+
+let measure ~repeat f = median (List.init repeat (fun _ -> f ()))
+
+let section id description =
+  Printf.printf "\n=== %s ===\n%s\n\n" id description
+
+let shape label holds =
+  Printf.printf "  [%s] %s\n" (if holds then "PASS" else "FAIL") label;
+  holds
+
+let spread samples =
+  match List.filter (fun x -> x > 0.0) samples with
+  | [] | [ _ ] -> 1.0
+  | xs ->
+      let mx = List.fold_left max neg_infinity xs in
+      let mn = List.fold_left min infinity xs in
+      mx /. mn
+
+let monotone_increasing ?(slack = 0.34) = function
+  | [] | [ _ ] -> true
+  | first :: _ as xs ->
+      let last = List.nth xs (List.length xs - 1) in
+      let rec decreases acc = function
+        | a :: (b :: _ as rest) -> decreases (if b < a then acc + 1 else acc) rest
+        | [ _ ] | [] -> acc
+      in
+      let steps = List.length xs - 1 in
+      last >= first
+      && float_of_int (decreases 0 xs) <= slack *. float_of_int steps
+
+let fmt_ms = Dkb_util.Ascii_table.fmt_ms
+let fmt_pct = Dkb_util.Ascii_table.fmt_pct
+let print_table ~header rows = Dkb_util.Ascii_table.print ~header rows
+
+let ok = function
+  | Ok v -> v
+  | Error msg -> failwith msg
+
+let tree_session ~depth =
+  let s = Session.create () in
+  let tree = Workload.Graphgen.full_binary_tree ~depth () in
+  ok (Workload.Queries.setup_parent s tree.Workload.Graphgen.t_edges);
+  ok (Session.load_rules s Workload.Queries.ancestor_rules);
+  (s, tree)
+
+let rulebase_session (rb : Workload.Rulegen.t) =
+  let s = Session.create () in
+  ok
+    (Session.define_base s rb.Workload.Rulegen.base_pred
+       [ ("x", Rdbms.Datatype.TInt); ("y", Rdbms.Datatype.TInt) ]
+       ~indexes:[ "x" ] ());
+  let facts = List.init 8 (fun i -> [ Rdbms.Value.Int i; Rdbms.Value.Int (i + 1) ]) in
+  ignore (ok (Session.add_facts s rb.Workload.Rulegen.base_pred facts));
+  List.iter
+    (fun c -> ok (Core.Workspace.add_clause (Session.workspace s) c))
+    rb.Workload.Rulegen.clauses;
+  ignore (ok (Session.update_stored s ~clear:true ()));
+  s

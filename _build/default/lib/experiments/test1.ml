@@ -1,0 +1,114 @@
+(* Test 1 / Figures 7-8: effect of the total number of stored rules (R_s)
+   and the number of relevant rules (R_rs) on the time to extract the
+   relevant rules from the Stored D/KB during query compilation. *)
+
+module Session = Core.Session
+
+type point = {
+  r_s : int;
+  r_rs : int;
+  extract_ms : float;
+  extract_io : int;
+  rules_found : int;
+}
+
+type result_t = {
+  points : point list;
+  fig7_insensitive_to_rs : bool;
+  fig8_grows_with_rrs : bool;
+}
+
+let compile_extract_ms s goal =
+  let compiled =
+    Common.ok
+      (Core.Compiler.compile ~stored:(Session.stored s) ~workspace:(Session.workspace s) ~goal ())
+  in
+  ( Dkb_util.Timer.Phases.get compiled.Core.Compiler.phases "extract",
+    compiled.Core.Compiler.relevant_stored_rules )
+
+let extraction_io s root =
+  let stored = Session.stored s in
+  let stats = Rdbms.Engine.stats (Session.engine s) in
+  let before = Rdbms.Stats.copy stats in
+  let (_ : Datalog.Ast.clause list) = Core.Stored_dkb.extract_rules_for stored [ root ] in
+  Rdbms.Stats.total_io (Rdbms.Stats.diff stats before)
+
+let measure_point ~repeat ~r_rs ~target_rs =
+  let clusters = max 1 (target_rs / r_rs) in
+  let rb = Workload.Rulegen.chains ~clusters ~rules_per_cluster:r_rs () in
+  let s = Common.rulebase_session rb in
+  let goal = Workload.Rulegen.cluster_query rb 0 in
+  let rules_found = ref 0 in
+  let extract_ms =
+    Common.measure ~repeat (fun () ->
+        let ms, found = compile_extract_ms s goal in
+        rules_found := found;
+        ms)
+  in
+  let extract_io = extraction_io s (Workload.Rulegen.root rb 0) in
+  {
+    r_s = rb.Workload.Rulegen.total_rules;
+    r_rs;
+    extract_ms;
+    extract_io;
+    rules_found = !rules_found;
+  }
+
+let run ?(scale = Common.Full) () =
+  let rs_targets, rrs_values, repeat =
+    match scale with
+    | Common.Full -> ([ 50; 100; 200; 400; 800 ], [ 1; 7; 20 ], 5)
+    | Common.Quick -> ([ 20; 60 ], [ 1; 7 ], 2)
+  in
+  Common.section "Test 1 (Figures 7-8)"
+    "t_extract (relevant-rule extraction during compilation) vs total stored rules R_s,\n\
+     for several values of relevant rules R_rs. Paper: insensitive to R_s (indexed\n\
+     compiled rule storage), increasing in R_rs.";
+  let points =
+    List.concat_map
+      (fun r_rs ->
+        List.map (fun target_rs -> measure_point ~repeat ~r_rs ~target_rs) rs_targets)
+      rrs_values
+  in
+  Common.print_table
+    ~header:[ "R_rs"; "R_s"; "rules extracted"; "t_extract (ms)"; "sim I/O (pages)" ]
+    (List.map
+       (fun p ->
+         [
+           string_of_int p.r_rs;
+           string_of_int p.r_s;
+           string_of_int p.rules_found;
+           Common.fmt_ms p.extract_ms;
+           string_of_int p.extract_io;
+         ])
+       points);
+  (* Figure 7 claim: for fixed R_rs, extraction cost does not grow with
+     R_s. Simulated I/O is deterministic, so check it; report times. *)
+  let fig7 =
+    List.for_all
+      (fun r_rs ->
+        let ios =
+          List.filter_map
+            (fun p -> if p.r_rs = r_rs then Some (float_of_int p.extract_io) else None)
+            points
+        in
+        Common.spread ios <= 1.5)
+      rrs_values
+  in
+  let fig7_insensitive_to_rs =
+    Common.shape "Fig 7: t_extract I/O insensitive to R_s at fixed R_rs" fig7
+  in
+  (* Figure 8 claim: extraction cost grows with R_rs at fixed R_s. *)
+  let biggest = List.fold_left max 0 (List.map (fun p -> p.r_s) points) in
+  let fig8_series =
+    List.filter_map
+      (fun r_rs ->
+        List.find_opt (fun p -> p.r_rs = r_rs && p.r_s >= biggest / 2) points
+        |> Option.map (fun p -> float_of_int p.extract_io))
+      rrs_values
+  in
+  let fig8_grows_with_rrs =
+    Common.shape "Fig 8: t_extract grows with R_rs at fixed R_s"
+      (Common.monotone_increasing fig8_series && Common.spread fig8_series > 1.0)
+  in
+  { points; fig7_insensitive_to_rs; fig8_grows_with_rrs }

@@ -1,0 +1,20 @@
+(** Test 1 / Figures 7-8: effect of the total number of stored rules
+    (R_s) and the number of rules relevant to the query (R_rs) on the
+    relevant-rule extraction time during D/KB query compilation. *)
+
+type point = {
+  r_s : int;
+  r_rs : int;
+  extract_ms : float;
+  extract_io : int;  (** simulated pages for one extraction *)
+  rules_found : int;
+}
+
+type result_t = {
+  points : point list;
+  fig7_insensitive_to_rs : bool;
+  fig8_grows_with_rrs : bool;
+}
+
+val run : ?scale:Common.scale -> unit -> result_t
+(** Prints the series and shape checks, returning them for assertions. *)

@@ -1,0 +1,101 @@
+(* Test 2 / Figures 9-10: effect of the total number of derived predicates
+   in the Stored D/KB (P_s) and of the number of derived predicates
+   relevant to the query (P_rs) on the time to read the D/KB data
+   dictionaries during compilation. *)
+
+module Session = Core.Session
+
+type point = {
+  p_s : int;
+  p_rs : int;
+  readdict_ms : float;
+  readdict_io : int;
+}
+
+type result_t = {
+  points : point list;
+  fig9_insensitive_to_ps : bool;
+  fig10_grows_with_prs : bool;
+}
+
+let compile_readdict_ms s goal =
+  let compiled =
+    Common.ok
+      (Core.Compiler.compile ~stored:(Session.stored s) ~workspace:(Session.workspace s) ~goal ())
+  in
+  Dkb_util.Timer.Phases.get compiled.Core.Compiler.phases "readdict"
+
+let dictionary_io s rb ~p_rs =
+  let stored = Session.stored s in
+  let derived = Workload.Rulegen.cluster_preds ~clusters_prefix:"c" ~cluster:1 ~count:p_rs in
+  let stats = Rdbms.Engine.stats (Session.engine s) in
+  let before = Rdbms.Stats.copy stats in
+  let _ =
+    Core.Stored_dkb.read_dictionaries stored
+      ~base:[ rb.Workload.Rulegen.base_pred ]
+      ~derived
+  in
+  Rdbms.Stats.total_io (Rdbms.Stats.diff stats before)
+
+let measure_point ~repeat ~p_rs ~target_ps =
+  let clusters = max 1 (target_ps / p_rs) in
+  let rb = Workload.Rulegen.chains ~clusters ~rules_per_cluster:p_rs () in
+  let s = Common.rulebase_session rb in
+  let goal = Workload.Rulegen.cluster_query rb 0 in
+  let readdict_ms = Common.measure ~repeat (fun () -> compile_readdict_ms s goal) in
+  let readdict_io = dictionary_io s rb ~p_rs in
+  { p_s = rb.Workload.Rulegen.total_derived; p_rs; readdict_ms; readdict_io }
+
+let run ?(scale = Common.Full) () =
+  let ps_targets, prs_values, repeat =
+    match scale with
+    | Common.Full -> ([ 50; 100; 200; 400; 800 ], [ 1; 4; 10 ], 5)
+    | Common.Quick -> ([ 20; 60 ], [ 1; 4 ], 2)
+  in
+  Common.section "Test 2 (Figures 9-10)"
+    "t_readdict (data dictionary reads during compilation) vs total stored derived\n\
+     predicates P_s, for several values of relevant derived predicates P_rs.\n\
+     Paper: insensitive to P_s (indexed dictionaries), increasing in P_rs.";
+  let points =
+    List.concat_map
+      (fun p_rs -> List.map (fun target_ps -> measure_point ~repeat ~p_rs ~target_ps) ps_targets)
+      prs_values
+  in
+  Common.print_table
+    ~header:[ "P_rs"; "P_s"; "t_readdict (ms)"; "sim I/O (pages)" ]
+    (List.map
+       (fun p ->
+         [
+           string_of_int p.p_rs;
+           string_of_int p.p_s;
+           Common.fmt_ms p.readdict_ms;
+           string_of_int p.readdict_io;
+         ])
+       points);
+  let fig9 =
+    List.for_all
+      (fun p_rs ->
+        let ios =
+          List.filter_map
+            (fun p -> if p.p_rs = p_rs then Some (float_of_int p.readdict_io) else None)
+            points
+        in
+        Common.spread ios <= 1.5)
+      prs_values
+  in
+  let fig9_insensitive_to_ps =
+    Common.shape "Fig 9: t_readdict I/O insensitive to P_s at fixed P_rs" fig9
+  in
+  let biggest = List.fold_left max 0 (List.map (fun p -> p.p_s) points) in
+  let fig10_series =
+    List.filter_map
+      (fun p_rs ->
+        List.find_opt (fun p -> p.p_rs = p_rs && p.p_s >= biggest / 2) points
+        |> Option.map (fun p -> float_of_int p.readdict_io))
+      prs_values
+  in
+  let fig10_grows_with_prs =
+    Common.shape "Fig 10: t_readdict grows with P_rs at fixed P_s"
+      (Common.monotone_increasing fig10_series && Common.spread fig10_series > 1.0)
+  in
+  { points; fig9_insensitive_to_ps; fig10_grows_with_prs }

@@ -1,0 +1,17 @@
+(** Test 2 / Figures 9-10: effect of the total (P_s) and relevant (P_rs)
+    derived-predicate counts on the data-dictionary read time. *)
+
+type point = {
+  p_s : int;
+  p_rs : int;
+  readdict_ms : float;
+  readdict_io : int;
+}
+
+type result_t = {
+  points : point list;
+  fig9_insensitive_to_ps : bool;
+  fig10_grows_with_prs : bool;
+}
+
+val run : ?scale:Common.scale -> unit -> result_t

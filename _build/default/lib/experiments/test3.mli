@@ -1,0 +1,15 @@
+(** Test 3 / Table 4: relative contributions of the steps of D/KB query
+    compilation time as R_rs grows. *)
+
+type row = {
+  r_rs : int;
+  phase_ms : (string * float) list;  (** per compiler phase *)
+  total_ms : float;
+}
+
+type result_t = {
+  rows : row list;
+  extract_share_grows : bool;
+}
+
+val run : ?scale:Common.scale -> unit -> result_t

@@ -1,0 +1,19 @@
+(** Test 4 / Figure 11: effect of the fraction of relevant facts
+    (D_rel / D_tot) on query execution time, semi-naive, unoptimized. *)
+
+type point = {
+  d_rel : int;
+  d_tot : int;
+  t_e : float;
+  io : int;
+  rows_read : int;
+}
+
+type result_t = {
+  method1 : point list;  (** D_tot fixed, query rooted per level *)
+  method2 : point list;  (** D_rel fixed, growing relations *)
+  m1_insensitive : bool;
+  m2_grows : bool;
+}
+
+val run : ?scale:Common.scale -> unit -> result_t

@@ -1,0 +1,18 @@
+(** Test 5 / Figure 12: naive vs semi-naive LFP evaluation (the cost of
+    redundant work; paper: semi-naive is 2.5-3x faster). *)
+
+type point = {
+  d_rel : int;
+  naive_ms : float;
+  seminaive_ms : float;
+  naive_io : int;
+  seminaive_io : int;
+}
+
+type result_t = {
+  points : point list;
+  seminaive_wins : bool;
+  median_speedup : float;
+}
+
+val run : ?scale:Common.scale -> unit -> result_t

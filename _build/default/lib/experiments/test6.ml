@@ -1,0 +1,80 @@
+(* Test 6 / Table 5: relative contributions of the steps of naive and
+   semi-naive LFP evaluation when implemented as an application program
+   over a relational DBMS: temp-table create/drop, RHS evaluation,
+   termination checking, and table copying. Paper: evaluation + termination
+   dominate (95% naive, 85% semi-naive), and naive's absolute times for
+   those steps are 2.5-3x those of semi-naive. *)
+
+module Session = Core.Session
+module Phases = Dkb_util.Timer.Phases
+
+let buckets = [ "create_drop"; "eval"; "termination"; "copy" ]
+
+type row = {
+  strategy : string;
+  bucket_ms : (string * float) list;
+  total_ms : float;
+}
+
+type result_t = {
+  rows : row list;
+  work_dominates : bool;
+  naive_work_larger : bool;
+}
+
+let measure s goal strategy =
+  let options = { Session.default_options with strategy } in
+  let answer = Common.ok (Session.query_goal s ~options goal) in
+  answer.Session.run.Core.Runtime.phases
+
+let run ?(scale = Common.Full) () =
+  let depth =
+    match scale with
+    | Common.Full -> 10
+    | Common.Quick -> 6
+  in
+  Common.section "Test 6 (Table 5)"
+    "Step breakdown of LFP evaluation (ancestor over a full binary tree),\n\
+     naive vs semi-naive. Paper: RHS evaluation + termination checking take\n\
+     95% (naive) / 85% (semi-naive) of the loop; naive's are ~2.5-3x larger.";
+  let s, tree = Common.tree_session ~depth in
+  let goal = Workload.Queries.ancestor_goal tree.Workload.Graphgen.t_root in
+  let rows =
+    List.map
+      (fun strategy ->
+        let phases = measure s goal strategy in
+        let bucket_ms = List.map (fun b -> (b, Phases.get phases b)) buckets in
+        let total_ms = List.fold_left (fun acc (_, ms) -> acc +. ms) 0.0 bucket_ms in
+        { strategy = Core.Runtime.strategy_to_string strategy; bucket_ms; total_ms })
+      [ Core.Runtime.Naive; Core.Runtime.Seminaive ]
+  in
+  Common.print_table
+    ~header:("strategy" :: "total (ms)" :: List.concat_map (fun b -> [ b ^ " (ms)"; b ^ " %" ]) buckets)
+    (List.map
+       (fun row ->
+         row.strategy :: Common.fmt_ms row.total_ms
+         :: List.concat_map
+              (fun b ->
+                let ms = List.assoc b row.bucket_ms in
+                [
+                  Common.fmt_ms ms;
+                  (if row.total_ms > 0.0 then Common.fmt_pct (100.0 *. ms /. row.total_ms) else "-");
+                ])
+              buckets)
+       rows);
+  let work_share row =
+    (List.assoc "eval" row.bucket_ms +. List.assoc "termination" row.bucket_ms) /. row.total_ms
+  in
+  let work_dominates =
+    Common.shape "Table 5: RHS evaluation + termination dominate the loop (>= 60%)"
+      (List.for_all (fun r -> work_share r >= 0.6) rows)
+  in
+  let work_of name =
+    let r = List.find (fun r -> r.strategy = name) rows in
+    List.assoc "eval" r.bucket_ms +. List.assoc "termination" r.bucket_ms
+  in
+  let naive_work_larger =
+    Common.shape "Table 5: naive's evaluation+termination time exceeds semi-naive's (paper 2.5-3x)"
+      (work_of "naive" > 1.2 *. work_of "semi-naive")
+  in
+  { rows; work_dominates; naive_work_larger }

@@ -1,0 +1,17 @@
+(** Test 6 / Table 5: step breakdown of LFP evaluation as an application
+    program over the DBMS — temp-table churn, RHS evaluation, termination
+    checks and table copies. *)
+
+type row = {
+  strategy : string;
+  bucket_ms : (string * float) list;  (** per runtime step bucket *)
+  total_ms : float;
+}
+
+type result_t = {
+  rows : row list;
+  work_dominates : bool;
+  naive_work_larger : bool;
+}
+
+val run : ?scale:Common.scale -> unit -> result_t

@@ -1,0 +1,158 @@
+(* Test 7 / Figures 13-14: impact of the generalized magic sets
+   optimization on query execution time as a function of query
+   selectivity (D_rel / D_tot).
+
+   Paper findings reproduced here:
+   - without optimization t_e is flat in selectivity; with optimization it
+     grows with selectivity;
+   - there is a crossover selectivity beyond which optimization hurts
+     (~72% for semi-naive, ~85% for naive — naive's is higher because
+     optimization saves it more redundant work);
+   - for very low selectivity against a large relation, optimization wins
+     by orders of magnitude;
+   - of the two LFP computations of the rewritten program, the magic-rules
+     evaluation shrinks more slowly with falling selectivity than the
+     modified-rules evaluation (Figure 14). *)
+
+module Session = Core.Session
+module Graphgen = Workload.Graphgen
+
+type point = {
+  selectivity : float;  (** D_rel / D_tot *)
+  noopt_ms : float;
+  magic_ms : float;
+  magic_clique_ms : float;  (** Figure 14: magic-rules LFP *)
+  modified_clique_ms : float;  (** Figure 14: modified-rules LFP *)
+}
+
+type result_t = {
+  seminaive : point list;
+  naive : point list;
+  crossover_seminaive : float option;  (** selectivity where magic starts losing *)
+  crossover_naive : float option;
+  magic_wins_low_selectivity : bool;
+  fig14_shape : bool;
+  lowsel_speedup : float;  (** part 2: big relation, <=1% selectivity *)
+}
+
+let is_magic_entry label =
+  String.length label >= 10 && String.sub label 0 10 = "clique(m__"
+
+let run_one s node ~optimize ~strategy =
+  let options = { Session.default_options with strategy; optimize } in
+  let answer = Common.ok (Session.query_goal s ~options (Workload.Queries.ancestor_goal node)) in
+  let run = answer.Session.run in
+  let magic_ms, modified_ms =
+    List.fold_left
+      (fun (m, o) (label, ms) -> if is_magic_entry label then (m +. ms, o) else (m, o +. ms))
+      (0.0, 0.0) run.Core.Runtime.entry_ms
+  in
+  (run.Core.Runtime.exec_ms, magic_ms, modified_ms)
+
+let series s tree strategy repeat =
+  let d_tot = float_of_int (List.length tree.Graphgen.t_edges) in
+  List.map
+    (fun level ->
+      let node = List.hd (Graphgen.tree_nodes_at_level tree level) in
+      let selectivity = float_of_int (Graphgen.subtree_edge_count tree level) /. d_tot in
+      let noopt_ms =
+        Common.measure ~repeat (fun () ->
+            let ms, _, _ = run_one s node ~optimize:Core.Compiler.Opt_off ~strategy in
+            ms)
+      in
+      let magic = ref (0.0, 0.0) in
+      let magic_ms =
+        Common.measure ~repeat (fun () ->
+            let ms, m, o = run_one s node ~optimize:Core.Compiler.Opt_on ~strategy in
+            magic := (m, o);
+            ms)
+      in
+      let magic_clique_ms, modified_clique_ms = !magic in
+      { selectivity; noopt_ms; magic_ms; magic_clique_ms; modified_clique_ms })
+    (List.init (tree.Graphgen.t_depth - 1) (fun i -> i + 1))
+
+(* the selectivity above which magic execution exceeds unoptimized
+   execution, scanning from high selectivity down *)
+let crossover points =
+  let sorted = List.sort (fun a b -> compare b.selectivity a.selectivity) points in
+  List.find_opt (fun p -> p.magic_ms > p.noopt_ms) sorted
+  |> Option.map (fun p -> p.selectivity)
+
+let print_series name points =
+  Printf.printf "%s strategy:\n" name;
+  Common.print_table
+    ~header:
+      [ "selectivity"; "t_e no-opt (ms)"; "t_e magic (ms)"; "magic LFP (ms)"; "modified LFP (ms)" ]
+    (List.map
+       (fun p ->
+         [
+           Common.fmt_pct (100.0 *. p.selectivity);
+           Common.fmt_ms p.noopt_ms;
+           Common.fmt_ms p.magic_ms;
+           Common.fmt_ms p.magic_clique_ms;
+           Common.fmt_ms p.modified_clique_ms;
+         ])
+       points)
+
+let run ?(scale = Common.Full) () =
+  let depth, big_depth, repeat =
+    match scale with
+    | Common.Full -> (10, 13, 3)
+    | Common.Quick -> (6, 8, 1)
+  in
+  Common.section "Test 7 (Figures 13-14)"
+    "Magic sets on/off vs query selectivity (ancestor over full binary trees),\n\
+     for both LFP strategies; plus the low-selectivity large-relation case and\n\
+     the Figure 14 split of the two LFP computations of the rewritten program.";
+  let s, tree = Common.tree_session ~depth in
+  let seminaive = series s tree Core.Runtime.Seminaive repeat in
+  let naive = series s tree Core.Runtime.Naive repeat in
+  print_series "semi-naive" seminaive;
+  print_series "naive" naive;
+  let crossover_seminaive = crossover seminaive in
+  let crossover_naive = crossover naive in
+  (match (crossover_seminaive, crossover_naive) with
+  | Some cs, Some cn ->
+      Printf.printf "  crossover selectivity: semi-naive %.0f%%, naive %.0f%% (paper: 72%% / 85%%)\n"
+        (100.0 *. cs) (100.0 *. cn)
+  | _ -> print_endline "  no crossover observed in the sampled selectivities");
+  let lowest = List.nth seminaive (List.length seminaive - 1) in
+  let magic_wins_low_selectivity =
+    Common.shape "Fig 13: magic wins clearly at the lowest sampled selectivity (>= 2x)"
+      (lowest.noopt_ms >= 2.0 *. lowest.magic_ms)
+  in
+  (* Figure 14: compare how fast each LFP's time falls as selectivity falls *)
+  let fig14_shape =
+    let magic_series = List.map (fun p -> p.magic_clique_ms) seminaive in
+    let modified_series = List.map (fun p -> p.modified_clique_ms) seminaive in
+    Common.shape
+      "Fig 14: modified-rules LFP time falls faster with selectivity than magic-rules LFP"
+      (Common.spread modified_series >= Common.spread magic_series)
+  in
+  (* part 2: very low selectivity against a large relation *)
+  let s2, tree2 = Common.tree_session ~depth:big_depth in
+  let level = (big_depth / 2) + 1 in
+  let node = List.hd (Graphgen.tree_nodes_at_level tree2 level) in
+  let sel =
+    float_of_int (Graphgen.subtree_edge_count tree2 level)
+    /. float_of_int (List.length tree2.Graphgen.t_edges)
+  in
+  let noopt_ms, _, _ = run_one s2 node ~optimize:Core.Compiler.Opt_off ~strategy:Core.Runtime.Seminaive in
+  let magic_ms, _, _ = run_one s2 node ~optimize:Core.Compiler.Opt_on ~strategy:Core.Runtime.Seminaive in
+  let lowsel_speedup = noopt_ms /. magic_ms in
+  Printf.printf
+    "  low-selectivity case: %d tuples, selectivity %.2f%%: no-opt %.1f ms vs magic %.1f ms (%.0fx)\n"
+    (List.length tree2.Graphgen.t_edges)
+    (100.0 *. sel) noopt_ms magic_ms lowsel_speedup;
+  ignore
+    (Common.shape "Fig 13: low selectivity + large relation: magic wins by a large factor (>= 10x)"
+       (lowsel_speedup >= 10.0));
+  {
+    seminaive;
+    naive;
+    crossover_seminaive;
+    crossover_naive;
+    magic_wins_low_selectivity;
+    fig14_shape;
+    lowsel_speedup;
+  }

@@ -1,0 +1,23 @@
+(** Test 7 / Figures 13-14: the magic-sets tradeoff against query
+    selectivity, the crossover, the low-selectivity blowup, and the
+    split between the magic-rules and modified-rules LFP computations. *)
+
+type point = {
+  selectivity : float;
+  noopt_ms : float;
+  magic_ms : float;
+  magic_clique_ms : float;
+  modified_clique_ms : float;
+}
+
+type result_t = {
+  seminaive : point list;
+  naive : point list;
+  crossover_seminaive : float option;
+  crossover_naive : float option;
+  magic_wins_low_selectivity : bool;
+  fig14_shape : bool;
+  lowsel_speedup : float;
+}
+
+val run : ?scale:Common.scale -> unit -> result_t

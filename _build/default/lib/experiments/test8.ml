@@ -1,0 +1,99 @@
+(* Test 8 / Figure 15: D/KB update time t_u vs the number of stored rules
+   R_s, with and without compiled rule storage structures.
+
+   Paper: updates are almost an order of magnitude faster without the
+   compiled form (only the source form is written), and t_u is relatively
+   insensitive to R_s thanks to the incremental transitive-closure
+   maintenance. *)
+
+module Session = Core.Session
+
+type point = {
+  r_s : int;
+  with_compiled_ms : float;
+  without_compiled_ms : float;
+  with_io : int;
+  without_io : int;
+}
+
+type result_t = {
+  points : point list;
+  compiled_slower : bool;
+  insensitive_to_rs : bool;
+}
+
+(* one update of a single fresh rule against a stored base of r_s rules *)
+let one_update ~r_s ~compiled_storage ~tag =
+  let rb = Workload.Rulegen.chains ~clusters:(max 1 (r_s / 3)) ~rules_per_cluster:3 () in
+  let s = Common.rulebase_session rb in
+  let rule =
+    Printf.sprintf "fresh%s(X, Y) :- %s(X, Y)." tag rb.Workload.Rulegen.base_pred
+  in
+  Common.ok (Session.add_rule s rule);
+  let stats = Rdbms.Engine.stats (Session.engine s) in
+  let before = Rdbms.Stats.copy stats in
+  let report = Common.ok (Session.update_stored s ~compiled_storage ()) in
+  ( report.Core.Update.total_ms,
+    Rdbms.Stats.total_io (Rdbms.Stats.diff stats before),
+    rb.Workload.Rulegen.total_rules )
+
+let run ?(scale = Common.Full) () =
+  let rs_values, repeat =
+    match scale with
+    | Common.Full -> ([ 9; 45; 90; 189; 390 ], 3)
+    | Common.Quick -> ([ 9; 45 ], 1)
+  in
+  Common.section "Test 8 (Figure 15)"
+    "t_u (updating the Stored D/KB with one workspace rule) vs stored rules R_s,\n\
+     with vs without compiled rule storage (the PCG transitive closure).\n\
+     Paper: ~an order of magnitude faster without; insensitive to R_s.";
+  let points =
+    List.map
+      (fun r_s ->
+        let wio = ref 0 and woio = ref 0 in
+        let actual = ref r_s in
+        let with_compiled_ms =
+          Common.measure ~repeat (fun () ->
+              let ms, io, total = one_update ~r_s ~compiled_storage:true ~tag:"a" in
+              wio := io;
+              actual := total;
+              ms)
+        in
+        let without_compiled_ms =
+          Common.measure ~repeat (fun () ->
+              let ms, io, _ = one_update ~r_s ~compiled_storage:false ~tag:"b" in
+              woio := io;
+              ms)
+        in
+        {
+          r_s = !actual;
+          with_compiled_ms;
+          without_compiled_ms;
+          with_io = !wio;
+          without_io = !woio;
+        })
+      rs_values
+  in
+  Common.print_table
+    ~header:
+      [ "R_s"; "t_u compiled (ms)"; "t_u source-only (ms)"; "ratio"; "I/O compiled"; "I/O source" ]
+    (List.map
+       (fun p ->
+         [
+           string_of_int p.r_s;
+           Common.fmt_ms p.with_compiled_ms;
+           Common.fmt_ms p.without_compiled_ms;
+           Printf.sprintf "%.1fx" (p.with_compiled_ms /. p.without_compiled_ms);
+           string_of_int p.with_io;
+           string_of_int p.without_io;
+         ])
+       points);
+  let compiled_slower =
+    Common.shape "Fig 15: compiled-form updates are much slower than source-only (>= 2x)"
+      (List.for_all (fun p -> p.with_compiled_ms >= 2.0 *. p.without_compiled_ms) points)
+  in
+  let insensitive_to_rs =
+    Common.shape "Fig 15: compiled-form t_u insensitive to R_s (I/O spread <= 2)"
+      (Common.spread (List.map (fun p -> float_of_int p.with_io) points) <= 2.0)
+  in
+  { points; compiled_slower; insensitive_to_rs }

@@ -1,0 +1,18 @@
+(** Test 8 / Figure 15: D/KB update time vs stored-rule count, with and
+    without the compiled rule storage structure. *)
+
+type point = {
+  r_s : int;
+  with_compiled_ms : float;
+  without_compiled_ms : float;
+  with_io : int;
+  without_io : int;
+}
+
+type result_t = {
+  points : point list;
+  compiled_slower : bool;
+  insensitive_to_rs : bool;
+}
+
+val run : ?scale:Common.scale -> unit -> result_t

@@ -1,0 +1,18 @@
+(** Test 9 / Table 8: breakdown of D/KB update time for a large and a
+    small workspace against the same stored rule base. *)
+
+type row = {
+  r_w : int;
+  r_s : int;
+  tc_edges : int;
+  bucket_ms : (string * float) list;
+  total_ms : float;
+}
+
+type result_t = {
+  rows : row list;
+  extract_significant : bool;
+  source_small : bool;
+}
+
+val run : ?scale:Common.scale -> unit -> result_t

@@ -1,0 +1,1 @@
+lib/rdbms/catalog.ml: Hashtbl Index List Ordered_index Printf Relation String

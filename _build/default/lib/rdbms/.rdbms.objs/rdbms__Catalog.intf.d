@@ -1,0 +1,1 @@
+lib/rdbms/catalog.mli: Index Ordered_index Relation Schema

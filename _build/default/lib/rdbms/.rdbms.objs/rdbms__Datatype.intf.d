@@ -1,0 +1,1 @@
+lib/rdbms/datatype.mli: Value

@@ -1,0 +1,1 @@
+lib/rdbms/engine.mli: Catalog Planner Sql_ast Stats Tuple

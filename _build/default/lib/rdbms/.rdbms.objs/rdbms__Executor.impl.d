@@ -1,0 +1,1 @@
+lib/rdbms/executor.ml: Array Catalog Hashtbl Index List Option Ordered_index Plan Relation Stats Tuple Value

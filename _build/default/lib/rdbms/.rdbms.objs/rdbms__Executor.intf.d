@@ -1,0 +1,1 @@
+lib/rdbms/executor.mli: Plan Stats Tuple

@@ -1,0 +1,1 @@
+lib/rdbms/index.ml: Array Hashtbl List Printf Relation Schema Value

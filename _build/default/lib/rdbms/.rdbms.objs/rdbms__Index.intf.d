@@ -1,0 +1,1 @@
+lib/rdbms/index.mli: Relation Tuple Value

@@ -1,0 +1,1 @@
+lib/rdbms/ordered_index.ml: Array List Map Option Printf Relation Schema Seq Value

@@ -1,0 +1,1 @@
+lib/rdbms/ordered_index.mli: Relation Tuple Value

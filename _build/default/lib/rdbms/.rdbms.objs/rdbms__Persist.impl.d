@@ -1,0 +1,1 @@
+lib/rdbms/persist.ml: Array Buffer Catalog Engine In_channel Index List Ordered_index Relation Schema Sql_ast Sql_printer Sys

@@ -1,0 +1,1 @@
+lib/rdbms/persist.mli: Engine

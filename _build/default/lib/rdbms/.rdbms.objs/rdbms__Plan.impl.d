@@ -1,0 +1,1 @@
+lib/rdbms/plan.ml: Array Buffer Catalog Datatype Index List Ordered_index Printf Sql_ast String Value

@@ -1,0 +1,1 @@
+lib/rdbms/plan.mli: Catalog Datatype Index Ordered_index Sql_ast Tuple Value

@@ -1,0 +1,1 @@
+lib/rdbms/planner.ml: Array Catalog Datatype Either Hashtbl Index List Option Ordered_index Plan Printf Relation Schema Sql_ast String Value

@@ -1,0 +1,1 @@
+lib/rdbms/planner.mli: Catalog Plan Sql_ast

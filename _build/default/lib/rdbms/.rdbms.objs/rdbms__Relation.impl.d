@@ -1,0 +1,1 @@
+lib/rdbms/relation.ml: Array Hashtbl List Schema Stats Tuple

@@ -1,0 +1,1 @@
+lib/rdbms/relation.mli: Schema Tuple

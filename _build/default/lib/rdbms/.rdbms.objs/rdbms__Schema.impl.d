@@ -1,0 +1,1 @@
+lib/rdbms/schema.ml: Array Datatype Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/rdbms/schema.mli: Datatype Value

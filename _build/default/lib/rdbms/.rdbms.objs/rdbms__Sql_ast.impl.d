@@ -1,0 +1,1 @@
+lib/rdbms/sql_ast.ml: Datatype Value

@@ -1,0 +1,1 @@
+lib/rdbms/sql_ast.mli: Datatype Value

@@ -1,0 +1,1 @@
+lib/rdbms/sql_lexer.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/rdbms/sql_parser.ml: Datatype List Printf Sql_ast Sql_lexer String

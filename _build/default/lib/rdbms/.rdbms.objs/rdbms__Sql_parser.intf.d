@@ -1,0 +1,1 @@
+lib/rdbms/sql_parser.mli: Sql_ast

@@ -1,0 +1,1 @@
+lib/rdbms/sql_printer.ml: Buffer Datatype List Printf Sql_ast String Value

@@ -1,0 +1,1 @@
+lib/rdbms/sql_printer.mli: Sql_ast

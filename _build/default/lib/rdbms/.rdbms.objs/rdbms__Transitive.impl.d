@@ -1,0 +1,1 @@
+lib/rdbms/transitive.ml: Array Hashtbl List Option Queue Relation Schema Stats Tuple Value

@@ -1,0 +1,1 @@
+lib/rdbms/transitive.mli: Relation Stats Tuple Value

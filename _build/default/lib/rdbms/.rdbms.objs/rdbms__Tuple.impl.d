@@ -1,0 +1,1 @@
+lib/rdbms/tuple.ml: Array Hashtbl Seq Set String Value

@@ -1,0 +1,1 @@
+lib/rdbms/tuple.mli: Seq Set Value

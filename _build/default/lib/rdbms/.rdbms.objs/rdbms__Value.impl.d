@@ -1,0 +1,1 @@
+lib/rdbms/value.ml: Buffer Hashtbl Stdlib String

@@ -1,0 +1,1 @@
+lib/rdbms/value.mli:

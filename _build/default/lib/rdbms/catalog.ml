@@ -1,0 +1,103 @@
+type table = {
+  tbl_name : string;
+  tbl_relation : Relation.t;
+  mutable tbl_indexes : Index.t list;
+  mutable tbl_ordered : Ordered_index.t list;
+}
+
+type t = {
+  by_name : (string, table) Hashtbl.t;
+  index_owner : (string, table) Hashtbl.t; (* index name -> owning table *)
+}
+
+let key = String.lowercase_ascii
+
+let create () = { by_name = Hashtbl.create 32; index_owner = Hashtbl.create 32 }
+
+let table_exists t name = Hashtbl.mem t.by_name (key name)
+let find_table t name = Hashtbl.find_opt t.by_name (key name)
+
+let find_table_exn t name =
+  match find_table t name with
+  | Some tbl -> tbl
+  | None -> failwith (Printf.sprintf "no such table: %s" name)
+
+let create_table t name schema =
+  if table_exists t name then Error (Printf.sprintf "table %s already exists" name)
+  else begin
+    let tbl =
+      { tbl_name = name; tbl_relation = Relation.create schema; tbl_indexes = []; tbl_ordered = [] }
+    in
+    Hashtbl.add t.by_name (key name) tbl;
+    Ok tbl
+  end
+
+let drop_table t name =
+  match find_table t name with
+  | None -> Error (Printf.sprintf "no such table: %s" name)
+  | Some tbl ->
+      List.iter (fun idx -> Hashtbl.remove t.index_owner (key (Index.name idx))) tbl.tbl_indexes;
+      List.iter
+        (fun idx -> Hashtbl.remove t.index_owner (key (Ordered_index.name idx)))
+        tbl.tbl_ordered;
+      Hashtbl.remove t.by_name (key name);
+      Ok ()
+
+let create_index t ~name ~table ~column =
+  if Hashtbl.mem t.index_owner (key name) then
+    Error (Printf.sprintf "index %s already exists" name)
+  else
+    match find_table t table with
+    | None -> Error (Printf.sprintf "no such table: %s" table)
+    | Some tbl -> (
+        match Index.create ~name tbl.tbl_relation ~column with
+        | idx ->
+            tbl.tbl_indexes <- tbl.tbl_indexes @ [ idx ];
+            Hashtbl.add t.index_owner (key name) tbl;
+            Ok idx
+        | exception Invalid_argument msg -> Error msg)
+
+let create_ordered_index t ~name ~table ~column =
+  if Hashtbl.mem t.index_owner (key name) then
+    Error (Printf.sprintf "index %s already exists" name)
+  else
+    match find_table t table with
+    | None -> Error (Printf.sprintf "no such table: %s" table)
+    | Some tbl -> (
+        match Ordered_index.create ~name tbl.tbl_relation ~column with
+        | idx ->
+            tbl.tbl_ordered <- tbl.tbl_ordered @ [ idx ];
+            Hashtbl.add t.index_owner (key name) tbl;
+            Ok idx
+        | exception Invalid_argument msg -> Error msg)
+
+let find_ordered_index t ~table ~column =
+  match find_table t table with
+  | None -> None
+  | Some tbl ->
+      List.find_opt
+        (fun idx -> String.lowercase_ascii (Ordered_index.column idx) = key column)
+        tbl.tbl_ordered
+
+let drop_index t name =
+  match Hashtbl.find_opt t.index_owner (key name) with
+  | None -> Error (Printf.sprintf "no such index: %s" name)
+  | Some tbl ->
+      tbl.tbl_indexes <-
+        List.filter (fun idx -> key (Index.name idx) <> key name) tbl.tbl_indexes;
+      tbl.tbl_ordered <-
+        List.filter (fun idx -> key (Ordered_index.name idx) <> key name) tbl.tbl_ordered;
+      Hashtbl.remove t.index_owner (key name);
+      Ok ()
+
+let find_index t ~table ~column =
+  match find_table t table with
+  | None -> None
+  | Some tbl ->
+      List.find_opt
+        (fun idx -> String.lowercase_ascii (Index.column idx) = key column)
+        tbl.tbl_indexes
+
+let tables t =
+  Hashtbl.fold (fun _ tbl acc -> tbl :: acc) t.by_name []
+  |> List.sort (fun a b -> String.compare a.tbl_name b.tbl_name)

@@ -1,0 +1,41 @@
+(** The system catalog: named tables, their relations and indexes. Table
+    and index names are case-insensitive. *)
+
+type table = {
+  tbl_name : string;
+  tbl_relation : Relation.t;
+  mutable tbl_indexes : Index.t list;
+  mutable tbl_ordered : Ordered_index.t list;
+}
+
+type t
+
+val create : unit -> t
+
+val create_table : t -> string -> Schema.t -> (table, string) result
+(** Fails if a table of that name already exists. *)
+
+val drop_table : t -> string -> (unit, string) result
+(** Drops the table and all its indexes. Fails if absent. *)
+
+val table_exists : t -> string -> bool
+val find_table : t -> string -> table option
+val find_table_exn : t -> string -> table
+(** Raises [Failure] with a user-facing message if absent. *)
+
+val create_index : t -> name:string -> table:string -> column:string -> (Index.t, string) result
+(** Fails if the index name is taken, the table is missing, or the column
+    does not exist. *)
+
+val create_ordered_index :
+  t -> name:string -> table:string -> column:string -> (Ordered_index.t, string) result
+
+val find_ordered_index : t -> table:string -> column:string -> Ordered_index.t option
+
+val drop_index : t -> string -> (unit, string) result
+
+val find_index : t -> table:string -> column:string -> Index.t option
+(** Any index on the given table column. *)
+
+val tables : t -> table list
+(** All tables sorted by name. *)

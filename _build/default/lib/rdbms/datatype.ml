@@ -1,0 +1,22 @@
+type t =
+  | TInt
+  | TStr
+
+let equal a b = a = b
+let compare = Stdlib.compare
+
+let to_string = function
+  | TInt -> "integer"
+  | TStr -> "char"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "integer" | "int" -> Some TInt
+  | "char" | "varchar" | "string" | "text" -> Some TStr
+  | _ -> None
+
+let of_value = function
+  | Value.Int _ -> TInt
+  | Value.Str _ -> TStr
+
+let check t v = equal t (of_value v)

@@ -1,0 +1,273 @@
+exception Sql_error of string
+
+type t = {
+  catalog : Catalog.t;
+  stats : Stats.t;
+  mutable join_order : Planner.join_order;
+}
+
+type result =
+  | Rows of { columns : string list; rows : Tuple.t list }
+  | Affected of int
+  | Done
+
+let create () = { catalog = Catalog.create (); stats = Stats.create (); join_order = Planner.Syntactic }
+
+let set_join_order t mode = t.join_order <- mode
+let join_order t = t.join_order
+let catalog t = t.catalog
+let stats t = t.stats
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Sql_error s)) fmt
+
+let or_fail = function
+  | Ok v -> v
+  | Error msg -> raise (Sql_error msg)
+
+let charge_insert stats rows =
+  let n = List.length rows in
+  if n > 0 then begin
+    let bytes = List.fold_left (fun acc r -> acc + Tuple.byte_size r) 0 rows in
+    stats.Stats.page_writes <- stats.Stats.page_writes + max 1 (Stats.pages_of_bytes bytes);
+    stats.Stats.rows_inserted <- stats.Stats.rows_inserted + n
+  end
+
+let insert_rows t table_name rows =
+  let tbl = Catalog.find_table t.catalog table_name in
+  match tbl with
+  | None -> fail "no such table: %s" table_name
+  | Some tbl ->
+      let inserted =
+        List.fold_left
+          (fun acc row ->
+            match Relation.insert tbl.Catalog.tbl_relation row with
+            | true -> row :: acc
+            | false -> acc
+            | exception Invalid_argument msg -> raise (Sql_error msg))
+          [] rows
+      in
+      charge_insert t.stats inserted;
+      Affected (List.length inserted)
+
+let run_query t q =
+  let plan =
+    try Planner.plan_query ~join_order:t.join_order t.catalog q with
+    | Planner.Plan_error msg -> raise (Sql_error msg)
+    | Failure msg -> raise (Sql_error msg)
+  in
+  (plan, Executor.run t.stats plan)
+
+let exec_stmt t stmt =
+  t.stats.Stats.statements <- t.stats.Stats.statements + 1;
+  match stmt with
+  | Sql_ast.Create_table { name; columns } ->
+      let schema = try Schema.make columns with Invalid_argument msg -> raise (Sql_error msg) in
+      let (_ : Catalog.table) = or_fail (Catalog.create_table t.catalog name schema) in
+      t.stats.Stats.tables_created <- t.stats.Stats.tables_created + 1;
+      t.stats.Stats.page_writes <- t.stats.Stats.page_writes + 1;
+      Done
+  | Sql_ast.Drop_table { name; if_exists } ->
+      (match Catalog.drop_table t.catalog name with
+      | Ok () ->
+          t.stats.Stats.tables_dropped <- t.stats.Stats.tables_dropped + 1;
+          t.stats.Stats.page_writes <- t.stats.Stats.page_writes + 1
+      | Error msg -> if not if_exists then raise (Sql_error msg));
+      Done
+  | Sql_ast.Create_index { index; table; column; ordered } ->
+      (if ordered then
+         ignore
+           (or_fail (Catalog.create_ordered_index t.catalog ~name:index ~table ~column)
+             : Ordered_index.t)
+       else
+         ignore (or_fail (Catalog.create_index t.catalog ~name:index ~table ~column) : Index.t));
+      (* building the index reads the table and writes the index pages *)
+      (match Catalog.find_table t.catalog table with
+      | Some tbl ->
+          t.stats.Stats.page_reads <- t.stats.Stats.page_reads + Relation.pages tbl.Catalog.tbl_relation;
+          t.stats.Stats.page_writes <- t.stats.Stats.page_writes + Relation.pages tbl.Catalog.tbl_relation
+      | None -> ());
+      Done
+  | Sql_ast.Drop_index { index } ->
+      or_fail (Catalog.drop_index t.catalog index);
+      Done
+  | Sql_ast.Insert_values { table; rows } ->
+      insert_rows t table (List.map (fun r -> Array.of_list (List.map Sql_ast.value_of_literal r)) rows)
+  | Sql_ast.Insert_select { table; query } ->
+      let tbl =
+        match Catalog.find_table t.catalog table with
+        | Some tbl -> tbl
+        | None -> fail "no such table: %s" table
+      in
+      let plan, rows = run_query t query in
+      let target = Relation.schema tbl.Catalog.tbl_relation in
+      let source_types = Array.map (fun c -> c.Plan.h_type) (Plan.header_of plan) in
+      let target_types = Array.of_list (Schema.types target) in
+      if Array.length source_types <> Array.length target_types then
+        fail "INSERT ... SELECT: arity mismatch (%d into %d)" (Array.length source_types)
+          (Array.length target_types);
+      Array.iteri
+        (fun i ty ->
+          if not (Datatype.equal ty target_types.(i)) then
+            fail "INSERT ... SELECT: column %d type mismatch" (i + 1))
+        source_types;
+      insert_rows t table rows
+  | Sql_ast.Delete { table; where } ->
+      let tbl =
+        match Catalog.find_table t.catalog table with
+        | Some tbl -> tbl
+        | None -> fail "no such table: %s" table
+      in
+      let rel = tbl.Catalog.tbl_relation in
+      t.stats.Stats.page_reads <- t.stats.Stats.page_reads + Relation.pages rel;
+      let victims =
+        match where with
+        | None -> Relation.to_list rel
+        | Some cond ->
+            let q =
+              Sql_ast.Q_select
+                {
+                  distinct = false;
+                  items = [ Sql_ast.Sel_star ];
+                  from = [ { Sql_ast.table; alias = None } ];
+                  where = Some cond;
+                  group_by = [];
+                }
+            in
+            let plan =
+              try Planner.plan_query ~join_order:t.join_order t.catalog q with Planner.Plan_error msg -> raise (Sql_error msg)
+            in
+            (* evaluate the predicate without double-charging a scan *)
+            let scratch = Stats.create () in
+            Executor.run scratch plan
+      in
+      let deleted = List.fold_left (fun acc row -> if Relation.delete rel row then acc + 1 else acc) 0 victims in
+      if deleted > 0 then begin
+        let bytes = List.fold_left (fun acc r -> acc + Tuple.byte_size r) 0 victims in
+        t.stats.Stats.page_writes <- t.stats.Stats.page_writes + max 1 (Stats.pages_of_bytes bytes);
+        t.stats.Stats.rows_deleted <- t.stats.Stats.rows_deleted + deleted
+      end;
+      Affected deleted
+  | Sql_ast.Update { table; sets; where } ->
+      let tbl =
+        match Catalog.find_table t.catalog table with
+        | Some tbl -> tbl
+        | None -> fail "no such table: %s" table
+      in
+      let rel = tbl.Catalog.tbl_relation in
+      let schema = Relation.schema rel in
+      (* resolve assignments: target position, and value as a function of
+         the old row *)
+      let compiled_sets =
+        List.map
+          (fun (col, e) ->
+            let pos, def =
+              match Schema.find schema col with
+              | Some hit -> hit
+              | None -> fail "no column %s in %s" col table
+            in
+            let value_of =
+              match e with
+              | Sql_ast.Lit l ->
+                  let v = Sql_ast.value_of_literal l in
+                  if not (Datatype.check def.Schema.col_type v) then
+                    fail "UPDATE: %s expects %s" col (Datatype.to_string def.Schema.col_type);
+                  fun (_ : Tuple.t) -> v
+              | Sql_ast.Col cr -> (
+                  match Schema.find schema cr.Sql_ast.column with
+                  | Some (src, src_def) ->
+                      if not (Datatype.equal src_def.Schema.col_type def.Schema.col_type) then
+                        fail "UPDATE: type mismatch assigning %s to %s" cr.Sql_ast.column col;
+                      fun (row : Tuple.t) -> row.(src)
+                  | None -> fail "no column %s in %s" cr.Sql_ast.column table)
+            in
+            (pos, value_of))
+          sets
+      in
+      t.stats.Stats.page_reads <- t.stats.Stats.page_reads + Relation.pages rel;
+      let victims =
+        match where with
+        | None -> Relation.to_list rel
+        | Some cond ->
+            let q =
+              Sql_ast.Q_select
+                {
+                  distinct = false;
+                  items = [ Sql_ast.Sel_star ];
+                  from = [ { Sql_ast.table; alias = None } ];
+                  where = Some cond;
+                  group_by = [];
+                }
+            in
+            let plan =
+              try Planner.plan_query ~join_order:t.join_order t.catalog q with
+              | Planner.Plan_error msg -> raise (Sql_error msg)
+            in
+            Executor.run (Stats.create ()) plan
+      in
+      let updated =
+        List.fold_left
+          (fun acc old ->
+            let fresh = Array.copy old in
+            List.iter (fun (pos, value_of) -> fresh.(pos) <- value_of old) compiled_sets;
+            if Tuple.equal fresh old then acc
+            else begin
+              ignore (Relation.delete rel old);
+              ignore (Relation.insert rel fresh);
+              acc + 1
+            end)
+          0 victims
+      in
+      if updated > 0 then begin
+        t.stats.Stats.page_writes <- t.stats.Stats.page_writes + 1;
+        t.stats.Stats.rows_inserted <- t.stats.Stats.rows_inserted + updated;
+        t.stats.Stats.rows_deleted <- t.stats.Stats.rows_deleted + updated
+      end;
+      Affected updated
+  | Sql_ast.Select { query; order_by } ->
+      let plan =
+        try Planner.plan_select_stmt ~join_order:t.join_order t.catalog query order_by with
+        | Planner.Plan_error msg -> raise (Sql_error msg)
+        | Failure msg -> raise (Sql_error msg)
+      in
+      let rows = Executor.run t.stats plan in
+      let columns =
+        Array.to_list (Array.map (fun c -> c.Plan.h_name) (Plan.header_of plan))
+      in
+      Rows { columns; rows }
+
+let parse_or_fail sql =
+  try Sql_parser.parse sql with
+  | Sql_parser.Parse_error (msg, pos) -> fail "parse error at offset %d: %s" pos msg
+  | Sql_lexer.Lex_error (msg, pos) -> fail "lex error at offset %d: %s" pos msg
+
+let exec t sql = exec_stmt t (parse_or_fail sql)
+
+let exec_script t sql =
+  let stmts =
+    try Sql_parser.parse_many sql with
+    | Sql_parser.Parse_error (msg, pos) -> fail "parse error at offset %d: %s" pos msg
+    | Sql_lexer.Lex_error (msg, pos) -> fail "lex error at offset %d: %s" pos msg
+  in
+  List.map (exec_stmt t) stmts
+
+let query t sql =
+  match exec t sql with
+  | Rows { rows; _ } -> rows
+  | Affected _ | Done -> fail "expected a SELECT statement"
+
+let scalar_int t sql =
+  match query t sql with
+  | [ [| Value.Int n |] ] -> n
+  | _ -> fail "expected a single integer result"
+
+let explain t sql =
+  match parse_or_fail sql with
+  | Sql_ast.Select { query; order_by } -> (
+      try Plan.describe (Planner.plan_select_stmt ~join_order:t.join_order t.catalog query order_by) with
+      | Planner.Plan_error msg -> raise (Sql_error msg))
+  | _ -> fail "EXPLAIN supports only SELECT statements"
+
+let table_cardinality t name =
+  match Catalog.find_table t.catalog name with
+  | Some tbl -> Relation.cardinal tbl.Catalog.tbl_relation
+  | None -> fail "no such table: %s" name

@@ -1,0 +1,49 @@
+(** The testbed DBMS facade: parse, plan and execute SQL against a catalog,
+    with execution counters. This is the interface the Knowledge Manager's
+    generated "embedded SQL" programs run against. *)
+
+exception Sql_error of string
+(** Raised for any SQL failure: lex/parse errors, unknown tables or
+    columns, type mismatches, schema violations. *)
+
+type t
+
+type result =
+  | Rows of { columns : string list; rows : Tuple.t list }
+  | Affected of int  (** rows inserted or deleted *)
+  | Done  (** DDL *)
+
+val create : unit -> t
+val catalog : t -> Catalog.t
+
+val set_join_order : t -> Planner.join_order -> unit
+(** Selects how the planner orders FROM items (default
+    {!Planner.Syntactic}, matching the Knowledge Manager's left-to-right
+    sideways information passing). *)
+
+val join_order : t -> Planner.join_order
+val stats : t -> Stats.t
+(** Cumulative counters; callers may snapshot with {!Stats.copy} and take
+    {!Stats.diff}. *)
+
+val exec : t -> string -> result
+(** Execute one SQL statement given as text. *)
+
+val exec_stmt : t -> Sql_ast.stmt -> result
+(** Execute an already-parsed statement. *)
+
+val exec_script : t -> string -> result list
+(** Execute a [;]-separated script. *)
+
+val query : t -> string -> Tuple.t list
+(** Run a SELECT and return its rows; raises {!Sql_error} if the statement
+    is not a SELECT. *)
+
+val scalar_int : t -> string -> int
+(** Run a SELECT expected to produce a single integer (e.g. COUNT( * )). *)
+
+val explain : t -> string -> string
+(** Plan a SELECT and render the physical operator tree. *)
+
+val table_cardinality : t -> string -> int
+(** Live row count of a table. *)

@@ -1,0 +1,232 @@
+let charge_scan stats rel =
+  stats.Stats.page_reads <- stats.Stats.page_reads + Relation.pages rel
+
+let charge_probe stats matched =
+  stats.Stats.index_probes <- stats.Stats.index_probes + 1;
+  let bytes = List.fold_left (fun acc r -> acc + Tuple.byte_size r) 0 matched in
+  stats.Stats.page_reads <- stats.Stats.page_reads + 1 + Stats.pages_of_bytes bytes
+
+let produced stats n = stats.Stats.rows_read <- stats.Stats.rows_read + n
+
+let keep filter row =
+  match filter with
+  | None -> true
+  | Some c -> Plan.eval_rcond c row
+
+let concat_rows a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make (la + lb) (Value.Int 0) in
+  Array.blit a 0 out 0 la;
+  Array.blit b 0 out la lb;
+  out
+
+module Key_tbl = Hashtbl.Make (struct
+  type t = Value.t list
+
+  let equal a b = List.equal Value.equal a b
+  let hash k = List.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 k
+end)
+
+let rec run stats plan =
+  match plan with
+  | Plan.Seq_scan { table; filter; _ } ->
+      let rel = table.Catalog.tbl_relation in
+      charge_scan stats rel;
+      let out =
+        Relation.fold (fun acc row -> if keep filter row then row :: acc else acc) [] rel
+      in
+      let rows = List.rev out in
+      produced stats (List.length rows);
+      rows
+  | Plan.Index_scan { index; key; filter; _ } ->
+      let matched = Index.lookup index key in
+      charge_probe stats matched;
+      let rows = List.filter (keep filter) matched in
+      produced stats (List.length rows);
+      rows
+  | Plan.Range_scan { oindex; lo; hi; filter; _ } ->
+      let bound = Option.map (fun (value, inclusive) -> { Ordered_index.value; inclusive }) in
+      let matched = Ordered_index.range oindex ?lo:(bound lo) ?hi:(bound hi) () in
+      charge_probe stats matched;
+      let rows = List.filter (keep filter) matched in
+      produced stats (List.length rows);
+      rows
+  | Plan.Nl_join { left; right; cond; _ } ->
+      let lrows = run stats left in
+      let rrows = run stats right in
+      let out = ref [] in
+      List.iter
+        (fun l ->
+          List.iter
+            (fun r ->
+              let row = concat_rows l r in
+              if keep cond row then out := row :: !out)
+            rrows)
+        lrows;
+      let rows = List.rev !out in
+      produced stats (List.length rows);
+      rows
+  | Plan.Hash_join { left; right; left_keys; right_keys; residual; _ } ->
+      let lrows = run stats left in
+      let rrows = run stats right in
+      let table = Key_tbl.create (List.length rrows * 2 + 1) in
+      List.iter
+        (fun r ->
+          let k = List.map (fun i -> r.(i)) right_keys in
+          let prev = match Key_tbl.find_opt table k with Some l -> l | None -> [] in
+          Key_tbl.replace table k (r :: prev))
+        rrows;
+      let out = ref [] in
+      List.iter
+        (fun l ->
+          let k = List.map (fun i -> l.(i)) left_keys in
+          match Key_tbl.find_opt table k with
+          | None -> ()
+          | Some matches ->
+              List.iter
+                (fun r ->
+                  let row = concat_rows l r in
+                  if keep residual row then out := row :: !out)
+                (List.rev matches))
+        lrows;
+      let rows = List.rev !out in
+      produced stats (List.length rows);
+      rows
+  | Plan.Index_join { left; index; outer_pos; residual; _ } ->
+      let lrows = run stats left in
+      let out = ref [] in
+      List.iter
+        (fun l ->
+          let matched = Index.lookup index l.(outer_pos) in
+          charge_probe stats matched;
+          List.iter
+            (fun r ->
+              let row = concat_rows l r in
+              if keep residual row then out := row :: !out)
+            matched)
+        lrows;
+      let rows = List.rev !out in
+      produced stats (List.length rows);
+      rows
+  | Plan.Anti_join { left; table; key_outer; key_inner; residual; _ } ->
+      let lrows = run stats left in
+      let rel = table.Catalog.tbl_relation in
+      charge_scan stats rel;
+      let inner_rows = Relation.to_list rel in
+      let survives =
+        match key_inner with
+        | [] ->
+            (* no equality keys: test every inner row *)
+            fun l ->
+              not
+                (List.exists
+                   (fun r -> keep residual (concat_rows l r))
+                   inner_rows)
+        | _ ->
+            let buckets = Key_tbl.create (List.length inner_rows * 2 + 1) in
+            List.iter
+              (fun r ->
+                let k = List.map (fun i -> r.(i)) key_inner in
+                let prev = match Key_tbl.find_opt buckets k with Some l -> l | None -> [] in
+                Key_tbl.replace buckets k (r :: prev))
+              inner_rows;
+            fun l ->
+              let k = List.map (fun i -> l.(i)) key_outer in
+              (match Key_tbl.find_opt buckets k with
+              | None -> true
+              | Some candidates ->
+                  not (List.exists (fun r -> keep residual (concat_rows l r)) candidates))
+      in
+      let rows = List.filter survives lrows in
+      produced stats (List.length rows);
+      rows
+  | Plan.Project { input; exprs; _ } ->
+      let rows = run stats input in
+      List.map (fun row -> Array.map (fun e -> Plan.eval_rexpr e row) exprs) rows
+  | Plan.Count_star { input; _ } ->
+      let rows = run stats input in
+      [ [| Value.Int (List.length rows) |] ]
+  | Plan.Aggregate { input; group_keys; outputs; _ } ->
+      let rows = run stats input in
+      aggregate rows group_keys outputs
+  | Plan.Distinct p ->
+      let rows = run stats p in
+      dedupe rows
+  | Plan.Union_all (a, b) -> run stats a @ run stats b
+  | Plan.Union_distinct (a, b) -> dedupe (run stats a @ run stats b)
+  | Plan.Except_distinct (a, b) ->
+      let brows = run stats b in
+      let bset = Tuple.Hashset.of_seq (List.to_seq brows) in
+      let arows = run stats a in
+      let out =
+        List.fold_left
+          (fun acc row -> if Tuple.Hashset.add bset row then row :: acc else acc)
+          [] arows
+      in
+      List.rev out
+  | Plan.Sort { input; keys } ->
+      let rows = run stats input in
+      let cmp a b =
+        let rec go = function
+          | [] -> 0
+          | (pos, desc) :: rest ->
+              let c = Value.compare a.(pos) b.(pos) in
+              if c <> 0 then if desc then -c else c else go rest
+        in
+        go keys
+      in
+      List.stable_sort cmp rows
+
+and aggregate rows group_keys outputs =
+  let groups = Key_tbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun row ->
+      let k = List.map (fun i -> row.(i)) group_keys in
+      match Key_tbl.find_opt groups k with
+      | Some members -> members := row :: !members
+      | None ->
+          Key_tbl.add groups k (ref [ row ]);
+          order := k :: !order)
+    rows;
+  let fold_group members =
+    Array.map
+      (fun output ->
+        match output with
+        | Plan.O_group i -> (List.hd members).(i)
+        | Plan.O_count_star | Plan.O_count _ -> Value.Int (List.length members)
+        | Plan.O_sum i ->
+            Value.Int
+              (List.fold_left
+                 (fun acc r -> match r.(i) with Value.Int n -> acc + n | Value.Str _ -> acc)
+                 0 members)
+        | Plan.O_min i ->
+            List.fold_left
+              (fun acc r -> if Value.compare r.(i) acc < 0 then r.(i) else acc)
+              (List.hd members).(i) members
+        | Plan.O_max i ->
+            List.fold_left
+              (fun acc r -> if Value.compare r.(i) acc > 0 then r.(i) else acc)
+              (List.hd members).(i) members)
+      outputs
+  in
+  if group_keys = [] then
+    if rows = [] then
+      (* empty input, one conceptual group: counts are 0; min/max/sum are
+         undefined without NULLs, so such queries produce no row *)
+      if
+        Array.for_all
+          (function Plan.O_count_star | Plan.O_count _ -> true | _ -> false)
+          outputs
+      then [ Array.map (fun _ -> Value.Int 0) outputs ]
+      else []
+    else [ fold_group rows ]
+  else
+    List.rev_map (fun k -> fold_group !(Key_tbl.find groups k)) !order
+
+and dedupe rows =
+  let seen = Tuple.Hashset.create (List.length rows * 2 + 1) in
+  let out =
+    List.fold_left (fun acc row -> if Tuple.Hashset.add seen row then row :: acc else acc) [] rows
+  in
+  List.rev out

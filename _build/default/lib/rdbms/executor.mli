@@ -1,0 +1,6 @@
+(** Materializing plan executor. Every operator charges the simulated
+    page-I/O cost model (see {!Stats}) as it runs. *)
+
+val run : Stats.t -> Plan.t -> Tuple.t list
+(** Evaluates a plan to its result rows (in deterministic order: scans
+    produce insertion order; joins are left-driven). *)

@@ -1,0 +1,66 @@
+module H = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+type t = {
+  name : string;
+  column : string;
+  pos : int;
+  relation : Relation.t;
+  buckets : int list ref H.t; (* value -> row ids, most recent first *)
+}
+
+let add_entry t row_id row =
+  let key = row.(t.pos) in
+  match H.find_opt t.buckets key with
+  | Some ids -> ids := row_id :: !ids
+  | None -> H.add t.buckets key (ref [ row_id ])
+
+let remove_entry t row_id row =
+  let key = row.(t.pos) in
+  match H.find_opt t.buckets key with
+  | None -> ()
+  | Some ids ->
+      ids := List.filter (fun id -> id <> row_id) !ids;
+      if !ids = [] then H.remove t.buckets key
+
+let create ~name relation ~column =
+  let schema = Relation.schema relation in
+  let pos =
+    match Schema.find schema column with
+    | Some (i, _) -> i
+    | None ->
+        invalid_arg (Printf.sprintf "Index.create: no column %s in %s" column (Schema.to_string schema))
+  in
+  let t = { name; column; pos; relation; buckets = H.create 256 } in
+  Relation.iteri (fun id row -> add_entry t id row) relation;
+  Relation.on_insert relation (fun id row -> add_entry t id row);
+  Relation.on_delete relation (fun id row -> remove_entry t id row);
+  Relation.on_clear relation (fun () -> H.reset t.buckets);
+  t
+
+let name t = t.name
+let column t = t.column
+let column_pos t = t.pos
+
+let lookup t key =
+  match H.find_opt t.buckets key with
+  | None -> []
+  | Some ids ->
+      (* ids are most-recent-first; restore insertion order and resolve *)
+      List.fold_left
+        (fun acc id ->
+          match Relation.get_row t.relation id with
+          | Some row -> row :: acc
+          | None -> acc)
+        [] !ids
+
+let lookup_count t key =
+  match H.find_opt t.buckets key with
+  | None -> 0
+  | Some ids -> List.length !ids
+
+let distinct_keys t = H.length t.buckets

@@ -1,0 +1,21 @@
+(** Single-column hash indexes over a {!Relation}. An index registers
+    itself as an observer on the relation and stays consistent across
+    inserts, deletes and clears. *)
+
+type t
+
+val create : name:string -> Relation.t -> column:string -> t
+(** Builds an index over the named column, including existing rows.
+    Raises [Invalid_argument] if the column does not exist. *)
+
+val name : t -> string
+val column : t -> string
+val column_pos : t -> int
+
+val lookup : t -> Value.t -> Tuple.t list
+(** Rows whose indexed column equals the given value, in insertion order. *)
+
+val lookup_count : t -> Value.t -> int
+
+val distinct_keys : t -> int
+(** Number of distinct values currently indexed. *)

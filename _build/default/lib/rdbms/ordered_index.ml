@@ -1,0 +1,105 @@
+module VM = Map.Make (struct
+  type t = Value.t
+
+  let compare = Value.compare
+end)
+
+type bound = {
+  value : Value.t;
+  inclusive : bool;
+}
+
+type t = {
+  name : string;
+  column : string;
+  pos : int;
+  relation : Relation.t;
+  mutable keys : int list VM.t; (* value -> row ids, most recent first *)
+}
+
+let add_entry t row_id row =
+  let key = row.(t.pos) in
+  let ids = Option.value (VM.find_opt key t.keys) ~default:[] in
+  t.keys <- VM.add key (row_id :: ids) t.keys
+
+let remove_entry t row_id row =
+  let key = row.(t.pos) in
+  match VM.find_opt key t.keys with
+  | None -> ()
+  | Some ids -> (
+      match List.filter (fun id -> id <> row_id) ids with
+      | [] -> t.keys <- VM.remove key t.keys
+      | remaining -> t.keys <- VM.add key remaining t.keys)
+
+let create ~name relation ~column =
+  let schema = Relation.schema relation in
+  let pos =
+    match Schema.find schema column with
+    | Some (i, _) -> i
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Ordered_index.create: no column %s in %s" column
+             (Schema.to_string schema))
+  in
+  let t = { name; column; pos; relation; keys = VM.empty } in
+  Relation.iteri (fun id row -> add_entry t id row) relation;
+  Relation.on_insert relation (fun id row -> add_entry t id row);
+  Relation.on_delete relation (fun id row -> remove_entry t id row);
+  Relation.on_clear relation (fun () -> t.keys <- VM.empty);
+  t
+
+let name t = t.name
+let column t = t.column
+let column_pos t = t.pos
+
+let resolve t ids =
+  List.fold_left
+    (fun acc id ->
+      match Relation.get_row t.relation id with
+      | Some row -> row :: acc
+      | None -> acc)
+    [] ids
+
+let lookup t key =
+  match VM.find_opt key t.keys with
+  | None -> []
+  | Some ids -> resolve t ids
+
+let in_lo lo key =
+  match lo with
+  | None -> true
+  | Some { value; inclusive } ->
+      let c = Value.compare key value in
+      if inclusive then c >= 0 else c > 0
+
+let in_hi hi key =
+  match hi with
+  | None -> true
+  | Some { value; inclusive } ->
+      let c = Value.compare key value in
+      if inclusive then c <= 0 else c < 0
+
+let range t ?lo ?hi () =
+  (* start the traversal at the lower bound rather than the map's root *)
+  let seq =
+    match lo with
+    | None -> VM.to_seq t.keys
+    | Some { value; _ } -> VM.to_seq_from value t.keys
+  in
+  let out = ref [] in
+  let rec walk s =
+    match s () with
+    | Seq.Nil -> ()
+    | Seq.Cons ((key, ids), rest) ->
+        if not (in_hi hi key) then () (* keys ascend: nothing further matches *)
+        else begin
+          if in_lo lo key then out := List.rev_append (resolve t ids) !out;
+          walk rest
+        end
+  in
+  walk seq;
+  List.rev !out
+
+let distinct_keys t = VM.cardinal t.keys
+let min_key t = Option.map fst (VM.min_binding_opt t.keys)
+let max_key t = Option.map fst (VM.max_binding_opt t.keys)

@@ -1,0 +1,33 @@
+(** Ordered single-column indexes (the B-tree counterpart to the hash
+    {!Index}): support equality lookups {e and} range scans, so the
+    planner can serve [col < c] / [col >= c] predicates without a full
+    scan. Backed by a balanced map over {!Value.compare}; stays
+    consistent with its relation through the same observer hooks as
+    {!Index}. *)
+
+type t
+
+type bound = {
+  value : Value.t;
+  inclusive : bool;
+}
+
+val create : name:string -> Relation.t -> column:string -> t
+(** Raises [Invalid_argument] if the column does not exist. *)
+
+val name : t -> string
+val column : t -> string
+val column_pos : t -> int
+
+val lookup : t -> Value.t -> Tuple.t list
+(** Rows whose indexed column equals the value, in insertion order. *)
+
+val range : t -> ?lo:bound -> ?hi:bound -> unit -> Tuple.t list
+(** Rows whose indexed column lies within the bounds, in ascending key
+    order (insertion order within equal keys). Omitted bounds are
+    unbounded. *)
+
+val distinct_keys : t -> int
+
+val min_key : t -> Value.t option
+val max_key : t -> Value.t option

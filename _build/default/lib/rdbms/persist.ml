@@ -1,0 +1,90 @@
+let batch_size = 200
+
+let dump engine =
+  let buf = Buffer.create 4096 in
+  let catalog = Engine.catalog engine in
+  List.iter
+    (fun tbl ->
+      let name = tbl.Catalog.tbl_name in
+      let rel = tbl.Catalog.tbl_relation in
+      let schema = Relation.schema rel in
+      Buffer.add_string buf
+        (Sql_printer.stmt
+           (Sql_ast.Create_table
+              {
+                name;
+                columns =
+                  List.map (fun c -> (c.Schema.col_name, c.Schema.col_type)) (Schema.columns schema);
+              }));
+      Buffer.add_string buf ";\n";
+      List.iter
+        (fun idx ->
+          Buffer.add_string buf
+            (Sql_printer.stmt
+               (Sql_ast.Create_index
+                  { index = Index.name idx; table = name; column = Index.column idx; ordered = false }));
+          Buffer.add_string buf ";\n")
+        tbl.Catalog.tbl_indexes;
+      List.iter
+        (fun idx ->
+          Buffer.add_string buf
+            (Sql_printer.stmt
+               (Sql_ast.Create_index
+                  {
+                    index = Ordered_index.name idx;
+                    table = name;
+                    column = Ordered_index.column idx;
+                    ordered = true;
+                  }));
+          Buffer.add_string buf ";\n")
+        tbl.Catalog.tbl_ordered;
+      let pending = ref [] in
+      let count = ref 0 in
+      let flush () =
+        if !pending <> [] then begin
+          Buffer.add_string buf
+            (Sql_printer.stmt (Sql_ast.Insert_values { table = name; rows = List.rev !pending }));
+          Buffer.add_string buf ";\n";
+          pending := [];
+          count := 0
+        end
+      in
+      Relation.iter
+        (fun row ->
+          pending := List.map Sql_ast.literal_of_value (Array.to_list row) :: !pending;
+          incr count;
+          if !count >= batch_size then flush ())
+        rel;
+      flush ())
+    (Catalog.tables catalog);
+  Buffer.contents buf
+
+let save engine path =
+  let tmp = path ^ ".tmp" in
+  match open_out tmp with
+  | exception Sys_error msg -> Error msg
+  | oc -> (
+      let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
+      match
+        output_string oc (dump engine);
+        close_out oc;
+        Sys.rename tmp path
+      with
+      | () -> Ok ()
+      | exception Sys_error msg ->
+          cleanup ();
+          Error msg)
+
+let load engine path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | script -> (
+      match Engine.exec_script engine script with
+      | (_ : Engine.result list) -> Ok ()
+      | exception Engine.Sql_error msg -> Error ("corrupt database file: " ^ msg))
+
+let restore path =
+  let engine = Engine.create () in
+  match load engine path with
+  | Ok () -> Ok engine
+  | Error _ as e -> e

@@ -1,0 +1,19 @@
+(** Durable storage for the DBMS: the whole catalog (tables, rows,
+    indexes) is dumped as a SQL script and reloaded by executing it, so
+    the on-disk format is the engine's own dialect and stays readable
+    and diffable. This is what makes the Stored D/KB survive across
+    processes. *)
+
+val dump : Engine.t -> string
+(** The database as a [;]-separated SQL script (CREATE TABLE, CREATE
+    INDEX, batched INSERT ... VALUES), tables in name order. *)
+
+val save : Engine.t -> string -> (unit, string) result
+(** Writes {!dump} to a file (atomically via a temp file + rename). *)
+
+val load : Engine.t -> string -> (unit, string) result
+(** Executes a saved script against an engine. The engine should be
+    fresh; existing tables with clashing names make the load fail. *)
+
+val restore : string -> (Engine.t, string) result
+(** [load] into a brand-new engine. *)

@@ -1,0 +1,222 @@
+type header_col = {
+  h_qual : string;
+  h_name : string;
+  h_type : Datatype.t;
+}
+
+type header = header_col array
+
+type rexpr =
+  | R_col of int
+  | R_lit of Value.t
+
+type rcond =
+  | R_cmp of rexpr * Sql_ast.cmp_op * rexpr
+  | R_and of rcond * rcond
+  | R_or of rcond * rcond
+  | R_not of rcond
+
+type agg_output =
+  | O_group of int
+  | O_count_star
+  | O_count of int
+  | O_sum of int
+  | O_min of int
+  | O_max of int
+
+type t =
+  | Seq_scan of { table : Catalog.table; header : header; filter : rcond option }
+  | Index_scan of {
+      table : Catalog.table;
+      index : Index.t;
+      key : Value.t;
+      header : header;
+      filter : rcond option;
+    }
+  | Range_scan of {
+      table : Catalog.table;
+      oindex : Ordered_index.t;
+      lo : (Value.t * bool) option;
+      hi : (Value.t * bool) option;
+      header : header;
+      filter : rcond option;
+    }
+  | Nl_join of { left : t; right : t; header : header; cond : rcond option }
+  | Hash_join of {
+      left : t;
+      right : t;
+      header : header;
+      left_keys : int list;
+      right_keys : int list;
+      residual : rcond option;
+    }
+  | Index_join of {
+      left : t;
+      table : Catalog.table;
+      index : Index.t;
+      outer_pos : int;
+      header : header;
+      residual : rcond option;
+    }
+  | Anti_join of {
+      left : t;
+      table : Catalog.table;
+      header : header;
+      key_outer : int list;
+      key_inner : int list;
+      residual : rcond option;
+    }
+  | Project of { input : t; header : header; exprs : rexpr array }
+  | Count_star of { input : t; header : header }
+  | Aggregate of {
+      input : t;
+      header : header;
+      group_keys : int list;
+      outputs : agg_output array;
+    }
+  | Distinct of t
+  | Union_all of t * t
+  | Union_distinct of t * t
+  | Except_distinct of t * t
+  | Sort of { input : t; keys : (int * bool) list }
+
+let rec header_of = function
+  | Seq_scan { header; _ }
+  | Index_scan { header; _ }
+  | Range_scan { header; _ }
+  | Nl_join { header; _ }
+  | Hash_join { header; _ }
+  | Index_join { header; _ }
+  | Anti_join { header; _ }
+  | Project { header; _ }
+  | Count_star { header; _ }
+  | Aggregate { header; _ } -> header
+  | Distinct p | Sort { input = p; _ } -> header_of p
+  | Union_all (a, _) | Union_distinct (a, _) | Except_distinct (a, _) -> header_of a
+
+let eval_rexpr e row =
+  match e with
+  | R_col i -> row.(i)
+  | R_lit v -> v
+
+let rec eval_rcond c row =
+  match c with
+  | R_cmp (a, op, b) -> Sql_ast.eval_cmp op (eval_rexpr a row) (eval_rexpr b row)
+  | R_and (a, b) -> eval_rcond a row && eval_rcond b row
+  | R_or (a, b) -> eval_rcond a row || eval_rcond b row
+  | R_not a -> not (eval_rcond a row)
+
+let rexpr_to_string header e =
+  match e with
+  | R_col i ->
+      let c = header.(i) in
+      if c.h_qual = "" then c.h_name else c.h_qual ^ "." ^ c.h_name
+  | R_lit v -> Value.to_sql v
+
+let rec rcond_to_string header = function
+  | R_cmp (a, op, b) ->
+      Printf.sprintf "%s %s %s" (rexpr_to_string header a) (Sql_ast.cmp_op_to_string op)
+        (rexpr_to_string header b)
+  | R_and (a, b) -> Printf.sprintf "(%s AND %s)" (rcond_to_string header a) (rcond_to_string header b)
+  | R_or (a, b) -> Printf.sprintf "(%s OR %s)" (rcond_to_string header a) (rcond_to_string header b)
+  | R_not a -> Printf.sprintf "(NOT %s)" (rcond_to_string header a)
+
+let describe plan =
+  let buf = Buffer.create 128 in
+  let pad depth = String.make (2 * depth) ' ' in
+  let filter_str header = function
+    | Some c -> " filter=[" ^ rcond_to_string header c ^ "]"
+    | None -> ""
+  in
+  let rec go depth p =
+    let line s = Buffer.add_string buf (pad depth ^ s ^ "\n") in
+    match p with
+    | Seq_scan { table; header; filter } ->
+        line (Printf.sprintf "SeqScan %s%s" table.Catalog.tbl_name (filter_str header filter))
+    | Index_scan { table; index; key; header; filter } ->
+        line
+          (Printf.sprintf "IndexScan %s via %s = %s%s" table.Catalog.tbl_name (Index.name index)
+             (Value.to_sql key) (filter_str header filter))
+    | Range_scan { table; oindex; lo; hi; header; filter } ->
+        let bound prefix = function
+          | None -> ""
+          | Some (v, incl) ->
+              Printf.sprintf " %s%s %s" prefix (if incl then "=" else "") (Value.to_sql v)
+        in
+        line
+          (Printf.sprintf "RangeScan %s via %s%s%s%s" table.Catalog.tbl_name
+             (Ordered_index.name oindex) (bound ">" lo) (bound "<" hi) (filter_str header filter))
+    | Nl_join { left; right; header; cond } ->
+        line ("NestedLoopJoin" ^ filter_str header cond);
+        go (depth + 1) left;
+        go (depth + 1) right
+    | Hash_join { left; right; header; left_keys; right_keys; residual } ->
+        line
+          (Printf.sprintf "HashJoin keys=[%s]=[%s]%s"
+             (String.concat "," (List.map string_of_int left_keys))
+             (String.concat "," (List.map string_of_int right_keys))
+             (filter_str header residual));
+        go (depth + 1) left;
+        go (depth + 1) right
+    | Index_join { left; table; index; outer_pos; header; residual } ->
+        line
+          (Printf.sprintf "IndexJoin %s via %s probe=col%d%s" table.Catalog.tbl_name
+             (Index.name index) outer_pos (filter_str header residual));
+        go (depth + 1) left
+    | Anti_join { left; table; key_outer; key_inner; residual; header } ->
+        line
+          (Printf.sprintf "AntiJoin %s keys=[%s]=[%s]%s" table.Catalog.tbl_name
+             (String.concat "," (List.map string_of_int key_outer))
+             (String.concat "," (List.map string_of_int key_inner))
+             (match residual with
+             | Some c -> " residual=[" ^ rcond_to_string header c ^ "]"
+             | None -> ""));
+        go (depth + 1) left
+    | Project { input; header; exprs } ->
+        line
+          (Printf.sprintf "Project [%s]"
+             (String.concat ", "
+                (Array.to_list (Array.map (rexpr_to_string (header_of input)) exprs))));
+        ignore header;
+        go (depth + 1) input
+    | Count_star { input; _ } ->
+        line "CountStar";
+        go (depth + 1) input
+    | Aggregate { input; group_keys; outputs; _ } ->
+        let out_str = function
+          | O_group i -> Printf.sprintf "col%d" i
+          | O_count_star -> "count(*)"
+          | O_count i -> Printf.sprintf "count(col%d)" i
+          | O_sum i -> Printf.sprintf "sum(col%d)" i
+          | O_min i -> Printf.sprintf "min(col%d)" i
+          | O_max i -> Printf.sprintf "max(col%d)" i
+        in
+        line
+          (Printf.sprintf "Aggregate keys=[%s] outputs=[%s]"
+             (String.concat "," (List.map string_of_int group_keys))
+             (String.concat ", " (Array.to_list (Array.map out_str outputs))));
+        go (depth + 1) input
+    | Distinct p ->
+        line "Distinct";
+        go (depth + 1) p
+    | Union_all (a, b) ->
+        line "UnionAll";
+        go (depth + 1) a;
+        go (depth + 1) b
+    | Union_distinct (a, b) ->
+        line "Union";
+        go (depth + 1) a;
+        go (depth + 1) b
+    | Except_distinct (a, b) ->
+        line "Except";
+        go (depth + 1) a;
+        go (depth + 1) b
+    | Sort { input; keys } ->
+        line
+          (Printf.sprintf "Sort [%s]"
+             (String.concat ", "
+                (List.map (fun (i, d) -> string_of_int i ^ if d then " DESC" else "") keys)));
+        go (depth + 1) input
+  in
+  go 0 plan;
+  Buffer.contents buf

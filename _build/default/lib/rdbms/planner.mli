@@ -1,0 +1,29 @@
+(** Translates parsed SQL into physical plans.
+
+    Strategy (deterministic, in the spirit of a late-80s relational
+    optimizer):
+    - selections are pushed to the scans; an equality with a literal on an
+      indexed column becomes an index scan;
+    - FROM items are joined left to right; when an equi-join predicate
+      links the next table to the tables already joined, the planner picks
+      an index join if the next table has an index on the join column and
+      a hash join otherwise; with no predicate it falls back to a nested
+      loop (cross) join;
+    - remaining predicates become residual filters on the topmost join. *)
+
+exception Plan_error of string
+
+(** How FROM items are ordered into a join sequence. *)
+type join_order =
+  | Syntactic
+      (** left to right as written — what the Knowledge Manager's
+          left-to-right SIP expects, and the default *)
+  | Greedy
+      (** smallest (estimated post-filter) table first, then repeatedly
+          the cheapest table connected by an equi-join edge *)
+
+val plan_query : ?join_order:join_order -> Catalog.t -> Sql_ast.query -> Plan.t
+
+val plan_select_stmt :
+  ?join_order:join_order -> Catalog.t -> Sql_ast.query -> Sql_ast.order_key list -> Plan.t
+(** Plan a top-level SELECT including ORDER BY. *)

@@ -1,0 +1,96 @@
+module H = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+type t = {
+  schema : Schema.t;
+  mutable rows : Tuple.t option array; (* slot per row id; None = tombstone *)
+  mutable next_id : int;
+  ids : int H.t; (* live tuple -> row id *)
+  mutable bytes : int;
+  mutable insert_obs : (int -> Tuple.t -> unit) list;
+  mutable delete_obs : (int -> Tuple.t -> unit) list;
+  mutable clear_obs : (unit -> unit) list;
+}
+
+let create schema =
+  {
+    schema;
+    rows = Array.make 16 None;
+    next_id = 0;
+    ids = H.create 64;
+    bytes = 0;
+    insert_obs = [];
+    delete_obs = [];
+    clear_obs = [];
+  }
+
+let schema t = t.schema
+let cardinal t = H.length t.ids
+let byte_size t = t.bytes
+let pages t = max 1 (Stats.pages_of_bytes t.bytes)
+let mem t row = H.mem t.ids row
+
+let ensure_capacity t =
+  if t.next_id >= Array.length t.rows then begin
+    let bigger = Array.make (2 * Array.length t.rows) None in
+    Array.blit t.rows 0 bigger 0 (Array.length t.rows);
+    t.rows <- bigger
+  end
+
+let insert t row =
+  (match Schema.validate t.schema row with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Relation.insert: " ^ msg));
+  if H.mem t.ids row then false
+  else begin
+    ensure_capacity t;
+    let id = t.next_id in
+    t.rows.(id) <- Some row;
+    t.next_id <- id + 1;
+    H.add t.ids row id;
+    t.bytes <- t.bytes + Tuple.byte_size row;
+    List.iter (fun f -> f id row) t.insert_obs;
+    true
+  end
+
+let delete t row =
+  match H.find_opt t.ids row with
+  | None -> false
+  | Some id ->
+      H.remove t.ids row;
+      t.rows.(id) <- None;
+      t.bytes <- t.bytes - Tuple.byte_size row;
+      List.iter (fun f -> f id row) t.delete_obs;
+      true
+
+let clear t =
+  t.rows <- Array.make 16 None;
+  t.next_id <- 0;
+  H.reset t.ids;
+  t.bytes <- 0;
+  List.iter (fun f -> f ()) t.clear_obs
+
+let iteri f t =
+  for id = 0 to t.next_id - 1 do
+    match t.rows.(id) with
+    | Some row -> f id row
+    | None -> ()
+  done
+
+let iter f t = iteri (fun _ row -> f row) t
+let fold f init t =
+  let acc = ref init in
+  iter (fun row -> acc := f !acc row) t;
+  !acc
+
+let to_list t = List.rev (fold (fun acc row -> row :: acc) [] t)
+
+let get_row t id = if id < 0 || id >= t.next_id then None else t.rows.(id)
+
+let on_insert t f = t.insert_obs <- t.insert_obs @ [ f ]
+let on_delete t f = t.delete_obs <- t.delete_obs @ [ f ]
+let on_clear t f = t.clear_obs <- t.clear_obs @ [ f ]

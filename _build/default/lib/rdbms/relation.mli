@@ -1,0 +1,52 @@
+(** A stored relation: set semantics (duplicate inserts are no-ops), stable
+    iteration in insertion order, byte/page accounting, and support points
+    for hash indexes ({!Index}).
+
+    Rows have stable integer ids from insertion; deletion leaves a
+    tombstone, so ids remain valid for index maintenance. *)
+
+type t
+
+val create : Schema.t -> t
+val schema : t -> Schema.t
+
+val cardinal : t -> int
+(** Number of live rows. *)
+
+val byte_size : t -> int
+(** Simulated on-disk byte footprint of live rows. *)
+
+val pages : t -> int
+(** Simulated page count (see {!Stats.pages_of_bytes}); an empty relation
+    still occupies one page once created. *)
+
+val mem : t -> Tuple.t -> bool
+
+val insert : t -> Tuple.t -> bool
+(** [insert r row] validates the row against the schema and adds it.
+    Returns [true] iff the row is new. Raises [Invalid_argument] on a
+    schema violation. *)
+
+val delete : t -> Tuple.t -> bool
+(** Removes a row if present; [true] iff it was present. *)
+
+val clear : t -> unit
+(** Removes all rows (and resets row ids). *)
+
+val iter : (Tuple.t -> unit) -> t -> unit
+val iteri : (int -> Tuple.t -> unit) -> t -> unit
+(** [iteri] passes the stable row id. *)
+
+val fold : ('a -> Tuple.t -> 'a) -> 'a -> t -> 'a
+val to_list : t -> Tuple.t list
+(** Rows in insertion order. *)
+
+val get_row : t -> int -> Tuple.t option
+(** Row by stable id; [None] for tombstones and out-of-range ids. *)
+
+val on_insert : t -> (int -> Tuple.t -> unit) -> unit
+(** Registers an observer invoked after each successful insert (used by
+    indexes). *)
+
+val on_delete : t -> (int -> Tuple.t -> unit) -> unit
+val on_clear : t -> (unit -> unit) -> unit

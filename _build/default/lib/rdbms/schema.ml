@@ -1,0 +1,75 @@
+type column = {
+  col_name : string;
+  col_type : Datatype.t;
+}
+
+type t = column array
+
+let make cols =
+  if cols = [] then invalid_arg "Schema.make: empty column list";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (name, _) ->
+      let key = String.lowercase_ascii name in
+      if Hashtbl.mem seen key then
+        invalid_arg (Printf.sprintf "Schema.make: duplicate column %s" name);
+      Hashtbl.add seen key ())
+    cols;
+  Array.of_list (List.map (fun (col_name, col_type) -> { col_name; col_type }) cols)
+
+let columns t = Array.to_list t
+let arity t = Array.length t
+let names t = Array.to_list (Array.map (fun c -> c.col_name) t)
+let types t = Array.to_list (Array.map (fun c -> c.col_type) t)
+
+let find t name =
+  let key = String.lowercase_ascii name in
+  let rec loop i =
+    if i >= Array.length t then None
+    else if String.lowercase_ascii t.(i).col_name = key then Some (i, t.(i))
+    else loop (i + 1)
+  in
+  loop 0
+
+let position_exn t name =
+  match find t name with
+  | Some (i, _) -> i
+  | None -> raise Not_found
+
+let column_at t i = t.(i)
+
+let equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y ->
+         String.lowercase_ascii x.col_name = String.lowercase_ascii y.col_name
+         && Datatype.equal x.col_type y.col_type)
+       a b
+
+let compatible a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> Datatype.equal x.col_type y.col_type) a b
+
+let validate t row =
+  if Array.length row <> Array.length t then
+    Error
+      (Printf.sprintf "arity mismatch: expected %d values, got %d" (Array.length t)
+         (Array.length row))
+  else
+    let rec loop i =
+      if i >= Array.length t then Ok ()
+      else if not (Datatype.check t.(i).col_type row.(i)) then
+        Error
+          (Printf.sprintf "type mismatch in column %s: expected %s, got %s" t.(i).col_name
+             (Datatype.to_string t.(i).col_type)
+             (Datatype.to_string (Datatype.of_value row.(i))))
+      else loop (i + 1)
+    in
+    loop 0
+
+let to_string t =
+  "("
+  ^ String.concat ", "
+      (Array.to_list
+         (Array.map (fun c -> c.col_name ^ " " ^ Datatype.to_string c.col_type) t))
+  ^ ")"

@@ -1,0 +1,38 @@
+(** Relation schemas: ordered, named, typed columns. *)
+
+type column = {
+  col_name : string;
+  col_type : Datatype.t;
+}
+
+type t
+
+val make : (string * Datatype.t) list -> t
+(** Raises [Invalid_argument] on duplicate column names (case-insensitive)
+    or an empty column list. *)
+
+val columns : t -> column list
+val arity : t -> int
+val names : t -> string list
+val types : t -> Datatype.t list
+
+val find : t -> string -> (int * column) option
+(** Position and definition of a column by (case-insensitive) name. *)
+
+val position_exn : t -> string -> int
+(** Raises [Not_found] if the column does not exist. *)
+
+val column_at : t -> int -> column
+
+val equal : t -> t -> bool
+(** Same column names (case-insensitive) and types, in the same order. *)
+
+val compatible : t -> t -> bool
+(** Same arity and column types (names may differ) — the union-compatibility
+    check used for UNION / EXCEPT / INSERT ... SELECT. *)
+
+val validate : t -> Value.t array -> (unit, string) result
+(** Checks arity and per-column types of a candidate tuple. *)
+
+val to_string : t -> string
+(** E.g. ["(src char, dst char)"]. *)

@@ -1,0 +1,14 @@
+(** Recursive-descent parser for the SQL subset (see {!Sql_ast}). *)
+
+exception Parse_error of string * int
+(** Message and byte offset into the input. *)
+
+val parse : string -> Sql_ast.stmt
+(** Parses exactly one statement, optionally terminated by [;]. Raises
+    {!Parse_error} or {!Sql_lexer.Lex_error}. *)
+
+val parse_many : string -> Sql_ast.stmt list
+(** Parses a [;]-separated script. *)
+
+val parse_query : string -> Sql_ast.query
+(** Parses a bare query expression (no ORDER BY). *)

@@ -1,0 +1,7 @@
+(** Pretty-printing of SQL ASTs back to concrete syntax. Printing then
+    re-parsing yields an equal AST (property-tested). *)
+
+val scalar : Sql_ast.scalar -> string
+val cond : Sql_ast.cond -> string
+val query : Sql_ast.query -> string
+val stmt : Sql_ast.stmt -> string

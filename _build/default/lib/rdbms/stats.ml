@@ -1,0 +1,73 @@
+let page_size = 4096
+
+let pages_of_bytes n = if n <= 0 then 0 else (n + page_size - 1) / page_size
+
+type t = {
+  mutable page_reads : int;
+  mutable page_writes : int;
+  mutable index_probes : int;
+  mutable rows_read : int;
+  mutable rows_inserted : int;
+  mutable rows_deleted : int;
+  mutable tables_created : int;
+  mutable tables_dropped : int;
+  mutable statements : int;
+}
+
+let create () =
+  {
+    page_reads = 0;
+    page_writes = 0;
+    index_probes = 0;
+    rows_read = 0;
+    rows_inserted = 0;
+    rows_deleted = 0;
+    tables_created = 0;
+    tables_dropped = 0;
+    statements = 0;
+  }
+
+let reset t =
+  t.page_reads <- 0;
+  t.page_writes <- 0;
+  t.index_probes <- 0;
+  t.rows_read <- 0;
+  t.rows_inserted <- 0;
+  t.rows_deleted <- 0;
+  t.tables_created <- 0;
+  t.tables_dropped <- 0;
+  t.statements <- 0
+
+let copy t = { t with page_reads = t.page_reads }
+
+let diff a b =
+  {
+    page_reads = a.page_reads - b.page_reads;
+    page_writes = a.page_writes - b.page_writes;
+    index_probes = a.index_probes - b.index_probes;
+    rows_read = a.rows_read - b.rows_read;
+    rows_inserted = a.rows_inserted - b.rows_inserted;
+    rows_deleted = a.rows_deleted - b.rows_deleted;
+    tables_created = a.tables_created - b.tables_created;
+    tables_dropped = a.tables_dropped - b.tables_dropped;
+    statements = a.statements - b.statements;
+  }
+
+let add acc x =
+  acc.page_reads <- acc.page_reads + x.page_reads;
+  acc.page_writes <- acc.page_writes + x.page_writes;
+  acc.index_probes <- acc.index_probes + x.index_probes;
+  acc.rows_read <- acc.rows_read + x.rows_read;
+  acc.rows_inserted <- acc.rows_inserted + x.rows_inserted;
+  acc.rows_deleted <- acc.rows_deleted + x.rows_deleted;
+  acc.tables_created <- acc.tables_created + x.tables_created;
+  acc.tables_dropped <- acc.tables_dropped + x.tables_dropped;
+  acc.statements <- acc.statements + x.statements
+
+let total_io t = t.page_reads + t.page_writes
+
+let to_string t =
+  Printf.sprintf
+    "reads=%d writes=%d probes=%d rows_read=%d ins=%d del=%d create=%d drop=%d stmts=%d"
+    t.page_reads t.page_writes t.index_probes t.rows_read t.rows_inserted t.rows_deleted
+    t.tables_created t.tables_dropped t.statements

@@ -1,0 +1,40 @@
+(** Execution counters and the simulated page-I/O cost model.
+
+    The paper measured a disk-based commercial DBMS; this engine is in
+    memory, so in addition to wall-clock time every operator charges
+    simulated page reads/writes as a hardware-independent cost metric.
+    Pages are {!page_size} bytes; a relation of [n] bytes occupies
+    [ceil (n / page_size)] pages (at least one when non-empty). *)
+
+val page_size : int
+(** 4096 bytes. *)
+
+val pages_of_bytes : int -> int
+(** Simulated page count of a byte footprint (0 bytes -> 0 pages). *)
+
+type t = {
+  mutable page_reads : int;
+  mutable page_writes : int;
+  mutable index_probes : int;
+  mutable rows_read : int;      (** tuples produced by scans/probes *)
+  mutable rows_inserted : int;
+  mutable rows_deleted : int;
+  mutable tables_created : int;
+  mutable tables_dropped : int;
+  mutable statements : int;     (** SQL statements executed *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val copy : t -> t
+
+val diff : t -> t -> t
+(** [diff later earlier] — counter deltas between two snapshots. *)
+
+val add : t -> t -> unit
+(** [add acc x] accumulates [x] into [acc]. *)
+
+val total_io : t -> int
+(** [page_reads + page_writes]. *)
+
+val to_string : t -> string

@@ -1,0 +1,78 @@
+exception Not_binary of string
+
+let check_binary rel =
+  if Schema.arity (Relation.schema rel) <> 2 then
+    raise (Not_binary "transitive closure requires a binary relation")
+
+module VH = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+let successors rel =
+  check_binary rel;
+  let succ = VH.create 256 in
+  Relation.iter
+    (fun row ->
+      let outs = Option.value (VH.find_opt succ row.(0)) ~default:[] in
+      VH.replace succ row.(0) (row.(1) :: outs))
+    rel;
+  succ
+
+let charge_output stats rows =
+  let bytes = List.fold_left (fun acc r -> acc + Tuple.byte_size r) 0 rows in
+  stats.Stats.page_writes <- stats.Stats.page_writes + Stats.pages_of_bytes bytes;
+  stats.Stats.rows_inserted <- stats.Stats.rows_inserted + List.length rows
+
+(* BFS from one source; reaches each node once *)
+let closure_from stats rel source =
+  let succ = successors rel in
+  stats.Stats.page_reads <- stats.Stats.page_reads + Relation.pages rel;
+  let seen = VH.create 64 in
+  let out = ref [] in
+  let queue = Queue.create () in
+  let push v =
+    if not (VH.mem seen v) then begin
+      VH.add seen v ();
+      Queue.add v queue
+    end
+  in
+  List.iter push (Option.value (VH.find_opt succ source) ~default:[]);
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    out := [| source; v |] :: !out;
+    List.iter push (Option.value (VH.find_opt succ v) ~default:[])
+  done;
+  let rows = List.rev !out in
+  charge_output stats rows;
+  rows
+
+let closure stats rel =
+  let succ = successors rel in
+  stats.Stats.page_reads <- stats.Stats.page_reads + Relation.pages rel;
+  (* semi-naive: reach(x) sets grown by delta composition *)
+  let out = ref [] in
+  let sources = VH.create 256 in
+  VH.iter (fun src _ -> VH.replace sources src ()) succ;
+  VH.iter
+    (fun src () ->
+      let seen = VH.create 16 in
+      let queue = Queue.create () in
+      let push v =
+        if not (VH.mem seen v) then begin
+          VH.add seen v ();
+          Queue.add v queue
+        end
+      in
+      List.iter push (Option.value (VH.find_opt succ src) ~default:[]);
+      while not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        out := [| src; v |] :: !out;
+        List.iter push (Option.value (VH.find_opt succ v) ~default:[])
+      done)
+    sources;
+  let rows = List.rev !out in
+  charge_output stats rows;
+  rows

@@ -1,0 +1,20 @@
+(** A specialized transitive-closure operator inside the DBMS — the
+    paper's conclusion #8: "the DBMS interface should include commonly
+    occurring special LFP operators, such as transitive closure", which
+    avoids the table copies and full set-difference termination checks
+    the SQL-loop implementation pays for.
+
+    Operates on a binary relation (a table with two columns of the same
+    type); uses in-memory semi-naive iteration with pointer-based deltas
+    (no temp tables, early-exit membership tests instead of EXCEPT). *)
+
+exception Not_binary of string
+
+val closure : Stats.t -> Relation.t -> Tuple.t list
+(** All pairs (x, y) with a directed path from x to y through the
+    relation's edges. Charges one scan of the relation plus one simulated
+    page write per {!Stats.page_size} bytes of output. *)
+
+val closure_from : Stats.t -> Relation.t -> Value.t -> Tuple.t list
+(** The pairs (source, y) reachable from one source — the specialized
+    form of a bound-first-argument ancestor/TC query. *)

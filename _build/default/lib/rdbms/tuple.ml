@@ -1,0 +1,58 @@
+type t = Value.t array
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec loop i =
+    if i >= la && i >= lb then 0
+    else if i >= la then -1
+    else if i >= lb then 1
+    else
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else loop (i + 1)
+  in
+  loop 0
+
+let equal a b = compare a b = 0
+
+let hash t = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 t
+
+let byte_size t = 4 + Array.fold_left (fun acc v -> acc + Value.byte_size v) 0 t
+
+let to_string t =
+  "(" ^ String.concat ", " (Array.to_list (Array.map Value.to_string t)) ^ ")"
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Hashset = struct
+  module H = Hashtbl.Make (struct
+    type nonrec t = t
+
+    let equal = equal
+    let hash = hash
+  end)
+
+  type nonrec t = unit H.t
+
+  let create n = H.create n
+  let mem s x = H.mem s x
+
+  let add s x =
+    if H.mem s x then false
+    else begin
+      H.add s x ();
+      true
+    end
+
+  let remove s x = H.remove s x
+  let cardinal = H.length
+  let iter f s = H.iter (fun x () -> f x) s
+
+  let of_seq seq =
+    let s = create 64 in
+    Seq.iter (fun x -> ignore (add s x)) seq;
+    s
+end

@@ -1,0 +1,37 @@
+(** Tuples: immutable arrays of values (by convention — callers must not
+    mutate), with the orderings and hashing needed for set-based relation
+    storage. *)
+
+type t = Value.t array
+
+val compare : t -> t -> int
+(** Lexicographic; shorter tuples sort first. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+val byte_size : t -> int
+(** Simulated on-disk footprint: sum of value sizes plus a 4-byte header. *)
+
+val to_string : t -> string
+(** E.g. ["(john, mary)"]. *)
+
+module Set : Set.S with type elt = t
+
+module Hashset : sig
+  (** Mutable hash-based tuple set used for DISTINCT, EXCEPT and
+      set-semantics table storage. *)
+
+  type tuple := t
+  type t
+
+  val create : int -> t
+  val mem : t -> tuple -> bool
+  val add : t -> tuple -> bool
+  (** [add s x] returns [true] iff [x] was not already present. *)
+
+  val remove : t -> tuple -> unit
+  val cardinal : t -> int
+  val iter : (tuple -> unit) -> t -> unit
+  val of_seq : tuple Seq.t -> t
+end

@@ -1,0 +1,38 @@
+type t =
+  | Int of int
+  | Str of string
+
+let compare a b =
+  match (a, b) with
+  | Int x, Int y -> Stdlib.compare x y
+  | Str x, Str y -> String.compare x y
+  | Int _, Str _ -> -1
+  | Str _, Int _ -> 1
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Int x -> Hashtbl.hash (0, x)
+  | Str s -> Hashtbl.hash (1, s)
+
+let to_string = function
+  | Int x -> string_of_int x
+  | Str s -> s
+
+let sql_quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '\'';
+  String.iter
+    (fun c ->
+      if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '\'';
+  Buffer.contents buf
+
+let to_sql = function
+  | Int x -> string_of_int x
+  | Str s -> sql_quote s
+
+let byte_size = function
+  | Int _ -> 4
+  | Str s -> max 1 (String.length s)

@@ -1,0 +1,26 @@
+(** Typed scalar values stored in relations.
+
+    The testbed follows the paper's data dictionary, which supports two
+    column types: integers and character strings. *)
+
+type t =
+  | Int of int
+  | Str of string
+
+val compare : t -> t -> int
+(** Total order: all [Int] values sort before all [Str] values; within a
+    type the natural order applies. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+val to_string : t -> string
+(** Display form, e.g. [42] or [john] (no quotes). *)
+
+val to_sql : t -> string
+(** SQL literal form, e.g. [42] or ['john'] (strings quoted, embedded
+    quotes doubled). *)
+
+val byte_size : t -> int
+(** Simulated on-disk footprint, used by the page-I/O cost model: 4 bytes
+    for an integer, string length (min 1) for a string. *)

@@ -1,0 +1,34 @@
+let is_numeric s =
+  s <> ""
+  && String.for_all (fun c -> (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '+' || c = '%' || c = 'e') s
+
+let render ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width j =
+    List.fold_left
+      (fun acc row -> match List.nth_opt row j with Some cell -> max acc (String.length cell) | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let pad j cell =
+    let w = List.nth widths j in
+    let n = w - String.length cell in
+    if n <= 0 then cell
+    else if is_numeric cell then String.make n ' ' ^ cell
+    else cell ^ String.make n ' '
+  in
+  let line row = "| " ^ String.concat " | " (List.mapi pad row) ^ " |" in
+  let full_row row = row @ List.init (cols - List.length row) (fun _ -> "") in
+  let sep = "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+" in
+  let body = List.map (fun r -> line (full_row r)) rows in
+  String.concat "\n" ((sep :: line (full_row header) :: sep :: body) @ [ sep ]) ^ "\n"
+
+let print ~header rows = print_string (render ~header rows)
+
+let fmt_ms ms =
+  if ms >= 100.0 then Printf.sprintf "%.0f" ms
+  else if ms >= 1.0 then Printf.sprintf "%.2f" ms
+  else Printf.sprintf "%.4f" ms
+
+let fmt_pct p = Printf.sprintf "%.1f%%" p

@@ -1,0 +1,14 @@
+(** Minimal ASCII table rendering for experiment reports. *)
+
+val render : header:string list -> string list list -> string
+(** [render ~header rows] lays out a table with column widths fitted to the
+    longest cell; numeric-looking cells are right-aligned. *)
+
+val print : header:string list -> string list list -> unit
+(** [render] followed by [print_string]. *)
+
+val fmt_ms : float -> string
+(** Milliseconds with sensible precision, e.g. ["12.34"]. *)
+
+val fmt_pct : float -> string
+(** Percentage with one decimal and a ["%"] suffix. *)

@@ -1,0 +1,41 @@
+let now_ms () = Unix.gettimeofday () *. 1000.0
+
+let time f =
+  let t0 = now_ms () in
+  let result = f () in
+  (result, now_ms () -. t0)
+
+let time_unit f = snd (time f)
+
+module Phases = struct
+  type t = {
+    table : (string, float ref) Hashtbl.t;
+    mutable order : string list; (* reverse order of first recording *)
+  }
+
+  let create () = { table = Hashtbl.create 8; order = [] }
+
+  let cell t name =
+    match Hashtbl.find_opt t.table name with
+    | Some r -> r
+    | None ->
+        let r = ref 0.0 in
+        Hashtbl.add t.table name r;
+        t.order <- name :: t.order;
+        r
+
+  let add t name ms =
+    let r = cell t name in
+    r := !r +. ms
+
+  let record t name f =
+    let result, ms = time f in
+    add t name ms;
+    result
+
+  let get t name = match Hashtbl.find_opt t.table name with Some r -> !r | None -> 0.0
+
+  let total t = Hashtbl.fold (fun _ r acc -> acc +. !r) t.table 0.0
+
+  let to_list t = List.rev_map (fun name -> (name, get t name)) t.order
+end

@@ -1,0 +1,35 @@
+(** Wall-clock timing utilities used by the compiler pipeline and the
+    experiment harness. All durations are in milliseconds. *)
+
+val now_ms : unit -> float
+(** Current wall-clock time in milliseconds. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result together with the elapsed
+    wall-clock milliseconds. *)
+
+val time_unit : (unit -> unit) -> float
+(** Elapsed milliseconds of a unit-returning thunk. *)
+
+(** A named accumulator of phase timings, e.g. the components of D/KB query
+    compilation time. Phases accumulate: timing the same name twice sums. *)
+module Phases : sig
+  type t
+
+  val create : unit -> t
+
+  val record : t -> string -> (unit -> 'a) -> 'a
+  (** Run a thunk, adding its elapsed time under the given phase name. *)
+
+  val add : t -> string -> float -> unit
+  (** Manually add elapsed milliseconds to a phase. *)
+
+  val get : t -> string -> float
+  (** Accumulated milliseconds for a phase (0 if never recorded). *)
+
+  val total : t -> float
+  (** Sum over all phases. *)
+
+  val to_list : t -> (string * float) list
+  (** Phases in first-recorded order. *)
+end

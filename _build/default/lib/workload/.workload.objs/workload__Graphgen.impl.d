@@ -1,0 +1,1 @@
+lib/workload/graphgen.ml: Array Dkb_util Hashtbl List Option Rdbms

@@ -1,0 +1,1 @@
+lib/workload/graphgen.mli: Dkb_util Rdbms

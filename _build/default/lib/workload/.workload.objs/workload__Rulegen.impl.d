@@ -1,0 +1,1 @@
+lib/workload/rulegen.ml: Datalog Dkb_util List Printf

@@ -1,0 +1,1 @@
+lib/workload/rulegen.mli: Datalog Dkb_util

@@ -1,0 +1,159 @@
+module Rng = Dkb_util.Rng
+
+type edge = int * int
+
+let to_rows edges =
+  List.map (fun (a, b) -> [ Rdbms.Value.Int a; Rdbms.Value.Int b ]) edges
+
+(* ------------------------------------------------------------------ *)
+(* Lists *)
+
+type lists = {
+  l_edges : edge list;
+  l_heads : int list;
+}
+
+let lists ~rng ~count ~avg_length =
+  if count <= 0 || avg_length < 2 then invalid_arg "Graphgen.lists";
+  let next = ref 1 in
+  let fresh () =
+    let v = !next in
+    incr next;
+    v
+  in
+  let heads = ref [] in
+  let edges = ref [] in
+  for _ = 1 to count do
+    let len = max 2 (Rng.int_in rng (avg_length / 2) (3 * avg_length / 2)) in
+    let head = fresh () in
+    heads := head :: !heads;
+    let prev = ref head in
+    for _ = 2 to len do
+      let v = fresh () in
+      edges := (!prev, v) :: !edges;
+      prev := v
+    done
+  done;
+  { l_edges = List.rev !edges; l_heads = List.rev !heads }
+
+(* ------------------------------------------------------------------ *)
+(* Full binary trees *)
+
+type tree = {
+  t_edges : edge list;
+  t_root : int;
+  t_depth : int;
+}
+
+let full_binary_tree ?(root = 1) ~depth () =
+  if depth < 1 then invalid_arg "Graphgen.full_binary_tree: depth must be >= 1";
+  (* heap numbering relative to the root offset: node i in 1..2^depth-1
+     maps to root + i - 1 *)
+  let size = (1 lsl depth) - 1 in
+  let node i = root + i - 1 in
+  let edges = ref [] in
+  for i = 1 to size do
+    if 2 * i <= size then edges := (node i, node (2 * i)) :: !edges;
+    if (2 * i) + 1 <= size then edges := (node i, node ((2 * i) + 1)) :: !edges
+  done;
+  { t_edges = List.rev !edges; t_root = root; t_depth = depth }
+
+let tree_nodes_at_level t level =
+  if level < 1 || level > t.t_depth then invalid_arg "Graphgen.tree_nodes_at_level";
+  let lo = 1 lsl (level - 1) and hi = (1 lsl level) - 1 in
+  List.init (hi - lo + 1) (fun i -> t.t_root + lo + i - 1)
+
+let subtree_edge_count t level =
+  if level < 1 || level > t.t_depth then invalid_arg "Graphgen.subtree_edge_count";
+  (1 lsl (t.t_depth - level + 1)) - 2
+
+let forest ?(first_root = 1) ~count ~depth () =
+  let size = (1 lsl depth) - 1 in
+  List.init count (fun i -> full_binary_tree ~root:(first_root + (i * size)) ~depth ())
+
+(* ------------------------------------------------------------------ *)
+(* Layered DAGs *)
+
+type dag = {
+  d_edges : edge list;
+  d_sources : int list;
+  d_sinks : int list;
+  d_layers : int list list;
+}
+
+(* choose k distinct elements of an int array *)
+let choose_distinct rng arr k =
+  let n = Array.length arr in
+  let k = min k n in
+  let copy = Array.copy arr in
+  for i = 0 to k - 1 do
+    let j = i + Rng.int rng (n - i) in
+    let tmp = copy.(i) in
+    copy.(i) <- copy.(j);
+    copy.(j) <- tmp
+  done;
+  Array.to_list (Array.sub copy 0 k)
+
+let dag ~rng ~path_length ~width ~fan_out ?(first_node = 1) () =
+  if path_length < 2 || width < 1 || fan_out < 1 then invalid_arg "Graphgen.dag";
+  let layers =
+    List.init path_length (fun l -> List.init width (fun i -> first_node + (l * width) + i))
+  in
+  let edges = ref [] in
+  let rec pairs = function
+    | a :: (b :: _ as rest) ->
+        let target = Array.of_list b in
+        List.iter
+          (fun src ->
+            List.iter (fun dst -> edges := (src, dst) :: !edges) (choose_distinct rng target fan_out))
+          a;
+        pairs rest
+    | [ _ ] | [] -> ()
+  in
+  pairs layers;
+  {
+    d_edges = List.rev !edges;
+    d_sources = List.hd layers;
+    d_sinks = List.nth layers (path_length - 1);
+    d_layers = layers;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Cyclic graphs *)
+
+type cyclic = {
+  c_edges : edge list;
+  c_entry : int list;
+  c_cycles : int;
+}
+
+let cyclic ~rng ~path_length ~width ~fan_out ~cycles ?(first_node = 1) () =
+  let base = dag ~rng ~path_length ~width ~fan_out ~first_node () in
+  let layers = Array.of_list base.d_layers in
+  let succ = Hashtbl.create 256 in
+  List.iter
+    (fun (a, b) ->
+      Hashtbl.replace succ a (b :: Option.value (Hashtbl.find_opt succ a) ~default:[]))
+    base.d_edges;
+  let back_edges = ref [] in
+  for _ = 1 to cycles do
+    (* pick an early node, walk forward a few layers, and close the loop
+       with a back edge — this guarantees a directed cycle *)
+    let from_layer = Rng.int_in rng 1 (path_length - 1) in
+    let to_layer = Rng.int rng from_layer in
+    let dst = Rng.pick rng (Array.of_list layers.(to_layer)) in
+    let rec walk v steps =
+      if steps = 0 then v
+      else
+        match Hashtbl.find_opt succ v with
+        | Some (_ :: _ as outs) -> walk (Rng.pick rng (Array.of_list outs)) (steps - 1)
+        | Some [] | None -> v
+    in
+    let src = walk dst (from_layer - to_layer) in
+    back_edges := (src, dst) :: !back_edges
+  done;
+  {
+    c_edges = base.d_edges @ List.rev !back_edges;
+    c_entry = base.d_sources;
+    c_cycles = cycles;
+  }

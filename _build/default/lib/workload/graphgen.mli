@@ -1,0 +1,86 @@
+(** Base-relation generators (paper §5.2): binary relations characterized
+    by their directed-graph representation — lists, full binary trees,
+    directed acyclic graphs and directed cyclic graphs, each with the
+    paper's parameters.
+
+    Nodes are integers; {!to_rows} converts edge lists to DBMS rows. *)
+
+type edge = int * int
+
+val to_rows : edge list -> Rdbms.Value.t list list
+
+(** {1 Lists} *)
+
+type lists = {
+  l_edges : edge list;
+  l_heads : int list;  (** first element of each list *)
+}
+
+val lists : rng:Dkb_util.Rng.t -> count:int -> avg_length:int -> lists
+(** [count] node-disjoint lists whose lengths are uniform in
+    [[avg_length/2, 3*avg_length/2]] (at least 2). Tuple count is about
+    [count * (avg_length - 1)]. *)
+
+(** {1 Full binary trees} *)
+
+type tree = {
+  t_edges : edge list;
+  t_root : int;
+  t_depth : int;
+}
+
+val full_binary_tree : ?root:int -> depth:int -> unit -> tree
+(** A full binary tree with [depth] levels: nodes are numbered heap-style
+    from [root] (children of [v] are [2v] and [2v+1] in root-relative
+    numbering), giving [2^depth - 1] nodes and [2^depth - 2] edges. *)
+
+val tree_nodes_at_level : tree -> int -> int list
+(** Nodes at a level, root = level 1. *)
+
+val subtree_edge_count : tree -> int -> int
+(** Number of edges in the subtree rooted at a node of the given level:
+    the [D_rel] of an ancestor query rooted there. *)
+
+val forest : ?first_root:int -> count:int -> depth:int -> unit -> tree list
+(** [count] disjoint full binary trees. *)
+
+(** {1 Directed acyclic graphs} *)
+
+type dag = {
+  d_edges : edge list;
+  d_sources : int list;  (** zero fan-in nodes *)
+  d_sinks : int list;  (** zero fan-out nodes *)
+  d_layers : int list list;
+}
+
+val dag :
+  rng:Dkb_util.Rng.t ->
+  path_length:int ->
+  width:int ->
+  fan_out:int ->
+  ?first_node:int ->
+  unit ->
+  dag
+(** A layered DAG: [path_length] layers of [width] nodes; each node has
+    edges to [fan_out] distinct random nodes of the next layer (so the
+    average fan-in is also [fan_out]). *)
+
+(** {1 Directed cyclic graphs} *)
+
+type cyclic = {
+  c_edges : edge list;
+  c_entry : int list;
+  c_cycles : int;
+}
+
+val cyclic :
+  rng:Dkb_util.Rng.t ->
+  path_length:int ->
+  width:int ->
+  fan_out:int ->
+  cycles:int ->
+  ?first_node:int ->
+  unit ->
+  cyclic
+(** A layered DAG plus [cycles] random back edges (from a later layer to
+    an earlier one), each closing at least one directed cycle. *)

@@ -1,0 +1,43 @@
+module Ast = Datalog.Ast
+
+let ancestor_rules =
+  {|
+    ancestor(X, Y) :- parent(X, Y).
+    ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).
+  |}
+
+let ancestor_goal node =
+  Ast.atom "ancestor" [ Ast.Const (Rdbms.Value.Int node); Ast.Var "W" ]
+
+let same_generation_rules =
+  {|
+    sg(X, Y) :- parent(P, X), parent(P, Y).
+    sg(X, Y) :- parent(PX, X), sg(PX, PY), parent(PY, Y).
+  |}
+
+let same_generation_goal node =
+  Ast.atom "sg" [ Ast.Const (Rdbms.Value.Int node); Ast.Var "W" ]
+
+let tc_rules =
+  {|
+    tc(X, Y) :- edge(X, Y).
+    tc(X, Y) :- edge(X, Z), tc(Z, Y).
+  |}
+
+let tc_goal_from node = Ast.atom "tc" [ Ast.Const (Rdbms.Value.Int node); Ast.Var "W" ]
+let tc_goal_all = Ast.atom "tc" [ Ast.Var "V"; Ast.Var "W" ]
+
+let setup_binary session name c1 c2 edges =
+  match
+    Core.Session.define_base session name
+      [ (c1, Rdbms.Datatype.TInt); (c2, Rdbms.Datatype.TInt) ]
+      ~indexes:[ c1; c2 ] ()
+  with
+  | Error _ as e -> e
+  | Ok () -> (
+      match Core.Session.add_facts session name (Graphgen.to_rows edges) with
+      | Ok _ -> Ok ()
+      | Error _ as e -> e)
+
+let setup_parent session edges = setup_binary session "parent" "par" "child" edges
+let setup_edge session edges = setup_binary session "edge" "src" "dst" edges

@@ -1,0 +1,29 @@
+(** Canonical rule sets and goals used across examples, tests and
+    benchmarks. *)
+
+val ancestor_rules : string
+(** The paper's Test 4–7 workload:
+    {v ancestor(X,Y) :- parent(X,Y).
+       ancestor(X,Y) :- parent(X,Z), ancestor(Z,Y). v} *)
+
+val ancestor_goal : int -> Datalog.Ast.atom
+(** [ancestor(<node>, W)]. *)
+
+val same_generation_rules : string
+(** The classic same-generation program over [parent]. *)
+
+val same_generation_goal : int -> Datalog.Ast.atom
+
+val tc_rules : string
+(** Transitive closure of an [edge] relation. *)
+
+val tc_goal_from : int -> Datalog.Ast.atom
+val tc_goal_all : Datalog.Ast.atom
+
+val setup_parent :
+  Core.Session.t -> Graphgen.edge list -> (unit, string) result
+(** Defines the [parent(par, child)] base relation (indexed on both
+    columns) and loads the edges. *)
+
+val setup_edge : Core.Session.t -> Graphgen.edge list -> (unit, string) result
+(** Same for [edge(src, dst)]. *)

@@ -1,0 +1,101 @@
+module Ast = Datalog.Ast
+
+type t = {
+  clauses : Ast.clause list;
+  cluster_roots : string list;
+  base_pred : string;
+  total_rules : int;
+  total_derived : int;
+}
+
+let var v = Ast.Var v
+
+let binary_rule head body_atoms =
+  Ast.rule (Ast.atom head [ var "X"; var "Y" ]) (List.map (fun a -> Ast.Pos a) body_atoms)
+
+let pred_name prefix cluster level = Printf.sprintf "%s%dl%d" prefix cluster level
+
+let chains ~clusters ~rules_per_cluster ?(base = "b0") ?(prefix = "c") () =
+  if clusters < 1 || rules_per_cluster < 1 then invalid_arg "Rulegen.chains";
+  let clauses = ref [] in
+  let roots = ref [] in
+  for k = 1 to clusters do
+    roots := pred_name prefix k 1 :: !roots;
+    for l = 1 to rules_per_cluster do
+      let head = pred_name prefix k l in
+      let next =
+        if l = rules_per_cluster then base else pred_name prefix k (l + 1)
+      in
+      clauses := binary_rule head [ Ast.atom next [ var "X"; var "Y" ] ] :: !clauses
+    done
+  done;
+  {
+    clauses = List.rev !clauses;
+    cluster_roots = List.rev !roots;
+    base_pred = base;
+    total_rules = clusters * rules_per_cluster;
+    total_derived = clusters * rules_per_cluster;
+  }
+
+let branching ~rng ~clusters ~rules_per_cluster ?(branch = 2) ?(base = "b0") ?(recursive = false)
+    () =
+  if clusters < 1 || rules_per_cluster < 1 || branch < 1 then invalid_arg "Rulegen.branching";
+  let clauses = ref [] in
+  let roots = ref [] in
+  let n_rules = ref 0 in
+  for k = 1 to clusters do
+    let prefix = "t" in
+    roots := pred_name prefix k 1 :: !roots;
+    (* predicates 1..rules_per_cluster; predicate i's rule body joins a few
+       higher-numbered predicates (or the base) *)
+    for i = 1 to rules_per_cluster do
+      let head = pred_name prefix k i in
+      let width = 1 + Dkb_util.Rng.int rng branch in
+      let children =
+        List.init width (fun j ->
+            let lo = i + 1 + j in
+            if lo > rules_per_cluster then base else pred_name prefix k lo)
+      in
+      (* chain the join variables: head(X,Y) :- q1(X,Z1), q2(Z1,Z2), ... qn(Z?,Y) *)
+      let body =
+        match children with
+        | [ only ] -> [ Ast.atom only [ var "X"; var "Y" ] ]
+        | _ ->
+            let n = List.length children in
+            List.mapi
+              (fun j child ->
+                let a = if j = 0 then var "X" else var (Printf.sprintf "Z%d" j) in
+                let b = if j = n - 1 then var "Y" else var (Printf.sprintf "Z%d" (j + 1)) in
+                Ast.atom child [ a; b ])
+              children
+      in
+      clauses := binary_rule head body :: !clauses;
+      incr n_rules
+    done;
+    if recursive then begin
+      let root_pred = pred_name prefix k 1 in
+      clauses :=
+        Ast.rule
+          (Ast.atom root_pred [ var "X"; var "Y" ])
+          [
+            Ast.Pos (Ast.atom base [ var "X"; var "Z" ]);
+            Ast.Pos (Ast.atom root_pred [ var "Z"; var "Y" ]);
+          ]
+        :: !clauses;
+      incr n_rules
+    end
+  done;
+  {
+    clauses = List.rev !clauses;
+    cluster_roots = List.rev !roots;
+    base_pred = base;
+    total_rules = !n_rules;
+    total_derived = clusters * rules_per_cluster;
+  }
+
+let root t k = List.nth t.cluster_roots k
+
+let cluster_query t k = Ast.atom (root t k) [ var "X"; var "Y" ]
+
+let cluster_preds ~clusters_prefix ~cluster ~count =
+  List.init count (fun l -> pred_name clusters_prefix cluster (l + 1))

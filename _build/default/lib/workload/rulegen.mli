@@ -1,0 +1,47 @@
+(** Synthetic rule-base generator for the compilation and update
+    experiments (Tests 1–3, 8–9). Rule bases are built from independent
+    {e clusters}: cluster [k] defines predicates [c<k>l1 .. c<k>l<n>]
+    in a chain
+
+    {v c<k>l1(X,Y) :- c<k>l2(X,Y).   ...   c<k>l<n>(X,Y) :- base(X,Y). v}
+
+    so a query on [c<k>l1] is relevant to exactly the [n] rules (and [n]
+    derived predicates) of its own cluster. Varying the number of clusters
+    varies the total stored-rule count R_s without touching the relevant
+    counts R_rs / P_rs — exactly the control the paper's tests need. *)
+
+type t = {
+  clauses : Datalog.Ast.clause list;
+  cluster_roots : string list;  (** root predicate of each cluster *)
+  base_pred : string;
+  total_rules : int;
+  total_derived : int;
+}
+
+val chains :
+  clusters:int -> rules_per_cluster:int -> ?base:string -> ?prefix:string -> unit -> t
+(** Linear clusters as above. [base] (default ["b0"]) is the shared base
+    predicate; [prefix] (default ["c"]) prefixes cluster predicate names. *)
+
+val branching :
+  rng:Dkb_util.Rng.t ->
+  clusters:int ->
+  rules_per_cluster:int ->
+  ?branch:int ->
+  ?base:string ->
+  ?recursive:bool ->
+  unit ->
+  t
+(** Clusters whose dependency graph is a tree with the given branching
+    factor; each rule body joins up to [branch] child predicates. With
+    [recursive] each cluster root also gets a transitive recursive rule,
+    so the rule base contains cliques. *)
+
+val root : t -> int -> string
+(** Root predicate of a cluster (0-based). *)
+
+val cluster_query : t -> int -> Datalog.Ast.atom
+(** The goal [c<k>l1(X, Y)] touching exactly one cluster. *)
+
+val cluster_preds : clusters_prefix:string -> cluster:int -> count:int -> string list
+(** The predicate names of one chain cluster, [c<k>l1 .. c<k>l<count>]. *)

@@ -1,0 +1,1 @@
+test/test_adorn_magic.ml: Alcotest Astring Core Datalog List QCheck2 QCheck_alcotest Rdbms Workload

@@ -1,0 +1,1 @@
+test/test_comparisons.ml: Alcotest Array Astring Core Datalog List Printf Rdbms Result Workload

@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Astring Core Datalog List Printf Rdbms

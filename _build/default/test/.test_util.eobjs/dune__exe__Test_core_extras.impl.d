@@ -1,0 +1,1 @@
+test/test_core_extras.ml: Alcotest Astring Core Datalog List Rdbms Workload

@@ -1,0 +1,1 @@
+test/test_datalog_ast.ml: Alcotest Datalog Format Printf QCheck2 QCheck_alcotest Rdbms

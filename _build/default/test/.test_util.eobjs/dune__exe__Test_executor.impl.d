@@ -1,0 +1,1 @@
+test/test_executor.ml: Alcotest Array Astring List Printf QCheck2 QCheck_alcotest Rdbms String

@@ -1,0 +1,1 @@
+test/test_graphs.ml: Alcotest Datalog Hashtbl List Printf QCheck2 QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Astring Core Datalog List Rdbms Result

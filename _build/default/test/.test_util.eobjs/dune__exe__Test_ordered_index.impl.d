@@ -1,0 +1,1 @@
+test/test_ordered_index.ml: Alcotest Array Astring List Printf QCheck2 QCheck_alcotest Rdbms

@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Astring Core Filename List Out_channel Rdbms Result Sys Workload

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Core Datalog Dkb_util List Printf QCheck2 QCheck_alcotest Rdbms Workload

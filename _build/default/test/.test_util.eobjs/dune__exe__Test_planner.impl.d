@@ -1,0 +1,1 @@
+test/test_planner.ml: Alcotest Astring List Printf Rdbms String

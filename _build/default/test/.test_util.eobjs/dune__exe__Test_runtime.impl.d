@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Core Datalog Hashtbl List QCheck2 QCheck_alcotest Rdbms Workload

@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Array Astring Core Datalog Dkb_util List Printf Rdbms Result

@@ -1,0 +1,1 @@
+test/test_sql_parser.ml: Alcotest Array List Printf QCheck2 QCheck_alcotest Rdbms

@@ -1,0 +1,1 @@
+test/test_sqlgen.ml: Alcotest Datalog List Printf Rdbms String

@@ -1,0 +1,1 @@
+test/test_stored_dkb.ml: Alcotest Core Datalog List Rdbms

@@ -1,0 +1,1 @@
+test/test_topdown.ml: Alcotest Array Core Datalog List Printf QCheck2 QCheck_alcotest Rdbms Workload

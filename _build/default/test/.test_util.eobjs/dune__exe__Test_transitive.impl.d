@@ -1,0 +1,1 @@
+test/test_transitive.ml: Alcotest Core List QCheck2 QCheck_alcotest Rdbms Workload

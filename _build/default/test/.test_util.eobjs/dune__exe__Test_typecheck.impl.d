@@ -1,0 +1,1 @@
+test/test_typecheck.ml: Alcotest Astring Datalog Format List Rdbms Result String

@@ -1,0 +1,1 @@
+test/test_update.ml: Alcotest Core Datalog List Printf QCheck2 QCheck_alcotest Rdbms Result String

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Astring Dkb_util List String Unix

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Array QCheck2 QCheck_alcotest Rdbms Result String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Datalog Dkb_util Hashtbl List Option Printf Rdbms Workload

@@ -1,0 +1,2 @@
+  $ ../../examples/quickstart.exe
+  $ ../../examples/corporate_policy.exe

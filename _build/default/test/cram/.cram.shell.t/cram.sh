@@ -1,0 +1,1 @@
+  $ ../../bin/dkb.exe shell_session.dkb | grep -v 't_c=' | sed -E 's/in [0-9.]+ ms/in X ms/'

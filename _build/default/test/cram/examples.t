@@ -1,0 +1,46 @@
+The quickstart and corporate-policy examples produce deterministic
+output (no timings), so they double as end-to-end regression tests.
+
+  $ ../../examples/quickstart.exe
+  loaded 7 parent facts
+  semi-naive                   -> 6 rows (w): mary tom alice bob carol dave
+  naive                        -> 6 rows (w): mary tom alice bob dave carol
+  semi-naive + magic           -> 6 rows (w): mary tom alice bob carol dave
+  naive + magic                -> 6 rows (w): mary tom alice bob dave carol
+  stored 2 rules (2 closure edges)
+  after storing rules, ancestor(eve, W) has 7 answers
+  quickstart done
+
+  $ ../../examples/corporate_policy.exe
+  management chain above fred:   ?- chain(fred, M)
+     m
+     dan
+     bob
+     ann
+     boss
+  
+  projects the boss oversees:   ?- oversees(boss, P)
+     p
+     apollo
+     hermes
+     zeus
+  
+  policy violations:   ?- violation(E, P)
+     e, p
+     fred, zeus
+  
+  managers to notify:   ?- notify(M)
+     m
+     dan
+     bob
+  
+  stored 6 policy rules (14 reachability pairs maintained)
+  
+  still answerable from the Stored D/KB:   ?- notify(M)
+     m
+     dan
+     bob
+  
+  after clearing fred:   ?- violation(E, P)
+     e, p
+  

@@ -1,0 +1,26 @@
+Negation, aggregates through raw SQL, ordered indexes and persistence,
+end to end through the shell.
+
+  $ ../../bin/dkb.exe policy_session.dkb | grep -v 't_c=' | sed -E 's/in [0-9.]+ ms/in X ms/'
+  base relation employee defined
+  base relation on_call defined
+  w
+  bob
+  cho
+  (2 rows)
+  dept	count
+  eng	1
+  sales	2
+  (2 rows)
+  ok
+  name
+  bob
+  cho
+  (2 rows)
+  stored 1 rules in X ms (2 reachability pairs)
+  saved to policy_dkb.sql
+  opened policy_dkb.sql
+  w
+  bob
+  cho
+  (2 rows)

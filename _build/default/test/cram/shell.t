@@ -1,0 +1,32 @@
+The testbed shell runs a whole session from a script. Timing values are
+masked (they vary run to run); everything else is deterministic.
+
+  $ ../../bin/dkb.exe shell_session.dkb | grep -v 't_c=' | sed -E 's/in [0-9.]+ ms/in X ms/'
+  base relation parent defined
+  ok
+  w
+  mary
+  alice
+  (2 rows)
+  no
+  options: magic=on strategy=semi-naive indexderived=false cache=false
+  w
+  mary
+  alice
+  (2 rows)
+  stored 2 rules in X ms (2 reachability pairs)
+  workspace cleared
+  w
+  alice
+  (1 rows)
+  workspace (0 rules, 0 facts):
+  stored (2 rules):
+    ancestor(X, Y) :- parent(X, Y).
+    ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).
+    edb_columns               2 rows  (tablename char, colnumber integer, colname char, coltype char)
+    edb_tables                1 rows  (tablename char, arity integer)
+    idb_columns               2 rows  (tablename char, colnumber integer, coltype char)
+    idb_tables                1 rows  (tablename char, arity integer)
+    parent                    2 rows  (par char, child char)
+    reachablepreds            2 rows  (frompredname char, topredname char)
+    rulesource                2 rows  (ruleid integer, headpredname char, ruletext char)

@@ -1,0 +1,214 @@
+(* Tests for adornment and the generalized magic sets rewriting, including
+   an end-to-end equivalence property: the rewritten program computes the
+   same answers as the original on random graphs. *)
+
+module A = Datalog.Ast
+module P = Datalog.Parser
+module V = Rdbms.Value
+
+let ancestor =
+  List.map P.parse_clause
+    [ "anc(X, Y) :- par(X, Y)."; "anc(X, Y) :- par(X, Z), anc(Z, Y)." ]
+
+let is_derived p = p = "anc" || p = "sg"
+
+let goal_bf = A.atom "anc" [ A.Const (V.Str "john"); A.Var "W" ]
+
+(* ---------------- adornment ---------------- *)
+
+let test_adornment_of_atom () =
+  let bound v = v = "B" in
+  Alcotest.(check string) "mixed" "bbf"
+    (Datalog.Adorn.adornment_of_atom ~bound (A.atom "p" [ A.Const (V.Int 1); A.Var "B"; A.Var "F" ]))
+
+let test_adorn_ancestor () =
+  let { Datalog.Adorn.adorned_rules; adorned_query; bindings } =
+    Datalog.Adorn.adorn ~is_derived ~rules:ancestor ~query:goal_bf
+  in
+  Alcotest.(check string) "query renamed" "anc__bf" adorned_query.A.pred;
+  Alcotest.(check int) "one adorned predicate" 1 (List.length bindings);
+  Alcotest.(check int) "two adorned rules" 2 (List.length adorned_rules);
+  (* the recursive body literal is adorned bf: Z is bound after par(X,Z) *)
+  let recursive = List.find (fun c -> List.length c.A.body = 2) adorned_rules in
+  match List.nth recursive.A.body 1 with
+  | A.Pos a -> Alcotest.(check string) "body occurrence adorned" "anc__bf" a.A.pred
+  | A.Neg _ | A.Cmp _ -> Alcotest.fail "unexpected literal kind"
+
+let test_adorn_free_query_all_f () =
+  let goal = A.atom "anc" [ A.Var "X"; A.Var "Y" ] in
+  let { Datalog.Adorn.adorned_query; bindings; _ } =
+    Datalog.Adorn.adorn ~is_derived ~rules:ancestor ~query:goal
+  in
+  Alcotest.(check string) "ff" "anc__ff" adorned_query.A.pred;
+  Alcotest.(check string) "binding records adornment" "ff" (List.hd bindings).Datalog.Adorn.ad_ad
+
+let test_adorn_second_argument_bound () =
+  let goal = A.atom "anc" [ A.Var "W"; A.Const (V.Str "mary") ] in
+  let { Datalog.Adorn.adorned_query; _ } =
+    Datalog.Adorn.adorn ~is_derived ~rules:ancestor ~query:goal
+  in
+  Alcotest.(check string) "fb" "anc__fb" adorned_query.A.pred
+
+(* ---------------- magic rewriting ---------------- *)
+
+let test_magic_shape () =
+  match Datalog.Magic.rewrite ~is_derived ~rules:ancestor ~query:goal_bf with
+  | Datalog.Magic.Not_rewritten r -> Alcotest.fail ("unexpectedly not rewritten: " ^ r)
+  | Datalog.Magic.Rewritten { program; query; magic_preds; _ } ->
+      Alcotest.(check string) "query" "anc__bf" query.A.pred;
+      Alcotest.(check (list string)) "magic preds" [ "m__anc__bf" ] magic_preds;
+      let seed = List.hd program in
+      Alcotest.(check bool) "seed fact" true (A.is_fact seed);
+      Alcotest.(check string) "seed pred" "m__anc__bf" (A.head_pred seed);
+      (* seed + one magic rule + two modified rules *)
+      Alcotest.(check int) "clause count" 4 (List.length program);
+      let magic_rule =
+        List.find (fun c -> A.is_rule c && A.head_pred c = "m__anc__bf") program
+      in
+      Alcotest.(check (list (pair string bool))) "magic rule body"
+        [ ("m__anc__bf", true); ("par", true) ]
+        (A.body_preds magic_rule);
+      List.iter
+        (fun c ->
+          if A.is_rule c && A.head_pred c = "anc__bf" then
+            match c.A.body with
+            | A.Pos g :: _ -> Alcotest.(check string) "guarded" "m__anc__bf" g.A.pred
+            | _ -> Alcotest.fail "modified rule lacks guard")
+        program
+
+let test_magic_not_rewritten_cases () =
+  (match
+     Datalog.Magic.rewrite ~is_derived ~rules:ancestor
+       ~query:(A.atom "anc" [ A.Var "X"; A.Var "Y" ])
+   with
+  | Datalog.Magic.Not_rewritten _ -> ()
+  | Datalog.Magic.Rewritten _ -> Alcotest.fail "free query should not be rewritten");
+  match
+    Datalog.Magic.rewrite ~is_derived ~rules:ancestor
+      ~query:(A.atom "par" [ A.Const (V.Str "a"); A.Var "Y" ])
+  with
+  | Datalog.Magic.Not_rewritten _ -> ()
+  | Datalog.Magic.Rewritten _ -> Alcotest.fail "base query should not be rewritten"
+
+let test_magic_same_generation () =
+  let sg =
+    List.map P.parse_clause
+      [
+        "sg(X, Y) :- par(P, X), par(P, Y).";
+        "sg(X, Y) :- par(PX, X), sg(PX, PY), par(PY, Y).";
+      ]
+  in
+  match
+    Datalog.Magic.rewrite ~is_derived ~rules:sg
+      ~query:(A.atom "sg" [ A.Const (V.Str "a"); A.Var "W" ])
+  with
+  | Datalog.Magic.Not_rewritten r -> Alcotest.fail r
+  | Datalog.Magic.Rewritten { magic_preds; program; _ } ->
+      Alcotest.(check (list string)) "magic preds" [ "m__sg__bf" ] magic_preds;
+      Alcotest.(check int) "seed + 1 magic + 2 modified" 4 (List.length program)
+
+let test_is_magic_pred () =
+  Alcotest.(check bool) "yes" true (Datalog.Magic.is_magic_pred "m__anc__bf");
+  Alcotest.(check bool) "no" false (Datalog.Magic.is_magic_pred "anc__bf")
+
+(* ---------------- end-to-end equivalence property ---------------- *)
+
+let setup_session edges =
+  let s = Core.Session.create () in
+  (match Workload.Queries.setup_parent s edges with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Core.Session.load_rules s Workload.Queries.ancestor_rules with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  s
+
+let answers s goal options =
+  match Core.Session.query_goal s ~options goal with
+  | Ok a -> List.sort Rdbms.Tuple.compare a.Core.Session.run.Core.Runtime.rows
+  | Error e -> Alcotest.fail e
+
+let test_supplementary_shape () =
+  match Datalog.Magic.rewrite_supplementary ~is_derived ~rules:ancestor ~query:goal_bf with
+  | Datalog.Magic.Not_rewritten r -> Alcotest.fail r
+  | Datalog.Magic.Rewritten { program; query; _ } ->
+      Alcotest.(check string) "query" "anc__bf" query.A.pred;
+      (* the recursive rule (2 literals) gets sup_0 and sup_1; the exit
+         rule (1 literal) falls back to the plain form *)
+      let sups = List.filter (fun c -> A.is_rule c &&
+        Astring.String.is_prefix ~affix:"sup__" (A.head_pred c)) program in
+      Alcotest.(check int) "two supplementary rules" 2 (List.length sups);
+      let magic_rule =
+        List.find (fun c -> A.is_rule c && A.head_pred c = "m__anc__bf") program
+      in
+      (* the magic rule now reads the shared prefix *)
+      (match A.body_preds magic_rule with
+      | [ (p, true) ] ->
+          Alcotest.(check bool) "magic rule body is a sup pred" true
+            (Astring.String.is_prefix ~affix:"sup__" p)
+      | _ -> Alcotest.fail "unexpected magic rule body")
+
+let test_supplementary_fallback_single_literal () =
+  (* a one-literal recursive rule cannot share prefixes: plain fallback *)
+  let rules =
+    List.map P.parse_clause [ "anc(X, Y) :- par(X, Y)."; "anc(X, Y) :- anc(Y, X)." ]
+  in
+  match Datalog.Magic.rewrite_supplementary ~is_derived ~rules ~query:goal_bf with
+  | Datalog.Magic.Not_rewritten r -> Alcotest.fail r
+  | Datalog.Magic.Rewritten { program; _ } ->
+      Alcotest.(check bool) "no sup preds" true
+        (List.for_all
+           (fun c -> not (Astring.String.is_prefix ~affix:"sup__" (A.head_pred c)))
+           program)
+
+let prop_magic_equivalent =
+  let gen =
+    QCheck2.Gen.(
+      pair (list_size (int_range 0 30) (pair (int_bound 9) (int_bound 9))) (int_bound 9))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:60 ~name:"magic sets preserve answers on random graphs" gen
+       (fun (edges, start) ->
+         (* cyclic edges stay in on purpose: LFP must still terminate *)
+         let s = setup_session edges in
+         let goal = Workload.Queries.ancestor_goal start in
+         let base = answers s goal Core.Session.default_options in
+         let magic =
+           answers s goal { Core.Session.default_options with optimize = Core.Compiler.Opt_on }
+         in
+         let naive_magic =
+           answers s goal
+             {
+               Core.Session.default_options with
+               optimize = Core.Compiler.Opt_on;
+               strategy = Core.Runtime.Naive;
+             }
+         in
+         let supplementary =
+           answers s goal
+             { Core.Session.default_options with optimize = Core.Compiler.Opt_supplementary }
+         in
+         base = magic && base = naive_magic && base = supplementary))
+
+let () =
+  Alcotest.run "adorn_magic"
+    [
+      ( "adorn",
+        [
+          Alcotest.test_case "adornment_of_atom" `Quick test_adornment_of_atom;
+          Alcotest.test_case "ancestor bf" `Quick test_adorn_ancestor;
+          Alcotest.test_case "free query" `Quick test_adorn_free_query_all_f;
+          Alcotest.test_case "fb adornment" `Quick test_adorn_second_argument_bound;
+        ] );
+      ( "magic",
+        [
+          Alcotest.test_case "rewrite shape" `Quick test_magic_shape;
+          Alcotest.test_case "not rewritten" `Quick test_magic_not_rewritten_cases;
+          Alcotest.test_case "same generation" `Quick test_magic_same_generation;
+          Alcotest.test_case "is_magic_pred" `Quick test_is_magic_pred;
+          Alcotest.test_case "supplementary shape" `Quick test_supplementary_shape;
+          Alcotest.test_case "supplementary fallback" `Quick
+            test_supplementary_fallback_single_literal;
+        ] );
+      ("equivalence", [ prop_magic_equivalent ]);
+    ]

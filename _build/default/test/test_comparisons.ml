@@ -1,0 +1,186 @@
+(* Tests for built-in comparison literals in rule bodies (X <> Y, N < 10):
+   parsing, safety, type checking, SQL generation, and end-to-end
+   evaluation under every strategy including magic sets and top-down. *)
+
+module Session = Core.Session
+module A = Datalog.Ast
+module P = Datalog.Parser
+module V = Rdbms.Value
+module D = Rdbms.Datatype
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail e
+
+(* ---------------- parsing ---------------- *)
+
+let test_parse_forms () =
+  let c = P.parse_clause "p(X, Y) :- e(X, Y), X <> Y, Y < 10, X >= 2, john <> X." in
+  (match c.A.body with
+  | [ A.Pos _; A.Cmp (A.Var "X", A.C_neq, A.Var "Y");
+      A.Cmp (A.Var "Y", A.C_lt, A.Const (V.Int 10));
+      A.Cmp (A.Var "X", A.C_ge, A.Const (V.Int 2));
+      A.Cmp (A.Const (V.Str "john"), A.C_neq, A.Var "X") ] -> ()
+  | _ -> Alcotest.fail "wrong body shapes");
+  (* pretty / reparse roundtrip *)
+  let text = A.clause_to_string c in
+  Alcotest.(check bool) "roundtrip" true (A.equal_clause c (P.parse_clause text))
+
+let test_parse_errors () =
+  let fails s =
+    Alcotest.(check bool)
+      (Printf.sprintf "rejects %S" s)
+      true
+      (try
+         ignore (P.parse_clause s);
+         false
+       with P.Parse_error _ -> true)
+  in
+  fails "p(X) :- X.";
+  fails "p(X) :- 5.";
+  fails "p(X) :- X <.";
+  fails "p(X) :- < X."
+
+(* ---------------- safety and types ---------------- *)
+
+let test_safety () =
+  (* comparison variables must be positively bound *)
+  Alcotest.(check bool) "unbound comparison var" true
+    (Result.is_error (Datalog.Typecheck.check_safety (P.parse_clause "p(X) :- e(X, Y), X < Z.")));
+  Alcotest.(check bool) "bound is fine" true
+    (Datalog.Typecheck.check_safety (P.parse_clause "p(X) :- e(X, Y), X < Y.") = Ok ())
+
+let test_types () =
+  let base = function
+    | "e" -> Some [ D.TInt; D.TInt ]
+    | "lbl" -> Some [ D.TStr ]
+    | _ -> None
+  in
+  let infer rules =
+    Datalog.Typecheck.infer ~base ~rules:(List.map P.parse_clause rules)
+  in
+  Alcotest.(check bool) "int comparison ok" true
+    (Result.is_ok (infer [ "p(X) :- e(X, Y), X < Y." ]));
+  Alcotest.(check bool) "int vs string rejected" true
+    (Result.is_error (infer [ "p(X) :- e(X, Y), X < banana." ]));
+  Alcotest.(check bool) "string comparison ok" true
+    (Result.is_ok (infer [ "q(S) :- lbl(S), S <> banana." ]))
+
+(* ---------------- SQL generation ---------------- *)
+
+let test_sqlgen () =
+  let columns = function
+    | "e" -> [ "src"; "dst" ]
+    | _ -> [ "c1"; "c2" ]
+  in
+  let sql s =
+    Rdbms.Sql_printer.query
+      (Datalog.Sqlgen.select_for_rule ~columns (P.parse_clause s))
+  in
+  Alcotest.(check string) "var-var comparison"
+    "SELECT DISTINCT t1.src AS c1 FROM e t1 WHERE t1.src <> t1.dst"
+    (sql "selfless(X) :- e(X, Y), X <> Y.");
+  Alcotest.(check string) "var-const comparison"
+    "SELECT DISTINCT t1.src AS c1, t1.dst AS c2 FROM e t1 WHERE t1.dst < 10"
+    (sql "small(X, Y) :- e(X, Y), Y < 10.")
+
+(* ---------------- end to end ---------------- *)
+
+let siblings_session () =
+  let s = Session.create () in
+  ok (Session.define_base s "parent" [ ("p", D.TStr); ("c", D.TStr) ] ~indexes:[ "p" ] ());
+  ignore
+    (ok
+       (Session.add_facts s "parent"
+          (List.map
+             (fun (a, b) -> [ V.Str a; V.Str b ])
+             [ ("ann", "bob"); ("ann", "cho"); ("ann", "dan"); ("eve", "fay") ])));
+  ok (Session.load_rules s "sibling(X, Y) :- parent(P, X), parent(P, Y), X <> Y.");
+  s
+
+let test_siblings () =
+  let s = siblings_session () in
+  let a = ok (Session.query s "sibling(bob, W)") in
+  let got =
+    List.map (fun r -> V.to_string r.(0)) a.Session.run.Core.Runtime.rows |> List.sort compare
+  in
+  Alcotest.(check (list string)) "no self pair" [ "cho"; "dan" ] got;
+  (* only child has no siblings *)
+  let b = ok (Session.query s "sibling(fay, W)") in
+  Alcotest.(check int) "only child" 0 (List.length b.Session.run.Core.Runtime.rows)
+
+let test_recursion_with_comparison_all_strategies () =
+  (* bounded reachability: only pass through nodes below a threshold *)
+  let s = Session.create () in
+  ok (Session.define_base s "edge" [ ("src", D.TInt); ("dst", D.TInt) ] ~indexes:[ "src" ] ());
+  ignore
+    (ok
+       (Session.add_facts s "edge"
+          (Workload.Graphgen.to_rows [ (1, 2); (2, 3); (3, 4); (4, 5); (2, 20); (20, 6) ])));
+  ok
+    (Session.load_rules s
+       {| low(X, Y) :- edge(X, Y), Y < 10.
+          low(X, Y) :- edge(X, Z), Z < 10, low(Z, Y). |});
+  let goal = A.atom "low" [ A.Const (V.Int 1); A.Var "W" ] in
+  let run options =
+    let a = ok (Session.query_goal s ~options goal) in
+    List.map (fun r -> match r.(0) with V.Int n -> n | _ -> -1) a.Session.run.Core.Runtime.rows
+    |> List.sort compare
+  in
+  let expected = [ 2; 3; 4; 5 ] in
+  Alcotest.(check (list int)) "semi-naive" expected (run Session.default_options);
+  Alcotest.(check (list int)) "naive" expected
+    (run { Session.default_options with strategy = Core.Runtime.Naive });
+  Alcotest.(check (list int)) "magic" expected
+    (run { Session.default_options with optimize = Core.Compiler.Opt_on });
+  Alcotest.(check (list int)) "supplementary" expected
+    (run { Session.default_options with optimize = Core.Compiler.Opt_supplementary })
+
+let test_topdown_with_comparisons () =
+  let rules =
+    List.map P.parse_clause
+      [
+        (* the comparison is written before its binder on purpose *)
+        "t(X, Y) :- X <> Y, edge(X, Y).";
+        "t(X, Y) :- edge(X, Z), t(Z, Y), X <> Y.";
+      ]
+  in
+  let facts = function
+    | "edge" -> [ [ V.Int 1; V.Int 2 ]; [ V.Int 2; V.Int 1 ]; [ V.Int 2; V.Int 3 ] ]
+    | _ -> []
+  in
+  let got =
+    Datalog.Topdown.solve ~facts ~is_base:(fun p -> p = "edge") ~rules
+      ~goal:(A.atom "t" [ A.Const (V.Int 1); A.Var "W" ])
+    |> List.map (fun r -> match r.(1) with V.Int n -> n | _ -> -1)
+    |> List.sort compare
+  in
+  (* 1 reaches 2 and 3 (and itself via the cycle, but X <> Y filters it) *)
+  Alcotest.(check (list int)) "filtered closure" [ 2; 3 ] got
+
+let test_comparison_in_shell_explain () =
+  let s = siblings_session () in
+  let text = ok (Session.explain s "sibling(bob, W)") in
+  Alcotest.(check bool) "SQL contains the inequality" true
+    (Astring.String.is_infix ~affix:"<>" text)
+
+let () =
+  Alcotest.run "comparisons"
+    [
+      ( "language",
+        [
+          Alcotest.test_case "parse forms" `Quick test_parse_forms;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "safety" `Quick test_safety;
+          Alcotest.test_case "types" `Quick test_types;
+          Alcotest.test_case "sql generation" `Quick test_sqlgen;
+        ] );
+      ( "evaluation",
+        [
+          Alcotest.test_case "siblings" `Quick test_siblings;
+          Alcotest.test_case "recursive + all strategies" `Quick
+            test_recursion_with_comparison_all_strategies;
+          Alcotest.test_case "top-down deferral" `Quick test_topdown_with_comparisons;
+          Alcotest.test_case "explain shows SQL" `Quick test_comparison_in_shell_explain;
+        ] );
+    ]

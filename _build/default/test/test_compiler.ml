@@ -1,0 +1,138 @@
+(* Direct tests of the compiler pipeline: error paths, evaluation-order
+   construction, and metadata that the session-level tests don't reach. *)
+
+module Session = Core.Session
+module A = Datalog.Ast
+module V = Rdbms.Value
+module D = Rdbms.Datatype
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail e
+
+let compile s ?(optimize = Core.Compiler.Opt_off) goal =
+  Core.Compiler.compile ~stored:(Session.stored s) ~workspace:(Session.workspace s) ~optimize
+    ~goal ()
+
+let base_session () =
+  let s = Session.create () in
+  ok (Session.define_base s "edge" [ ("src", D.TInt); ("dst", D.TInt) ] ~indexes:[ "src" ] ());
+  s
+
+let goal name args = A.atom name args
+
+let test_missing_predicate () =
+  let s = base_session () in
+  match compile s (goal "nothing" [ A.Var "X" ]) with
+  | Error msg ->
+      Alcotest.(check bool) "mentions predicate" true (Astring.String.is_infix ~affix:"nothing" msg)
+  | Ok _ -> Alcotest.fail "should fail"
+
+let test_goal_arity_checked () =
+  let s = base_session () in
+  ok (Session.load_rules s "t(X, Y) :- edge(X, Y).");
+  (match compile s (goal "t" [ A.Var "X" ]) with
+  | Error msg -> Alcotest.(check bool) "arity error" true (Astring.String.is_infix ~affix:"arity" msg)
+  | Ok _ -> Alcotest.fail "should fail");
+  match compile s (goal "edge" [ A.Var "X" ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "base goal arity should fail too"
+
+let test_unstratified_rejected () =
+  let s = base_session () in
+  ok (Session.load_rules s "win(X) :- edge(X, Y), not win(Y).");
+  match compile s (goal "win" [ A.Var "X" ]) with
+  | Error msg ->
+      Alcotest.(check bool) "mentions negation" true
+        (Astring.String.is_infix ~affix:"negation" msg)
+  | Ok _ -> Alcotest.fail "should fail"
+
+let test_type_conflict_rejected () =
+  let s = base_session () in
+  ok (Session.define_base s "lbl" [ ("l", D.TStr) ] ());
+  ok (Session.load_rules s "bad(X) :- edge(X, Y), lbl(X).");
+  match compile s (goal "bad" [ A.Var "X" ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "should fail"
+
+let test_reserved_goal_name () =
+  let s = base_session () in
+  match compile s (goal "m__sneaky__bf" [ A.Var "X" ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "reserved names must be rejected"
+
+let test_eval_order_spans_strata () =
+  let s = base_session () in
+  ok
+    (Session.load_rules s
+       {| tc(X, Y) :- edge(X, Y).
+          tc(X, Y) :- edge(X, Z), tc(Z, Y).
+          island(X) :- edge(X, Y), not tc(Y, X). |});
+  let compiled = ok (compile s (goal "island" [ A.Var "X" ])) in
+  match compiled.Core.Compiler.eval_order with
+  | [ Datalog.Evalgraph.N_clique c; Datalog.Evalgraph.N_pred "island" ] ->
+      Alcotest.(check (list string)) "tc clique first" [ "tc" ] c.Datalog.Clique.preds
+  | other ->
+      Alcotest.fail
+        (Printf.sprintf "unexpected order: %s" (Datalog.Evalgraph.pp other))
+
+let test_optimize_phase_recorded_only_when_used () =
+  let s = base_session () in
+  ok (Session.load_rules s "t(X, Y) :- edge(X, Y). t(X, Y) :- edge(X, Z), t(Z, Y).");
+  let c1 = ok (compile s (goal "t" [ A.Const (V.Int 1); A.Var "W" ])) in
+  Alcotest.(check bool) "off: not optimized" false c1.Core.Compiler.optimized;
+  let c2 = ok (compile s ~optimize:Core.Compiler.Opt_on (goal "t" [ A.Const (V.Int 1); A.Var "W" ])) in
+  Alcotest.(check bool) "on: optimized" true c2.Core.Compiler.optimized;
+  (* rewritten program has more clauses than the original *)
+  Alcotest.(check bool) "rewriting grows the program" true
+    (List.length c2.Core.Compiler.clauses > List.length c2.Core.Compiler.original_clauses)
+
+let test_supplementary_mode_end_to_end () =
+  let s = base_session () in
+  ignore (ok (Session.add_facts s "edge" [ [ V.Int 1; V.Int 2 ]; [ V.Int 2; V.Int 3 ] ]));
+  ok (Session.load_rules s "t(X, Y) :- edge(X, Y). t(X, Y) :- edge(X, Z), t(Z, Y).");
+  let compiled =
+    ok (compile s ~optimize:Core.Compiler.Opt_supplementary (goal "t" [ A.Const (V.Int 1); A.Var "W" ]))
+  in
+  Alcotest.(check bool) "sup predicates in program" true
+    (List.exists
+       (fun (name, _) -> Astring.String.is_prefix ~affix:"sup__" name)
+       compiled.Core.Compiler.program.Core.Codegen.derived_tables)
+
+let test_runtime_iteration_guard () =
+  let s = base_session () in
+  ignore (ok (Session.add_facts s "edge" [ [ V.Int 1; V.Int 2 ]; [ V.Int 2; V.Int 1 ] ]));
+  ok (Session.load_rules s "t(X, Y) :- edge(X, Y). t(X, Y) :- edge(X, Z), t(Z, Y).");
+  let compiled = ok (compile s (goal "t" [ A.Var "X"; A.Var "Y" ])) in
+  Alcotest.(check bool) "max_iterations trips" true
+    (try
+       ignore
+         (Core.Runtime.execute (Session.engine s) ~max_iterations:1 compiled.Core.Compiler.program);
+       false
+     with Failure _ -> true);
+  (* the guard must not leak temp tables that block a re-run *)
+  match
+    Core.Runtime.execute (Session.engine s) compiled.Core.Compiler.program
+  with
+  | report -> Alcotest.(check int) "re-run succeeds" 4 (List.length report.Core.Runtime.rows)
+  | exception _ -> Alcotest.fail "re-run failed"
+
+let () =
+  Alcotest.run "compiler"
+    [
+      ( "errors",
+        [
+          Alcotest.test_case "missing predicate" `Quick test_missing_predicate;
+          Alcotest.test_case "goal arity" `Quick test_goal_arity_checked;
+          Alcotest.test_case "unstratified" `Quick test_unstratified_rejected;
+          Alcotest.test_case "type conflict" `Quick test_type_conflict_rejected;
+          Alcotest.test_case "reserved names" `Quick test_reserved_goal_name;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "strata in eval order" `Quick test_eval_order_spans_strata;
+          Alcotest.test_case "optimize modes" `Quick test_optimize_phase_recorded_only_when_used;
+          Alcotest.test_case "supplementary end-to-end" `Quick test_supplementary_mode_end_to_end;
+          Alcotest.test_case "iteration guard" `Quick test_runtime_iteration_guard;
+        ] );
+    ]

@@ -1,0 +1,169 @@
+(* Tests for the Knowledge Manager extensions: the precompiled-query
+   cache, the embedded-SQL/C program rendering, and Codegen details. *)
+
+module Session = Core.Session
+module A = Datalog.Ast
+module V = Rdbms.Value
+module D = Rdbms.Datatype
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail e
+
+let family () =
+  let s = Session.create () in
+  ok (Session.define_base s "parent" [ ("p", D.TStr); ("c", D.TStr) ] ~indexes:[ "p" ] ());
+  ignore
+    (ok
+       (Session.add_facts s "parent"
+          (List.map
+             (fun (a, b) -> [ V.Str a; V.Str b ])
+             [ ("john", "mary"); ("mary", "sue") ])));
+  ok (Session.load_rules s Workload.Queries.ancestor_rules);
+  s
+
+let goal = A.atom "ancestor" [ A.Const (V.Str "john"); A.Var "W" ]
+
+(* ---------------- precompiled cache ---------------- *)
+
+let test_cache_hit_and_miss () =
+  let s = family () in
+  let cache = Core.Precompiled.create () in
+  let a1, o1 = ok (Core.Precompiled.query cache s goal) in
+  Alcotest.(check bool) "first is a miss" true (o1 = Core.Precompiled.Miss);
+  Alcotest.(check int) "answers" 2 (List.length a1.Session.run.Core.Runtime.rows);
+  let a2, o2 = ok (Core.Precompiled.query cache s goal) in
+  Alcotest.(check bool) "second is a hit" true (o2 = Core.Precompiled.Hit);
+  Alcotest.(check int) "same answers" 2 (List.length a2.Session.run.Core.Runtime.rows);
+  Alcotest.(check int) "one entry" 1 (Core.Precompiled.size cache)
+
+let test_cache_sees_new_facts () =
+  (* execution always reruns: data changes don't need invalidation *)
+  let s = family () in
+  let cache = Core.Precompiled.create () in
+  let a1, _ = ok (Core.Precompiled.query cache s goal) in
+  ok (Session.add_fact s "parent" [ V.Str "sue"; V.Str "tim" ]);
+  let a2, o2 = ok (Core.Precompiled.query cache s goal) in
+  Alcotest.(check bool) "still a hit" true (o2 = Core.Precompiled.Hit);
+  Alcotest.(check int) "sees the new tuple"
+    (List.length a1.Session.run.Core.Runtime.rows + 1)
+    (List.length a2.Session.run.Core.Runtime.rows)
+
+let test_cache_invalidation_on_relevant_rule () =
+  let s = family () in
+  let cache = Core.Precompiled.create () in
+  ignore (ok (Core.Precompiled.query cache s goal));
+  ok (Session.add_rule s "ancestor(X, Y) :- parent(Y, X).");
+  let a, o = ok (Core.Precompiled.query cache s goal) in
+  Alcotest.(check bool) "invalidated" true (o = Core.Precompiled.Invalidated);
+  Alcotest.(check int) "recompiled program sees the new rule" 3
+    (List.length a.Session.run.Core.Runtime.rows);
+  Alcotest.(check int) "one invalidation" 1 (Core.Precompiled.invalidations cache)
+
+let test_cache_survives_irrelevant_rule () =
+  let s = family () in
+  let cache = Core.Precompiled.create () in
+  ignore (ok (Core.Precompiled.query cache s goal));
+  ok (Session.add_rule s "unrelated(X) :- parent(X, Y).");
+  let _, o = ok (Core.Precompiled.query cache s goal) in
+  Alcotest.(check bool) "still a hit" true (o = Core.Precompiled.Hit);
+  Alcotest.(check int) "no invalidations" 0 (Core.Precompiled.invalidations cache)
+
+let test_cache_keys_include_options () =
+  let s = family () in
+  let cache = Core.Precompiled.create () in
+  ignore (ok (Core.Precompiled.query cache s goal));
+  let _, o =
+    ok
+      (Core.Precompiled.query cache s
+         ~options:{ Session.default_options with optimize = Core.Compiler.Opt_on }
+         goal)
+  in
+  Alcotest.(check bool) "different optimize mode misses" true (o = Core.Precompiled.Miss);
+  Alcotest.(check int) "two entries" 2 (Core.Precompiled.size cache);
+  Core.Precompiled.clear cache;
+  Alcotest.(check int) "cleared" 0 (Core.Precompiled.size cache)
+
+(* ---------------- emit_c ---------------- *)
+
+let compile s options goal =
+  ok
+    (Core.Compiler.compile ~stored:(Session.stored s) ~workspace:(Session.workspace s)
+       ~optimize:options ~goal ())
+
+let test_emit_c_program () =
+  let s = family () in
+  let compiled = compile s Core.Compiler.Opt_off goal in
+  let text = Core.Emit_c.program compiled in
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool) ("contains " ^ affix) true (Astring.String.is_infix ~affix text))
+    [
+      "EXEC SQL INCLUDE SQLCA";
+      "dkb_load_query_program";
+      "dkb_clique_node";
+      "dkb_add_exit_rule";
+      "dkb_add_recursive_rule";
+      "dkb_add_delta_variant";
+      "dkb_set_query";
+      "SELECT DISTINCT";
+      "ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).";
+    ]
+
+let test_emit_c_escapes_quotes () =
+  let s = family () in
+  let compiled = compile s Core.Compiler.Opt_on goal in
+  let text = Core.Emit_c.program compiled in
+  (* the magic seed SQL contains 'john'; inside a C string it must be
+     untouched, but embedded double quotes would be escaped *)
+  Alcotest.(check bool) "magic seed present" true
+    (Astring.String.is_infix ~affix:"'john'" text);
+  Alcotest.(check bool) "mentions optimization" true
+    (Astring.String.is_infix ~affix:"generalized magic sets" text)
+
+(* ---------------- codegen ---------------- *)
+
+let test_codegen_query_shapes () =
+  let s = family () in
+  let rows = compile s Core.Compiler.Opt_off goal in
+  (match rows.Core.Compiler.program.Core.Codegen.query_shape with
+  | Core.Codegen.Q_rows [ "W" ] -> ()
+  | _ -> Alcotest.fail "expected row query on W");
+  let boolean =
+    compile s Core.Compiler.Opt_off
+      (A.atom "ancestor" [ A.Const (V.Str "john"); A.Const (V.Str "sue") ])
+  in
+  match boolean.Core.Compiler.program.Core.Codegen.query_shape with
+  | Core.Codegen.Q_boolean -> ()
+  | _ -> Alcotest.fail "expected boolean query"
+
+let test_codegen_derived_tables_listed () =
+  let s = family () in
+  let compiled = compile s Core.Compiler.Opt_on goal in
+  let tables = List.map fst compiled.Core.Compiler.program.Core.Codegen.derived_tables in
+  Alcotest.(check bool) "magic table" true (List.mem "m__ancestor__bf" tables);
+  Alcotest.(check bool) "adorned table" true (List.mem "ancestor__bf" tables)
+
+let () =
+  Alcotest.run "core_extras"
+    [
+      ( "precompiled",
+        [
+          Alcotest.test_case "hit and miss" `Quick test_cache_hit_and_miss;
+          Alcotest.test_case "data changes without invalidation" `Quick test_cache_sees_new_facts;
+          Alcotest.test_case "relevant rule invalidates" `Quick
+            test_cache_invalidation_on_relevant_rule;
+          Alcotest.test_case "irrelevant rule kept" `Quick test_cache_survives_irrelevant_rule;
+          Alcotest.test_case "options in key" `Quick test_cache_keys_include_options;
+        ] );
+      ( "emit_c",
+        [
+          Alcotest.test_case "program text" `Quick test_emit_c_program;
+          Alcotest.test_case "escaping and magic" `Quick test_emit_c_escapes_quotes;
+        ] );
+      ( "codegen",
+        [
+          Alcotest.test_case "query shapes" `Quick test_codegen_query_shapes;
+          Alcotest.test_case "derived tables" `Quick test_codegen_derived_tables_listed;
+        ] );
+    ]

@@ -1,0 +1,365 @@
+(* Behavioural tests for the engine: DDL, DML and query execution,
+   including joins, set operations, NOT EXISTS anti-joins and ORDER BY —
+   plus a property test checking WHERE evaluation against a direct
+   in-memory reference filter. *)
+
+module E = Rdbms.Engine
+module V = Rdbms.Value
+
+let fresh () =
+  let e = E.create () in
+  ignore (E.exec e "CREATE TABLE emp (id integer, name char, dept char)");
+  ignore (E.exec e "CREATE TABLE dept (dname char, city char)");
+  ignore
+    (E.exec e
+       "INSERT INTO emp VALUES (1, 'ann', 'sales'), (2, 'bob', 'sales'), (3, 'cho', 'eng'), (4, \
+        'dan', 'ops')");
+  ignore (E.exec e "INSERT INTO dept VALUES ('sales', 'nyc'), ('eng', 'sfo')");
+  e
+
+let rows_of = function
+  | E.Rows { rows; _ } -> rows
+  | _ -> Alcotest.fail "expected rows"
+
+let strings e sql =
+  rows_of (E.exec e sql)
+  |> List.map (fun row ->
+         String.concat "," (Array.to_list (Array.map V.to_string row)))
+
+let check_rows name expected e sql = Alcotest.(check (list string)) name expected (strings e sql)
+
+let test_select_filter () =
+  let e = fresh () in
+  check_rows "eq filter" [ "1,ann"; "2,bob" ] e
+    "SELECT id, name FROM emp WHERE dept = 'sales'";
+  check_rows "lt filter" [ "1,ann" ] e "SELECT id, name FROM emp WHERE id < 2";
+  check_rows "or filter" [ "3,cho"; "4,dan" ] e
+    "SELECT id, name FROM emp WHERE dept = 'eng' OR dept = 'ops'";
+  check_rows "not filter" [ "3"; "4" ] e "SELECT id FROM emp WHERE NOT dept = 'sales'"
+
+let test_projection_and_literals () =
+  let e = fresh () in
+  check_rows "literal column" [ "ann,1"; "bob,1" ] e
+    "SELECT name, 1 FROM emp WHERE dept = 'sales'";
+  match E.exec e "SELECT name AS who FROM emp WHERE id = 1" with
+  | E.Rows { columns = [ "who" ]; _ } -> ()
+  | _ -> Alcotest.fail "alias not used"
+
+let test_join () =
+  let e = fresh () in
+  check_rows "equi join" [ "ann,nyc"; "bob,nyc"; "cho,sfo" ] e
+    "SELECT e.name, d.city FROM emp e, dept d WHERE e.dept = d.dname ORDER BY 1"
+
+let test_join_with_index () =
+  let e = fresh () in
+  ignore (E.exec e "CREATE INDEX idx_dept ON dept (dname)");
+  check_rows "index join same answer" [ "ann,nyc"; "bob,nyc"; "cho,sfo" ] e
+    "SELECT e.name, d.city FROM emp e, dept d WHERE e.dept = d.dname ORDER BY 1";
+  let plan = E.explain e "SELECT e.name FROM emp e, dept d WHERE e.dept = d.dname" in
+  Alcotest.(check bool) "uses index join" true (Astring.String.is_infix ~affix:"IndexJoin" plan)
+
+let test_self_join () =
+  let e = fresh () in
+  check_rows "same dept pairs" [ "ann,bob" ] e
+    "SELECT a.name, b.name FROM emp a, emp b WHERE a.dept = b.dept AND a.id < b.id"
+
+let test_cross_join () =
+  let e = fresh () in
+  Alcotest.(check int) "4 x 2" 8
+    (List.length (rows_of (E.exec e "SELECT e.id, d.dname FROM emp e, dept d")))
+
+let test_distinct () =
+  let e = fresh () in
+  check_rows "distinct depts" [ "eng"; "ops"; "sales" ] e
+    "SELECT DISTINCT dept FROM emp ORDER BY 1"
+
+let test_count () =
+  let e = fresh () in
+  Alcotest.(check int) "count all" 4 (E.scalar_int e "SELECT COUNT(*) FROM emp");
+  Alcotest.(check int) "count filtered" 2
+    (E.scalar_int e "SELECT COUNT(*) FROM emp WHERE dept = 'sales'")
+
+let test_set_operations () =
+  let e = fresh () in
+  check_rows "union distinct" [ "eng"; "ops"; "sales" ] e
+    "SELECT dept FROM emp UNION SELECT dept FROM emp ORDER BY 1";
+  Alcotest.(check int) "union all keeps dups" 8
+    (List.length (rows_of (E.exec e "SELECT dept FROM emp UNION ALL SELECT dept FROM emp")));
+  check_rows "except" [ "ops" ] e
+    "SELECT dept FROM emp EXCEPT SELECT dname FROM dept"
+
+let test_except_removes_duplicates () =
+  let e = fresh () in
+  (* 'sales' appears twice on the left but is removed; 'ops' survives once *)
+  check_rows "except is set-semantics" [ "ops" ] e
+    "SELECT dept FROM emp WHERE dept = 'sales' OR dept = 'ops' EXCEPT SELECT dname FROM dept"
+
+let test_order_by () =
+  let e = fresh () in
+  check_rows "desc" [ "4"; "3"; "2"; "1" ] e "SELECT id FROM emp ORDER BY id DESC";
+  check_rows "by name" [ "1,ann"; "2,bob"; "3,cho"; "4,dan" ] e
+    "SELECT id, name FROM emp ORDER BY name";
+  (* dept isn't in the output, so order by its projected position instead *)
+  check_rows "two keys desc" [ "4,dan"; "3,cho"; "2,bob"; "1,ann" ] e
+    "SELECT id, name FROM emp ORDER BY id DESC, name"
+
+let test_not_exists () =
+  let e = fresh () in
+  check_rows "emps with no dept row" [ "dan" ] e
+    "SELECT name FROM emp WHERE NOT EXISTS (SELECT * FROM dept d WHERE d.dname = emp.dept)";
+  check_rows "with extra inner filter" [ "cho"; "dan" ] e
+    "SELECT name FROM emp WHERE NOT EXISTS (SELECT * FROM dept d WHERE d.dname = emp.dept AND \
+     d.city = 'nyc') ORDER BY 1"
+
+let test_delete () =
+  let e = fresh () in
+  (match E.exec e "DELETE FROM emp WHERE dept = 'sales'" with
+  | E.Affected 2 -> ()
+  | _ -> Alcotest.fail "expected 2 deleted");
+  Alcotest.(check int) "2 remain" 2 (E.scalar_int e "SELECT COUNT(*) FROM emp");
+  (match E.exec e "DELETE FROM emp" with
+  | E.Affected 2 -> ()
+  | _ -> Alcotest.fail "expected 2 deleted");
+  Alcotest.(check int) "empty" 0 (E.scalar_int e "SELECT COUNT(*) FROM emp")
+
+let test_update () =
+  let e = fresh () in
+  (match E.exec e "UPDATE emp SET dept = 'mgmt' WHERE id < 3" with
+  | E.Affected 2 -> ()
+  | _ -> Alcotest.fail "expected 2 updated");
+  check_rows "values changed" [ "1,mgmt"; "2,mgmt"; "3,eng"; "4,ops" ] e
+    "SELECT id, dept FROM emp ORDER BY 1";
+  (* assignment from another column *)
+  (match E.exec e "UPDATE emp SET name = dept WHERE id = 4" with
+  | E.Affected 1 -> ()
+  | _ -> Alcotest.fail "expected 1 updated");
+  check_rows "col to col" [ "ops" ] e "SELECT name FROM emp WHERE id = 4";
+  (* no-op updates count zero *)
+  (match E.exec e "UPDATE emp SET dept = 'mgmt' WHERE id = 1" with
+  | E.Affected 0 -> ()
+  | _ -> Alcotest.fail "expected 0");
+  (* indexes follow updated rows *)
+  ignore (E.exec e "CREATE INDEX idx_emp_dept ON emp (dept)");
+  ignore (E.exec e "UPDATE emp SET dept = 'lab' WHERE id = 1");
+  check_rows "index sees new value" [ "1" ] e "SELECT id FROM emp WHERE dept = 'lab'";
+  (* type errors *)
+  Alcotest.(check bool) "bad literal type" true
+    (try ignore (E.exec e "UPDATE emp SET id = 'oops'"); false with E.Sql_error _ -> true);
+  Alcotest.(check bool) "bad column" true
+    (try ignore (E.exec e "UPDATE emp SET ghost = 1"); false with E.Sql_error _ -> true);
+  Alcotest.(check bool) "cross-type column copy" true
+    (try ignore (E.exec e "UPDATE emp SET id = name"); false with E.Sql_error _ -> true)
+
+let test_insert_select () =
+  let e = fresh () in
+  ignore (E.exec e "CREATE TABLE names (n char)");
+  (match E.exec e "INSERT INTO names SELECT name FROM emp WHERE dept = 'sales'" with
+  | E.Affected 2 -> ()
+  | _ -> Alcotest.fail "expected 2");
+  (* duplicate insert is a no-op under set semantics *)
+  (match E.exec e "INSERT INTO names SELECT name FROM emp WHERE dept = 'sales'" with
+  | E.Affected 0 -> ()
+  | _ -> Alcotest.fail "expected 0");
+  check_rows "contents" [ "ann"; "bob" ] e "SELECT n FROM names ORDER BY 1"
+
+let test_insert_select_type_check () =
+  let e = fresh () in
+  ignore (E.exec e "CREATE TABLE nums (n integer)");
+  Alcotest.(check bool) "type mismatch rejected" true
+    (try
+       ignore (E.exec e "INSERT INTO nums SELECT name FROM emp");
+       false
+     with E.Sql_error _ -> true)
+
+let test_errors () =
+  let e = fresh () in
+  let fails sql =
+    Alcotest.(check bool)
+      (Printf.sprintf "rejects %s" sql)
+      true
+      (try
+         ignore (E.exec e sql);
+         false
+       with E.Sql_error _ -> true)
+  in
+  fails "SELECT nope FROM emp";
+  fails "SELECT id FROM nope";
+  fails "SELECT id FROM emp WHERE id = 'x'";
+  fails "SELECT name FROM emp, dept WHERE dname = 1";
+  fails "SELECT e.id FROM emp e, emp e";
+  fails "SELECT id FROM emp ORDER BY 9";
+  fails "CREATE TABLE emp (a integer)";
+  fails "DROP TABLE nope";
+  fails "INSERT INTO emp VALUES (1, 2)";
+  fails "SELECT COUNT(*), id FROM emp"
+
+let test_stats_charged () =
+  let e = fresh () in
+  let before = Rdbms.Stats.copy (E.stats e) in
+  ignore (E.exec e "SELECT * FROM emp");
+  let d = Rdbms.Stats.diff (E.stats e) before in
+  Alcotest.(check bool) "scan charged" true (d.Rdbms.Stats.page_reads >= 1);
+  Alcotest.(check bool) "rows counted" true (d.Rdbms.Stats.rows_read = 4)
+
+let test_aggregates () =
+  let e = fresh () in
+  ignore (E.exec e "CREATE TABLE pay (name char, dept char, salary integer)");
+  ignore
+    (E.exec e
+       "INSERT INTO pay VALUES ('ann', 'sales', 10), ('bob', 'sales', 20), ('cho', 'eng', 30), \
+        ('dan', 'ops', 5)");
+  check_rows "group by with count and sum"
+    [ "eng,1,30"; "ops,1,5"; "sales,2,30" ]
+    e
+    "SELECT dept, COUNT(*), SUM(salary) FROM pay GROUP BY dept ORDER BY 1";
+  check_rows "min max" [ "5,30" ] e "SELECT MIN(salary), MAX(salary) FROM pay";
+  check_rows "min over strings" [ "ann" ] e "SELECT MIN(name) FROM pay";
+  check_rows "count col" [ "4" ] e "SELECT COUNT(salary) FROM pay";
+  check_rows "aggregate with where" [ "sales,30" ] e
+    "SELECT dept, SUM(salary) FROM pay WHERE dept = 'sales' GROUP BY dept";
+  check_rows "group key from join" [ "nyc,2" ] e
+    "SELECT d.city, COUNT(*) FROM pay p, dept d WHERE p.dept = d.dname AND d.city = 'nyc' \
+     GROUP BY d.city";
+  (* empty input *)
+  ignore (E.exec e "DELETE FROM pay");
+  check_rows "count over empty" [ "0" ] e "SELECT COUNT(salary) FROM pay";
+  check_rows "sum over empty has no row" [] e "SELECT SUM(salary) FROM pay";
+  check_rows "group by over empty" [] e "SELECT dept, COUNT(*) FROM pay GROUP BY dept"
+
+let test_aggregate_errors () =
+  let e = fresh () in
+  let fails sql =
+    Alcotest.(check bool)
+      (Printf.sprintf "rejects %s" sql)
+      true
+      (try
+         ignore (E.exec e sql);
+         false
+       with E.Sql_error _ -> true)
+  in
+  fails "SELECT name, COUNT(*) FROM emp";
+  fails "SELECT name FROM emp GROUP BY dept";
+  fails "SELECT SUM(name) FROM emp";
+  fails "SELECT SUM(1) FROM emp";
+  fails "SELECT * FROM emp GROUP BY dept"
+
+let test_boolean_const_where () =
+  let e = fresh () in
+  check_rows "true const" [ "1"; "2"; "3"; "4" ] e "SELECT id FROM emp WHERE 1 = 1 ORDER BY 1";
+  check_rows "false const" [] e "SELECT id FROM emp WHERE 1 = 2"
+
+(* ---------------- property: WHERE vs reference filter ---------------- *)
+
+let prop_filter_matches_reference =
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 40) (pair (int_bound 9) (int_bound 9)))
+        (pair (int_bound 9) (oneofl [ "="; "<"; "<="; ">"; ">="; "<>" ])))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200 ~name:"WHERE matches in-memory reference filter" gen
+       (fun (pairs, (k, op)) ->
+         let e = E.create () in
+         ignore (E.exec e "CREATE TABLE t (a integer, b integer)");
+         List.iter
+           (fun (a, b) -> ignore (E.exec e (Printf.sprintf "INSERT INTO t VALUES (%d, %d)" a b)))
+           pairs;
+         let dedup =
+           List.sort_uniq compare pairs
+         in
+         let opf : int -> int -> bool =
+           match op with
+           | "=" -> ( = )
+           | "<" -> ( < )
+           | "<=" -> ( <= )
+           | ">" -> ( > )
+           | ">=" -> ( >= )
+           | _ -> ( <> )
+         in
+         let expected =
+           List.filter (fun (a, _) -> opf a k) dedup |> List.sort compare
+         in
+         let got =
+           rows_of (E.exec e (Printf.sprintf "SELECT a, b FROM t WHERE a %s %d ORDER BY 1, 2" op k))
+           |> List.map (fun r ->
+                  match r with
+                  | [| V.Int a; V.Int b |] -> (a, b)
+                  | _ -> (-1, -1))
+         in
+         expected = got))
+
+let prop_join_matches_reference =
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 25) (pair (int_bound 5) (int_bound 5)))
+        (list_size (int_range 0 25) (pair (int_bound 5) (int_bound 5))))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:150 ~name:"equi-join matches in-memory reference join" gen
+       (fun (xs, ys) ->
+         let e = E.create () in
+         ignore (E.exec e "CREATE TABLE r (a integer, b integer)");
+         ignore (E.exec e "CREATE TABLE s (c integer, d integer)");
+         ignore (E.exec e "CREATE INDEX idx_s_c ON s (c)");
+         List.iter
+           (fun (a, b) -> ignore (E.exec e (Printf.sprintf "INSERT INTO r VALUES (%d, %d)" a b)))
+           xs;
+         List.iter
+           (fun (c, d) -> ignore (E.exec e (Printf.sprintf "INSERT INTO s VALUES (%d, %d)" c d)))
+           ys;
+         let xs = List.sort_uniq compare xs and ys = List.sort_uniq compare ys in
+         let expected =
+           List.concat_map
+             (fun (a, b) ->
+               List.filter_map (fun (c, d) -> if b = c then Some (a, b, c, d) else None) ys)
+             xs
+           |> List.sort_uniq compare
+         in
+         let got =
+           rows_of
+             (E.exec e
+                "SELECT DISTINCT r.a, r.b, s.c, s.d FROM r, s WHERE r.b = s.c ORDER BY 1, 2, 3, 4")
+           |> List.map (fun row ->
+                  match row with
+                  | [| V.Int a; V.Int b; V.Int c; V.Int d |] -> (a, b, c, d)
+                  | _ -> (-1, -1, -1, -1))
+         in
+         expected = got))
+
+let () =
+  Alcotest.run "executor"
+    [
+      ( "queries",
+        [
+          Alcotest.test_case "select filter" `Quick test_select_filter;
+          Alcotest.test_case "projection" `Quick test_projection_and_literals;
+          Alcotest.test_case "join" `Quick test_join;
+          Alcotest.test_case "index join" `Quick test_join_with_index;
+          Alcotest.test_case "self join" `Quick test_self_join;
+          Alcotest.test_case "cross join" `Quick test_cross_join;
+          Alcotest.test_case "distinct" `Quick test_distinct;
+          Alcotest.test_case "count" `Quick test_count;
+          Alcotest.test_case "set operations" `Quick test_set_operations;
+          Alcotest.test_case "except dedups" `Quick test_except_removes_duplicates;
+          Alcotest.test_case "order by" `Quick test_order_by;
+          Alcotest.test_case "not exists" `Quick test_not_exists;
+          Alcotest.test_case "constant where" `Quick test_boolean_const_where;
+          Alcotest.test_case "aggregates" `Quick test_aggregates;
+          Alcotest.test_case "aggregate errors" `Quick test_aggregate_errors;
+        ] );
+      ( "dml",
+        [
+          Alcotest.test_case "delete" `Quick test_delete;
+          Alcotest.test_case "update" `Quick test_update;
+          Alcotest.test_case "insert select" `Quick test_insert_select;
+          Alcotest.test_case "insert select types" `Quick test_insert_select_type_check;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "stats charged" `Quick test_stats_charged;
+        ] );
+      ("properties", [ prop_filter_matches_reference; prop_join_matches_reference ]);
+    ]

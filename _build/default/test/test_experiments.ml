@@ -1,0 +1,73 @@
+(* Runs every paper experiment at Quick scale and asserts the qualitative
+   shape claims hold — the reproduction's regression suite. *)
+
+let quick = Experiments.Common.Quick
+
+let test_test1 () =
+  let r = Experiments.Test1.run ~scale:quick () in
+  Alcotest.(check bool) "fig 7" true r.Experiments.Test1.fig7_insensitive_to_rs;
+  Alcotest.(check bool) "fig 8" true r.Experiments.Test1.fig8_grows_with_rrs;
+  (* extraction really finds the cluster's rules *)
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "extracted = R_rs" p.Experiments.Test1.r_rs
+        p.Experiments.Test1.rules_found)
+    r.Experiments.Test1.points
+
+let test_test2 () =
+  let r = Experiments.Test2.run ~scale:quick () in
+  Alcotest.(check bool) "fig 9" true r.Experiments.Test2.fig9_insensitive_to_ps;
+  Alcotest.(check bool) "fig 10" true r.Experiments.Test2.fig10_grows_with_prs
+
+let test_test3 () =
+  let r = Experiments.Test3.run ~scale:quick () in
+  Alcotest.(check bool) "table 4" true r.Experiments.Test3.extract_share_grows
+
+let test_test4 () =
+  let r = Experiments.Test4.run ~scale:quick () in
+  Alcotest.(check bool) "method 1 insensitive" true r.Experiments.Test4.m1_insensitive;
+  Alcotest.(check bool) "method 2 grows" true r.Experiments.Test4.m2_grows
+
+let test_test5 () =
+  let r = Experiments.Test5.run ~scale:quick () in
+  Alcotest.(check bool) "semi-naive wins" true r.Experiments.Test5.seminaive_wins;
+  Alcotest.(check bool) "speedup sane" true (r.Experiments.Test5.median_speedup > 1.0)
+
+let test_test6 () =
+  let r = Experiments.Test6.run ~scale:quick () in
+  Alcotest.(check bool) "work dominates" true r.Experiments.Test6.work_dominates;
+  Alcotest.(check bool) "naive work larger" true r.Experiments.Test6.naive_work_larger
+
+let test_test7 () =
+  let r = Experiments.Test7.run ~scale:quick () in
+  Alcotest.(check bool) "magic wins at low selectivity" true
+    r.Experiments.Test7.magic_wins_low_selectivity;
+  Alcotest.(check bool) "fig 14 shape" true r.Experiments.Test7.fig14_shape;
+  Alcotest.(check bool) "low-selectivity speedup" true (r.Experiments.Test7.lowsel_speedup >= 5.0)
+
+let test_test8 () =
+  let r = Experiments.Test8.run ~scale:quick () in
+  Alcotest.(check bool) "compiled slower" true r.Experiments.Test8.compiled_slower;
+  Alcotest.(check bool) "insensitive to R_s" true r.Experiments.Test8.insensitive_to_rs
+
+let test_test9 () =
+  let r = Experiments.Test9.run ~scale:quick () in
+  Alcotest.(check bool) "extract share shape" true r.Experiments.Test9.extract_significant;
+  Alcotest.(check bool) "source small" true r.Experiments.Test9.source_small
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "paper shapes (quick scale)",
+        [
+          Alcotest.test_case "test1 / fig 7-8" `Slow test_test1;
+          Alcotest.test_case "test2 / fig 9-10" `Slow test_test2;
+          Alcotest.test_case "test3 / table 4" `Slow test_test3;
+          Alcotest.test_case "test4 / fig 11" `Slow test_test4;
+          Alcotest.test_case "test5 / fig 12" `Slow test_test5;
+          Alcotest.test_case "test6 / table 5" `Slow test_test6;
+          Alcotest.test_case "test7 / fig 13-14" `Slow test_test7;
+          Alcotest.test_case "test8 / fig 15" `Slow test_test8;
+          Alcotest.test_case "test9 / table 8" `Slow test_test9;
+        ] );
+    ]

@@ -1,0 +1,224 @@
+(* Tests for the Predicate Connection Graph, Tarjan SCC, cliques and the
+   evaluation graph / evaluation order list, using the paper's own Figure 1
+   rule set as the primary fixture. *)
+
+module A = Datalog.Ast
+module P = Datalog.Parser
+module Pcg = Datalog.Pcg
+module Scc = Datalog.Scc
+
+(* Figure 1 (de-garbled): p and q are mutually recursive, p1 and p2 are
+   self-recursive, b1/b2/b3 are base. *)
+let figure1 =
+  List.map P.parse_clause
+    [
+      "p(X, Y) :- p1(X, Z), q(Z, Y).";
+      "p(X, Y) :- b1(X, Y).";
+      "q(X, Y) :- b2(X, Z), p(Z, Y).";
+      "p1(X, Y) :- b2(X, Y).";
+      "p1(X, Y) :- b1(X, Z), p1(Z, Y).";
+      "p2(X, Y) :- p2(X, Y), p2(Z, Y).";
+      "p2(X, Y) :- b3(X, Y).";
+    ]
+
+let test_pcg_edges () =
+  let g = Pcg.build figure1 in
+  Alcotest.(check (list string)) "deps of p" [ "p1"; "q"; "b1" ] (Pcg.depends_on g "p");
+  Alcotest.(check (list string)) "deps of q" [ "b2"; "p" ] (Pcg.depends_on g "q");
+  Alcotest.(check (list string)) "dependents of b1" [ "p"; "p1" ] (Pcg.dependents_of g "b1");
+  Alcotest.(check bool) "mem" true (Pcg.mem g "b3");
+  Alcotest.(check (list string)) "unknown pred" [] (Pcg.depends_on g "nope")
+
+let test_reachable () =
+  let g = Pcg.build figure1 in
+  let r = Pcg.reachable_from g [ "q" ] in
+  List.iter
+    (fun p -> Alcotest.(check bool) (p ^ " reachable from q") true (List.mem p r))
+    [ "b2"; "p"; "p1"; "q"; "b1" ];
+  Alcotest.(check bool) "p2 not reachable from q" false (List.mem "p2" r);
+  (* seeds are included only via cycles *)
+  Alcotest.(check bool) "q reaches itself through p" true (List.mem "q" r);
+  let r2 = Pcg.reachable_from g [ "p1" ] in
+  Alcotest.(check bool) "p1 self via b1-loop" true (List.mem "p1" r2)
+
+let test_sccs_and_cliques () =
+  let g = Pcg.build figure1 in
+  let sccs = Pcg.sccs g in
+  let find p = List.find (fun c -> List.mem p c) sccs in
+  Alcotest.(check bool) "p,q together" true (List.sort compare (find "p") = [ "p"; "q" ]);
+  Alcotest.(check (list string)) "p1 alone" [ "p1" ] (find "p1");
+  Alcotest.(check (list string)) "p2 alone" [ "p2" ] (find "p2");
+  let cliques = Datalog.Clique.find_all figure1 in
+  Alcotest.(check int) "three cliques" 3 (List.length cliques);
+  let pq = List.find (fun c -> List.mem "p" c.Datalog.Clique.preds) cliques in
+  Alcotest.(check int) "pq recursive rules" 2 (List.length pq.Datalog.Clique.recursive_rules);
+  Alcotest.(check int) "pq exit rules" 1 (List.length pq.Datalog.Clique.exit_rules)
+
+let test_non_recursive_scc_is_not_clique () =
+  let rules = List.map P.parse_clause [ "a(X) :- b(X)."; "b(X) :- c(X)." ] in
+  Alcotest.(check int) "no cliques" 0 (List.length (Datalog.Clique.find_all rules))
+
+let test_self_loop_is_clique () =
+  let rules = List.map P.parse_clause [ "t(X, Y) :- e(X, Y)."; "t(X, Y) :- e(X, Z), t(Z, Y)." ] in
+  match Datalog.Clique.find_all rules with
+  | [ c ] ->
+      Alcotest.(check (list string)) "preds" [ "t" ] c.Datalog.Clique.preds;
+      Alcotest.(check int) "1 exit" 1 (List.length c.Datalog.Clique.exit_rules);
+      Alcotest.(check int) "1 recursive" 1 (List.length c.Datalog.Clique.recursive_rules)
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 clique, got %d" (List.length l))
+
+let test_scc_topological_order () =
+  let g = Pcg.build figure1 in
+  let order = Pcg.sccs g in
+  let position p =
+    let rec go i = function
+      | [] -> -1
+      | scc :: rest -> if List.mem p scc then i else go (i + 1) rest
+    in
+    go 0 order
+  in
+  (* dependencies must come before dependents *)
+  Alcotest.(check bool) "b1 before p" true (position "b1" < position "p");
+  Alcotest.(check bool) "p1 before p" true (position "p1" < position "p");
+  Alcotest.(check bool) "b2 before q" true (position "b2" < position "q")
+
+let test_topo_sort () =
+  let succ = function
+    | "a" -> [ "b"; "c" ]
+    | "b" -> [ "c" ]
+    | _ -> []
+  in
+  (match Scc.topo_sort ~nodes:[ "a"; "b"; "c" ] ~succ with
+  | Some [ "c"; "b"; "a" ] -> ()
+  | Some other -> Alcotest.fail ("bad order: " ^ String.concat "," other)
+  | None -> Alcotest.fail "spurious cycle");
+  let cyc = function
+    | "a" -> [ "b" ]
+    | "b" -> [ "a" ]
+    | _ -> []
+  in
+  Alcotest.(check bool) "cycle detected" true (Scc.topo_sort ~nodes:[ "a"; "b" ] ~succ:cyc = None)
+
+let test_evaluation_order () =
+  let is_base p = List.mem p [ "b1"; "b2"; "b3" ] in
+  let order = Datalog.Evalgraph.evaluation_order ~rules:figure1 ~is_base ~goals:[ "p" ] in
+  let labels =
+    List.map
+      (function
+        | Datalog.Evalgraph.N_pred p -> p
+        | Datalog.Evalgraph.N_clique c -> "{" ^ String.concat "," (List.sort compare c.Datalog.Clique.preds) ^ "}")
+      order
+  in
+  (* p2 is not relevant to p; p1's clique must precede p's *)
+  Alcotest.(check (list string)) "order" [ "{p1}"; "{p,q}" ] labels
+
+let test_evaluation_order_base_goal () =
+  let is_base p = String.length p >= 1 && p.[0] = 'b' in
+  let order = Datalog.Evalgraph.evaluation_order ~rules:figure1 ~is_base ~goals:[ "b1" ] in
+  Alcotest.(check int) "base goal needs no entries" 0 (List.length order)
+
+let test_stratification () =
+  let ok_rules =
+    List.map P.parse_clause
+      [ "t(X) :- e(X)."; "t(X) :- e2(X), t(X)."; "s(X) :- e(X), not t(X)." ]
+  in
+  Alcotest.(check bool) "stratified accepted" true
+    (Datalog.Evalgraph.check_stratified ok_rules = Ok ());
+  let bad_rules =
+    List.map P.parse_clause [ "win(X) :- move(X, Y), not win(Y)."; "win(X) :- base(X)." ]
+  in
+  (* win negatively depends on itself through its own clique *)
+  Alcotest.(check bool) "recursion through negation rejected" true
+    (Result.is_error (Datalog.Evalgraph.check_stratified bad_rules))
+
+(* ---------------- property: SCC vs brute-force reachability ------------- *)
+
+let gen_graph =
+  (* random digraph over up to 8 nodes as an edge list *)
+  QCheck2.Gen.(list_size (int_range 0 20) (pair (int_bound 7) (int_bound 7)))
+
+let prop_scc_correct =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:300 ~name:"Tarjan SCCs = mutual-reachability classes" gen_graph
+       (fun edges ->
+         let nodes = List.init 8 string_of_int in
+         let succ n =
+           List.filter_map
+             (fun (a, b) -> if string_of_int a = n then Some (string_of_int b) else None)
+             edges
+           |> List.sort_uniq compare
+         in
+         (* brute-force reachability *)
+         let reaches a b =
+           let visited = Hashtbl.create 8 in
+           let rec go n =
+             if Hashtbl.mem visited n then false
+             else begin
+               Hashtbl.add visited n ();
+               List.exists (fun m -> m = b || go m) (succ n)
+             end
+           in
+           go a
+         in
+         let sccs = Scc.compute ~nodes ~succ in
+         (* 1. partition *)
+         let all = List.concat sccs in
+         let partition_ok = List.sort compare all = List.sort compare nodes in
+         (* 2. same component iff mutually reachable *)
+         let comp_of n = List.find (fun c -> List.mem n c) sccs in
+         let classes_ok =
+           List.for_all
+             (fun a ->
+               List.for_all
+                 (fun b ->
+                   let same = comp_of a == comp_of b in
+                   let mutual = (a = b) || (reaches a b && reaches b a) in
+                   same = mutual)
+                 nodes)
+             nodes
+         in
+         (* 3. dependency-first emission: if a reaches b and they are in
+            different components, b's component comes first *)
+         let index_of c =
+           let rec go i = function
+             | [] -> -1
+             | x :: rest -> if x == c then i else go (i + 1) rest
+           in
+           go 0 sccs
+         in
+         let order_ok =
+           List.for_all
+             (fun a ->
+               List.for_all
+                 (fun b ->
+                   let ca = comp_of a and cb = comp_of b in
+                   (not (reaches a b)) || ca == cb || index_of cb < index_of ca)
+                 nodes)
+             nodes
+         in
+         partition_ok && classes_ok && order_ok))
+
+let () =
+  Alcotest.run "graphs"
+    [
+      ( "pcg",
+        [
+          Alcotest.test_case "edges" `Quick test_pcg_edges;
+          Alcotest.test_case "reachability" `Quick test_reachable;
+        ] );
+      ( "scc+clique",
+        [
+          Alcotest.test_case "figure 1 cliques" `Quick test_sccs_and_cliques;
+          Alcotest.test_case "non-recursive scc" `Quick test_non_recursive_scc_is_not_clique;
+          Alcotest.test_case "self loop" `Quick test_self_loop_is_clique;
+          Alcotest.test_case "topological scc order" `Quick test_scc_topological_order;
+          Alcotest.test_case "topo_sort" `Quick test_topo_sort;
+          prop_scc_correct;
+        ] );
+      ( "evalgraph",
+        [
+          Alcotest.test_case "evaluation order" `Quick test_evaluation_order;
+          Alcotest.test_case "base goal" `Quick test_evaluation_order_base_goal;
+          Alcotest.test_case "stratification" `Quick test_stratification;
+        ] );
+    ]

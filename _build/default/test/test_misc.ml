@@ -1,0 +1,154 @@
+(* Coverage for the smaller public surfaces: naming conventions, stats
+   arithmetic, PCG transitive closure, evaluation-order printing, and
+   the generated-C entry renderer. *)
+
+module N = Datalog.Names
+module S = Rdbms.Stats
+module P = Datalog.Parser
+
+(* ---------------- names ---------------- *)
+
+let test_user_pred_validation () =
+  Alcotest.(check bool) "plain" true (N.check_user_pred "ancestor" = Ok ());
+  Alcotest.(check bool) "digits and underscore" true (N.check_user_pred "p_2x" = Ok ());
+  Alcotest.(check bool) "empty" true (Result.is_error (N.check_user_pred ""));
+  Alcotest.(check bool) "uppercase start" true (Result.is_error (N.check_user_pred "Ancestor"));
+  Alcotest.(check bool) "reserved __" true (Result.is_error (N.check_user_pred "a__b"));
+  Alcotest.(check bool) "bad char" true (Result.is_error (N.check_user_pred "a-b"))
+
+let test_generated_names () =
+  Alcotest.(check string) "adorned" "p__bf" (N.adorned "p" "bf");
+  Alcotest.(check string) "magic" "m__p__bf" (N.magic "p" "bf");
+  Alcotest.(check string) "delta" "dlt__p" (N.delta "p");
+  Alcotest.(check string) "supplementary" "sup__p__bf__r1__2" (N.supplementary "p" "bf" 1 2);
+  (* generated names never collide with legal user predicates *)
+  List.iter
+    (fun name -> Alcotest.(check bool) (name ^ " reserved") true (Result.is_error (N.check_user_pred name)))
+    [ N.adorned "p" "bf"; N.magic "p" "bf"; N.delta "p"; N.next "p"; N.diff "p" ]
+
+let test_strip_decorations () =
+  Alcotest.(check string) "magic" "p" (N.strip_decorations "m__p__bf");
+  Alcotest.(check string) "delta" "p" (N.strip_decorations "dlt__p");
+  Alcotest.(check string) "adorned" "anc" (N.strip_decorations "anc__bf");
+  Alcotest.(check string) "plain passes through" "anc" (N.strip_decorations "anc")
+
+(* ---------------- stats ---------------- *)
+
+let test_stats_arithmetic () =
+  let a = S.create () in
+  a.S.page_reads <- 10;
+  a.S.rows_inserted <- 3;
+  let snapshot = S.copy a in
+  a.S.page_reads <- 17;
+  a.S.page_writes <- 4;
+  let d = S.diff a snapshot in
+  Alcotest.(check int) "reads delta" 7 d.S.page_reads;
+  Alcotest.(check int) "writes delta" 4 d.S.page_writes;
+  Alcotest.(check int) "untouched delta" 0 d.S.rows_inserted;
+  Alcotest.(check int) "total io" 11 (S.total_io d);
+  let acc = S.create () in
+  S.add acc d;
+  S.add acc d;
+  Alcotest.(check int) "accumulate" 14 acc.S.page_reads;
+  S.reset acc;
+  Alcotest.(check int) "reset" 0 (S.total_io acc)
+
+let test_pages_of_bytes () =
+  Alcotest.(check int) "zero" 0 (S.pages_of_bytes 0);
+  Alcotest.(check int) "one byte" 1 (S.pages_of_bytes 1);
+  Alcotest.(check int) "exact page" 1 (S.pages_of_bytes S.page_size);
+  Alcotest.(check int) "page plus one" 2 (S.pages_of_bytes (S.page_size + 1))
+
+(* ---------------- pcg extras ---------------- *)
+
+let test_transitive_closure_pairs () =
+  let rules = List.map P.parse_clause [ "a(X) :- b(X)."; "b(X) :- c(X)." ] in
+  let pcg = Datalog.Pcg.build rules in
+  let tc = Datalog.Pcg.transitive_closure pcg in
+  Alcotest.(check bool) "a reaches c" true (List.mem ("a", "c") tc);
+  Alcotest.(check bool) "c reaches nothing" true
+    (not (List.exists (fun (f, _) -> f = "c") tc))
+
+let test_evalgraph_pp () =
+  let rules =
+    List.map P.parse_clause
+      [ "t(X, Y) :- e(X, Y)."; "t(X, Y) :- e(X, Z), t(Z, Y)."; "top(X) :- t(X, X)." ]
+  in
+  let order =
+    Datalog.Evalgraph.evaluation_order ~rules ~is_base:(fun p -> p = "e") ~goals:[ "top" ]
+  in
+  Alcotest.(check string) "rendering" "{t} -> top" (Datalog.Evalgraph.pp order)
+
+(* ---------------- clique pp & workspace ---------------- *)
+
+let test_clique_pp () =
+  let rules =
+    List.map P.parse_clause [ "t(X, Y) :- e(X, Y)."; "t(X, Y) :- e(X, Z), t(Z, Y)." ]
+  in
+  match Datalog.Clique.find_all rules with
+  | [ c ] ->
+      let text = Datalog.Clique.pp c in
+      Alcotest.(check bool) "mentions preds and rules" true
+        (Astring.String.is_infix ~affix:"{t}" text
+        && Astring.String.is_infix ~affix:"t(X, Y) :- e(X, Y)." text)
+  | _ -> Alcotest.fail "expected one clique"
+
+let test_workspace_dedup_and_queries () =
+  let w = Core.Workspace.create () in
+  let add s = Core.Workspace.add_clause w (P.parse_clause s) in
+  (match add "a(X) :- b(X)." with Ok () -> () | Error e -> Alcotest.fail e);
+  (match add "a(X) :- b(X)." with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "duplicate rules collapse" 1 (Core.Workspace.rule_count w);
+  (match add "f(1)." with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "facts tracked separately" 1
+    (List.length (Core.Workspace.facts w));
+  Alcotest.(check (list string)) "head preds" [ "a" ] (Core.Workspace.head_predicates w);
+  Alcotest.(check (list string)) "reachable" [ "a"; "b" ]
+    (Core.Workspace.reachable_preds w [ "a" ]);
+  Alcotest.(check bool) "query item rejected" true
+    (Result.is_error (Core.Workspace.add_text w "?- a(X)."));
+  Core.Workspace.clear w;
+  Alcotest.(check int) "cleared" 0 (Core.Workspace.rule_count w)
+
+(* ---------------- emit_c entry ---------------- *)
+
+let test_emit_c_entry () =
+  let entry =
+    Core.Codegen.E_pred
+      {
+        pred = "p";
+        types = [ Rdbms.Datatype.TInt ];
+        fact_inserts = [ "INSERT INTO p VALUES (1)" ];
+        rules = [];
+      }
+  in
+  let text = Core.Emit_c.entry entry in
+  Alcotest.(check bool) "declares node" true
+    (Astring.String.is_infix ~affix:"dkb_pred_node(\"p\", 1, p_schema)" text);
+  Alcotest.(check bool) "loads fact" true
+    (Astring.String.is_infix ~affix:"INSERT INTO p VALUES (1)" text)
+
+let () =
+  Alcotest.run "misc"
+    [
+      ( "names",
+        [
+          Alcotest.test_case "user predicate validation" `Quick test_user_pred_validation;
+          Alcotest.test_case "generated names" `Quick test_generated_names;
+          Alcotest.test_case "strip decorations" `Quick test_strip_decorations;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_stats_arithmetic;
+          Alcotest.test_case "pages_of_bytes" `Quick test_pages_of_bytes;
+        ] );
+      ( "graph extras",
+        [
+          Alcotest.test_case "transitive closure pairs" `Quick test_transitive_closure_pairs;
+          Alcotest.test_case "evalgraph pp" `Quick test_evalgraph_pp;
+          Alcotest.test_case "clique pp" `Quick test_clique_pp;
+        ] );
+      ( "workspace",
+        [ Alcotest.test_case "dedup and helpers" `Quick test_workspace_dedup_and_queries ] );
+      ("emit_c", [ Alcotest.test_case "entry rendering" `Quick test_emit_c_entry ]);
+    ]

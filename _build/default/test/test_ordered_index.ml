@@ -1,0 +1,150 @@
+(* Tests for ordered indexes and range scans, including a property test
+   against a reference filter. *)
+
+module E = Rdbms.Engine
+module O = Rdbms.Ordered_index
+module V = Rdbms.Value
+module D = Rdbms.Datatype
+
+let relation rows =
+  let rel = Rdbms.Relation.create (Rdbms.Schema.make [ ("k", D.TInt); ("v", D.TStr) ]) in
+  List.iter
+    (fun (k, v) -> ignore (Rdbms.Relation.insert rel [| V.Int k; V.Str v |]))
+    rows;
+  rel
+
+let keys rows = List.map (fun r -> match r.(0) with V.Int k -> k | _ -> -1) rows
+
+(* ---------------- module level ---------------- *)
+
+let test_lookup_and_range () =
+  let rel = relation [ (5, "e"); (1, "a"); (3, "c"); (3, "cc"); (9, "i") ] in
+  let idx = O.create ~name:"o" rel ~column:"k" in
+  Alcotest.(check int) "distinct keys" 4 (O.distinct_keys idx);
+  Alcotest.(check (list int)) "lookup" [ 3; 3 ] (keys (O.lookup idx (V.Int 3)));
+  Alcotest.(check (list int)) "unbounded = all ascending" [ 1; 3; 3; 5; 9 ]
+    (keys (O.range idx ()));
+  Alcotest.(check (list int)) "lo inclusive" [ 3; 3; 5; 9 ]
+    (keys (O.range idx ~lo:{ O.value = V.Int 3; inclusive = true } ()));
+  Alcotest.(check (list int)) "lo exclusive" [ 5; 9 ]
+    (keys (O.range idx ~lo:{ O.value = V.Int 3; inclusive = false } ()));
+  Alcotest.(check (list int)) "hi exclusive" [ 1; 3; 3 ]
+    (keys (O.range idx ~hi:{ O.value = V.Int 5; inclusive = false } ()));
+  Alcotest.(check (list int)) "window" [ 3; 3; 5 ]
+    (keys
+       (O.range idx
+          ~lo:{ O.value = V.Int 2; inclusive = true }
+          ~hi:{ O.value = V.Int 5; inclusive = true }
+          ()));
+  Alcotest.(check bool) "min/max" true (O.min_key idx = Some (V.Int 1) && O.max_key idx = Some (V.Int 9))
+
+let test_tracks_changes () =
+  let rel = relation [ (1, "a") ] in
+  let idx = O.create ~name:"o" rel ~column:"k" in
+  ignore (Rdbms.Relation.insert rel [| V.Int 2; V.Str "b" |]);
+  Alcotest.(check (list int)) "sees insert" [ 1; 2 ] (keys (O.range idx ()));
+  ignore (Rdbms.Relation.delete rel [| V.Int 1; V.Str "a" |]);
+  Alcotest.(check (list int)) "sees delete" [ 2 ] (keys (O.range idx ()));
+  Rdbms.Relation.clear rel;
+  Alcotest.(check (list int)) "sees clear" [] (keys (O.range idx ()))
+
+(* ---------------- SQL level ---------------- *)
+
+let sql_engine () =
+  let e = E.create () in
+  ignore (E.exec e "CREATE TABLE t (k integer, v char)");
+  ignore (E.exec e "CREATE ORDERED INDEX ot ON t (k)");
+  for i = 1 to 50 do
+    ignore (E.exec e (Printf.sprintf "INSERT INTO t VALUES (%d, 'v%d')" i i))
+  done;
+  e
+
+let test_sql_range_scan () =
+  let e = sql_engine () in
+  let plan = E.explain e "SELECT v FROM t WHERE k > 10 AND k <= 13" in
+  Alcotest.(check bool) ("uses RangeScan:\n" ^ plan) true
+    (Astring.String.is_infix ~affix:"RangeScan" plan);
+  (match E.exec e "SELECT k FROM t WHERE k > 10 AND k <= 13 ORDER BY 1" with
+  | E.Rows { rows; _ } ->
+      Alcotest.(check (list int)) "window" [ 11; 12; 13 ] (keys rows)
+  | _ -> Alcotest.fail "rows");
+  (* equality also served by the ordered index *)
+  let eq_plan = E.explain e "SELECT v FROM t WHERE k = 7" in
+  Alcotest.(check bool) "eq via ordered" true
+    (Astring.String.is_infix ~affix:"RangeScan" eq_plan);
+  (* charged as a probe, not a full scan *)
+  let before = Rdbms.Stats.copy (E.stats e) in
+  ignore (E.exec e "SELECT v FROM t WHERE k = 7");
+  let d = Rdbms.Stats.diff (E.stats e) before in
+  Alcotest.(check int) "one row read" 1 d.Rdbms.Stats.rows_read;
+  Alcotest.(check bool) "probe counted" true (d.Rdbms.Stats.index_probes = 1)
+
+let test_hash_index_preferred_for_eq () =
+  let e = sql_engine () in
+  ignore (E.exec e "CREATE INDEX ht ON t (k)");
+  let plan = E.explain e "SELECT v FROM t WHERE k = 7" in
+  Alcotest.(check bool) "hash wins ties on equality" true
+    (Astring.String.is_infix ~affix:"IndexScan" plan)
+
+let test_persist_keeps_ordered_index () =
+  let e = sql_engine () in
+  let script = Rdbms.Persist.dump e in
+  Alcotest.(check bool) "dump mentions ORDERED" true
+    (Astring.String.is_infix ~affix:"CREATE ORDERED INDEX" script);
+  let e2 = E.create () in
+  ignore (E.exec_script e2 script);
+  Alcotest.(check bool) "restored index used" true
+    (Astring.String.is_infix ~affix:"RangeScan" (E.explain e2 "SELECT v FROM t WHERE k < 3"))
+
+let test_drop_ordered_index () =
+  let e = sql_engine () in
+  ignore (E.exec e "DROP INDEX ot");
+  Alcotest.(check bool) "back to seq scan" true
+    (Astring.String.is_infix ~affix:"SeqScan" (E.explain e "SELECT v FROM t WHERE k < 3"))
+
+(* property: range scans = reference filter *)
+let prop_range_matches_filter =
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 40) (int_bound 20))
+        (pair (pair (int_bound 20) bool) (pair (int_bound 20) bool)))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200 ~name:"range scan = reference filter" gen
+       (fun (ks, ((lo, lo_incl), (hi, hi_incl))) ->
+         let rel = relation (List.mapi (fun i k -> (k, "x" ^ string_of_int i)) ks) in
+         let idx = O.create ~name:"o" rel ~column:"k" in
+         let got =
+           keys
+             (O.range idx
+                ~lo:{ O.value = V.Int lo; inclusive = lo_incl }
+                ~hi:{ O.value = V.Int hi; inclusive = hi_incl }
+                ())
+         in
+         let expected =
+           List.filter
+             (fun k ->
+               (if lo_incl then k >= lo else k > lo) && if hi_incl then k <= hi else k < hi)
+             ks
+           |> List.sort compare
+         in
+         List.sort compare got = expected))
+
+let () =
+  Alcotest.run "ordered_index"
+    [
+      ( "module",
+        [
+          Alcotest.test_case "lookup and range" `Quick test_lookup_and_range;
+          Alcotest.test_case "tracks changes" `Quick test_tracks_changes;
+        ] );
+      ( "sql",
+        [
+          Alcotest.test_case "range scan" `Quick test_sql_range_scan;
+          Alcotest.test_case "hash preferred for eq" `Quick test_hash_index_preferred_for_eq;
+          Alcotest.test_case "persistence" `Quick test_persist_keeps_ordered_index;
+          Alcotest.test_case "drop" `Quick test_drop_ordered_index;
+        ] );
+      ("properties", [ prop_range_matches_filter ]);
+    ]

@@ -1,0 +1,97 @@
+(* Tests for durable storage: SQL-script dump/load of the DBMS and
+   save/restore of a whole D/KB session. *)
+
+module E = Rdbms.Engine
+module P = Rdbms.Persist
+module Session = Core.Session
+module V = Rdbms.Value
+module D = Rdbms.Datatype
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail e
+
+let tmpfile name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let populated_engine () =
+  let e = E.create () in
+  ignore (E.exec e "CREATE TABLE t (a integer, b char)");
+  ignore (E.exec e "CREATE INDEX idx_t_a ON t (a)");
+  ignore (E.exec e "INSERT INTO t VALUES (1, 'x'), (2, 'quo''ted'), (3, '')");
+  ignore (E.exec e "CREATE TABLE empty (z integer)");
+  e
+
+let test_dump_roundtrip () =
+  let e = populated_engine () in
+  let script = P.dump e in
+  let e2 = E.create () in
+  ignore (E.exec_script e2 script);
+  Alcotest.(check int) "rows survive" 3 (E.scalar_int e2 "SELECT COUNT(*) FROM t");
+  Alcotest.(check int) "empty table exists" 0 (E.scalar_int e2 "SELECT COUNT(*) FROM empty");
+  (* index survives: planner picks it *)
+  Alcotest.(check bool) "index restored" true
+    (Astring.String.is_infix ~affix:"IndexScan" (E.explain e2 "SELECT b FROM t WHERE a = 2"));
+  (* quoting survives *)
+  (match E.query e2 "SELECT b FROM t WHERE a = 2" with
+  | [ [| V.Str "quo'ted" |] ] -> ()
+  | _ -> Alcotest.fail "embedded quote corrupted");
+  (* dump is idempotent: dumping the restored engine gives the same script *)
+  Alcotest.(check string) "stable dump" script (P.dump e2)
+
+let test_save_and_restore_file () =
+  let e = populated_engine () in
+  let path = tmpfile "dkb_persist_test.sql" in
+  ok (P.save e path);
+  let e2 = ok (P.restore path) in
+  Alcotest.(check int) "rows" 3 (E.scalar_int e2 "SELECT COUNT(*) FROM t");
+  Sys.remove path
+
+let test_load_errors () =
+  Alcotest.(check bool) "missing file" true (Result.is_error (P.restore "/nonexistent/nope.sql"));
+  let path = tmpfile "dkb_corrupt_test.sql" in
+  Out_channel.with_open_text path (fun oc -> output_string oc "CREATE GARBAGE;");
+  Alcotest.(check bool) "corrupt file" true (Result.is_error (P.restore path));
+  Sys.remove path
+
+let test_load_into_nonempty_fails () =
+  let e = populated_engine () in
+  let path = tmpfile "dkb_clash_test.sql" in
+  ok (P.save e path);
+  Alcotest.(check bool) "clashing tables rejected" true (Result.is_error (P.load e path));
+  Sys.remove path
+
+let test_session_roundtrip () =
+  let s = Session.create () in
+  ok (Session.define_base s "parent" [ ("p", D.TStr); ("c", D.TStr) ] ~indexes:[ "p" ] ());
+  ignore
+    (ok
+       (Session.add_facts s "parent"
+          [ [ V.Str "john"; V.Str "mary" ]; [ V.Str "mary"; V.Str "sue" ] ]));
+  ok (Session.load_rules s Workload.Queries.ancestor_rules);
+  ignore (ok (Session.update_stored s ~clear:true ()));
+  let path = tmpfile "dkb_session_test.sql" in
+  ok (Session.save s path);
+  (* a whole new process would do exactly this *)
+  let s2 = ok (Session.restore path) in
+  let a = ok (Session.query s2 "ancestor(john, W)") in
+  let _, rows = Session.answer_rows a in
+  Alcotest.(check int) "rules and facts survive" 2 (List.length rows);
+  (* the restored stored D/KB accepts further updates (ruleid counter) *)
+  ok (Session.add_rule s2 "extra(X) :- parent(X, Y).");
+  ignore (ok (Session.update_stored s2 ()));
+  Alcotest.(check int) "three stored rules" 3
+    (Core.Stored_dkb.rule_count (Session.stored s2));
+  Sys.remove path
+
+let () =
+  Alcotest.run "persist"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "dump roundtrip" `Quick test_dump_roundtrip;
+          Alcotest.test_case "save/restore file" `Quick test_save_and_restore_file;
+          Alcotest.test_case "load errors" `Quick test_load_errors;
+          Alcotest.test_case "load into nonempty" `Quick test_load_into_nonempty_fails;
+        ] );
+      ("session", [ Alcotest.test_case "session roundtrip" `Quick test_session_roundtrip ]);
+    ]

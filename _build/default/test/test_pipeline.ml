@@ -1,0 +1,156 @@
+(* Whole-pipeline properties over the paper's §5.2 workload classes:
+   every strategy/optimizer combination must agree on the answers for
+   lists, trees, DAGs, cyclic digraphs and randomly generated recursive
+   rule bases. *)
+
+module Session = Core.Session
+module G = Workload.Graphgen
+module A = Datalog.Ast
+module V = Rdbms.Value
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail e
+
+let combos =
+  [
+    ("semi", Session.default_options);
+    ("naive", { Session.default_options with strategy = Core.Runtime.Naive });
+    ("magic", { Session.default_options with optimize = Core.Compiler.Opt_on });
+    ( "sup",
+      { Session.default_options with optimize = Core.Compiler.Opt_supplementary } );
+    ( "naive+magic",
+      {
+        Session.default_options with
+        optimize = Core.Compiler.Opt_on;
+        strategy = Core.Runtime.Naive;
+      } );
+    ("indexed", { Session.default_options with index_derived = true });
+  ]
+
+let answers s goal options =
+  let a = ok (Session.query_goal s ~options goal) in
+  List.sort Rdbms.Tuple.compare a.Session.run.Core.Runtime.rows
+
+let all_agree s goal =
+  let reference = answers s goal (snd (List.hd combos)) in
+  List.iter
+    (fun (name, options) ->
+      let got = answers s goal options in
+      Alcotest.(check int)
+        (Printf.sprintf "%s agrees (%s)" name (A.atom_to_string goal))
+        (List.length reference) (List.length got);
+      if got <> reference then Alcotest.fail (name ^ " differs from reference"))
+    (List.tl combos);
+  reference
+
+let session_with_edges edges =
+  let s = Session.create () in
+  ok (Workload.Queries.setup_edge s edges);
+  ok (Session.load_rules s Workload.Queries.tc_rules);
+  s
+
+let test_lists_workload () =
+  let rng = Dkb_util.Rng.create 11 in
+  let l = G.lists ~rng ~count:5 ~avg_length:6 in
+  let s = session_with_edges l.G.l_edges in
+  let head = List.hd l.G.l_heads in
+  let from_head = all_agree s (Workload.Queries.tc_goal_from head) in
+  (* a list head reaches exactly the rest of its own chain *)
+  Alcotest.(check bool) "own chain only" true
+    (List.length from_head < List.length l.G.l_edges + 1);
+  ignore (all_agree s Workload.Queries.tc_goal_all)
+
+let test_tree_workload () =
+  let t = G.full_binary_tree ~depth:5 () in
+  let s = session_with_edges t.G.t_edges in
+  let from_root = all_agree s (Workload.Queries.tc_goal_from t.G.t_root) in
+  Alcotest.(check int) "root reaches every other node" ((1 lsl 5) - 2) (List.length from_root);
+  let level3 = List.hd (G.tree_nodes_at_level t 3) in
+  let from_mid = all_agree s (Workload.Queries.tc_goal_from level3) in
+  Alcotest.(check int) "subtree size" (G.subtree_edge_count t 3) (List.length from_mid)
+
+let test_dag_workload () =
+  let rng = Dkb_util.Rng.create 22 in
+  let d = G.dag ~rng ~path_length:4 ~width:4 ~fan_out:2 () in
+  let s = session_with_edges d.G.d_edges in
+  let source = List.hd d.G.d_sources in
+  ignore (all_agree s (Workload.Queries.tc_goal_from source));
+  (* sinks reach nothing *)
+  let sink = List.hd d.G.d_sinks in
+  Alcotest.(check int) "sink reaches nothing" 0
+    (List.length (all_agree s (Workload.Queries.tc_goal_from sink)))
+
+let test_cyclic_workload () =
+  let rng = Dkb_util.Rng.create 33 in
+  let c = G.cyclic ~rng ~path_length:4 ~width:4 ~fan_out:2 ~cycles:3 () in
+  let s = session_with_edges c.G.c_edges in
+  ignore (all_agree s Workload.Queries.tc_goal_all);
+  (* some node lies on a cycle: tc(X, X) is non-empty *)
+  let diag = all_agree s (A.atom "tc" [ A.Var "X"; A.Var "X" ]) in
+  Alcotest.(check bool) "cycles visible in the closure" true (List.length diag > 0)
+
+let test_same_generation_on_tree () =
+  let t = G.full_binary_tree ~depth:5 () in
+  let s = Session.create () in
+  ok (Workload.Queries.setup_parent s t.G.t_edges);
+  ok (Session.load_rules s Workload.Queries.same_generation_rules);
+  let leaf = List.hd (G.tree_nodes_at_level t 5) in
+  let sg = all_agree s (Workload.Queries.same_generation_goal leaf) in
+  (* all 16 leaves are in the same generation as the chosen leaf *)
+  Alcotest.(check int) "level-mates" 16 (List.length sg)
+
+let test_branching_rulebase_pipeline () =
+  (* random multi-clique rule bases compiled against the stored D/KB *)
+  let rng = Dkb_util.Rng.create 44 in
+  let rb =
+    Workload.Rulegen.branching ~rng ~clusters:2 ~rules_per_cluster:4 ~branch:2 ~recursive:true ()
+  in
+  let s = Session.create () in
+  ok
+    (Session.define_base s rb.Workload.Rulegen.base_pred
+       [ ("x", Rdbms.Datatype.TInt); ("y", Rdbms.Datatype.TInt) ]
+       ~indexes:[ "x" ] ());
+  let edges = (G.full_binary_tree ~depth:4 ()).G.t_edges in
+  ignore (ok (Session.add_facts s rb.Workload.Rulegen.base_pred (G.to_rows edges)));
+  List.iter
+    (fun c -> ok (Core.Workspace.add_clause (Session.workspace s) c))
+    rb.Workload.Rulegen.clauses;
+  ignore (ok (Session.update_stored s ~clear:true ()));
+  List.iteri
+    (fun k _ ->
+      let goal =
+        A.atom (Workload.Rulegen.root rb k) [ A.Const (V.Int 1); A.Var "W" ]
+      in
+      ignore (all_agree s goal))
+    rb.Workload.Rulegen.cluster_roots
+
+(* property: random graphs, random bound/free goals, all combos agree *)
+let prop_all_combos_agree =
+  let gen =
+    QCheck2.Gen.(
+      pair (list_size (int_range 0 20) (pair (int_bound 7) (int_bound 7))) (int_bound 7))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:25 ~name:"all strategy/optimizer combos agree" gen
+       (fun (edges, c) ->
+         let s = session_with_edges edges in
+         let reference = answers s (Workload.Queries.tc_goal_from c) (snd (List.hd combos)) in
+         List.for_all
+           (fun (_, options) -> answers s (Workload.Queries.tc_goal_from c) options = reference)
+           (List.tl combos)))
+
+let () =
+  Alcotest.run "pipeline"
+    [
+      ( "workload classes",
+        [
+          Alcotest.test_case "lists" `Quick test_lists_workload;
+          Alcotest.test_case "full binary trees" `Quick test_tree_workload;
+          Alcotest.test_case "dags" `Quick test_dag_workload;
+          Alcotest.test_case "cyclic digraphs" `Quick test_cyclic_workload;
+          Alcotest.test_case "same generation" `Quick test_same_generation_on_tree;
+          Alcotest.test_case "branching rule bases" `Quick test_branching_rulebase_pipeline;
+        ] );
+      ("properties", [ prop_all_combos_agree ]);
+    ]

@@ -1,0 +1,168 @@
+(* Tests that the planner picks the intended physical operators and
+   resolves names correctly. *)
+
+module E = Rdbms.Engine
+
+let fresh ?(index = true) () =
+  let e = E.create () in
+  ignore (E.exec e "CREATE TABLE big (k integer, v char)");
+  ignore (E.exec e "CREATE TABLE small (k integer, w char)");
+  if index then begin
+    ignore (E.exec e "CREATE INDEX idx_big_k ON big (k)");
+    ignore (E.exec e "CREATE INDEX idx_small_k ON small (k)")
+  end;
+  e
+
+let has e sql affix =
+  let plan = E.explain e sql in
+  Alcotest.(check bool)
+    (Printf.sprintf "plan of %S contains %s:\n%s" sql affix plan)
+    true
+    (Astring.String.is_infix ~affix plan)
+
+let lacks e sql affix =
+  let plan = E.explain e sql in
+  Alcotest.(check bool)
+    (Printf.sprintf "plan of %S avoids %s:\n%s" sql affix plan)
+    false
+    (Astring.String.is_infix ~affix plan)
+
+let test_index_scan_on_eq_const () =
+  let e = fresh () in
+  has e "SELECT v FROM big WHERE k = 5" "IndexScan";
+  (* reversed operands too *)
+  has e "SELECT v FROM big WHERE 5 = k" "IndexScan";
+  lacks e "SELECT v FROM big WHERE k > 5" "IndexScan"
+
+let test_seq_scan_without_index () =
+  let e = fresh ~index:false () in
+  has e "SELECT v FROM big WHERE k = 5" "SeqScan"
+
+let test_index_join_when_indexed () =
+  let e = fresh () in
+  has e "SELECT b.v FROM small s, big b WHERE s.k = b.k" "IndexJoin"
+
+let test_hash_join_without_index () =
+  let e = fresh ~index:false () in
+  has e "SELECT b.v FROM small s, big b WHERE s.k = b.k" "HashJoin"
+
+let test_index_join_declined_with_local_filter () =
+  (* a single-table predicate on the inner table forces the scan-based
+     join so the filter can be applied at the scan *)
+  let e = fresh () in
+  has e "SELECT b.v FROM small s, big b WHERE s.k = b.k AND b.v = 'x'" "HashJoin"
+
+let test_cross_join_is_nested_loop () =
+  let e = fresh () in
+  has e "SELECT b.v FROM small s, big b" "NestedLoopJoin"
+
+let test_non_equi_join_residual () =
+  let e = fresh () in
+  has e "SELECT b.v FROM small s, big b WHERE s.k < b.k" "NestedLoopJoin"
+
+let test_anti_join () =
+  let e = fresh () in
+  has e "SELECT v FROM big WHERE NOT EXISTS (SELECT * FROM small s WHERE s.k = big.k)" "AntiJoin"
+
+let test_distinct_and_sort_nodes () =
+  let e = fresh () in
+  has e "SELECT DISTINCT v FROM big" "Distinct";
+  has e "SELECT v FROM big ORDER BY v" "Sort"
+
+let test_three_way_join () =
+  let e = fresh () in
+  ignore (E.exec e "CREATE TABLE third (k integer, z char)");
+  let plan =
+    E.explain e
+      "SELECT t.z FROM small s, big b, third t WHERE s.k = b.k AND b.k = t.k"
+  in
+  (* both joins present, no cross product *)
+  Alcotest.(check bool) ("two joins:\n" ^ plan) true
+    (Astring.String.is_infix ~affix:"Join" plan
+    && not (Astring.String.is_infix ~affix:"NestedLoopJoin" plan))
+
+let test_greedy_join_order () =
+  let e = fresh () in
+  (* big has 100 rows, small has 2: greedy should scan small first even
+     though the query names big first *)
+  for i = 1 to 100 do
+    ignore (E.exec e (Printf.sprintf "INSERT INTO big VALUES (%d, 'v')" i))
+  done;
+  ignore (E.exec e "INSERT INTO small VALUES (1, 'w'), (2, 'w')");
+  let sql = "SELECT s.w FROM big b, small s WHERE b.k = s.k" in
+  let syntactic = E.explain e sql in
+  E.set_join_order e Rdbms.Planner.Greedy;
+  let greedy = E.explain e sql in
+  E.set_join_order e Rdbms.Planner.Syntactic;
+  (* syntactic starts from big; greedy starts from small *)
+  let first_scan plan =
+    let lines = String.split_on_char '\n' plan in
+    List.find_opt (fun l -> Astring.String.is_infix ~affix:"Scan" l) (List.rev lines)
+  in
+  (match first_scan syntactic with
+  | Some l -> Alcotest.(check bool) ("syntactic deepest scan is big: " ^ l) true
+      (Astring.String.is_infix ~affix:"big" l || Astring.String.is_infix ~affix:"IndexJoin" syntactic)
+  | None -> Alcotest.fail "no scan");
+  Alcotest.(check bool) ("greedy picks small first:\n" ^ greedy) true
+    (match String.index_opt greedy 's' with _ -> Astring.String.is_infix ~affix:"small" greedy);
+  (* and the answers agree *)
+  let rows mode =
+    E.set_join_order e mode;
+    let r = match E.exec e (sql ^ " ORDER BY 1") with
+      | E.Rows { rows; _ } -> rows
+      | _ -> Alcotest.fail "rows" in
+    E.set_join_order e Rdbms.Planner.Syntactic;
+    r
+  in
+  Alcotest.(check int) "same answers" (List.length (rows Rdbms.Planner.Syntactic))
+    (List.length (rows Rdbms.Planner.Greedy))
+
+let test_greedy_prefers_filtered_table () =
+  let e = fresh () in
+  for i = 1 to 50 do
+    ignore (E.exec e (Printf.sprintf "INSERT INTO big VALUES (%d, 'v%d')" i i))
+  done;
+  ignore (E.exec e "INSERT INTO small VALUES (7, 'w')");
+  E.set_join_order e Rdbms.Planner.Greedy;
+  (* an indexed equality filter makes big cheap, but small is still smaller *)
+  let before = Rdbms.Stats.copy (E.stats e) in
+  (match E.exec e "SELECT b.v FROM big b, small s WHERE b.k = s.k" with
+  | E.Rows { rows; _ } -> Alcotest.(check int) "one match" 1 (List.length rows)
+  | _ -> Alcotest.fail "rows");
+  let d = Rdbms.Stats.diff (E.stats e) before in
+  E.set_join_order e Rdbms.Planner.Syntactic;
+  (* greedy drives from small: 1 outer row + 1 index probe, far fewer than
+     scanning big's 50 rows *)
+  Alcotest.(check bool)
+    (Printf.sprintf "few rows read (%d)" d.Rdbms.Stats.rows_read)
+    true (d.Rdbms.Stats.rows_read < 25)
+
+let test_explain_rejects_non_select () =
+  let e = fresh () in
+  Alcotest.(check bool) "explain insert fails" true
+    (try
+       ignore (E.explain e "INSERT INTO big VALUES (1, 'x')");
+       false
+     with E.Sql_error _ -> true)
+
+let () =
+  Alcotest.run "planner"
+    [
+      ( "operator choice",
+        [
+          Alcotest.test_case "index scan on eq const" `Quick test_index_scan_on_eq_const;
+          Alcotest.test_case "seq scan without index" `Quick test_seq_scan_without_index;
+          Alcotest.test_case "index join" `Quick test_index_join_when_indexed;
+          Alcotest.test_case "hash join fallback" `Quick test_hash_join_without_index;
+          Alcotest.test_case "local filter declines index join" `Quick
+            test_index_join_declined_with_local_filter;
+          Alcotest.test_case "cross join" `Quick test_cross_join_is_nested_loop;
+          Alcotest.test_case "non-equi join" `Quick test_non_equi_join_residual;
+          Alcotest.test_case "anti join" `Quick test_anti_join;
+          Alcotest.test_case "distinct and sort" `Quick test_distinct_and_sort_nodes;
+          Alcotest.test_case "three-way join" `Quick test_three_way_join;
+          Alcotest.test_case "explain non-select" `Quick test_explain_rejects_non_select;
+          Alcotest.test_case "greedy join order" `Quick test_greedy_join_order;
+          Alcotest.test_case "greedy drives from filtered" `Quick test_greedy_prefers_filtered_table;
+        ] );
+    ]

@@ -1,0 +1,126 @@
+(* Tests for the rule-body -> SQL compiler (paper §3.2.6). *)
+
+module A = Datalog.Ast
+module P = Datalog.Parser
+module G = Datalog.Sqlgen
+
+let columns = function
+  | "par" -> [ "par"; "child" ]
+  | "edge" -> [ "src"; "dst" ]
+  | p when String.length p >= 3 && String.sub p 0 3 = "big" -> [ "a"; "b"; "c" ]
+  | _ -> [ "c1"; "c2" ]
+
+let sql ?table_of s =
+  Rdbms.Sql_printer.query (G.select_for_rule ~columns ?table_of (P.parse_clause s))
+
+let test_single_literal () =
+  Alcotest.(check string) "projection and aliasing"
+    "SELECT DISTINCT t1.par AS c1, t1.child AS c2 FROM par t1"
+    (sql "anc(X, Y) :- par(X, Y).")
+
+let test_join_variables () =
+  Alcotest.(check string) "join condition from shared var"
+    "SELECT DISTINCT t1.par AS c1, t2.c2 AS c2 FROM par t1, anc t2 WHERE t2.c1 = t1.child"
+    (sql "anc(X, Y) :- par(X, Z), anc(Z, Y).")
+
+let test_constants_in_body () =
+  Alcotest.(check string) "constant becomes equality"
+    "SELECT DISTINCT t1.child AS c1 FROM par t1 WHERE t1.par = 'john'"
+    (sql "kid(Y) :- par(john, Y).")
+
+let test_constant_in_head () =
+  Alcotest.(check string) "head constant becomes literal"
+    "SELECT DISTINCT t1.par AS c1, 1 AS c2 FROM par t1"
+    (sql "tag(X, 1) :- par(X, Y).")
+
+let test_repeated_var_in_atom () =
+  Alcotest.(check string) "self equality"
+    "SELECT DISTINCT t1.par AS c1 FROM par t1 WHERE t1.child = t1.par"
+    (sql "selfpar(X) :- par(X, X).")
+
+let test_negation () =
+  Alcotest.(check string) "NOT EXISTS with correlation"
+    ("SELECT DISTINCT t1.src AS c1 FROM edge t1 WHERE "
+   ^ "NOT EXISTS (SELECT * FROM par n2 WHERE n2.par = t1.src AND n2.child = 'x')")
+    (sql "lonely(X) :- edge(X, Y), not par(X, x).")
+
+let test_delta_substitution () =
+  let table_of i = if i = 1 then "dlt__anc" else "" in
+  Alcotest.(check string) "second occurrence reads delta"
+    "SELECT DISTINCT t1.par AS c1, t2.c2 AS c2 FROM par t1, dlt__anc t2 WHERE t2.c1 = t1.child"
+    (sql ~table_of "anc(X, Y) :- par(X, Z), anc(Z, Y).")
+
+let test_insert_forms () =
+  Alcotest.(check string) "insert select"
+    "INSERT INTO anc SELECT DISTINCT t1.par AS c1, t1.child AS c2 FROM par t1"
+    (G.insert_for_rule ~columns ~target:"anc" (P.parse_clause "anc(X, Y) :- par(X, Y)."));
+  Alcotest.(check string) "insert fact"
+    "INSERT INTO par VALUES ('john', 'mary')"
+    (G.insert_fact ~target:"par" (P.parse_clause "par(john, mary)."));
+  Alcotest.(check string) "int fact" "INSERT INTO e VALUES (1, 2)"
+    (G.insert_fact ~target:"e" (P.parse_clause "e(1, 2)."))
+
+let test_create_table () =
+  Alcotest.(check string) "default columns"
+    "CREATE TABLE t (c1 integer, c2 char)"
+    (G.create_table ~name:"t" ~types:[ Rdbms.Datatype.TInt; Rdbms.Datatype.TStr ] ());
+  Alcotest.(check string) "named columns"
+    "CREATE TABLE t (x integer)"
+    (G.create_table ~name:"t" ~types:[ Rdbms.Datatype.TInt ] ~columns:[ "x" ] ())
+
+let test_generated_sql_always_parses () =
+  (* every generated text must reparse in the engine's SQL dialect *)
+  List.iter
+    (fun rule ->
+      let text = sql rule in
+      match Rdbms.Sql_parser.parse text with
+      | Rdbms.Sql_ast.Select _ -> ()
+      | _ -> Alcotest.fail ("not a select: " ^ text)
+      | exception Rdbms.Sql_parser.Parse_error (msg, _) ->
+          Alcotest.fail (Printf.sprintf "generated SQL unparseable (%s): %s" msg text))
+    [
+      "a(X) :- par(X, Y).";
+      "a(X, Y, Z) :- big1(X, Y, Z), big2(Z, Y, X).";
+      "a(Y) :- par(john, Y), edge(Y, Y), not par(Y, Y).";
+      "a(X, 5) :- edge(X, Z), edge(Z, W), edge(W, X).";
+    ]
+
+let test_errors () =
+  let fails ?(cols = columns) rule =
+    Alcotest.(check bool)
+      (Printf.sprintf "rejects %s" rule)
+      true
+      (try
+         ignore (G.select_for_rule ~columns:cols (P.parse_clause rule));
+         false
+       with G.Codegen_error _ -> true)
+  in
+  (* facts have no body *)
+  fails "p(a).";
+  (* head variable not bound by a positive literal *)
+  fails "p(X, W) :- par(X, Y).";
+  (* negated variable unbound *)
+  fails "p(X) :- par(X, Y), not edge(W, W).";
+  (* no positive literal *)
+  fails "p(x) :- not par(a, b).";
+  (* arity beyond the table's columns *)
+  fails "p(X) :- par(X, Y, Z)."
+
+let () =
+  Alcotest.run "sqlgen"
+    [
+      ( "generation",
+        [
+          Alcotest.test_case "single literal" `Quick test_single_literal;
+          Alcotest.test_case "join variables" `Quick test_join_variables;
+          Alcotest.test_case "body constants" `Quick test_constants_in_body;
+          Alcotest.test_case "head constants" `Quick test_constant_in_head;
+          Alcotest.test_case "repeated var" `Quick test_repeated_var_in_atom;
+          Alcotest.test_case "negation" `Quick test_negation;
+          Alcotest.test_case "delta substitution" `Quick test_delta_substitution;
+          Alcotest.test_case "insert forms" `Quick test_insert_forms;
+          Alcotest.test_case "create table" `Quick test_create_table;
+          Alcotest.test_case "generated SQL parses" `Quick test_generated_sql_always_parses;
+        ] );
+      ("errors", [ Alcotest.test_case "unsafe rules rejected" `Quick test_errors ]);
+    ]

@@ -1,0 +1,134 @@
+(* Tests for the Stored D/KB manager: dictionaries, rule storage and the
+   §4.1 relevant-rule extraction. *)
+
+module SD = Core.Stored_dkb
+module P = Datalog.Parser
+module D = Rdbms.Datatype
+
+let fresh () = SD.init (Rdbms.Engine.create ())
+
+let rule s = P.parse_clause s
+
+let clause_str c = Datalog.Ast.clause_to_string c
+
+let test_init_idempotent () =
+  let e = Rdbms.Engine.create () in
+  let t = SD.init e in
+  ignore (SD.store_rule t (rule "a(X) :- b(X)."));
+  (* re-init over the same engine resumes, does not wipe *)
+  let t2 = SD.init e in
+  Alcotest.(check int) "rules survive" 1 (SD.rule_count t2);
+  let id = SD.store_rule t2 (rule "c(X) :- b(X).") in
+  Alcotest.(check bool) "ruleid counter resumed" true (id >= 2)
+
+let test_edb_dictionary () =
+  let t = fresh () in
+  SD.register_base t "par" [ ("p", D.TStr); ("c", D.TStr) ];
+  SD.register_base t "age" [ ("who", D.TStr); ("n", D.TInt) ];
+  Alcotest.(check (list string)) "base preds" [ "age"; "par" ] (SD.base_predicates t);
+  (match SD.base_schema t "age" with
+  | Some [ ("who", D.TStr); ("n", D.TInt) ] -> ()
+  | _ -> Alcotest.fail "wrong schema");
+  Alcotest.(check bool) "missing" true (SD.base_schema t "nope" = None);
+  (* re-registration replaces *)
+  SD.register_base t "age" [ ("who", D.TStr) ];
+  match SD.base_schema t "age" with
+  | Some [ ("who", D.TStr) ] -> ()
+  | _ -> Alcotest.fail "replace failed"
+
+let test_idb_dictionary () =
+  let t = fresh () in
+  SD.put_derived_types t "anc" [ D.TStr; D.TStr ];
+  (match SD.derived_types t "anc" with
+  | Some [ D.TStr; D.TStr ] -> ()
+  | _ -> Alcotest.fail "wrong types");
+  SD.put_derived_types t "anc" [ D.TInt ];
+  (match SD.derived_types t "anc" with
+  | Some [ D.TInt ] -> ()
+  | _ -> Alcotest.fail "upsert failed");
+  Alcotest.(check bool) "missing" true (SD.derived_types t "nope" = None)
+
+let test_read_dictionaries () =
+  let t = fresh () in
+  SD.register_base t "par" [ ("p", D.TStr); ("c", D.TStr) ];
+  SD.put_derived_types t "anc" [ D.TStr; D.TStr ];
+  let bases, deriveds = SD.read_dictionaries t ~base:[ "par"; "ghost" ] ~derived:[ "anc"; "ghost" ] in
+  Alcotest.(check int) "one base" 1 (List.length bases);
+  Alcotest.(check int) "one derived" 1 (List.length deriveds)
+
+let test_store_rule_dedup () =
+  let t = fresh () in
+  let id1 = SD.store_rule t (rule "a(X) :- b(X).") in
+  let id2 = SD.store_rule t (rule "a(X) :- b(X).") in
+  let id3 = SD.store_rule t (rule "a(X) :- c(X).") in
+  Alcotest.(check int) "same text same id" id1 id2;
+  Alcotest.(check bool) "different rule new id" true (id3 <> id1);
+  Alcotest.(check int) "count" 2 (SD.rule_count t)
+
+let test_stored_rules_roundtrip () =
+  let t = fresh () in
+  let texts =
+    [ "a(X, Y) :- b(X, Z), c(Z, Y)."; "a(X, Y) :- d(X, Y)."; "top(X) :- a(X, john)." ]
+  in
+  List.iter (fun s -> ignore (SD.store_rule t (rule s))) texts;
+  Alcotest.(check (list string)) "parse back in id order" texts
+    (List.map clause_str (SD.stored_rules t))
+
+let test_reachable_storage () =
+  let t = fresh () in
+  SD.replace_reachable t "a" [ "b"; "c" ];
+  Alcotest.(check (list string)) "read back" [ "b"; "c" ] (SD.reachable_of t "a");
+  SD.replace_reachable t "a" [ "d" ];
+  Alcotest.(check (list string)) "replaced" [ "d" ] (SD.reachable_of t "a");
+  Alcotest.(check int) "pair count" 1 (SD.reachable_pair_count t);
+  Alcotest.(check (list string)) "dependents" [ "a" ] (SD.dependents_of t "d")
+
+let test_extraction () =
+  let t = fresh () in
+  (* two independent clusters plus a shared base *)
+  List.iter
+    (fun s -> ignore (SD.store_rule t (rule s)))
+    [
+      "top1(X) :- mid1(X).";
+      "mid1(X) :- base(X).";
+      "top2(X) :- mid2(X).";
+      "mid2(X) :- base(X).";
+    ];
+  SD.replace_reachable t "top1" [ "mid1"; "base" ];
+  SD.replace_reachable t "mid1" [ "base" ];
+  SD.replace_reachable t "top2" [ "mid2"; "base" ];
+  SD.replace_reachable t "mid2" [ "base" ];
+  let got = SD.extract_rules_for t [ "top1" ] in
+  Alcotest.(check (list string)) "only cluster 1"
+    [ "top1(X) :- mid1(X)."; "mid1(X) :- base(X)." ]
+    (List.map clause_str got);
+  let both = SD.extract_rules_for t [ "top1"; "top2" ] in
+  Alcotest.(check int) "both clusters, deduped" 4 (List.length both);
+  Alcotest.(check (list string)) "unknown pred extracts nothing" []
+    (List.map clause_str (SD.extract_rules_for t [ "ghost" ]));
+  Alcotest.(check (list string)) "heads-only variant"
+    [ "top1(X) :- mid1(X)." ]
+    (List.map clause_str (SD.rules_with_head t [ "top1" ]))
+
+let test_has_rules_for () =
+  let t = fresh () in
+  ignore (SD.store_rule t (rule "a(X) :- b(X)."));
+  Alcotest.(check bool) "yes" true (SD.has_rules_for t "a");
+  Alcotest.(check bool) "no" false (SD.has_rules_for t "b")
+
+let () =
+  Alcotest.run "stored_dkb"
+    [
+      ( "storage",
+        [
+          Alcotest.test_case "init idempotent" `Quick test_init_idempotent;
+          Alcotest.test_case "edb dictionary" `Quick test_edb_dictionary;
+          Alcotest.test_case "idb dictionary" `Quick test_idb_dictionary;
+          Alcotest.test_case "read dictionaries" `Quick test_read_dictionaries;
+          Alcotest.test_case "rule dedup" `Quick test_store_rule_dedup;
+          Alcotest.test_case "rules roundtrip" `Quick test_stored_rules_roundtrip;
+          Alcotest.test_case "reachable pairs" `Quick test_reachable_storage;
+          Alcotest.test_case "extraction" `Quick test_extraction;
+          Alcotest.test_case "has_rules_for" `Quick test_has_rules_for;
+        ] );
+    ]

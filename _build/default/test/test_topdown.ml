@@ -1,0 +1,158 @@
+(* Tests for the top-down (QSQ) baseline evaluator, including equivalence
+   with the bottom-up SQL runtime on random graphs. *)
+
+module A = Datalog.Ast
+module P = Datalog.Parser
+module TD = Datalog.Topdown
+module V = Rdbms.Value
+
+let tc_rules =
+  List.map P.parse_clause [ "tc(X, Y) :- edge(X, Y)."; "tc(X, Y) :- edge(X, Z), tc(Z, Y)." ]
+
+let facts_of edges = function
+  | "edge" -> List.map (fun (a, b) -> [ V.Int a; V.Int b ]) edges
+  | _ -> []
+
+let is_base p = p = "edge"
+
+let solve edges goal =
+  TD.solve ~facts:(facts_of edges) ~is_base ~rules:tc_rules ~goal
+  |> List.map (fun r ->
+         match r with
+         | [| V.Int a; V.Int b |] -> (a, b)
+         | _ -> Alcotest.fail "bad row")
+  |> List.sort compare
+
+let test_chain () =
+  Alcotest.(check (list (pair int int)))
+    "bound-first query"
+    [ (1, 2); (1, 3) ]
+    (solve [ (1, 2); (2, 3) ] (A.atom "tc" [ A.Const (V.Int 1); A.Var "W" ]))
+
+let test_cycle_terminates () =
+  Alcotest.(check (list (pair int int)))
+    "cyclic data"
+    [ (1, 1); (1, 2); (1, 3) ]
+    (solve [ (1, 2); (2, 3); (3, 1) ] (A.atom "tc" [ A.Const (V.Int 1); A.Var "W" ]))
+
+let test_free_query () =
+  Alcotest.(check (list (pair int int)))
+    "all-free goal"
+    [ (1, 2); (1, 3); (2, 3) ]
+    (solve [ (1, 2); (2, 3) ] (A.atom "tc" [ A.Var "X"; A.Var "Y" ]))
+
+let test_repeated_var_goal () =
+  (* tc(X, X): nodes on cycles *)
+  Alcotest.(check (list (pair int int)))
+    "diagonal goal"
+    [ (2, 2); (3, 3) ]
+    (solve [ (1, 2); (2, 3); (3, 2) ] (A.atom "tc" [ A.Var "X"; A.Var "X" ]))
+
+let test_ground_goal () =
+  Alcotest.(check (list (pair int int)))
+    "ground goal provable"
+    [ (1, 3) ]
+    (solve [ (1, 2); (2, 3) ] (A.atom "tc" [ A.Const (V.Int 1); A.Const (V.Int 3) ]));
+  Alcotest.(check (list (pair int int)))
+    "ground goal unprovable" []
+    (solve [ (1, 2) ] (A.atom "tc" [ A.Const (V.Int 2); A.Const (V.Int 1) ]))
+
+let test_subgoal_relevance () =
+  (* a bound query on a long chain should not table subgoals for
+     unreachable parts of the graph *)
+  let edges = [ (1, 2); (2, 3); (10, 11); (11, 12); (12, 13) ] in
+  ignore (solve edges (A.atom "tc" [ A.Const (V.Int 1); A.Var "W" ]));
+  let bound = TD.subgoal_count () in
+  ignore (solve edges (A.atom "tc" [ A.Var "X"; A.Var "Y" ]));
+  let free = TD.subgoal_count () in
+  Alcotest.(check bool)
+    (Printf.sprintf "bound query avoids the unreachable chain (%d < %d)" bound free)
+    true
+    (bound <= 4 && bound < free)
+
+let test_program_facts () =
+  let rules =
+    List.map P.parse_clause [ "vip(boss)."; "vip(X) :- reports(X, Y), vip(Y)." ]
+  in
+  let facts = function
+    | "reports" -> [ [ V.Str "alice"; V.Str "boss" ] ]
+    | _ -> []
+  in
+  let got =
+    TD.solve ~facts ~is_base:(fun p -> p = "reports") ~rules
+      ~goal:(A.atom "vip" [ A.Var "X" ])
+    |> List.map (fun r -> V.to_string r.(0))
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "facts + rules" [ "alice"; "boss" ] got
+
+let test_negation_rejected () =
+  let rules = List.map P.parse_clause [ "p(X) :- edge(X, Y), not tcx(Y)." ] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore
+         (TD.solve
+            ~facts:(facts_of [ (1, 2) ])
+            ~is_base ~rules
+            ~goal:(A.atom "p" [ A.Var "X" ]));
+       false
+     with TD.Unsupported _ -> true)
+
+let test_missing_pred_rejected () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore
+         (TD.solve
+            ~facts:(facts_of [])
+            ~is_base ~rules:tc_rules
+            ~goal:(A.atom "ghost" [ A.Var "X" ]));
+       false
+     with Invalid_argument _ -> true)
+
+(* equivalence with the bottom-up runtime *)
+let prop_matches_bottom_up =
+  let gen =
+    QCheck2.Gen.(
+      pair (list_size (int_range 0 25) (pair (int_bound 8) (int_bound 8))) (int_bound 8))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:60 ~name:"top-down = bottom-up on random graphs" gen
+       (fun (edges, c) ->
+         let top =
+           solve edges (A.atom "tc" [ A.Const (V.Int c); A.Var "W" ]) |> List.map snd
+         in
+         let s = Core.Session.create () in
+         (match Workload.Queries.setup_edge s edges with
+         | Ok () -> ()
+         | Error e -> failwith e);
+         (match Core.Session.load_rules s Workload.Queries.tc_rules with
+         | Ok () -> ()
+         | Error e -> failwith e);
+         let bottom =
+           match Core.Session.query_goal s (Workload.Queries.tc_goal_from c) with
+           | Ok a ->
+               List.map
+                 (fun r -> match r.(0) with V.Int x -> x | _ -> -1)
+                 a.Core.Session.run.Core.Runtime.rows
+               |> List.sort compare
+           | Error e -> failwith e
+         in
+         top = bottom))
+
+let () =
+  Alcotest.run "topdown"
+    [
+      ( "qsq",
+        [
+          Alcotest.test_case "chain" `Quick test_chain;
+          Alcotest.test_case "cycles terminate" `Quick test_cycle_terminates;
+          Alcotest.test_case "free query" `Quick test_free_query;
+          Alcotest.test_case "repeated var goal" `Quick test_repeated_var_goal;
+          Alcotest.test_case "ground goal" `Quick test_ground_goal;
+          Alcotest.test_case "subgoal relevance" `Quick test_subgoal_relevance;
+          Alcotest.test_case "program facts" `Quick test_program_facts;
+          Alcotest.test_case "negation rejected" `Quick test_negation_rejected;
+          Alcotest.test_case "missing predicate" `Quick test_missing_pred_rejected;
+        ] );
+      ("equivalence", [ prop_matches_bottom_up ]);
+    ]

@@ -1,0 +1,95 @@
+(* Tests for the built-in transitive-closure operator (the paper's
+   conclusion-#8 extension), including equivalence with the SQL-loop LFP
+   runtime. *)
+
+module V = Rdbms.Value
+module D = Rdbms.Datatype
+module T = Rdbms.Transitive
+
+let relation edges =
+  let rel = Rdbms.Relation.create (Rdbms.Schema.make [ ("src", D.TInt); ("dst", D.TInt) ]) in
+  List.iter (fun (a, b) -> ignore (Rdbms.Relation.insert rel [| V.Int a; V.Int b |])) edges;
+  rel
+
+let pairs rows =
+  rows
+  |> List.map (fun r ->
+         match r with
+         | [| V.Int a; V.Int b |] -> (a, b)
+         | _ -> Alcotest.fail "bad row")
+  |> List.sort compare
+
+let test_closure_chain () =
+  let rel = relation [ (1, 2); (2, 3); (3, 4) ] in
+  Alcotest.(check (list (pair int int))) "chain"
+    [ (1, 2); (1, 3); (1, 4); (2, 3); (2, 4); (3, 4) ]
+    (pairs (T.closure (Rdbms.Stats.create ()) rel))
+
+let test_closure_cycle () =
+  let rel = relation [ (1, 2); (2, 1) ] in
+  Alcotest.(check (list (pair int int))) "cycle includes self pairs"
+    [ (1, 1); (1, 2); (2, 1); (2, 2) ]
+    (pairs (T.closure (Rdbms.Stats.create ()) rel))
+
+let test_closure_from () =
+  let rel = relation [ (1, 2); (2, 3); (4, 5) ] in
+  Alcotest.(check (list (pair int int))) "from 1"
+    [ (1, 2); (1, 3) ]
+    (pairs (T.closure_from (Rdbms.Stats.create ()) rel (V.Int 1)));
+  Alcotest.(check (list (pair int int))) "from unknown node" []
+    (pairs (T.closure_from (Rdbms.Stats.create ()) rel (V.Int 99)))
+
+let test_not_binary () =
+  let rel = Rdbms.Relation.create (Rdbms.Schema.make [ ("only", D.TInt) ]) in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (T.closure (Rdbms.Stats.create ()) rel);
+       false
+     with T.Not_binary _ -> true)
+
+let test_charges_stats () =
+  let rel = relation [ (1, 2); (2, 3) ] in
+  let stats = Rdbms.Stats.create () in
+  ignore (T.closure stats rel);
+  Alcotest.(check bool) "reads charged" true (stats.Rdbms.Stats.page_reads >= 1);
+  Alcotest.(check bool) "rows counted" true (stats.Rdbms.Stats.rows_inserted = 3)
+
+(* property: operator = SQL-loop LFP runtime *)
+let prop_matches_runtime =
+  let gen = QCheck2.Gen.(list_size (int_range 0 25) (pair (int_bound 8) (int_bound 8))) in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:60 ~name:"TC operator = SQL-loop LFP" gen (fun edges ->
+         let s = Core.Session.create () in
+         (match Workload.Queries.setup_edge s edges with
+         | Ok () -> ()
+         | Error e -> failwith e);
+         (match Core.Session.load_rules s Workload.Queries.tc_rules with
+         | Ok () -> ()
+         | Error e -> failwith e);
+         let via_sql =
+           match Core.Session.query_goal s Workload.Queries.tc_goal_all with
+           | Ok a -> pairs a.Core.Session.run.Core.Runtime.rows
+           | Error e -> failwith e
+         in
+         let rel =
+           (Rdbms.Catalog.find_table_exn
+              (Rdbms.Engine.catalog (Core.Session.engine s))
+              "edge")
+             .Rdbms.Catalog.tbl_relation
+         in
+         let via_op = pairs (T.closure (Rdbms.Stats.create ()) rel) in
+         via_sql = via_op))
+
+let () =
+  Alcotest.run "transitive"
+    [
+      ( "operator",
+        [
+          Alcotest.test_case "chain" `Quick test_closure_chain;
+          Alcotest.test_case "cycle" `Quick test_closure_cycle;
+          Alcotest.test_case "single source" `Quick test_closure_from;
+          Alcotest.test_case "non-binary rejected" `Quick test_not_binary;
+          Alcotest.test_case "stats charged" `Quick test_charges_stats;
+        ] );
+      ("equivalence", [ prop_matches_runtime ]);
+    ]

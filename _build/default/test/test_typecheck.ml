@@ -1,0 +1,134 @@
+(* Tests for the Semantic Checker: safety, rule coverage and type
+   inference (paper §3.2.4). *)
+
+module A = Datalog.Ast
+module P = Datalog.Parser
+module T = Datalog.Typecheck
+module D = Rdbms.Datatype
+
+let rules texts = List.map P.parse_clause texts
+
+let base_env = function
+  | "par" -> Some [ D.TStr; D.TStr ]
+  | "age" -> Some [ D.TStr; D.TInt ]
+  | "num" -> Some [ D.TInt ]
+  | _ -> None
+
+let infer_ok texts =
+  match T.infer ~base:base_env ~rules:(rules texts) with
+  | Ok types -> types
+  | Error e -> Alcotest.fail e
+
+let infer_err texts =
+  match T.infer ~base:base_env ~rules:(rules texts) with
+  | Ok _ -> Alcotest.fail "expected inference error"
+  | Error e -> e
+
+let ty = Alcotest.testable (fun fmt t -> Format.pp_print_string fmt (D.to_string t)) D.equal
+
+(* ---------------- safety ---------------- *)
+
+let safe s = T.check_safety (P.parse_clause s)
+
+let test_safety () =
+  Alcotest.(check bool) "plain rule" true (safe "p(X) :- q(X)." = Ok ());
+  Alcotest.(check bool) "ground fact" true (safe "p(a, 1)." = Ok ());
+  Alcotest.(check bool) "non-ground fact" true (Result.is_error (safe "p(X)."));
+  Alcotest.(check bool) "unbound head var" true (Result.is_error (safe "p(X, Y) :- q(X)."));
+  Alcotest.(check bool) "neg binds nothing" true
+    (Result.is_error (safe "p(X) :- not q(X, Y), r(X)."));
+  Alcotest.(check bool) "neg vars bound positively" true
+    (safe "p(X) :- r(X, Y), not q(X, Y)." = Ok ());
+  Alcotest.(check bool) "head constant ok" true (safe "p(a, X) :- q(X)." = Ok ())
+
+(* ---------------- rule coverage ---------------- *)
+
+let test_check_defined () =
+  let rs = rules [ "anc(X, Y) :- par(X, Y)."; "top(X) :- anc(X, Y), missing(Y)." ] in
+  let is_base p = p = "par" in
+  Alcotest.(check bool) "missing pred detected" true
+    (Result.is_error (T.check_defined ~rules:rs ~is_base ~goals:[ "top" ]));
+  Alcotest.(check bool) "irrelevant missing pred ignored" true
+    (T.check_defined ~rules:rs ~is_base ~goals:[ "anc" ] = Ok ())
+
+(* ---------------- inference ---------------- *)
+
+let test_infer_basic () =
+  let types = infer_ok [ "anc(X, Y) :- par(X, Y)."; "anc(X, Y) :- par(X, Z), anc(Z, Y)." ] in
+  Alcotest.(check (list ty)) "anc types" [ D.TStr; D.TStr ] (List.assoc "anc" types)
+
+let test_infer_mixed_columns () =
+  let types = infer_ok [ "older(X, N) :- age(X, N)." ] in
+  Alcotest.(check (list ty)) "older" [ D.TStr; D.TInt ] (List.assoc "older" types)
+
+let test_infer_constants () =
+  let types = infer_ok [ "tagged(X, 1) :- par(X, Y)." ] in
+  Alcotest.(check (list ty)) "const head col" [ D.TStr; D.TInt ] (List.assoc "tagged" types)
+
+let test_infer_through_chain () =
+  let types =
+    infer_ok [ "a(X) :- b(X)."; "b(X) :- c(X)."; "c(N) :- num(N)." ]
+  in
+  Alcotest.(check (list ty)) "propagates through chain" [ D.TInt ] (List.assoc "a" types)
+
+let test_infer_from_facts () =
+  (* facts type their predicate, e.g. magic seeds *)
+  let types = infer_ok [ "seed(john, 3)."; "use(X, N) :- seed(X, N)." ] in
+  Alcotest.(check (list ty)) "fact types" [ D.TStr; D.TInt ] (List.assoc "seed" types);
+  Alcotest.(check (list ty)) "used downstream" [ D.TStr; D.TInt ] (List.assoc "use" types)
+
+let test_infer_conflict_between_rules () =
+  let e = infer_err [ "p(X) :- num(X)."; "p(X) :- par(X, Y)." ] in
+  Alcotest.(check bool) "mentions conflict" true (String.length e > 0)
+
+let test_infer_conflict_within_rule () =
+  let e = infer_err [ "p(X) :- num(X), age(X, Y)." ] in
+  Alcotest.(check bool) "variable used at two types" true
+    (Astring.String.is_infix ~affix:"used both" e)
+
+let test_infer_constant_mismatch () =
+  let e = infer_err [ "p(X) :- age(X, banana)." ] in
+  Alcotest.(check bool) "constant vs column type" true (String.length e > 0)
+
+let test_infer_arity_mismatch () =
+  let e = infer_err [ "p(X) :- par(X)." ] in
+  Alcotest.(check bool) "arity" true (Astring.String.is_infix ~affix:"arity" e)
+
+let test_infer_unknown_pred () =
+  let e = infer_err [ "p(X) :- mystery(X)." ] in
+  Alcotest.(check bool) "unknown" true (Astring.String.is_infix ~affix:"mystery" e)
+
+let test_infer_pure_recursion_underdetermined () =
+  let e = infer_err [ "loop(X) :- loop(X)." ] in
+  Alcotest.(check bool) "undetermined" true (String.length e > 0)
+
+let test_infer_recursion_with_exit () =
+  let types = infer_ok [ "t(X, Y) :- par(X, Y)."; "t(X, Y) :- t(X, Z), t(Z, Y)." ] in
+  Alcotest.(check (list ty)) "nonlinear recursion ok" [ D.TStr; D.TStr ] (List.assoc "t" types)
+
+let test_infer_fact_conflict () =
+  let e = infer_err [ "seed(1)."; "seed(a)." ] in
+  Alcotest.(check bool) "conflicting fact types" true (String.length e > 0)
+
+let () =
+  Alcotest.run "typecheck"
+    [
+      ("safety", [ Alcotest.test_case "safety conditions" `Quick test_safety ]);
+      ("coverage", [ Alcotest.test_case "check_defined" `Quick test_check_defined ]);
+      ( "inference",
+        [
+          Alcotest.test_case "basic" `Quick test_infer_basic;
+          Alcotest.test_case "mixed columns" `Quick test_infer_mixed_columns;
+          Alcotest.test_case "head constants" `Quick test_infer_constants;
+          Alcotest.test_case "through chains" `Quick test_infer_through_chain;
+          Alcotest.test_case "from facts" `Quick test_infer_from_facts;
+          Alcotest.test_case "rule conflict" `Quick test_infer_conflict_between_rules;
+          Alcotest.test_case "variable conflict" `Quick test_infer_conflict_within_rule;
+          Alcotest.test_case "constant mismatch" `Quick test_infer_constant_mismatch;
+          Alcotest.test_case "arity mismatch" `Quick test_infer_arity_mismatch;
+          Alcotest.test_case "unknown predicate" `Quick test_infer_unknown_pred;
+          Alcotest.test_case "pure recursion" `Quick test_infer_pure_recursion_underdetermined;
+          Alcotest.test_case "recursion with exit" `Quick test_infer_recursion_with_exit;
+          Alcotest.test_case "fact conflicts" `Quick test_infer_fact_conflict;
+        ] );
+    ]

@@ -1,0 +1,175 @@
+(* Tests for the §4.3 Stored D/KB update algorithm — above all the key
+   invariant: however updates are batched, the incrementally-maintained
+   [reachablepreds] always equals the transitive closure of the PCG of
+   the full stored rule set. *)
+
+module Session = Core.Session
+module SD = Core.Stored_dkb
+module P = Datalog.Parser
+module D = Rdbms.Datatype
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail e
+
+let fresh_session () =
+  let s = Session.create () in
+  ok (Session.define_base s "b0" [ ("x", D.TInt); ("y", D.TInt) ] ());
+  s
+
+let push_rules s texts =
+  List.iter (fun t -> ok (Session.add_rule s t)) texts;
+  let r = ok (Session.update_stored s ~clear:true ()) in
+  r
+
+(* ground truth: recompute the closure from all stored rules *)
+let expected_closure stored =
+  let pcg = Datalog.Pcg.build (SD.stored_rules stored) in
+  List.map
+    (fun p -> (p, List.sort compare (Datalog.Pcg.reachable_from pcg [ p ])))
+    (List.sort compare (Datalog.Pcg.predicates pcg))
+
+let actual_closure stored preds =
+  List.map (fun p -> (p, List.sort compare (SD.reachable_of stored p))) preds
+
+let check_invariant s =
+  let stored = Session.stored s in
+  let expected = expected_closure stored in
+  let actual = actual_closure stored (List.map fst expected) in
+  Alcotest.(check (list (pair string (list string)))) "reachablepreds = TC of stored PCG" expected
+    actual
+
+let test_single_batch () =
+  let s = fresh_session () in
+  let r = push_rules s [ "a(X, Y) :- m(X, Y)."; "m(X, Y) :- b0(X, Y)." ] in
+  Alcotest.(check int) "stored 2" 2 r.Core.Update.rules_stored;
+  check_invariant s;
+  match SD.reachable_of (Session.stored s) "a" |> List.sort compare with
+  | [ "b0"; "m" ] -> ()
+  | other -> Alcotest.fail ("a reaches: " ^ String.concat "," other)
+
+let test_incremental_extension_below () =
+  (* second batch adds a layer below an existing pred: upstream closures
+     must be refreshed *)
+  let s = fresh_session () in
+  ignore (push_rules s [ "a(X, Y) :- m(X, Y)."; "m(X, Y) :- b0(X, Y)." ]);
+  ignore (push_rules s [ "m(X, Y) :- deep(X, Y)."; "deep(X, Y) :- b0(Y, X)." ]);
+  check_invariant s;
+  let reach_a = SD.reachable_of (Session.stored s) "a" |> List.sort compare in
+  Alcotest.(check (list string)) "a sees the new layer" [ "b0"; "deep"; "m" ] reach_a
+
+let test_incremental_new_root () =
+  let s = fresh_session () in
+  ignore (push_rules s [ "a(X, Y) :- m(X, Y)."; "m(X, Y) :- b0(X, Y)." ]);
+  let r = push_rules s [ "top(X, Y) :- a(X, Y)." ] in
+  (* only the new root's closure is recomputed *)
+  Alcotest.(check int) "one affected pred" 1 r.Core.Update.affected_preds;
+  check_invariant s
+
+let test_recursive_rules () =
+  let s = fresh_session () in
+  ignore
+    (push_rules s [ "t(X, Y) :- b0(X, Y)."; "t(X, Y) :- b0(X, Z), t(Z, Y)." ]);
+  check_invariant s;
+  (* t reaches itself through the recursion *)
+  Alcotest.(check bool) "t in its own closure" true
+    (List.mem "t" (SD.reachable_of (Session.stored s) "t"))
+
+let test_mutual_recursion_across_batches () =
+  let s = fresh_session () in
+  ignore (push_rules s [ "p(X, Y) :- b0(X, Y)."; "p(X, Y) :- b0(X, Z), q(Z, Y)." ]);
+  (* q arrives later and closes the cycle p -> q -> p *)
+  (match Session.add_rule s "q(X, Y) :- p(X, Y)." with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  ignore (ok (Session.update_stored s ~clear:true ()));
+  check_invariant s;
+  Alcotest.(check bool) "p reaches p" true
+    (List.mem "p" (SD.reachable_of (Session.stored s) "p"))
+
+let test_update_without_compiled_storage () =
+  let s = fresh_session () in
+  List.iter (fun t -> ok (Session.add_rule s t)) [ "a(X, Y) :- b0(X, Y)." ];
+  let r = ok (Session.update_stored s ~compiled_storage:false ~clear:true ()) in
+  Alcotest.(check int) "no closure written" 0 r.Core.Update.tc_edges;
+  Alcotest.(check int) "source stored" 1 r.Core.Update.rules_stored;
+  Alcotest.(check (list string)) "reachablepreds untouched" []
+    (SD.reachable_of (Session.stored s) "a");
+  Alcotest.(check int) "rulesource written" 1 (SD.rule_count (Session.stored s))
+
+let test_empty_workspace_rejected () =
+  let s = fresh_session () in
+  Alcotest.(check bool) "error" true (Result.is_error (Session.update_stored s ()))
+
+let test_type_error_blocks_update () =
+  let s = fresh_session () in
+  (* a hard type conflict: X is an integer via b0 and a string via lbl *)
+  ok (Session.define_base s "lbl" [ ("l", D.TStr) ] ());
+  ok (Session.add_rule s "a(X) :- b0(X, Y), lbl(X).");
+  Alcotest.(check bool) "type conflict fails typecheck" true
+    (Result.is_error (Session.update_stored s ()));
+  (* forward references are tolerated (checked again at query time) *)
+  let s2 = fresh_session () in
+  ok (Session.add_rule s2 "a(X) :- b0(X, Y), mystery(X).");
+  Alcotest.(check bool) "forward reference tolerated" true
+    (Result.is_ok (Session.update_stored s2 ()))
+
+let test_dictionary_updated () =
+  let s = fresh_session () in
+  ignore (push_rules s [ "a(X, Y) :- b0(X, Y)." ]);
+  match SD.derived_types (Session.stored s) "a" with
+  | Some [ D.TInt; D.TInt ] -> ()
+  | _ -> Alcotest.fail "idb dictionary not updated"
+
+(* property: random batched updates preserve the invariant *)
+let prop_batched_updates =
+  let pred i = Printf.sprintf "p%d" i in
+  let gen =
+    (* a list of batches; each batch is a list of (head, body1, body2)
+       index triples over a pool of 6 predicates + base *)
+    QCheck2.Gen.(
+      list_size (int_range 1 4)
+        (list_size (int_range 1 4) (triple (int_bound 5) (int_bound 6) (int_bound 6))))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:40 ~name:"incremental TC = full TC after random update batches" gen
+       (fun batches ->
+         let s = fresh_session () in
+         let body i = if i = 6 then "b0" else pred i in
+         List.iter
+           (fun batch ->
+             List.iter
+               (fun (h, b1, b2) ->
+                 match
+                   Session.add_rule s
+                     (Printf.sprintf "%s(X, Y) :- %s(X, Z), %s(Z, Y)." (pred h) (body b1)
+                        (body b2))
+                 with
+                 | Ok () -> ()
+                 | Error _ -> ())
+               batch;
+             (* some batches may fail type checking (e.g. undefined preds);
+                that must leave the invariant intact *)
+             ignore (Session.update_stored s ~clear:true ()))
+           batches;
+         let stored = Session.stored s in
+         expected_closure stored = actual_closure stored (List.map fst (expected_closure stored))))
+
+let () =
+  Alcotest.run "update"
+    [
+      ( "algorithm",
+        [
+          Alcotest.test_case "single batch" `Quick test_single_batch;
+          Alcotest.test_case "extension below" `Quick test_incremental_extension_below;
+          Alcotest.test_case "new root" `Quick test_incremental_new_root;
+          Alcotest.test_case "recursive rules" `Quick test_recursive_rules;
+          Alcotest.test_case "mutual recursion across batches" `Quick
+            test_mutual_recursion_across_batches;
+          Alcotest.test_case "source-only mode" `Quick test_update_without_compiled_storage;
+          Alcotest.test_case "empty workspace" `Quick test_empty_workspace_rejected;
+          Alcotest.test_case "type errors block" `Quick test_type_error_blocks_update;
+          Alcotest.test_case "dictionary updated" `Quick test_dictionary_updated;
+        ] );
+      ("properties", [ prop_batched_updates ]);
+    ]

@@ -1,0 +1,114 @@
+(* Unit tests for the utility kit: deterministic RNG, phase timers, and
+   the ASCII table renderer. *)
+
+module Rng = Dkb_util.Rng
+module Timer = Dkb_util.Timer
+module Tbl = Dkb_util.Ascii_table
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let xa = List.init 10 (fun _ -> Rng.next_int64 a) in
+  let xb = List.init 10 (fun _ -> Rng.next_int64 b) in
+  Alcotest.(check bool) "different streams" false (xa = xb)
+
+let test_rng_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 10 in
+    Alcotest.(check bool) "0 <= v < 10" true (v >= 0 && v < 10);
+    let w = Rng.int_in rng 5 8 in
+    Alcotest.(check bool) "5 <= w <= 8" true (w >= 5 && w <= 8);
+    let f = Rng.float rng 2.0 in
+    Alcotest.(check bool) "0 <= f < 2" true (f >= 0.0 && f < 2.0)
+  done
+
+let test_rng_invalid () =
+  let rng = Rng.create 0 in
+  Alcotest.check_raises "int 0" (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int rng 0));
+  Alcotest.check_raises "int_in bad" (Invalid_argument "Rng.int_in: hi < lo") (fun () ->
+      ignore (Rng.int_in rng 3 2));
+  Alcotest.check_raises "pick empty" (Invalid_argument "Rng.pick: empty array") (fun () ->
+      ignore (Rng.pick rng [||]))
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 9 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_copy_independent () =
+  let a = Rng.create 5 in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.next_int64 a) (Rng.next_int64 b)
+
+let test_phases_accumulate () =
+  let p = Timer.Phases.create () in
+  Timer.Phases.add p "x" 1.5;
+  Timer.Phases.add p "x" 2.5;
+  Timer.Phases.add p "y" 1.0;
+  Alcotest.(check (float 1e-9)) "x sums" 4.0 (Timer.Phases.get p "x");
+  Alcotest.(check (float 1e-9)) "total" 5.0 (Timer.Phases.total p);
+  Alcotest.(check (list string)) "order" [ "x"; "y" ] (List.map fst (Timer.Phases.to_list p));
+  Alcotest.(check (float 1e-9)) "missing is 0" 0.0 (Timer.Phases.get p "z")
+
+let test_phases_record () =
+  let p = Timer.Phases.create () in
+  let v = Timer.Phases.record p "work" (fun () -> 41 + 1) in
+  Alcotest.(check int) "result passed through" 42 v;
+  Alcotest.(check bool) "time recorded" true (Timer.Phases.get p "work" >= 0.0)
+
+let test_time_measures () =
+  let (), ms = Timer.time (fun () -> Unix.sleepf 0.01) in
+  Alcotest.(check bool) "around 10ms" true (ms >= 5.0 && ms < 500.0)
+
+let test_table_render () =
+  let out = Tbl.render ~header:[ "name"; "n" ] [ [ "alpha"; "1" ]; [ "b"; "200" ] ] in
+  Alcotest.(check bool) "contains header" true
+    (String.length out > 0 && Astring.String.is_infix ~affix:"name" out);
+  Alcotest.(check bool) "right-aligns numbers" true (Astring.String.is_infix ~affix:"  1" out)
+
+let test_table_ragged_rows () =
+  (* missing cells render as blanks rather than raising *)
+  let out = Tbl.render ~header:[ "a"; "b"; "c" ] [ [ "x" ]; [ "y"; "z" ] ] in
+  Alcotest.(check bool) "renders" true (String.length out > 0)
+
+let test_fmt () =
+  Alcotest.(check string) "ms >= 100" "123" (Tbl.fmt_ms 123.4);
+  Alcotest.(check string) "ms mid" "12.34" (Tbl.fmt_ms 12.34);
+  Alcotest.(check string) "pct" "12.5%" (Tbl.fmt_pct 12.49)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "invalid args" `Quick test_rng_invalid;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+          Alcotest.test_case "copy independent" `Quick test_rng_copy_independent;
+        ] );
+      ( "timer",
+        [
+          Alcotest.test_case "phases accumulate" `Quick test_phases_accumulate;
+          Alcotest.test_case "record passes result" `Quick test_phases_record;
+          Alcotest.test_case "time measures" `Quick test_time_measures;
+        ] );
+      ( "ascii_table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "ragged rows" `Quick test_table_ragged_rows;
+          Alcotest.test_case "formatting" `Quick test_fmt;
+        ] );
+    ]

@@ -1,0 +1,157 @@
+(* Unit and property tests for Value, Datatype, Schema and Tuple. *)
+
+module V = Rdbms.Value
+module D = Rdbms.Datatype
+module S = Rdbms.Schema
+module T = Rdbms.Tuple
+
+let value_gen =
+  QCheck2.Gen.(
+    oneof
+      [ map (fun n -> V.Int n) int; map (fun s -> V.Str s) (string_size (int_bound 12)) ])
+
+let tuple_gen = QCheck2.Gen.(map Array.of_list (list_size (int_bound 5) value_gen))
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:500 ~name gen f)
+
+(* ---------------- values ---------------- *)
+
+let test_value_order () =
+  Alcotest.(check bool) "int < str" true (V.compare (V.Int 99) (V.Str "a") < 0);
+  Alcotest.(check bool) "int order" true (V.compare (V.Int 1) (V.Int 2) < 0);
+  Alcotest.(check bool) "str order" true (V.compare (V.Str "a") (V.Str "b") < 0);
+  Alcotest.(check bool) "equal" true (V.equal (V.Str "x") (V.Str "x"))
+
+let test_value_sql_quoting () =
+  Alcotest.(check string) "int" "42" (V.to_sql (V.Int 42));
+  Alcotest.(check string) "str" "'john'" (V.to_sql (V.Str "john"));
+  Alcotest.(check string) "embedded quote" "'o''brien'" (V.to_sql (V.Str "o'brien"))
+
+let test_value_byte_size () =
+  Alcotest.(check int) "int" 4 (V.byte_size (V.Int 5));
+  Alcotest.(check int) "str" 5 (V.byte_size (V.Str "hello"));
+  Alcotest.(check int) "empty str min 1" 1 (V.byte_size (V.Str ""))
+
+let prop_value_compare_antisym =
+  prop "value compare antisymmetric"
+    QCheck2.Gen.(pair value_gen value_gen)
+    (fun (a, b) -> V.compare a b = -V.compare b a)
+
+let prop_value_hash_consistent =
+  prop "equal values hash equal" value_gen (fun v -> V.hash v = V.hash v)
+
+let prop_value_sql_roundtrip =
+  (* a quoted string literal re-lexes to the same string *)
+  prop "sql string quoting roundtrips"
+    QCheck2.Gen.(string_size (int_bound 20))
+    (fun s ->
+      match Rdbms.Sql_lexer.tokenize (V.to_sql (V.Str s)) with
+      | [ (Rdbms.Sql_lexer.STRING s', _); (Rdbms.Sql_lexer.EOF, _) ] -> String.equal s s'
+      | _ -> String.contains s '\n' || String.contains s '\r')
+
+(* ---------------- datatypes ---------------- *)
+
+let test_datatype_of_string () =
+  Alcotest.(check bool) "integer" true (D.of_string "Integer" = Some D.TInt);
+  Alcotest.(check bool) "char" true (D.of_string "CHAR" = Some D.TStr);
+  Alcotest.(check bool) "varchar" true (D.of_string "varchar" = Some D.TStr);
+  Alcotest.(check bool) "unknown" true (D.of_string "blob" = None)
+
+let test_datatype_check () =
+  Alcotest.(check bool) "int ok" true (D.check D.TInt (V.Int 3));
+  Alcotest.(check bool) "mismatch" false (D.check D.TInt (V.Str "x"))
+
+(* ---------------- schemas ---------------- *)
+
+let test_schema_make () =
+  let s = S.make [ ("a", D.TInt); ("b", D.TStr) ] in
+  Alcotest.(check int) "arity" 2 (S.arity s);
+  Alcotest.(check (list string)) "names" [ "a"; "b" ] (S.names s);
+  Alcotest.(check int) "position" 1 (S.position_exn s "B")
+
+let test_schema_duplicate () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (S.make [ ("a", D.TInt); ("A", D.TStr) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_schema_empty () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (S.make []);
+       false
+     with Invalid_argument _ -> true)
+
+let test_schema_validate () =
+  let s = S.make [ ("a", D.TInt); ("b", D.TStr) ] in
+  Alcotest.(check bool) "ok" true (S.validate s [| V.Int 1; V.Str "x" |] = Ok ());
+  Alcotest.(check bool) "arity" true (Result.is_error (S.validate s [| V.Int 1 |]));
+  Alcotest.(check bool) "type" true (Result.is_error (S.validate s [| V.Str "x"; V.Str "y" |]))
+
+let test_schema_compat () =
+  let a = S.make [ ("a", D.TInt); ("b", D.TStr) ] in
+  let b = S.make [ ("x", D.TInt); ("y", D.TStr) ] in
+  let c = S.make [ ("a", D.TStr); ("b", D.TStr) ] in
+  Alcotest.(check bool) "compatible ignores names" true (S.compatible a b);
+  Alcotest.(check bool) "equal needs names" false (S.equal a b);
+  Alcotest.(check bool) "types must match" false (S.compatible a c)
+
+(* ---------------- tuples ---------------- *)
+
+let test_tuple_compare () =
+  let a = [| V.Int 1; V.Int 2 |] and b = [| V.Int 1; V.Int 3 |] in
+  Alcotest.(check bool) "lex order" true (T.compare a b < 0);
+  Alcotest.(check bool) "prefix shorter first" true (T.compare [| V.Int 1 |] a < 0)
+
+let test_tuple_hashset () =
+  let s = T.Hashset.create 4 in
+  Alcotest.(check bool) "first add" true (T.Hashset.add s [| V.Int 1 |]);
+  Alcotest.(check bool) "dup add" false (T.Hashset.add s [| V.Int 1 |]);
+  Alcotest.(check int) "cardinal" 1 (T.Hashset.cardinal s);
+  T.Hashset.remove s [| V.Int 1 |];
+  Alcotest.(check int) "removed" 0 (T.Hashset.cardinal s)
+
+let prop_tuple_compare_equal_consistent =
+  prop "tuple equal iff compare 0"
+    QCheck2.Gen.(pair tuple_gen tuple_gen)
+    (fun (a, b) -> T.equal a b = (T.compare a b = 0))
+
+let prop_tuple_hash_agrees =
+  prop "equal tuples hash equal"
+    QCheck2.Gen.(pair tuple_gen tuple_gen)
+    (fun (a, b) -> (not (T.equal a b)) || T.hash a = T.hash b)
+
+let () =
+  Alcotest.run "value"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "ordering" `Quick test_value_order;
+          Alcotest.test_case "sql quoting" `Quick test_value_sql_quoting;
+          Alcotest.test_case "byte size" `Quick test_value_byte_size;
+          prop_value_compare_antisym;
+          prop_value_hash_consistent;
+          prop_value_sql_roundtrip;
+        ] );
+      ( "datatype",
+        [
+          Alcotest.test_case "of_string" `Quick test_datatype_of_string;
+          Alcotest.test_case "check" `Quick test_datatype_check;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "make" `Quick test_schema_make;
+          Alcotest.test_case "duplicate columns" `Quick test_schema_duplicate;
+          Alcotest.test_case "empty" `Quick test_schema_empty;
+          Alcotest.test_case "validate" `Quick test_schema_validate;
+          Alcotest.test_case "compatibility" `Quick test_schema_compat;
+        ] );
+      ( "tuple",
+        [
+          Alcotest.test_case "compare" `Quick test_tuple_compare;
+          Alcotest.test_case "hashset" `Quick test_tuple_hashset;
+          prop_tuple_compare_equal_consistent;
+          prop_tuple_hash_agrees;
+        ] );
+    ]

@@ -1,0 +1,185 @@
+(* Tests for the workload generators (paper §5.2 base-relation types and
+   the synthetic rule bases of Tests 1-3 / 8-9). *)
+
+module G = Workload.Graphgen
+module R = Workload.Rulegen
+module Rng = Dkb_util.Rng
+
+let rng () = Rng.create 2026
+
+(* ---------------- lists ---------------- *)
+
+let test_lists_shape () =
+  let l = G.lists ~rng:(rng ()) ~count:10 ~avg_length:8 in
+  Alcotest.(check int) "10 heads" 10 (List.length l.G.l_heads);
+  (* node-disjoint chains: every node has fan-in <= 1 and fan-out <= 1 *)
+  let outs = Hashtbl.create 64 and ins = Hashtbl.create 64 in
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check bool) "fan-out 1" false (Hashtbl.mem outs a);
+      Alcotest.(check bool) "fan-in 1" false (Hashtbl.mem ins b);
+      Hashtbl.add outs a ();
+      Hashtbl.add ins b ())
+    l.G.l_edges;
+  (* tuple count ~ count * (avg_length - 1), within the +-50% sampling *)
+  let n = List.length l.G.l_edges in
+  Alcotest.(check bool) (Printf.sprintf "edge count %d plausible" n) true (n >= 30 && n <= 110)
+
+let test_lists_invalid () =
+  Alcotest.(check bool) "bad args" true
+    (try
+       ignore (G.lists ~rng:(rng ()) ~count:0 ~avg_length:5);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- trees ---------------- *)
+
+let test_tree_counts () =
+  let t = G.full_binary_tree ~depth:5 () in
+  (* paper: n (2^d - 2) tuples for a tree of depth d *)
+  Alcotest.(check int) "edges" ((1 lsl 5) - 2) (List.length t.G.t_edges);
+  Alcotest.(check int) "root" 1 t.G.t_root;
+  Alcotest.(check (list int)) "level 2" [ 2; 3 ] (G.tree_nodes_at_level t 2);
+  Alcotest.(check int) "level 3 width" 4 (List.length (G.tree_nodes_at_level t 3));
+  Alcotest.(check int) "subtree at root = whole tree" (List.length t.G.t_edges)
+    (G.subtree_edge_count t 1);
+  Alcotest.(check int) "leaf subtree empty" 0 (G.subtree_edge_count t 5)
+
+let test_tree_structure () =
+  let t = G.full_binary_tree ~depth:4 () in
+  (* every non-root node has exactly one parent; root has none *)
+  let parents = Hashtbl.create 16 in
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check bool) "single parent" false (Hashtbl.mem parents b);
+      Hashtbl.add parents b a)
+    t.G.t_edges;
+  Alcotest.(check bool) "root has no parent" false (Hashtbl.mem parents t.G.t_root);
+  (* every internal node has exactly two children *)
+  let children = Hashtbl.create 16 in
+  List.iter
+    (fun (a, _) ->
+      Hashtbl.replace children a (1 + Option.value (Hashtbl.find_opt children a) ~default:0))
+    t.G.t_edges;
+  Hashtbl.iter (fun _ n -> Alcotest.(check int) "binary" 2 n) children
+
+let test_forest_disjoint () =
+  let trees = G.forest ~count:3 ~depth:3 () in
+  Alcotest.(check int) "three trees" 3 (List.length trees);
+  let sets = List.map (fun t -> List.sort_uniq compare (List.concat_map (fun (a, b) -> [ a; b ]) t.G.t_edges)) trees in
+  let rec pairwise = function
+    | [] | [ _ ] -> true
+    | s :: rest ->
+        List.for_all (fun s' -> List.for_all (fun n -> not (List.mem n s')) s) rest && pairwise rest
+  in
+  Alcotest.(check bool) "disjoint" true (pairwise sets)
+
+(* ---------------- dags ---------------- *)
+
+let test_dag_shape () =
+  let d = G.dag ~rng:(rng ()) ~path_length:4 ~width:5 ~fan_out:2 () in
+  Alcotest.(check int) "sources" 5 (List.length d.G.d_sources);
+  Alcotest.(check int) "sinks" 5 (List.length d.G.d_sinks);
+  Alcotest.(check int) "edges = layers x width x fanout" (3 * 5 * 2) (List.length d.G.d_edges);
+  (* edges go strictly forward between adjacent layers *)
+  let layer_of = Hashtbl.create 32 in
+  List.iteri (fun i layer -> List.iter (fun n -> Hashtbl.add layer_of n i) layer) d.G.d_layers;
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check int) "adjacent layers" (Hashtbl.find layer_of a + 1) (Hashtbl.find layer_of b))
+    d.G.d_edges;
+  (* fan-out edges are distinct *)
+  Alcotest.(check int) "no duplicate edges" (List.length d.G.d_edges)
+    (List.length (List.sort_uniq compare d.G.d_edges))
+
+let test_dag_acyclic () =
+  let d = G.dag ~rng:(rng ()) ~path_length:5 ~width:4 ~fan_out:2 () in
+  (* closure of a DAG never contains (x, x) *)
+  let rel =
+    Rdbms.Relation.create
+      (Rdbms.Schema.make [ ("a", Rdbms.Datatype.TInt); ("b", Rdbms.Datatype.TInt) ])
+  in
+  List.iter
+    (fun (a, b) ->
+      ignore (Rdbms.Relation.insert rel [| Rdbms.Value.Int a; Rdbms.Value.Int b |]))
+    d.G.d_edges;
+  let closure = Rdbms.Transitive.closure (Rdbms.Stats.create ()) rel in
+  Alcotest.(check bool) "no self-reachability" true
+    (List.for_all (fun r -> not (Rdbms.Value.equal r.(0) r.(1))) closure)
+
+let test_cyclic_has_cycles () =
+  let c = G.cyclic ~rng:(rng ()) ~path_length:5 ~width:4 ~fan_out:2 ~cycles:3 () in
+  Alcotest.(check int) "edge count" ((4 * 4 * 2) + 3) (List.length c.G.c_edges);
+  let rel =
+    Rdbms.Relation.create
+      (Rdbms.Schema.make [ ("a", Rdbms.Datatype.TInt); ("b", Rdbms.Datatype.TInt) ])
+  in
+  List.iter
+    (fun (a, b) ->
+      ignore (Rdbms.Relation.insert rel [| Rdbms.Value.Int a; Rdbms.Value.Int b |]))
+    c.G.c_edges;
+  let closure = Rdbms.Transitive.closure (Rdbms.Stats.create ()) rel in
+  Alcotest.(check bool) "some node reaches itself" true
+    (List.exists (fun r -> Rdbms.Value.equal r.(0) r.(1)) closure)
+
+let test_generators_deterministic () =
+  let a = G.dag ~rng:(Rng.create 7) ~path_length:3 ~width:3 ~fan_out:2 () in
+  let b = G.dag ~rng:(Rng.create 7) ~path_length:3 ~width:3 ~fan_out:2 () in
+  Alcotest.(check bool) "same seed same graph" true (a.G.d_edges = b.G.d_edges)
+
+(* ---------------- rule bases ---------------- *)
+
+let test_chains_counts () =
+  let rb = R.chains ~clusters:4 ~rules_per_cluster:5 () in
+  Alcotest.(check int) "rules" 20 rb.R.total_rules;
+  Alcotest.(check int) "derived preds" 20 rb.R.total_derived;
+  Alcotest.(check int) "roots" 4 (List.length rb.R.cluster_roots);
+  (* each cluster is independent: reachable from a root = its own chain + base *)
+  let pcg = Datalog.Pcg.build rb.R.clauses in
+  let reach = Datalog.Pcg.reachable_from pcg [ R.root rb 0 ] in
+  Alcotest.(check int) "cluster isolation" 5 (List.length reach)
+(* 4 chain preds below the root + the base *)
+
+let test_chain_query_touches_one_cluster () =
+  let rb = R.chains ~clusters:3 ~rules_per_cluster:4 () in
+  let goal = R.cluster_query rb 1 in
+  Alcotest.(check string) "root pred" "c2l1" goal.Datalog.Ast.pred;
+  Alcotest.(check (list string)) "cluster preds helper"
+    [ "c2l1"; "c2l2"; "c2l3"; "c2l4" ]
+    (R.cluster_preds ~clusters_prefix:"c" ~cluster:2 ~count:4)
+
+let test_branching_recursive () =
+  let rb =
+    R.branching ~rng:(rng ()) ~clusters:2 ~rules_per_cluster:4 ~branch:2 ~recursive:true ()
+  in
+  Alcotest.(check bool) "has cliques" true (List.length (Datalog.Clique.find_all rb.R.clauses) > 0);
+  (* all rules are safe *)
+  List.iter
+    (fun c ->
+      match Datalog.Typecheck.check_safety c with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+    rb.R.clauses
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "graphs",
+        [
+          Alcotest.test_case "lists" `Quick test_lists_shape;
+          Alcotest.test_case "lists invalid" `Quick test_lists_invalid;
+          Alcotest.test_case "tree counts" `Quick test_tree_counts;
+          Alcotest.test_case "tree structure" `Quick test_tree_structure;
+          Alcotest.test_case "forest disjoint" `Quick test_forest_disjoint;
+          Alcotest.test_case "dag shape" `Quick test_dag_shape;
+          Alcotest.test_case "dag acyclic" `Quick test_dag_acyclic;
+          Alcotest.test_case "cyclic graphs" `Quick test_cyclic_has_cycles;
+          Alcotest.test_case "deterministic" `Quick test_generators_deterministic;
+        ] );
+      ( "rule bases",
+        [
+          Alcotest.test_case "chain counts" `Quick test_chains_counts;
+          Alcotest.test_case "cluster isolation" `Quick test_chain_query_touches_one_cluster;
+          Alcotest.test_case "branching recursive" `Quick test_branching_recursive;
+        ] );
+    ]
