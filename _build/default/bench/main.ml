@@ -7,6 +7,7 @@
      dune exec bench/main.exe -- quick        -- all, small scale
      dune exec bench/main.exe -- test4 test7  -- selected experiments
      dune exec bench/main.exe -- ablation     -- ablation benches
+     dune exec bench/main.exe -- cache        -- statement-cache ablation (writes BENCH_cache.json)
      dune exec bench/main.exe -- bechamel     -- bechamel microbenchmarks *)
 
 let known =
@@ -21,6 +22,7 @@ let known =
     ("test8", fun scale -> ignore (Experiments.Test8.run ~scale ()));
     ("test9", fun scale -> ignore (Experiments.Test9.run ~scale ()));
     ("ablation", fun scale -> Experiments.Ablation.run ~scale ());
+    ("cache", fun scale -> Experiments.Ablation.run_cache ~scale ());
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -105,7 +107,7 @@ let () =
   else begin
     let to_run =
       match selected with
-      | [] | [ "all" ] -> List.filter (fun (n, _) -> n <> "ablation") known
+      | [] | [ "all" ] -> List.filter (fun (n, _) -> n <> "ablation" && n <> "cache") known
       | names ->
           List.map
             (fun n ->

@@ -1,1 +1,1 @@
-lib/core/runtime.ml: Codegen Datalog Dkb_util List Printf Rdbms String
+lib/core/runtime.ml: Codegen Datalog Dkb_util List Printf Rdbms

@@ -8,17 +8,25 @@ type compiled_rule = {
   cr_delta_selects : string list;
 }
 
+type insert_stmt = {
+  ins_target : string;
+  ins_body : string;
+}
+
+let insert_sql { ins_target; ins_body } = "INSERT INTO " ^ ins_target ^ " " ^ ins_body
+let retarget ins target = "INSERT INTO " ^ target ^ " " ^ ins.ins_body
+
 type entry =
   | E_pred of {
       pred : string;
       types : Rdbms.Datatype.t list;
-      fact_inserts : string list;
+      fact_inserts : insert_stmt list;
       rules : compiled_rule list;
     }
   | E_clique of {
       label : string;
       members : (string * Rdbms.Datatype.t list) list;
-      fact_inserts : (string * string list) list;
+      fact_inserts : (string * insert_stmt list) list;
       exit_rules : (string * compiled_rule) list;
       rec_rules : (string * compiled_rule) list;
     }
@@ -77,7 +85,9 @@ let facts_of clauses p =
   List.filter (fun c -> Ast.is_fact c && String.equal (Ast.head_pred c) p) clauses
 
 let fact_inserts clauses p =
-  List.map (fun c -> Sqlgen.insert_fact ~target:p c) (facts_of clauses p)
+  List.map
+    (fun c -> { ins_target = p; ins_body = Sqlgen.fact_values c })
+    (facts_of clauses p)
 
 let query_sql_of ~columns goal =
   let vars = Ast.vars_of_atom goal in
@@ -154,9 +164,10 @@ let all_sql_texts t =
   let of_rule r = r.cr_select :: r.cr_delta_selects in
   List.concat_map
     (function
-      | E_pred { fact_inserts; rules; _ } -> fact_inserts @ List.concat_map of_rule rules
+      | E_pred { fact_inserts; rules; _ } ->
+          List.map insert_sql fact_inserts @ List.concat_map of_rule rules
       | E_clique { fact_inserts; exit_rules; rec_rules; _ } ->
-          List.concat_map snd fact_inserts
+          List.concat_map (fun (_, l) -> List.map insert_sql l) fact_inserts
           @ List.concat_map (fun (_, r) -> of_rule r) (exit_rules @ rec_rules))
     t.entries
   @ [ t.query_sql ]

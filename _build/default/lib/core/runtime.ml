@@ -31,6 +31,19 @@ type ctx = {
 let exec ctx bucket sql =
   Timer.Phases.record ctx.phases bucket (fun () -> ignore (Engine.exec ctx.engine sql))
 
+(* The LFP inner loop executes the same handful of SQL texts every
+   iteration; each is parsed and planned exactly once, before the loop. *)
+let prep ctx sql = Engine.prepare ctx.engine sql
+
+let run_prep ctx bucket p =
+  Timer.Phases.record ctx.phases bucket (fun () -> ignore (Engine.exec_prepared ctx.engine p))
+
+let count_prep ctx p =
+  Timer.Phases.record ctx.phases "termination" (fun () ->
+      match Engine.exec_prepared ctx.engine p with
+      | Engine.Rows { rows = [ [| Rdbms.Value.Int n |] ]; _ } -> n
+      | _ -> failwith "COUNT(*) did not return a single integer")
+
 let create_table ctx ?(with_index = false) name types =
   exec ctx "create_drop" (Datalog.Sqlgen.create_table ~name ~types ());
   if with_index && ctx.index_derived && types <> [] then
@@ -41,10 +54,6 @@ let drop_table ctx name = exec ctx "create_drop" ("DROP TABLE IF EXISTS " ^ name
 let insert_select ctx bucket target select =
   exec ctx bucket (Printf.sprintf "INSERT INTO %s %s" target select)
 
-let count_of ctx name =
-  Timer.Phases.record ctx.phases "termination" (fun () ->
-      Engine.scalar_int ctx.engine ("SELECT COUNT(*) FROM " ^ name))
-
 let copy_into ctx target source =
   exec ctx "copy" (Printf.sprintf "INSERT INTO %s SELECT * FROM %s" target source)
 
@@ -53,7 +62,7 @@ let copy_into ctx target source =
 
 let eval_pred ctx ~pred ~types ~fact_inserts ~rules =
   create_table ctx ~with_index:true pred types;
-  List.iter (fun sql -> exec ctx "eval" sql) fact_inserts;
+  List.iter (fun ins -> exec ctx "eval" (Codegen.insert_sql ins)) fact_inserts;
   List.iter
     (fun r -> insert_select ctx "eval" pred r.Codegen.cr_select)
     rules
@@ -61,100 +70,169 @@ let eval_pred ctx ~pred ~types ~fact_inserts ~rules =
 (* ------------------------------------------------------------------ *)
 (* Clique evaluation: naive *)
 
+(* The per-member statements of one naive iteration, prepared up front. *)
+type naive_member = {
+  nm_truncate_next : Engine.prepared;
+  nm_truncate_diff : Engine.prepared;
+  nm_fill_diff : Engine.prepared;  (** diff <- next EXCEPT current *)
+  nm_count_diff : Engine.prepared;
+  nm_truncate_self : Engine.prepared;
+  nm_swap_in : Engine.prepared;  (** current <- next *)
+}
+
 let eval_clique_naive ctx ~members ~fact_inserts ~exit_rules ~rec_rules =
   (* member tables start empty; each iteration recomputes F from scratch
-     into next tables and swaps *)
+     into next tables and swaps. Scratch tables are created once and
+     truncated between iterations instead of dropped and recreated. *)
   List.iter (fun (p, types) -> create_table ctx ~with_index:true p types) members;
+  List.iter
+    (fun (p, types) ->
+      create_table ctx (Names.next p) types;
+      create_table ctx (Names.diff p) types)
+    members;
+  let fact_preps =
+    List.concat_map
+      (fun (p, inserts) ->
+        (* redirect each fact insert at the member's next-table *)
+        List.map (fun ins -> prep ctx (Codegen.retarget ins (Names.next p))) inserts)
+      fact_inserts
+  in
+  let rule_preps =
+    List.map
+      (fun (head, r) ->
+        prep ctx (Printf.sprintf "INSERT INTO %s %s" (Names.next head) r.Codegen.cr_select))
+      (exit_rules @ rec_rules)
+  in
+  let member_preps =
+    List.map
+      (fun (p, _) ->
+        let next = Names.next p and diff = Names.diff p in
+        {
+          nm_truncate_next = prep ctx ("TRUNCATE TABLE " ^ next);
+          nm_truncate_diff = prep ctx ("TRUNCATE TABLE " ^ diff);
+          nm_fill_diff =
+            prep ctx
+              (Printf.sprintf "INSERT INTO %s (SELECT * FROM %s) EXCEPT (SELECT * FROM %s)" diff
+                 next p);
+          nm_count_diff = prep ctx (Printf.sprintf "SELECT COUNT(*) FROM %s" diff);
+          nm_truncate_self = prep ctx ("TRUNCATE TABLE " ^ p);
+          nm_swap_in = prep ctx (Printf.sprintf "INSERT INTO %s SELECT * FROM %s" p next);
+        })
+      members
+  in
   let iterations = ref 0 in
   let changed = ref true in
   while !changed do
     incr iterations;
     if !iterations > ctx.max_iterations then failwith "naive evaluation exceeded max iterations";
     changed := false;
-    List.iter (fun (p, types) -> create_table ctx (Names.next p) types) members;
-    List.iter
-      (fun (p, inserts) ->
-        List.iter
-          (fun sql ->
-            (* retarget the fact insert at the next-table *)
-            let retargeted =
-              Printf.sprintf "INSERT INTO %s%s" (Names.next p)
-                (let prefix = "INSERT INTO " ^ p in
-                 String.sub sql (String.length prefix) (String.length sql - String.length prefix))
-            in
-            exec ctx "eval" retargeted)
-          inserts)
-      fact_inserts;
-    List.iter
-      (fun (head, r) -> insert_select ctx "eval" (Names.next head) r.Codegen.cr_select)
-      (exit_rules @ rec_rules);
+    List.iter (fun nm -> run_prep ctx "create_drop" nm.nm_truncate_next) member_preps;
+    List.iter (fun p -> run_prep ctx "eval" p) fact_preps;
+    List.iter (fun p -> run_prep ctx "eval" p) rule_preps;
     (* termination: next EXCEPT current, per member *)
     List.iter
-      (fun (p, types) ->
-        create_table ctx (Names.diff p) types;
-        insert_select ctx "termination" (Names.diff p)
-          (Printf.sprintf "(SELECT * FROM %s) EXCEPT (SELECT * FROM %s)" (Names.next p) p);
-        if count_of ctx (Names.diff p) > 0 then changed := true;
-        drop_table ctx (Names.diff p))
-      members;
+      (fun nm ->
+        run_prep ctx "create_drop" nm.nm_truncate_diff;
+        run_prep ctx "termination" nm.nm_fill_diff;
+        if count_prep ctx nm.nm_count_diff > 0 then changed := true)
+      member_preps;
     (* swap: current <- next (a full table copy, as the paper laments) *)
     List.iter
-      (fun (p, types) ->
-        drop_table ctx p;
-        create_table ctx ~with_index:true p types;
-        copy_into ctx p (Names.next p);
-        drop_table ctx (Names.next p))
-      members
+      (fun nm ->
+        run_prep ctx "create_drop" nm.nm_truncate_self;
+        run_prep ctx "copy" nm.nm_swap_in)
+      member_preps
   done;
+  List.iter
+    (fun (p, _) ->
+      drop_table ctx (Names.next p);
+      drop_table ctx (Names.diff p))
+    members;
   !iterations
 
 (* ------------------------------------------------------------------ *)
 (* Clique evaluation: semi-naive *)
 
+type seminaive_member = {
+  sm_truncate_cand : Engine.prepared;
+  sm_truncate_diff : Engine.prepared;
+  sm_fill_diff : Engine.prepared;  (** diff <- candidates EXCEPT current *)
+  sm_count_diff : Engine.prepared;
+  sm_truncate_delta : Engine.prepared;
+  sm_new_delta : Engine.prepared;  (** delta <- diff *)
+  sm_absorb : Engine.prepared;  (** current <- delta *)
+}
+
 let eval_clique_seminaive ctx ~members ~fact_inserts ~exit_rules ~rec_rules =
   (* init: facts and exit rules, delta = everything so far *)
   List.iter (fun (p, types) -> create_table ctx ~with_index:true p types) members;
   List.iter
-    (fun (_, inserts) -> List.iter (fun sql -> exec ctx "eval" sql) inserts)
+    (fun (_, inserts) ->
+      List.iter (fun ins -> exec ctx "eval" (Codegen.insert_sql ins)) inserts)
     fact_inserts;
   List.iter (fun (head, r) -> insert_select ctx "eval" head r.Codegen.cr_select) exit_rules;
   List.iter
     (fun (p, types) ->
       create_table ctx (Names.delta p) types;
+      create_table ctx (Names.new_delta p) types;
+      create_table ctx (Names.diff p) types;
       copy_into ctx (Names.delta p) p)
     members;
+  let rule_preps =
+    List.concat_map
+      (fun (head, r) ->
+        let target = Names.new_delta head in
+        match r.Codegen.cr_delta_selects with
+        | [] ->
+            (* defensive: a "recursive" rule with no clique occurrence *)
+            [ prep ctx (Printf.sprintf "INSERT INTO %s %s" target r.Codegen.cr_select) ]
+        | variants ->
+            List.map (fun sel -> prep ctx (Printf.sprintf "INSERT INTO %s %s" target sel)) variants)
+      rec_rules
+  in
+  let member_preps =
+    List.map
+      (fun (p, _) ->
+        let delta = Names.delta p and cand = Names.new_delta p and diff = Names.diff p in
+        {
+          sm_truncate_cand = prep ctx ("TRUNCATE TABLE " ^ cand);
+          sm_truncate_diff = prep ctx ("TRUNCATE TABLE " ^ diff);
+          sm_fill_diff =
+            prep ctx
+              (Printf.sprintf "INSERT INTO %s (SELECT * FROM %s) EXCEPT (SELECT * FROM %s)" diff
+                 cand p);
+          sm_count_diff = prep ctx (Printf.sprintf "SELECT COUNT(*) FROM %s" diff);
+          sm_truncate_delta = prep ctx ("TRUNCATE TABLE " ^ delta);
+          sm_new_delta = prep ctx (Printf.sprintf "INSERT INTO %s SELECT * FROM %s" delta diff);
+          sm_absorb = prep ctx (Printf.sprintf "INSERT INTO %s SELECT * FROM %s" p delta);
+        })
+      members
+  in
   let iterations = ref 0 in
   let changed = ref true in
   while !changed do
     incr iterations;
     if !iterations > ctx.max_iterations then failwith "semi-naive evaluation exceeded max iterations";
     changed := false;
-    List.iter (fun (p, types) -> create_table ctx (Names.new_delta p) types) members;
+    List.iter (fun sm -> run_prep ctx "create_drop" sm.sm_truncate_cand) member_preps;
+    List.iter (fun p -> run_prep ctx "eval" p) rule_preps;
     List.iter
-      (fun (head, r) ->
-        match r.Codegen.cr_delta_selects with
-        | [] ->
-            (* defensive: a "recursive" rule with no clique occurrence *)
-            insert_select ctx "eval" (Names.new_delta head) r.Codegen.cr_select
-        | variants ->
-            List.iter (fun sel -> insert_select ctx "eval" (Names.new_delta head) sel) variants)
-      rec_rules;
-    List.iter
-      (fun (p, types) ->
-        create_table ctx (Names.diff p) types;
-        insert_select ctx "termination" (Names.diff p)
-          (Printf.sprintf "(SELECT * FROM %s) EXCEPT (SELECT * FROM %s)" (Names.new_delta p) p);
-        let n = count_of ctx (Names.diff p) in
-        drop_table ctx (Names.delta p);
-        create_table ctx (Names.delta p) types;
-        copy_into ctx (Names.delta p) (Names.diff p);
-        copy_into ctx p (Names.delta p);
-        drop_table ctx (Names.diff p);
-        drop_table ctx (Names.new_delta p);
+      (fun sm ->
+        run_prep ctx "create_drop" sm.sm_truncate_diff;
+        run_prep ctx "termination" sm.sm_fill_diff;
+        let n = count_prep ctx sm.sm_count_diff in
+        run_prep ctx "create_drop" sm.sm_truncate_delta;
+        run_prep ctx "copy" sm.sm_new_delta;
+        run_prep ctx "copy" sm.sm_absorb;
         if n > 0 then changed := true)
-      members
+      member_preps
   done;
-  List.iter (fun (p, _) -> drop_table ctx (Names.delta p)) members;
+  List.iter
+    (fun (p, _) ->
+      drop_table ctx (Names.delta p);
+      drop_table ctx (Names.new_delta p);
+      drop_table ctx (Names.diff p))
+    members;
   !iterations
 
 (* ------------------------------------------------------------------ *)
@@ -163,10 +241,7 @@ let eval_clique_seminaive ctx ~members ~fact_inserts ~exit_rules ~rec_rules =
    scratch tables of an interrupted LFP loop *)
 let drop_all_program_tables ctx (program : Codegen.t) =
   List.iter
-    (fun (name, _) ->
-      List.iter
-        (fun n -> drop_table ctx n)
-        [ name; Names.next name; Names.delta name; Names.new_delta name; Names.diff name ])
+    (fun (name, _) -> List.iter (drop_table ctx) (name :: Names.scratch_tables name))
     program.Codegen.derived_tables
 
 let execute engine ?(strategy = Seminaive) ?(index_derived = false) ?(max_iterations = 100_000)
@@ -175,6 +250,7 @@ let execute engine ?(strategy = Seminaive) ?(index_derived = false) ?(max_iterat
   let ctx = { engine; phases; index_derived; max_iterations } in
   let io_before = Rdbms.Stats.copy (Engine.stats engine) in
   let t0 = Timer.now_ms () in
+  (* accumulated in reverse; reversed once when the report is built *)
   let iterations = ref [] in
   let entry_ms = ref [] in
   try
@@ -193,10 +269,10 @@ let execute engine ?(strategy = Seminaive) ?(index_derived = false) ?(max_iterat
                   | Seminaive ->
                       eval_clique_seminaive ctx ~members ~fact_inserts ~exit_rules ~rec_rules
                 in
-                iterations := !iterations @ [ (label, iters) ] )
+                iterations := (label, iters) :: !iterations )
       in
       let (), ms = Timer.time run in
-      entry_ms := !entry_ms @ [ (label, ms) ])
+      entry_ms := (label, ms) :: !entry_ms)
     program.Codegen.entries;
   (* final answer *)
   let result =
@@ -223,9 +299,9 @@ let execute engine ?(strategy = Seminaive) ?(index_derived = false) ?(max_iterat
     rows;
     columns;
     boolean;
-    iterations = !iterations;
+    iterations = List.rev !iterations;
     phases;
-    entry_ms = !entry_ms;
+    entry_ms = List.rev !entry_ms;
     exec_ms;
     io;
   }

@@ -24,6 +24,7 @@ let create () =
 let engine t = t.engine
 let stored t = t.stored
 let workspace t = t.workspace
+let db_stats t = Engine.stats t.engine
 let rule_epoch t = t.epoch
 
 let changed_since t epoch =

@@ -11,6 +11,12 @@ val engine : t -> Rdbms.Engine.t
 val stored : t -> Stored_dkb.t
 val workspace : t -> Workspace.t
 
+val db_stats : t -> Rdbms.Stats.t
+(** The engine's cumulative execution counters, including the statement
+    cache's [plan_cache_hits] / [plan_cache_misses] and
+    [tables_truncated]; snapshot with {!Rdbms.Stats.copy} and compare
+    with {!Rdbms.Stats.diff}. *)
+
 val rule_epoch : t -> int
 (** Bumped whenever the rule base (workspace or stored) changes; used by
     {!Precompiled} for cache invalidation. *)

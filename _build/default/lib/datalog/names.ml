@@ -26,6 +26,8 @@ let next p = "next__" ^ p
 let diff p = "diff__" ^ p
 let facts_base p = p ^ "__facts"
 
+let scratch_tables p = [ next p; delta p; new_delta p; diff p ]
+
 let strip_prefix prefix s =
   let lp = String.length prefix in
   if String.length s >= lp && String.sub s 0 lp = prefix then String.sub s lp (String.length s - lp)

@@ -28,6 +28,11 @@ val facts_base : string -> string
 (** Auxiliary base predicate for a derived predicate that also has facts
     (the paper's Set1/Set2 normalization). *)
 
+val scratch_tables : string -> string list
+(** Every scratch-table name the LFP runtime may allocate for a clique
+    member: [next], [delta], [new_delta] and [diff]. Used to create them
+    up front and to verify cleanup leaves none behind. *)
+
 val strip_decorations : string -> string
 (** Best-effort inverse: [strip_decorations "m__p__bf"] is ["p"]. *)
 

@@ -170,7 +170,7 @@ let insert_for_rule ~columns ?table_of ~target clause =
   let q = select_for_rule ~columns ?table_of clause in
   Printf.sprintf "INSERT INTO %s %s" target (Rdbms.Sql_printer.query q)
 
-let insert_fact ~target clause =
+let fact_values clause =
   if not (is_fact clause) then err "not a fact: %s" (clause_to_string clause);
   let values =
     List.map
@@ -179,7 +179,9 @@ let insert_fact ~target clause =
         | Var _ -> assert false)
       clause.head.args
   in
-  Printf.sprintf "INSERT INTO %s VALUES (%s)" target (String.concat ", " values)
+  Printf.sprintf "VALUES (%s)" (String.concat ", " values)
+
+let insert_fact ~target clause = Printf.sprintf "INSERT INTO %s %s" target (fact_values clause)
 
 let create_table ~name ~types ?columns () =
   let cols = Option.value columns ~default:(default_columns (List.length types)) in

@@ -42,6 +42,10 @@ val insert_for_rule :
 val insert_fact : target:string -> Ast.clause -> string
 (** [INSERT INTO target VALUES (...)] for a ground fact. *)
 
+val fact_values : Ast.clause -> string
+(** The target-independent [VALUES (...)] body of a ground fact's INSERT,
+    for callers that pick the destination table at run time. *)
+
 val create_table :
   name:string -> types:Rdbms.Datatype.t list -> ?columns:string list -> unit -> string
 (** [CREATE TABLE name (c1 t1, ...)] text. *)

@@ -1,1 +1,1 @@
-lib/experiments/ablation.ml: Common Core Datalog Dkb_util List Printf Rdbms Workload
+lib/experiments/ablation.ml: Common Core Datalog Dkb_util List Option Printf Rdbms Workload

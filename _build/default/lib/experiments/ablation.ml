@@ -169,6 +169,87 @@ let join_ordering ~depth =
     ];
   ignore (Common.shape "orderings agree on the answers" (syn_n = greedy_n))
 
+let statement_cache ?(json_path = "BENCH_cache.json") ~depth () =
+  Common.section "Ablation 6 (statement cache)"
+    "Semi-naive ancestor LFP (the Table 5 tree workload) with the engine's\n\
+     statement cache and prepared-statement plan reuse on vs off.";
+  let run cached =
+    let s, tree = Common.tree_session ~depth in
+    Rdbms.Engine.set_statement_cache (Session.engine s) cached;
+    let goal = Workload.Queries.ancestor_goal tree.Graphgen.t_root in
+    let last = ref None in
+    let ms =
+      Common.measure ~repeat:3 (fun () ->
+          let answer = Common.ok (Session.query_goal s goal) in
+          last := Some answer;
+          answer.Session.run.Core.Runtime.exec_ms)
+    in
+    (ms, Option.get !last, tree)
+  in
+  let cached_ms, cached_answer, tree = run true in
+  let uncached_ms, uncached_answer, _ = run false in
+  let iters a =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 a.Session.run.Core.Runtime.iterations
+  in
+  let answers a = List.length a.Session.run.Core.Runtime.rows in
+  let row label ms a =
+    let io = a.Session.run.Core.Runtime.io in
+    [
+      label;
+      Common.fmt_ms ms;
+      string_of_int (answers a);
+      string_of_int io.Rdbms.Stats.plan_cache_hits;
+      string_of_int io.Rdbms.Stats.plan_cache_misses;
+      string_of_int io.Rdbms.Stats.tables_created;
+      string_of_int io.Rdbms.Stats.tables_truncated;
+    ]
+  in
+  Common.print_table
+    ~header:[ "statement cache"; "t_e (ms)"; "answers"; "hits"; "misses"; "created"; "truncated" ]
+    [ row "on" cached_ms cached_answer; row "off" uncached_ms uncached_answer ];
+  ignore
+    (Common.shape "cached run reuses plans more often than it builds them"
+       (let io = cached_answer.Session.run.Core.Runtime.io in
+        io.Rdbms.Stats.plan_cache_hits > io.Rdbms.Stats.plan_cache_misses));
+  ignore
+    (Common.shape "both configurations compute the same answers"
+       (answers cached_answer = answers uncached_answer
+       && iters cached_answer = iters uncached_answer));
+  let json_run label ms a =
+    let io = a.Session.run.Core.Runtime.io in
+    Printf.sprintf
+      {|    { "config": %S, "exec_ms": %.3f, "answers": %d, "iterations": %d,
+      "plan_cache_hits": %d, "plan_cache_misses": %d, "statements_prepared": %d,
+      "statements": %d, "tables_created": %d, "tables_dropped": %d,
+      "tables_truncated": %d, "sim_io": %d }|}
+      label ms (answers a) (iters a) io.Rdbms.Stats.plan_cache_hits
+      io.Rdbms.Stats.plan_cache_misses io.Rdbms.Stats.statements_prepared
+      io.Rdbms.Stats.statements io.Rdbms.Stats.tables_created io.Rdbms.Stats.tables_dropped
+      io.Rdbms.Stats.tables_truncated (Rdbms.Stats.total_io io)
+  in
+  let json =
+    Printf.sprintf
+      {|{
+  "experiment": "statement-cache-ablation",
+  "workload": { "shape": "full-binary-tree", "depth": %d, "edges": %d },
+  "runs": [
+%s,
+%s
+  ],
+  "speedup_cached_vs_uncached": %.3f
+}
+|}
+      depth
+      (List.length tree.Graphgen.t_edges)
+      (json_run "cached" cached_ms cached_answer)
+      (json_run "uncached" uncached_ms uncached_answer)
+      (if cached_ms > 0.0 then uncached_ms /. cached_ms else 0.0)
+  in
+  let oc = open_out json_path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "  wrote %s\n" json_path
+
 let run ~scale () =
   let depth =
     match scale with
@@ -179,4 +260,13 @@ let run ~scale () =
   derived_indexing ~depth;
   base_indexing ~depth;
   topdown_vs_bottom_up ~depth;
-  join_ordering ~depth
+  join_ordering ~depth;
+  statement_cache ~depth ()
+
+let run_cache ~scale () =
+  let depth =
+    match scale with
+    | Common.Full -> 10
+    | Common.Quick -> 6
+  in
+  statement_cache ~depth ()

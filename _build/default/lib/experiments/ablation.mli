@@ -1,7 +1,13 @@
 (** Ablation benches for the design choices DESIGN.md calls out: the
     built-in TC operator vs the SQL-loop LFP (paper conclusion #8),
     derived-table indexing (#6c), base-relation indexing, top-down QSQ
-    vs the compiled bottom-up strategies (§2.4), and planner join
-    ordering (#6d). Prints tables and shape checks. *)
+    vs the compiled bottom-up strategies (§2.4), planner join ordering
+    (#6d), and the engine's statement cache / prepared-statement plan
+    reuse. Prints tables and shape checks. *)
 
 val run : scale:Common.scale -> unit -> unit
+
+val run_cache : scale:Common.scale -> unit -> unit
+(** Just the statement-cache ablation (cached vs uncached engine on the
+    Table 5 tree workload); writes machine-readable results to
+    [BENCH_cache.json] in the current directory. *)

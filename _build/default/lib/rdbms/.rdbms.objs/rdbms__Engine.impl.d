@@ -1,1 +1,1 @@
-lib/rdbms/engine.ml: Array Catalog Datatype Executor Index List Ordered_index Plan Planner Printf Relation Schema Sql_ast Sql_lexer Sql_parser Stats Tuple Value
+lib/rdbms/engine.ml: Array Catalog Datatype Executor Hashtbl Index List Ordered_index Plan Planner Printf Relation Schema Sql_ast Sql_lexer Sql_parser Stats Tuple Value

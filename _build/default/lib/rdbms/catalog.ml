@@ -8,11 +8,15 @@ type table = {
 type t = {
   by_name : (string, table) Hashtbl.t;
   index_owner : (string, table) Hashtbl.t; (* index name -> owning table *)
+  mutable version : int;
 }
 
 let key = String.lowercase_ascii
 
-let create () = { by_name = Hashtbl.create 32; index_owner = Hashtbl.create 32 }
+let create () = { by_name = Hashtbl.create 32; index_owner = Hashtbl.create 32; version = 0 }
+
+let version t = t.version
+let bump t = t.version <- t.version + 1
 
 let table_exists t name = Hashtbl.mem t.by_name (key name)
 let find_table t name = Hashtbl.find_opt t.by_name (key name)
@@ -29,6 +33,7 @@ let create_table t name schema =
       { tbl_name = name; tbl_relation = Relation.create schema; tbl_indexes = []; tbl_ordered = [] }
     in
     Hashtbl.add t.by_name (key name) tbl;
+    bump t;
     Ok tbl
   end
 
@@ -41,6 +46,7 @@ let drop_table t name =
         (fun idx -> Hashtbl.remove t.index_owner (key (Ordered_index.name idx)))
         tbl.tbl_ordered;
       Hashtbl.remove t.by_name (key name);
+      bump t;
       Ok ()
 
 let create_index t ~name ~table ~column =
@@ -54,6 +60,7 @@ let create_index t ~name ~table ~column =
         | idx ->
             tbl.tbl_indexes <- tbl.tbl_indexes @ [ idx ];
             Hashtbl.add t.index_owner (key name) tbl;
+            bump t;
             Ok idx
         | exception Invalid_argument msg -> Error msg)
 
@@ -68,6 +75,7 @@ let create_ordered_index t ~name ~table ~column =
         | idx ->
             tbl.tbl_ordered <- tbl.tbl_ordered @ [ idx ];
             Hashtbl.add t.index_owner (key name) tbl;
+            bump t;
             Ok idx
         | exception Invalid_argument msg -> Error msg)
 
@@ -88,6 +96,7 @@ let drop_index t name =
       tbl.tbl_ordered <-
         List.filter (fun idx -> key (Ordered_index.name idx) <> key name) tbl.tbl_ordered;
       Hashtbl.remove t.index_owner (key name);
+      bump t;
       Ok ()
 
 let find_index t ~table ~column =

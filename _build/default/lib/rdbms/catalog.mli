@@ -12,6 +12,13 @@ type t
 
 val create : unit -> t
 
+val version : t -> int
+(** Monotonically increasing schema version, bumped on every CREATE/DROP
+    TABLE and CREATE/DROP INDEX. Cached query plans are validated against
+    this counter (one integer comparison per execution) instead of
+    hashing schemas; TRUNCATE does not bump it, which is what keeps the
+    LFP scratch tables plan-cache-friendly. *)
+
 val create_table : t -> string -> Schema.t -> (table, string) result
 (** Fails if a table of that name already exists. *)
 

@@ -1,9 +1,29 @@
 exception Sql_error of string
 
+(* A plan cached inside a prepared statement, tagged with the catalog
+   version and join-order mode it was planned under. Validation is one
+   integer comparison per execution; any CREATE/DROP TABLE or INDEX bumps
+   the catalog version and invalidates every cached plan at its next use. *)
+type cached_plan = {
+  cp_plan : Plan.t;
+  cp_version : int;
+  cp_join_order : Planner.join_order;
+}
+
+type prepared = {
+  p_stmt : Sql_ast.stmt;
+  mutable p_plan : cached_plan option; (* SELECT / INSERT ... SELECT only *)
+  mutable p_runs : int; (* executions so far, for hit/miss accounting *)
+  mutable p_last_used : int; (* LRU tick *)
+}
+
 type t = {
   catalog : Catalog.t;
   stats : Stats.t;
   mutable join_order : Planner.join_order;
+  stmt_cache : (string, prepared) Hashtbl.t; (* SQL text -> prepared *)
+  mutable cache_enabled : bool;
+  mutable tick : int;
 }
 
 type result =
@@ -11,12 +31,29 @@ type result =
   | Affected of int
   | Done
 
-let create () = { catalog = Catalog.create (); stats = Stats.create (); join_order = Planner.Syntactic }
+let stmt_cache_capacity = 512
+
+let create () =
+  {
+    catalog = Catalog.create ();
+    stats = Stats.create ();
+    join_order = Planner.Syntactic;
+    stmt_cache = Hashtbl.create 64;
+    cache_enabled = true;
+    tick = 0;
+  }
 
 let set_join_order t mode = t.join_order <- mode
 let join_order t = t.join_order
 let catalog t = t.catalog
 let stats t = t.stats
+
+let set_statement_cache t enabled =
+  t.cache_enabled <- enabled;
+  if not enabled then Hashtbl.reset t.stmt_cache
+
+let statement_cache_enabled t = t.cache_enabled
+let statement_cache_size t = Hashtbl.length t.stmt_cache
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Sql_error s)) fmt
 
@@ -49,16 +86,33 @@ let insert_rows t table_name rows =
       charge_insert t.stats inserted;
       Affected (List.length inserted)
 
+let plan_query_or_fail t q =
+  try Planner.plan_query ~join_order:t.join_order t.catalog q with
+  | Planner.Plan_error msg -> raise (Sql_error msg)
+  | Failure msg -> raise (Sql_error msg)
+
 let run_query t q =
-  let plan =
-    try Planner.plan_query ~join_order:t.join_order t.catalog q with
-    | Planner.Plan_error msg -> raise (Sql_error msg)
-    | Failure msg -> raise (Sql_error msg)
-  in
+  let plan = plan_query_or_fail t q in
   (plan, Executor.run t.stats plan)
 
-let exec_stmt t stmt =
-  t.stats.Stats.statements <- t.stats.Stats.statements + 1;
+let clear_table t name =
+  match Catalog.find_table t.catalog name with
+  | None -> fail "no such table: %s" name
+  | Some tbl ->
+      let rel = tbl.Catalog.tbl_relation in
+      let n = Relation.cardinal rel in
+      if n > 0 then begin
+        t.stats.Stats.rows_deleted <- t.stats.Stats.rows_deleted + n;
+        t.stats.Stats.page_writes <- t.stats.Stats.page_writes + Relation.pages rel
+      end
+      else t.stats.Stats.page_writes <- t.stats.Stats.page_writes + 1;
+      t.stats.Stats.tables_truncated <- t.stats.Stats.tables_truncated + 1;
+      Relation.clear rel
+
+(* Execute a statement that has already been counted in [stats.statements].
+   SELECT and INSERT ... SELECT are planned from scratch here; the cached
+   paths live in [exec_prepared]. *)
+let run_stmt t stmt =
   match stmt with
   | Sql_ast.Create_table { name; columns } ->
       let schema = try Schema.make columns with Invalid_argument msg -> raise (Sql_error msg) in
@@ -72,6 +126,9 @@ let exec_stmt t stmt =
           t.stats.Stats.tables_dropped <- t.stats.Stats.tables_dropped + 1;
           t.stats.Stats.page_writes <- t.stats.Stats.page_writes + 1
       | Error msg -> if not if_exists then raise (Sql_error msg));
+      Done
+  | Sql_ast.Truncate { name } ->
+      clear_table t name;
       Done
   | Sql_ast.Create_index { index; table; column; ordered } ->
       (if ordered then
@@ -235,12 +292,144 @@ let exec_stmt t stmt =
       in
       Rows { columns; rows }
 
+let exec_stmt t stmt =
+  t.stats.Stats.statements <- t.stats.Stats.statements + 1;
+  run_stmt t stmt
+
 let parse_or_fail sql =
   try Sql_parser.parse sql with
   | Sql_parser.Parse_error (msg, pos) -> fail "parse error at offset %d: %s" pos msg
   | Sql_lexer.Lex_error (msg, pos) -> fail "lex error at offset %d: %s" pos msg
 
-let exec t sql = exec_stmt t (parse_or_fail sql)
+(* ------------------------------------------------------------------ *)
+(* Prepared statements and the statement cache *)
+
+let prepare t sql =
+  let stmt = parse_or_fail sql in
+  t.stats.Stats.statements_prepared <- t.stats.Stats.statements_prepared + 1;
+  { p_stmt = stmt; p_plan = None; p_runs = 0; p_last_used = 0 }
+
+(* Return the prepared statement's plan, reusing the cached operator tree
+   when the catalog version and join-order mode still match. With the
+   statement cache disabled (an ablation configuration) every execution
+   replans, so the measured difference is the full cost of plan caching. *)
+let plan_of_prepared t p build =
+  let version = Catalog.version t.catalog in
+  if not t.cache_enabled then begin
+    t.stats.Stats.plan_cache_misses <- t.stats.Stats.plan_cache_misses + 1;
+    build ()
+  end
+  else
+  match p.p_plan with
+  | Some cp when cp.cp_version = version && cp.cp_join_order = t.join_order ->
+      t.stats.Stats.plan_cache_hits <- t.stats.Stats.plan_cache_hits + 1;
+      cp.cp_plan
+  | _ ->
+      t.stats.Stats.plan_cache_misses <- t.stats.Stats.plan_cache_misses + 1;
+      let plan = build () in
+      p.p_plan <- Some { cp_plan = plan; cp_version = version; cp_join_order = t.join_order };
+      plan
+
+let select_plan_of_prepared t p query order_by =
+  plan_of_prepared t p (fun () ->
+      try Planner.plan_select_stmt ~join_order:t.join_order t.catalog query order_by with
+      | Planner.Plan_error msg -> raise (Sql_error msg)
+      | Failure msg -> raise (Sql_error msg))
+
+(* Plan the source query of INSERT ... SELECT and type-check it against
+   the current target schema. Both depend only on the catalog, so a
+   successful check stays valid exactly as long as the plan does. *)
+let insert_select_plan_of_prepared t p table query =
+  plan_of_prepared t p (fun () ->
+      let tbl =
+        match Catalog.find_table t.catalog table with
+        | Some tbl -> tbl
+        | None -> fail "no such table: %s" table
+      in
+      let plan = plan_query_or_fail t query in
+      let target = Relation.schema tbl.Catalog.tbl_relation in
+      let source_types = Array.map (fun c -> c.Plan.h_type) (Plan.header_of plan) in
+      let target_types = Array.of_list (Schema.types target) in
+      if Array.length source_types <> Array.length target_types then
+        fail "INSERT ... SELECT: arity mismatch (%d into %d)" (Array.length source_types)
+          (Array.length target_types);
+      Array.iteri
+        (fun i ty ->
+          if not (Datatype.equal ty target_types.(i)) then
+            fail "INSERT ... SELECT: column %d type mismatch" (i + 1))
+        source_types;
+      plan)
+
+let exec_prepared t p =
+  t.stats.Stats.statements <- t.stats.Stats.statements + 1;
+  let result =
+    match p.p_stmt with
+    | Sql_ast.Select { query; order_by } ->
+        let plan = select_plan_of_prepared t p query order_by in
+        let rows = Executor.run t.stats plan in
+        let columns = Array.to_list (Array.map (fun c -> c.Plan.h_name) (Plan.header_of plan)) in
+        Rows { columns; rows }
+    | Sql_ast.Insert_select { table; query } ->
+        let plan = insert_select_plan_of_prepared t p table query in
+        let rows = Executor.run t.stats plan in
+        insert_rows t table rows
+    | stmt ->
+        (* no plan to cache, but a re-execution still skips lexing and
+           parsing — count it so the counters mean "compiled form reused" *)
+        if t.cache_enabled then
+          if p.p_runs > 0 then
+            t.stats.Stats.plan_cache_hits <- t.stats.Stats.plan_cache_hits + 1
+          else t.stats.Stats.plan_cache_misses <- t.stats.Stats.plan_cache_misses + 1;
+        run_stmt t stmt
+  in
+  p.p_runs <- p.p_runs + 1;
+  result
+
+let touch t p =
+  t.tick <- t.tick + 1;
+  p.p_last_used <- t.tick
+
+let evict_lru t =
+  if Hashtbl.length t.stmt_cache > stmt_cache_capacity then begin
+    let victim =
+      Hashtbl.fold
+        (fun sql p acc ->
+          match acc with
+          | Some (_, best) when best <= p.p_last_used -> acc
+          | _ -> Some (sql, p.p_last_used))
+        t.stmt_cache None
+    in
+    match victim with
+    | Some (sql, _) -> Hashtbl.remove t.stmt_cache sql
+    | None -> ()
+  end
+
+(* Fetch (or admit) the transparent-cache entry for a SQL text. Plain
+   INSERT ... VALUES texts are executed uncached: fact loads rarely repeat
+   verbatim and would only wash useful entries out of the LRU. *)
+let cached_prepared t sql =
+  match Hashtbl.find_opt t.stmt_cache sql with
+  | Some p ->
+      touch t p;
+      Some p
+  | None -> (
+      let stmt = parse_or_fail sql in
+      match stmt with
+      | Sql_ast.Insert_values _ -> None
+      | _ ->
+          t.stats.Stats.statements_prepared <- t.stats.Stats.statements_prepared + 1;
+          let p = { p_stmt = stmt; p_plan = None; p_runs = 0; p_last_used = 0 } in
+          touch t p;
+          Hashtbl.replace t.stmt_cache sql p;
+          evict_lru t;
+          Some p)
+
+let exec t sql =
+  if not t.cache_enabled then exec_stmt t (parse_or_fail sql)
+  else
+    match cached_prepared t sql with
+    | Some p -> exec_prepared t p
+    | None -> exec_stmt t (parse_or_fail sql)
 
 let exec_script t sql =
   let stmts =
@@ -261,11 +450,21 @@ let scalar_int t sql =
   | _ -> fail "expected a single integer result"
 
 let explain t sql =
-  match parse_or_fail sql with
-  | Sql_ast.Select { query; order_by } -> (
-      try Plan.describe (Planner.plan_select_stmt ~join_order:t.join_order t.catalog query order_by) with
-      | Planner.Plan_error msg -> raise (Sql_error msg))
-  | _ -> fail "EXPLAIN supports only SELECT statements"
+  (* route through the statement cache so the rendered tree is exactly the
+     plan a subsequent [exec] of the same text would run (and so tests can
+     observe cached plans being invalidated by DDL) *)
+  let describe_select p query order_by = Plan.describe (select_plan_of_prepared t p query order_by) in
+  if t.cache_enabled then
+    match cached_prepared t sql with
+    | Some ({ p_stmt = Sql_ast.Select { query; order_by }; _ } as p) ->
+        describe_select p query order_by
+    | Some _ | None -> fail "EXPLAIN supports only SELECT statements"
+  else
+    match parse_or_fail sql with
+    | Sql_ast.Select { query; order_by } -> (
+        try Plan.describe (Planner.plan_select_stmt ~join_order:t.join_order t.catalog query order_by) with
+        | Planner.Plan_error msg -> raise (Sql_error msg))
+    | _ -> fail "EXPLAIN supports only SELECT statements"
 
 let table_cardinality t name =
   match Catalog.find_table t.catalog name with

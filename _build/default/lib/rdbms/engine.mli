@@ -8,6 +8,13 @@ exception Sql_error of string
 
 type t
 
+type prepared
+(** A statement parsed once and executable many times. SELECT and
+    INSERT ... SELECT statements additionally cache their planned operator
+    tree; the plan is revalidated against {!Catalog.version} (and the
+    engine's join-order mode) on each execution and rebuilt only after a
+    CREATE/DROP TABLE or INDEX. TRUNCATE does not invalidate plans. *)
+
 type result =
   | Rows of { columns : string list; rows : Tuple.t list }
   | Affected of int  (** rows inserted or deleted *)
@@ -27,10 +34,40 @@ val stats : t -> Stats.t
     {!Stats.diff}. *)
 
 val exec : t -> string -> result
-(** Execute one SQL statement given as text. *)
+(** Execute one SQL statement given as text. When the statement cache is
+    enabled (the default), the text is looked up in a transparent LRU
+    cache keyed on the exact SQL string: repeat executions skip lexing,
+    parsing and (for SELECT / INSERT ... SELECT) planning. Plain
+    [INSERT ... VALUES] texts bypass the cache — bulk fact loads rarely
+    repeat verbatim and would only evict useful entries.
+    {!Stats.plan_cache_hits} / {!Stats.plan_cache_misses} count reuse. *)
 
 val exec_stmt : t -> Sql_ast.stmt -> result
-(** Execute an already-parsed statement. *)
+(** Execute an already-parsed statement (never cached). *)
+
+val prepare : t -> string -> prepared
+(** Parse [sql] once into a caller-held prepared statement. Counted in
+    {!Stats.statements_prepared}. *)
+
+val exec_prepared : t -> prepared -> result
+(** Execute a prepared statement, reusing its cached plan when still
+    valid (see {!prepared}). *)
+
+val set_statement_cache : t -> bool -> unit
+(** Enable/disable all plan caching (enabled by default): the transparent
+    statement cache used by {!exec} and {!explain}, and plan reuse inside
+    caller-held {!prepared} values ({!exec_prepared} replans on every
+    execution while disabled). Disabling also drops all transparently
+    cached entries. Intended for ablation measurements. *)
+
+val statement_cache_enabled : t -> bool
+val statement_cache_size : t -> int
+(** Number of SQL texts currently held in the transparent cache. *)
+
+val clear_table : t -> string -> unit
+(** TRUNCATE fast path: remove every row of a table while keeping its
+    schema and indexes registered. Equivalent to executing
+    [TRUNCATE TABLE name] but without going through SQL text. *)
 
 val exec_script : t -> string -> result list
 (** Execute a [;]-separated script. *)
@@ -43,7 +80,9 @@ val scalar_int : t -> string -> int
 (** Run a SELECT expected to produce a single integer (e.g. COUNT( * )). *)
 
 val explain : t -> string -> string
-(** Plan a SELECT and render the physical operator tree. *)
+(** Plan a SELECT and render the physical operator tree. Goes through the
+    statement cache, so the rendered plan is exactly what a subsequent
+    {!exec} of the same text would run. *)
 
 val table_cardinality : t -> string -> int
 (** Live row count of a table. *)

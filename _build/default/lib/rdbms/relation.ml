@@ -91,6 +91,9 @@ let to_list t = List.rev (fold (fun acc row -> row :: acc) [] t)
 
 let get_row t id = if id < 0 || id >= t.next_id then None else t.rows.(id)
 
-let on_insert t f = t.insert_obs <- t.insert_obs @ [ f ]
-let on_delete t f = t.delete_obs <- t.delete_obs @ [ f ]
-let on_clear t f = t.clear_obs <- t.clear_obs @ [ f ]
+(* O(1) registration: observers are consed, so they run most-recently
+   registered first. The order is unspecified in the interface; observers
+   must be mutually independent (indexes are). *)
+let on_insert t f = t.insert_obs <- f :: t.insert_obs
+let on_delete t f = t.delete_obs <- f :: t.delete_obs
+let on_clear t f = t.clear_obs <- f :: t.clear_obs

@@ -46,7 +46,12 @@ val get_row : t -> int -> Tuple.t option
 
 val on_insert : t -> (int -> Tuple.t -> unit) -> unit
 (** Registers an observer invoked after each successful insert (used by
-    indexes). *)
+    indexes). Registration is O(1). The notification order of multiple
+    observers is unspecified (currently most-recently-registered first);
+    observers must not depend on one another. *)
 
 val on_delete : t -> (int -> Tuple.t -> unit) -> unit
+(** Same contract as {!on_insert}, for deletions. *)
+
 val on_clear : t -> (unit -> unit) -> unit
+(** Same contract as {!on_insert}, for {!clear}. *)

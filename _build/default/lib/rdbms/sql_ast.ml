@@ -68,6 +68,7 @@ type order_key = {
 type stmt =
   | Create_table of { name : string; columns : (string * Datatype.t) list }
   | Drop_table of { name : string; if_exists : bool }
+  | Truncate of { name : string }
   | Create_index of { index : string; table : string; column : string; ordered : bool }
   | Drop_index of { index : string }
   | Insert_values of { table : string; rows : literal list list }

@@ -79,6 +79,10 @@ type order_key = {
 type stmt =
   | Create_table of { name : string; columns : (string * Datatype.t) list }
   | Drop_table of { name : string; if_exists : bool }
+  | Truncate of { name : string }
+      (** [TRUNCATE TABLE t]: remove all rows but keep the table, its
+          schema and its indexes — unlike DROP+CREATE it does not change
+          the catalog version, so cached plans stay valid *)
   | Create_index of {
       index : string;
       table : string;

@@ -325,6 +325,10 @@ let parse_stmt st =
     end
     else if eat_kw st "INDEX" then Drop_index { index = ident st }
     else error st "expected TABLE or INDEX after DROP"
+  else if eat_kw st "TRUNCATE" then begin
+    ignore (eat_kw st "TABLE");
+    Truncate { name = ident st }
+  end
   else if eat_kw st "INSERT" then begin
     expect_kw st "INTO";
     let table = ident st in

@@ -81,6 +81,7 @@ let stmt = function
            (List.map (fun (c, ty) -> c ^ " " ^ Datatype.to_string ty) columns))
   | Drop_table { name; if_exists } ->
       if if_exists then "DROP TABLE IF EXISTS " ^ name else "DROP TABLE " ^ name
+  | Truncate { name } -> "TRUNCATE TABLE " ^ name
   | Create_index { index; table; column; ordered } ->
       Printf.sprintf "CREATE %sINDEX %s ON %s (%s)" (if ordered then "ORDERED " else "") index
         table column

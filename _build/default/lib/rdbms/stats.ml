@@ -11,7 +11,11 @@ type t = {
   mutable rows_deleted : int;
   mutable tables_created : int;
   mutable tables_dropped : int;
+  mutable tables_truncated : int;
   mutable statements : int;
+  mutable statements_prepared : int;
+  mutable plan_cache_hits : int;
+  mutable plan_cache_misses : int;
 }
 
 let create () =
@@ -24,7 +28,11 @@ let create () =
     rows_deleted = 0;
     tables_created = 0;
     tables_dropped = 0;
+    tables_truncated = 0;
     statements = 0;
+    statements_prepared = 0;
+    plan_cache_hits = 0;
+    plan_cache_misses = 0;
   }
 
 let reset t =
@@ -36,7 +44,11 @@ let reset t =
   t.rows_deleted <- 0;
   t.tables_created <- 0;
   t.tables_dropped <- 0;
-  t.statements <- 0
+  t.tables_truncated <- 0;
+  t.statements <- 0;
+  t.statements_prepared <- 0;
+  t.plan_cache_hits <- 0;
+  t.plan_cache_misses <- 0
 
 let copy t = { t with page_reads = t.page_reads }
 
@@ -50,7 +62,11 @@ let diff a b =
     rows_deleted = a.rows_deleted - b.rows_deleted;
     tables_created = a.tables_created - b.tables_created;
     tables_dropped = a.tables_dropped - b.tables_dropped;
+    tables_truncated = a.tables_truncated - b.tables_truncated;
     statements = a.statements - b.statements;
+    statements_prepared = a.statements_prepared - b.statements_prepared;
+    plan_cache_hits = a.plan_cache_hits - b.plan_cache_hits;
+    plan_cache_misses = a.plan_cache_misses - b.plan_cache_misses;
   }
 
 let add acc x =
@@ -62,12 +78,18 @@ let add acc x =
   acc.rows_deleted <- acc.rows_deleted + x.rows_deleted;
   acc.tables_created <- acc.tables_created + x.tables_created;
   acc.tables_dropped <- acc.tables_dropped + x.tables_dropped;
-  acc.statements <- acc.statements + x.statements
+  acc.tables_truncated <- acc.tables_truncated + x.tables_truncated;
+  acc.statements <- acc.statements + x.statements;
+  acc.statements_prepared <- acc.statements_prepared + x.statements_prepared;
+  acc.plan_cache_hits <- acc.plan_cache_hits + x.plan_cache_hits;
+  acc.plan_cache_misses <- acc.plan_cache_misses + x.plan_cache_misses
 
 let total_io t = t.page_reads + t.page_writes
 
 let to_string t =
   Printf.sprintf
-    "reads=%d writes=%d probes=%d rows_read=%d ins=%d del=%d create=%d drop=%d stmts=%d"
+    "reads=%d writes=%d probes=%d rows_read=%d ins=%d del=%d create=%d drop=%d trunc=%d \
+     stmts=%d prepared=%d cache_hits=%d cache_misses=%d"
     t.page_reads t.page_writes t.index_probes t.rows_read t.rows_inserted t.rows_deleted
-    t.tables_created t.tables_dropped t.statements
+    t.tables_created t.tables_dropped t.tables_truncated t.statements t.statements_prepared
+    t.plan_cache_hits t.plan_cache_misses

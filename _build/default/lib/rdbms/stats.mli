@@ -21,7 +21,17 @@ type t = {
   mutable rows_deleted : int;
   mutable tables_created : int;
   mutable tables_dropped : int;
+  mutable tables_truncated : int;  (** TRUNCATE TABLE executions *)
   mutable statements : int;     (** SQL statements executed *)
+  mutable statements_prepared : int;
+      (** SQL texts parsed into prepared statements (via {!Engine.prepare}
+          or a statement-cache fill) *)
+  mutable plan_cache_hits : int;
+      (** executions that reused a cached statement without re-lexing,
+          re-parsing or re-planning *)
+  mutable plan_cache_misses : int;
+      (** executions that had to (re)build a plan: first use of a SQL
+          text, or a cached plan invalidated by a catalog change *)
 }
 
 val create : unit -> t

@@ -1,0 +1,1 @@
+test/test_plan_cache.ml: Alcotest Array Astring Core Datalog Experiments List Printf Rdbms Workload

@@ -1,0 +1,1 @@
+test/test_plan_cache.mli:

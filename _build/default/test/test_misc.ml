@@ -118,7 +118,7 @@ let test_emit_c_entry () =
       {
         pred = "p";
         types = [ Rdbms.Datatype.TInt ];
-        fact_inserts = [ "INSERT INTO p VALUES (1)" ];
+        fact_inserts = [ { Core.Codegen.ins_target = "p"; ins_body = "VALUES (1)" } ];
         rules = [];
       }
   in

@@ -66,6 +66,22 @@ let test_clear () =
   Alcotest.(check int) "empty" 0 (R.cardinal r);
   Alcotest.(check bool) "reinsert ok" true (R.insert r (row 1 "x"))
 
+let test_observer_order () =
+  (* registration is O(1) (cons); notification order is unspecified but
+     currently most-recently-registered first — pin it so a change is
+     deliberate *)
+  let r = R.create schema2 in
+  let trace = ref [] in
+  R.on_insert r (fun _ _ -> trace := "first" :: !trace);
+  R.on_insert r (fun _ _ -> trace := "second" :: !trace);
+  ignore (R.insert r (row 1 "x"));
+  Alcotest.(check (list string)) "most-recent first" [ "second"; "first" ] (List.rev !trace);
+  trace := [];
+  R.on_clear r (fun () -> trace := "clear_a" :: !trace);
+  R.on_clear r (fun () -> trace := "clear_b" :: !trace);
+  R.clear r;
+  Alcotest.(check (list string)) "clear order" [ "clear_b"; "clear_a" ] (List.rev !trace)
+
 (* ---------------- index ---------------- *)
 
 let test_index_lookup () =
@@ -124,6 +140,24 @@ let test_catalog_indexes () =
   (match C.drop_index c "IX" with Ok () -> () | Error e -> Alcotest.fail e);
   Alcotest.(check bool) "dropped" true (C.find_index c ~table:"t" ~column:"a" = None)
 
+let test_catalog_version () =
+  let c = C.create () in
+  let v0 = C.version c in
+  (match C.create_table c "t" schema2 with Ok _ -> () | Error e -> Alcotest.fail e);
+  let v1 = C.version c in
+  Alcotest.(check bool) "create table bumps" true (v1 > v0);
+  (match C.create_index c ~name:"ix" ~table:"t" ~column:"a" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let v2 = C.version c in
+  Alcotest.(check bool) "create index bumps" true (v2 > v1);
+  (* clearing rows is not a schema change *)
+  R.clear (C.find_table_exn c "t").C.tbl_relation;
+  Alcotest.(check int) "clear does not bump" v2 (C.version c);
+  (match C.drop_index c "ix" with Ok () -> () | Error e -> Alcotest.fail e);
+  (match C.drop_table c "t" with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "drops bump" true (C.version c > v2)
+
 let test_catalog_drop_table_drops_indexes () =
   let c = C.create () in
   (match C.create_table c "t" schema2 with Ok _ -> () | Error e -> Alcotest.fail e);
@@ -148,6 +182,7 @@ let () =
           Alcotest.test_case "insertion order" `Quick test_insertion_order;
           Alcotest.test_case "bytes and pages" `Quick test_bytes_and_pages;
           Alcotest.test_case "clear" `Quick test_clear;
+          Alcotest.test_case "observer order" `Quick test_observer_order;
         ] );
       ( "index",
         [
@@ -159,6 +194,7 @@ let () =
         [
           Alcotest.test_case "tables" `Quick test_catalog_tables;
           Alcotest.test_case "indexes" `Quick test_catalog_indexes;
+          Alcotest.test_case "version" `Quick test_catalog_version;
           Alcotest.test_case "drop table drops indexes" `Quick test_catalog_drop_table_drops_indexes;
         ] );
     ]

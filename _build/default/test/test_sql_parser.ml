@@ -38,6 +38,15 @@ let test_drop_table () =
   | Drop_table { name = "t"; if_exists = false } -> ()
   | _ -> Alcotest.fail "wrong"
 
+let test_truncate () =
+  (match parse_ok "TRUNCATE TABLE t" with
+  | Truncate { name = "t" } -> ()
+  | _ -> Alcotest.fail "wrong");
+  (* the TABLE keyword is optional, as in most dialects *)
+  match parse_ok "truncate t" with
+  | Truncate { name = "t" } -> ()
+  | _ -> Alcotest.fail "wrong"
+
 let test_insert_values () =
   match parse_ok "INSERT INTO t VALUES (1, 'a'), (2, 'b')" with
   | Insert_values { table = "t"; rows = [ [ L_int 1; L_str "a" ]; [ L_int 2; L_str "b" ] ] } -> ()
@@ -244,6 +253,7 @@ let gen_stmt =
         gen_ident
         (list_size (int_range 1 4) (oneofl [ Rdbms.Datatype.TInt; Rdbms.Datatype.TStr ]));
       map2 (fun name if_exists -> Drop_table { name; if_exists }) gen_ident bool;
+      map (fun name -> Truncate { name }) gen_ident;
       map3
         (fun index table (column, ordered) -> Create_index { index; table; column; ordered })
         gen_ident gen_ident (pair gen_ident bool);
@@ -284,6 +294,7 @@ let () =
         [
           Alcotest.test_case "create table" `Quick test_create_table;
           Alcotest.test_case "drop table" `Quick test_drop_table;
+          Alcotest.test_case "truncate" `Quick test_truncate;
           Alcotest.test_case "insert values" `Quick test_insert_values;
           Alcotest.test_case "insert select" `Quick test_insert_select;
           Alcotest.test_case "select with joins" `Quick test_select_joins;

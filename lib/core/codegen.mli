@@ -15,17 +15,31 @@ type compiled_rule = {
           the body, that occurrence reading the delta table instead *)
 }
 
+type insert_stmt = {
+  ins_target : string;  (** the predicate's own table *)
+  ins_body : string;  (** the [VALUES (...)] tail, target-independent *)
+}
+(** A fact INSERT with its destination kept separate from its body, so the
+    runtime can redirect it (e.g. into a clique member's [next] table
+    during naive evaluation) without string surgery on the SQL text. *)
+
+val insert_sql : insert_stmt -> string
+(** [INSERT INTO <target> <body>] aimed at the statement's own target. *)
+
+val retarget : insert_stmt -> string -> string
+(** [retarget ins t] is the same INSERT aimed at table [t]. *)
+
 type entry =
   | E_pred of {
       pred : string;
       types : Rdbms.Datatype.t list;
-      fact_inserts : string list;  (** full INSERT statements *)
+      fact_inserts : insert_stmt list;
       rules : compiled_rule list;
     }  (** non-recursive derived predicate *)
   | E_clique of {
       label : string;
       members : (string * Rdbms.Datatype.t list) list;
-      fact_inserts : (string * string list) list;  (** per member *)
+      fact_inserts : (string * insert_stmt list) list;  (** per member *)
       exit_rules : (string * compiled_rule) list;  (** (head, rule) *)
       rec_rules : (string * compiled_rule) list;
     }

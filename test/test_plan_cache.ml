@@ -1,0 +1,189 @@
+(* Tests for the prepared-statement API, the transparent statement cache
+   and its catalog-version invalidation, TRUNCATE, and scratch-table reuse
+   in the LFP runtime. *)
+
+module E = Rdbms.Engine
+module Stats = Rdbms.Stats
+
+let contains ~affix s = Astring.String.is_infix ~affix s
+
+let fresh_engine () =
+  let e = E.create () in
+  ignore (E.exec e "CREATE TABLE t (a integer, b integer)");
+  ignore (E.exec e "INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)");
+  e
+
+(* ---------------- transparent statement cache ---------------- *)
+
+let test_transparent_cache_hits () =
+  let e = fresh_engine () in
+  let st = E.stats e in
+  let sql = "SELECT a FROM t WHERE b = 20" in
+  let h0 = st.Stats.plan_cache_hits and m0 = st.Stats.plan_cache_misses in
+  ignore (E.exec e sql);
+  Alcotest.(check int) "first execution builds the plan" (m0 + 1) st.Stats.plan_cache_misses;
+  ignore (E.exec e sql);
+  ignore (E.exec e sql);
+  Alcotest.(check int) "reruns reuse it" (h0 + 2) st.Stats.plan_cache_hits;
+  Alcotest.(check int) "no further misses" (m0 + 1) st.Stats.plan_cache_misses;
+  Alcotest.(check bool) "entries cached" true (E.statement_cache_size e > 0)
+
+let test_cache_toggle () =
+  let e = fresh_engine () in
+  ignore (E.exec e "SELECT a FROM t");
+  Alcotest.(check bool) "entries before" true (E.statement_cache_size e > 0);
+  E.set_statement_cache e false;
+  Alcotest.(check bool) "disabled" false (E.statement_cache_enabled e);
+  Alcotest.(check int) "entries dropped" 0 (E.statement_cache_size e);
+  let st = E.stats e in
+  let h = st.Stats.plan_cache_hits in
+  ignore (E.exec e "SELECT a FROM t");
+  ignore (E.exec e "SELECT a FROM t");
+  Alcotest.(check int) "no hits while disabled" h st.Stats.plan_cache_hits;
+  E.set_statement_cache e true;
+  ignore (E.exec e "SELECT a FROM t");
+  ignore (E.exec e "SELECT a FROM t");
+  Alcotest.(check int) "hits again once re-enabled" (h + 1) st.Stats.plan_cache_hits
+
+(* ---------------- prepared statements ---------------- *)
+
+let test_prepare_exec () =
+  let e = fresh_engine () in
+  let st = E.stats e in
+  let prepared0 = st.Stats.statements_prepared in
+  let p = E.prepare e "SELECT COUNT(*) FROM t" in
+  Alcotest.(check int) "prepare counted" (prepared0 + 1) st.Stats.statements_prepared;
+  (match E.exec_prepared e p with
+  | E.Rows { rows = [ [| Rdbms.Value.Int 3 |] ]; _ } -> ()
+  | _ -> Alcotest.fail "wrong count");
+  let h = st.Stats.plan_cache_hits in
+  (match E.exec_prepared e p with
+  | E.Rows { rows = [ [| Rdbms.Value.Int 3 |] ]; _ } -> ()
+  | _ -> Alcotest.fail "wrong count on rerun");
+  Alcotest.(check int) "second execution reuses the plan" (h + 1) st.Stats.plan_cache_hits
+
+(* ---------------- invalidation ---------------- *)
+
+let test_replan_after_drop_create () =
+  let e = fresh_engine () in
+  let sql = "SELECT COUNT(*) FROM t" in
+  Alcotest.(check int) "before" 3 (E.scalar_int e sql);
+  ignore (E.exec e sql);
+  (* warm *)
+  ignore (E.exec e "DROP TABLE t");
+  ignore (E.exec e "CREATE TABLE t (a integer, b integer)");
+  ignore (E.exec e "INSERT INTO t VALUES (7, 70)");
+  let st = E.stats e in
+  let m = st.Stats.plan_cache_misses in
+  Alcotest.(check int) "replanned against the recreated table" 1 (E.scalar_int e sql);
+  Alcotest.(check int) "invalidation surfaced as a miss" (m + 1) st.Stats.plan_cache_misses
+
+let test_replan_after_index_ddl () =
+  let e = fresh_engine () in
+  let sql = "SELECT a FROM t WHERE b = 20" in
+  Alcotest.(check bool) "seq scan without index" true (contains ~affix:"SeqScan t" (E.explain e sql));
+  ignore (E.exec e "CREATE INDEX ib ON t (b)");
+  Alcotest.(check bool) "cached plan replaced by index scan" true
+    (contains ~affix:"IndexScan t" (E.explain e sql));
+  Alcotest.(check int) "same answer via index" 1 (List.length (E.query e sql));
+  ignore (E.exec e "DROP INDEX ib");
+  Alcotest.(check bool) "back to seq scan after DROP INDEX" true
+    (contains ~affix:"SeqScan t" (E.explain e sql))
+
+(* ---------------- TRUNCATE ---------------- *)
+
+let test_truncate () =
+  let e = fresh_engine () in
+  ignore (E.exec e "CREATE INDEX ib ON t (b)");
+  let sql = "SELECT a FROM t WHERE b = 20" in
+  Alcotest.(check int) "one row before" 1 (List.length (E.query e sql));
+  let st = E.stats e in
+  let version = Rdbms.Catalog.version (E.catalog e) in
+  ignore (E.exec e "TRUNCATE TABLE t");
+  Alcotest.(check int) "counted" 1 st.Stats.tables_truncated;
+  Alcotest.(check int) "empty" 0 (E.table_cardinality e "t");
+  Alcotest.(check int) "catalog version unchanged" version (Rdbms.Catalog.version (E.catalog e));
+  ignore (E.exec e "INSERT INTO t VALUES (5, 20)");
+  let m = st.Stats.plan_cache_misses in
+  Alcotest.(check int) "index stayed consistent" 1 (List.length (E.query e sql));
+  Alcotest.(check int) "cached plan survived the truncate" m st.Stats.plan_cache_misses;
+  Alcotest.(check bool) "missing table rejected" true
+    (try
+       ignore (E.exec e "TRUNCATE TABLE nope");
+       false
+     with E.Sql_error _ -> true);
+  (* the no-SQL fast path does the same thing *)
+  E.clear_table e "t";
+  Alcotest.(check int) "fast path empties" 0 (E.table_cardinality e "t");
+  Alcotest.(check int) "fast path counted" 2 st.Stats.tables_truncated
+
+(* ---------------- LFP runtime: scratch reuse + prepared loop ---------------- *)
+
+let run_ancestor strategy =
+  let s, tree = Experiments.Common.tree_session ~depth:6 in
+  let goal = Workload.Queries.ancestor_goal tree.Workload.Graphgen.t_root in
+  let options = { Core.Session.default_options with strategy } in
+  let answer = Experiments.Common.ok (Core.Session.query_goal s ~options goal) in
+  (s, answer)
+
+let iters_of answer =
+  List.fold_left (fun acc (_, n) -> acc + n) 0 answer.Core.Session.run.Core.Runtime.iterations
+
+let check_no_leftovers s =
+  let names =
+    List.map
+      (fun tbl -> tbl.Rdbms.Catalog.tbl_name)
+      (Rdbms.Catalog.tables (Rdbms.Engine.catalog (Core.Session.engine s)))
+  in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (Printf.sprintf "%s cleaned up" n) false (List.mem n names))
+    ("ancestor" :: Datalog.Names.scratch_tables "ancestor")
+
+let test_seminaive_scratch_reuse () =
+  let s, answer = run_ancestor Core.Runtime.Seminaive in
+  let io = answer.Core.Session.run.Core.Runtime.io in
+  Alcotest.(check bool) "enough iterations to matter" true (iters_of answer >= 3);
+  Alcotest.(check bool) "plan reuse dominates plan building" true
+    (io.Stats.plan_cache_hits > io.Stats.plan_cache_misses);
+  Alcotest.(check bool) "loop truncates instead of dropping" true (io.Stats.tables_truncated > 0);
+  (* ancestor + delta + candidate + diff, each created exactly once,
+     regardless of the iteration count *)
+  Alcotest.(check int) "tables created once" 4 io.Stats.tables_created;
+  Alcotest.(check int) "creates and drops balance" io.Stats.tables_created io.Stats.tables_dropped;
+  check_no_leftovers s
+
+let test_naive_matches_seminaive () =
+  let _, naive = run_ancestor Core.Runtime.Naive in
+  let s, semi = run_ancestor Core.Runtime.Seminaive in
+  let sort rows = List.sort compare (List.map Array.to_list rows) in
+  Alcotest.(check bool) "same answers" true
+    (sort naive.Core.Session.run.Core.Runtime.rows = sort semi.Core.Session.run.Core.Runtime.rows);
+  let io = naive.Core.Session.run.Core.Runtime.io in
+  (* ancestor + next + diff, created once *)
+  Alcotest.(check int) "naive creates tables once" 3 io.Stats.tables_created;
+  Alcotest.(check bool) "naive reuses plans too" true
+    (io.Stats.plan_cache_hits > io.Stats.plan_cache_misses);
+  check_no_leftovers s
+
+let () =
+  Alcotest.run "plan_cache"
+    [
+      ( "statement cache",
+        [
+          Alcotest.test_case "transparent hits" `Quick test_transparent_cache_hits;
+          Alcotest.test_case "toggle" `Quick test_cache_toggle;
+          Alcotest.test_case "prepare/exec_prepared" `Quick test_prepare_exec;
+        ] );
+      ( "invalidation",
+        [
+          Alcotest.test_case "drop+create table" `Quick test_replan_after_drop_create;
+          Alcotest.test_case "index ddl" `Quick test_replan_after_index_ddl;
+          Alcotest.test_case "truncate" `Quick test_truncate;
+        ] );
+      ( "lfp runtime",
+        [
+          Alcotest.test_case "semi-naive scratch reuse" `Quick test_seminaive_scratch_reuse;
+          Alcotest.test_case "naive = semi-naive" `Quick test_naive_matches_seminaive;
+        ] );
+    ]
