@@ -8,6 +8,7 @@
      dune exec bench/main.exe -- test4 test7  -- selected experiments
      dune exec bench/main.exe -- ablation     -- ablation benches
      dune exec bench/main.exe -- cache        -- statement-cache ablation (writes BENCH_cache.json)
+     dune exec bench/main.exe -- wal          -- write-ahead-log ablation (writes BENCH_wal.json)
      dune exec bench/main.exe -- bechamel     -- bechamel microbenchmarks *)
 
 let known =
@@ -23,6 +24,7 @@ let known =
     ("test9", fun scale -> ignore (Experiments.Test9.run ~scale ()));
     ("ablation", fun scale -> Experiments.Ablation.run ~scale ());
     ("cache", fun scale -> Experiments.Ablation.run_cache ~scale ());
+    ("wal", fun scale -> Experiments.Ablation.run_wal ~scale ());
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -107,7 +109,8 @@ let () =
   else begin
     let to_run =
       match selected with
-      | [] | [ "all" ] -> List.filter (fun (n, _) -> n <> "ablation" && n <> "cache") known
+      | [] | [ "all" ] ->
+          List.filter (fun (n, _) -> not (List.mem n [ "ablation"; "cache"; "wal" ])) known
       | names ->
           List.map
             (fun n ->

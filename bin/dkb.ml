@@ -38,6 +38,10 @@ let help_text =
   .load <file>                   execute a script of shell commands
   .save <file>                   persist the D/KB (EDB + stored rules) to a file
   .open <file>                   replace the session with a saved D/KB
+  begin | commit | rollback      transaction control (rollback undoes since begin)
+  .wal <file>                    attach a write-ahead log of committed work
+  .checkpoint <file>             save the D/KB to <file> and truncate the WAL
+  .recover <db> <wal>            rebuild the session from a checkpoint + WAL
   .clear                         clear the workspace
   .help                          this message
   .quit                          leave|}
@@ -283,12 +287,43 @@ let rec handle st line =
             printf "opened %s
 " file);
         true
+    | ".wal", [ file ] ->
+        on_result (Session.attach_wal st.session file) ~ok:(fun () ->
+            printf "wal attached: %s\n" file);
+        true
+    | ".checkpoint", [ file ] ->
+        (match Session.checkpoint st.session ~db:file with
+        | Ok () -> printf "checkpoint written to %s\n" file
+        | Error "no WAL attached" -> report_error "no WAL attached (.wal <file> first)"
+        | Error msg -> report_error msg);
+        true
+    | ".recover", [ db; wal ] ->
+        on_result (Session.recover ~db ~wal) ~ok:(fun (session, replayed) ->
+            st.session <- session;
+            Core.Precompiled.clear st.cache;
+            printf "recovered from %s + %s (%d records replayed)\n" db wal replayed);
+        true
     | cmd, _ ->
         report_error (Printf.sprintf "unknown command %s (try .help)" cmd);
         true
   end
   else if String.length line >= 2 && String.sub line 0 2 = "?-" then begin
     run_query st (String.sub line 2 (String.length line - 2));
+    true
+  end
+  else if
+    (* transaction control reads naturally without the .sql prefix *)
+    match String.split_on_char ' ' (String.uppercase_ascii line) with
+    | first :: _ ->
+        let first =
+          match String.index_opt first ';' with
+          | Some i -> String.sub first 0 i
+          | None -> first
+        in
+        List.mem first [ "BEGIN"; "COMMIT"; "ROLLBACK" ]
+    | [] -> false
+  then begin
+    run_sql st line;
     true
   end
   else begin

@@ -246,6 +246,9 @@ let drop_all_program_tables ctx (program : Codegen.t) =
 
 let execute engine ?(strategy = Seminaive) ?(index_derived = false) ?(max_iterations = 100_000)
     ?(cleanup = true) (program : Codegen.t) =
+  (* Derived and scratch tables live and die within this evaluation, so
+     none of their churn belongs in the WAL. Undo logging stays active. *)
+  Engine.suspend_logging engine @@ fun () ->
   let phases = Timer.Phases.create () in
   let ctx = { engine; phases; index_derived; max_iterations } in
   let io_before = Rdbms.Stats.copy (Engine.stats engine) in

@@ -9,6 +9,7 @@ type t = {
   workspace : Workspace.t;
   mutable epoch : int;
   mutable changes : (int * string) list; (* (epoch, head pred) *)
+  mutable wal : Rdbms.Wal.t option;
 }
 
 let create () =
@@ -19,6 +20,7 @@ let create () =
     workspace = Workspace.create ();
     epoch = 0;
     changes = [];
+    wal = None;
   }
 
 let engine t = t.engine
@@ -225,15 +227,58 @@ let explain t ?(options = default_options) text =
 
 let save t path = Rdbms.Persist.save t.engine path
 
+let of_engine engine =
+  {
+    engine;
+    stored = Stored_dkb.init engine;
+    workspace = Workspace.create ();
+    epoch = 0;
+    changes = [];
+    wal = None;
+  }
+
 let restore path =
   match Rdbms.Persist.restore path with
   | Error _ as e -> e
-  | Ok engine ->
-      Ok
-        {
-          engine;
-          stored = Stored_dkb.init engine;
-          workspace = Workspace.create ();
-          epoch = 0;
-          changes = [];
-        }
+  | Ok engine -> Ok (of_engine engine)
+
+(* ------------------------------------------------------------------ *)
+(* Write-ahead logging *)
+
+let wal t = t.wal
+
+let attach_wal t path =
+  match Rdbms.Wal.open_log path with
+  | exception Sys_error msg -> Error msg
+  | fresh ->
+      (match t.wal with Some old -> Rdbms.Wal.close old | None -> ());
+      t.wal <- Some fresh;
+      Rdbms.Wal.attach fresh t.engine;
+      Ok ()
+
+let checkpoint t ~db =
+  match t.wal with
+  | None -> Error "no WAL attached"
+  | Some w -> Rdbms.Wal.checkpoint w t.engine ~db
+
+let recover ~db ~wal:wal_path =
+  let base =
+    if Sys.file_exists db then Rdbms.Persist.restore db
+    else Ok (Rdbms.Engine.create ())
+  in
+  match base with
+  | Error _ as e -> e
+  | Ok engine -> (
+      (* The Stored D/KB's dictionary tables are created when a session is
+         born — before any WAL attaches — so they are in the checkpoint,
+         not the log. Ensure they exist before replaying records that
+         reference them (the no-checkpoint-yet case). *)
+      ignore (Stored_dkb.init engine : Stored_dkb.t);
+      match Rdbms.Wal.replay engine wal_path with
+      | Error _ as e -> e
+      | Ok replayed -> (
+          (* re-init so the ruleid counter resumes past replayed rules *)
+          let t = of_engine engine in
+          match attach_wal t wal_path with
+          | Ok () -> Ok (t, replayed)
+          | Error msg -> Error msg))

@@ -100,3 +100,27 @@ val save : t -> string -> (unit, string) result
 
 val restore : string -> (t, string) result
 (** Reopens a saved D/KB in a fresh session with an empty workspace. *)
+
+(** {1 Durability: write-ahead logging}
+
+    With a WAL attached, every committed data-modifying statement is
+    appended to the log before the commit returns; {!recover} rebuilds
+    the session from the last checkpoint plus the log, truncating a
+    torn tail left by a crash. See {!Rdbms.Wal}. *)
+
+val attach_wal : t -> string -> (unit, string) result
+(** Open (or create) the log file at the given path and install it as
+    the engine's commit hook. Replaces (and closes) any previous WAL. *)
+
+val wal : t -> Rdbms.Wal.t option
+
+val checkpoint : t -> db:string -> (unit, string) result
+(** {!save} the whole D/KB to [db], then truncate the WAL: the
+    checkpoint subsumes the logged history. Errors if no WAL is
+    attached or a transaction is open. *)
+
+val recover : db:string -> wal:string -> (t * int, string) result
+(** Rebuild a session from checkpoint [db] (a fresh D/KB if the file is
+    missing) plus the WAL's valid record prefix, then re-attach the WAL
+    so the recovered session keeps logging. Returns the session and the
+    number of records replayed. *)

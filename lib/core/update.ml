@@ -54,6 +54,15 @@ let update ~stored ~workspace ?(compiled_storage = true) () =
   else begin
     let phases = Timer.Phases.create () in
     let t0 = Timer.now_ms () in
+    (* All phases run inside one DBMS transaction: a failed typecheck or
+       closure recompute must leave rulesource / reachablepreds / the data
+       dictionaries exactly as they were (paper §4.3's update is atomic).
+       If the caller already opened a transaction, join it instead — the
+       caller then owns commit/rollback. *)
+    let engine = Stored_dkb.engine stored in
+    let own_txn = not (Rdbms.Engine.in_transaction engine) in
+    if own_txn then Rdbms.Engine.begin_txn engine;
+    let abort () = if own_txn then Rdbms.Engine.rollback_txn engine in
     try
       let rules_stored = ref 0 in
       let tc_edges = ref 0 in
@@ -123,6 +132,7 @@ let update ~stored ~workspace ?(compiled_storage = true) () =
               let (_ : int) = Stored_dkb.store_rule stored c in
               incr rules_stored)
             ws_rules);
+      if own_txn then Rdbms.Engine.commit_txn engine;
       Ok
         {
           phases;
@@ -132,6 +142,13 @@ let update ~stored ~workspace ?(compiled_storage = true) () =
           affected_preds = !affected_count;
         }
     with
-    | Failure msg -> Error msg
-    | Rdbms.Engine.Sql_error msg -> Error ("DBMS error during update: " ^ msg)
+    | Failure msg ->
+        abort ();
+        Error msg
+    | Rdbms.Engine.Sql_error msg ->
+        abort ();
+        Error ("DBMS error during update: " ^ msg)
+    | e ->
+        abort ();
+        raise e
   end

@@ -250,6 +250,88 @@ let statement_cache ?(json_path = "BENCH_cache.json") ~depth () =
   close_out oc;
   Printf.printf "  wrote %s\n" json_path
 
+let wal_overhead ?(json_path = "BENCH_wal.json") ~depth () =
+  Common.section "Ablation 7 (write-ahead logging)"
+    "The write path of the Table 5 tree workload - base DDL, bulk fact\n\
+     loads, and a transactional rule store - with vs without a WAL\n\
+     attached, plus crash recovery replaying the log into an equivalent\n\
+     session.";
+  let wal_path = Filename.temp_file "dkb_bench" ".wal" in
+  let edges = ref 0 in
+  let load_workload s =
+    let tree = Graphgen.full_binary_tree ~depth () in
+    edges := List.length tree.Graphgen.t_edges;
+    Common.ok
+      (Session.define_base s "parent"
+         [ ("par", Rdbms.Datatype.TInt); ("child", Rdbms.Datatype.TInt) ]
+         ~indexes:[ "par"; "child" ] ());
+    ignore (Common.ok (Session.add_facts s "parent" (Graphgen.to_rows tree.Graphgen.t_edges)));
+    Common.ok (Session.load_rules s Workload.Queries.ancestor_rules);
+    ignore (Common.ok (Session.update_stored s ()))
+  in
+  let run_config with_wal =
+    let last = ref None in
+    let ms =
+      Common.measure ~repeat:3 (fun () ->
+          let s = Session.create () in
+          if with_wal then begin
+            (* fresh log per sample: appending to the previous sample's
+               log would misattribute its size *)
+            (try Sys.remove wal_path with Sys_error _ -> ());
+            Common.ok (Session.attach_wal s wal_path)
+          end;
+          let (), ms = Dkb_util.Timer.time (fun () -> load_workload s) in
+          last := Some s;
+          ms)
+    in
+    (ms, Option.get !last)
+  in
+  let off_ms, _ = run_config false in
+  let on_ms, s_wal = run_config true in
+  let stats = Session.db_stats s_wal in
+  let records = stats.Rdbms.Stats.wal_records in
+  let bytes = stats.Rdbms.Stats.wal_bytes in
+  (* crash recovery with no checkpoint taken: the whole D/KB must come
+     back from the log alone *)
+  let db_path = Filename.temp_file "dkb_bench" ".db" in
+  Sys.remove db_path;
+  let recovery, rec_ms =
+    Dkb_util.Timer.time (fun () -> Common.ok (Session.recover ~db:db_path ~wal:wal_path))
+  in
+  let recovered, replayed = recovery in
+  let matches =
+    Rdbms.Persist.dump (Session.engine recovered) = Rdbms.Persist.dump (Session.engine s_wal)
+  in
+  Common.print_table
+    ~header:[ "config"; "load (ms)"; "wal records"; "wal bytes" ]
+    [
+      [ "no wal"; Common.fmt_ms off_ms; "-"; "-" ];
+      [ "wal attached"; Common.fmt_ms on_ms; string_of_int records; string_of_int bytes ];
+    ];
+  Printf.printf "  recovery replayed %d records in %s\n" replayed (Common.fmt_ms rec_ms);
+  ignore (Common.shape "recovered D/KB dumps identical to the original" matches);
+  let json =
+    Printf.sprintf
+      {|{
+  "experiment": "wal-ablation",
+  "workload": { "shape": "full-binary-tree", "depth": %d, "edges": %d },
+  "runs": [
+    { "config": "no-wal", "load_ms": %.3f },
+    { "config": "wal", "load_ms": %.3f, "wal_records": %d, "wal_bytes": %d }
+  ],
+  "recovery": { "records_replayed": %d, "ms": %.3f, "dump_matches": %b },
+  "wal_overhead_pct": %.1f
+}
+|}
+      depth !edges off_ms on_ms records bytes replayed rec_ms matches
+      (if off_ms > 0.0 then (on_ms -. off_ms) /. off_ms *. 100.0 else 0.0)
+  in
+  let oc = open_out json_path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "  wrote %s\n" json_path;
+  (try Sys.remove wal_path with Sys_error _ -> ())
+
 let run ~scale () =
   let depth =
     match scale with
@@ -261,7 +343,8 @@ let run ~scale () =
   base_indexing ~depth;
   topdown_vs_bottom_up ~depth;
   join_ordering ~depth;
-  statement_cache ~depth ()
+  statement_cache ~depth ();
+  wal_overhead ~depth ()
 
 let run_cache ~scale () =
   let depth =
@@ -270,3 +353,11 @@ let run_cache ~scale () =
     | Common.Quick -> 6
   in
   statement_cache ~depth ()
+
+let run_wal ~scale () =
+  let depth =
+    match scale with
+    | Common.Full -> 10
+    | Common.Quick -> 6
+  in
+  wal_overhead ~depth ()

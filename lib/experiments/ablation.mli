@@ -11,3 +11,10 @@ val run_cache : scale:Common.scale -> unit -> unit
 (** Just the statement-cache ablation (cached vs uncached engine on the
     Table 5 tree workload); writes machine-readable results to
     [BENCH_cache.json] in the current directory. *)
+
+val run_wal : scale:Common.scale -> unit -> unit
+(** Just the write-ahead-log ablation: the tree workload's write path
+    with vs without a WAL attached, plus a no-checkpoint crash recovery
+    whose result must dump identically to the original session. Writes
+    machine-readable results to [BENCH_wal.json] in the current
+    directory. *)

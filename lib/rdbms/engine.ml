@@ -17,6 +17,30 @@ type prepared = {
   mutable p_last_used : int; (* LRU tick *)
 }
 
+(* Logical undo records, one per primitive mutation, accumulated newest-first
+   while a statement (and transaction) executes. Tables are referenced by
+   name, not by [Relation.t]: a transaction may drop and (on rollback)
+   recreate a table, after which earlier undo records must resolve to the
+   recreated relation, not the dead one. *)
+type undo =
+  | U_insert of string * Tuple.t  (* a row went in; undo deletes it *)
+  | U_delete of string * Tuple.t  (* a row went out; undo re-inserts it *)
+  | U_truncate of string * Tuple.t list  (* undo re-inserts the old rows *)
+  | U_create_table of string  (* undo drops it *)
+  | U_drop_table of {
+      dt_name : string;
+      dt_schema : Schema.t;
+      dt_rows : Tuple.t list;
+      dt_indexes : (string * string * bool) list;  (* name, column, ordered *)
+    }
+  | U_create_index of string  (* undo drops it *)
+  | U_drop_index of { di_index : string; di_table : string; di_column : string; di_ordered : bool }
+
+type txn = {
+  mutable t_undo : undo list;  (* newest first; rollback applies in list order *)
+  mutable t_redo : string list;  (* committed-statement SQL texts, newest first *)
+}
+
 type t = {
   catalog : Catalog.t;
   stats : Stats.t;
@@ -24,6 +48,10 @@ type t = {
   stmt_cache : (string, prepared) Hashtbl.t; (* SQL text -> prepared *)
   mutable cache_enabled : bool;
   mutable tick : int;
+  mutable txn : txn option; (* None = autocommit *)
+  mutable sink : undo list ref option; (* the executing statement's undo frame *)
+  mutable commit_hook : (string -> unit) option; (* WAL append, via Wal.attach *)
+  mutable log_suspended : bool; (* LFP scratch churn is not worth logging *)
 }
 
 type result =
@@ -41,6 +69,10 @@ let create () =
     stmt_cache = Hashtbl.create 64;
     cache_enabled = true;
     tick = 0;
+    txn = None;
+    sink = None;
+    commit_hook = None;
+    log_suspended = false;
   }
 
 let set_join_order t mode = t.join_order <- mode
@@ -61,6 +93,99 @@ let or_fail = function
   | Ok v -> v
   | Error msg -> raise (Sql_error msg)
 
+(* ------------------------------------------------------------------ *)
+(* Transactions: logical undo logging and the commit hook *)
+
+(* [u] is a thunk so the (sometimes expensive) capture of old state only
+   happens when a frame is listening. *)
+let record t u =
+  match t.sink with
+  | Some sink -> sink := u () :: !sink
+  | None -> ()
+
+let apply_undo t u =
+  let relation name =
+    Option.map (fun tbl -> tbl.Catalog.tbl_relation) (Catalog.find_table t.catalog name)
+  in
+  match u with
+  | U_insert (table, row) -> (
+      match relation table with
+      | Some rel -> ignore (Relation.delete rel row)
+      | None -> ())
+  | U_delete (table, row) -> (
+      match relation table with
+      | Some rel -> ignore (Relation.insert rel row)
+      | None -> ())
+  | U_truncate (table, rows) -> (
+      match relation table with
+      | Some rel -> List.iter (fun row -> ignore (Relation.insert rel row)) rows
+      | None -> ())
+  | U_create_table name -> (
+      match Catalog.drop_table t.catalog name with Ok () | Error _ -> ())
+  | U_drop_table { dt_name; dt_schema; dt_rows; dt_indexes } -> (
+      match Catalog.create_table t.catalog dt_name dt_schema with
+      | Error _ -> ()
+      | Ok tbl ->
+          List.iter (fun row -> ignore (Relation.insert tbl.Catalog.tbl_relation row)) dt_rows;
+          List.iter
+            (fun (name, column, ordered) ->
+              if ordered then
+                match Catalog.create_ordered_index t.catalog ~name ~table:dt_name ~column with
+                | Ok _ | Error _ -> ()
+              else
+                match Catalog.create_index t.catalog ~name ~table:dt_name ~column with
+                | Ok _ | Error _ -> ())
+            dt_indexes)
+  | U_create_index name -> (
+      match Catalog.drop_index t.catalog name with Ok () | Error _ -> ())
+  | U_drop_index { di_index; di_table; di_column; di_ordered } ->
+      if di_ordered then
+        match Catalog.create_ordered_index t.catalog ~name:di_index ~table:di_table ~column:di_column with
+        | Ok _ | Error _ -> ()
+      else (
+        match Catalog.create_index t.catalog ~name:di_index ~table:di_table ~column:di_column with
+        | Ok _ | Error _ -> ())
+
+let notify_commit t script =
+  match t.commit_hook with
+  | Some hook -> hook script
+  | None -> ()
+
+let set_commit_hook t hook = t.commit_hook <- hook
+
+let suspend_logging t f =
+  let saved = t.log_suspended in
+  t.log_suspended <- true;
+  Fun.protect ~finally:(fun () -> t.log_suspended <- saved) f
+
+let in_transaction t = t.txn <> None
+
+let begin_txn t =
+  match t.txn with
+  | Some _ -> fail "transaction already open"
+  | None -> t.txn <- Some { t_undo = []; t_redo = [] }
+
+let commit_txn t =
+  match t.txn with
+  | None -> fail "no open transaction"
+  | Some txn -> (
+      t.txn <- None;
+      t.stats.Stats.txns_committed <- t.stats.Stats.txns_committed + 1;
+      match List.rev txn.t_redo with
+      | [] -> ()
+      | stmts -> notify_commit t (String.concat ";\n" stmts))
+
+let rollback_txn t =
+  match t.txn with
+  | None -> fail "no open transaction"
+  | Some txn ->
+      t.txn <- None;
+      t.stats.Stats.txns_rolled_back <- t.stats.Stats.txns_rolled_back + 1;
+      (* t_undo is newest-first, so plain list order is reverse execution
+         order. Undo application is not charged to the simulated I/O
+         counters: the paper's cost model covers forward work only. *)
+      List.iter (apply_undo t) txn.t_undo
+
 let charge_insert stats rows =
   let n = List.length rows in
   if n > 0 then begin
@@ -78,7 +203,9 @@ let insert_rows t table_name rows =
         List.fold_left
           (fun acc row ->
             match Relation.insert tbl.Catalog.tbl_relation row with
-            | true -> row :: acc
+            | true ->
+                record t (fun () -> U_insert (table_name, row));
+                row :: acc
             | false -> acc
             | exception Invalid_argument msg -> raise (Sql_error msg))
           [] rows
@@ -95,11 +222,12 @@ let run_query t q =
   let plan = plan_query_or_fail t q in
   (plan, Executor.run t.stats plan)
 
-let clear_table t name =
+let clear_table_raw t name =
   match Catalog.find_table t.catalog name with
   | None -> fail "no such table: %s" name
   | Some tbl ->
       let rel = tbl.Catalog.tbl_relation in
+      record t (fun () -> U_truncate (name, Relation.to_list rel));
       let n = Relation.cardinal rel in
       if n > 0 then begin
         t.stats.Stats.rows_deleted <- t.stats.Stats.rows_deleted + n;
@@ -109,26 +237,69 @@ let clear_table t name =
       t.stats.Stats.tables_truncated <- t.stats.Stats.tables_truncated + 1;
       Relation.clear rel
 
+(* Capture everything needed to recreate a table if a transaction drops it
+   and then rolls back. *)
+let capture_dropped_table tbl =
+  let rel = tbl.Catalog.tbl_relation in
+  U_drop_table
+    {
+      dt_name = tbl.Catalog.tbl_name;
+      dt_schema = Relation.schema rel;
+      dt_rows = Relation.to_list rel;
+      dt_indexes =
+        List.map (fun idx -> (Index.name idx, Index.column idx, false)) tbl.Catalog.tbl_indexes
+        @ List.map
+            (fun idx -> (Ordered_index.name idx, Ordered_index.column idx, true))
+            tbl.Catalog.tbl_ordered;
+    }
+
+(* Resolve an index name to (table, column, ordered), for DROP INDEX undo. *)
+let find_index_spec catalog name =
+  let k = String.lowercase_ascii name in
+  List.find_map
+    (fun tbl ->
+      match
+        List.find_opt (fun idx -> String.lowercase_ascii (Index.name idx) = k) tbl.Catalog.tbl_indexes
+      with
+      | Some idx -> Some (tbl.Catalog.tbl_name, Index.column idx, false)
+      | None ->
+          List.find_opt
+            (fun idx -> String.lowercase_ascii (Ordered_index.name idx) = k)
+            tbl.Catalog.tbl_ordered
+          |> Option.map (fun idx -> (tbl.Catalog.tbl_name, Ordered_index.column idx, true)))
+    (Catalog.tables catalog)
+
 (* Execute a statement that has already been counted in [stats.statements].
    SELECT and INSERT ... SELECT are planned from scratch here; the cached
-   paths live in [exec_prepared]. *)
-let run_stmt t stmt =
+   paths live in [exec_prepared]. Transaction control never reaches this
+   function ([run_stmt] dispatches it first). *)
+let run_stmt_raw t stmt =
   match stmt with
+  | Sql_ast.Begin | Sql_ast.Commit | Sql_ast.Rollback -> assert false
   | Sql_ast.Create_table { name; columns } ->
       let schema = try Schema.make columns with Invalid_argument msg -> raise (Sql_error msg) in
       let (_ : Catalog.table) = or_fail (Catalog.create_table t.catalog name schema) in
+      record t (fun () -> U_create_table name);
       t.stats.Stats.tables_created <- t.stats.Stats.tables_created + 1;
       t.stats.Stats.page_writes <- t.stats.Stats.page_writes + 1;
       Done
   | Sql_ast.Drop_table { name; if_exists } ->
+      let saved =
+        match (t.sink, Catalog.find_table t.catalog name) with
+        | Some _, Some tbl -> Some (capture_dropped_table tbl)
+        | _ -> None
+      in
       (match Catalog.drop_table t.catalog name with
       | Ok () ->
+          (match saved with
+          | Some u -> record t (fun () -> u)
+          | None -> ());
           t.stats.Stats.tables_dropped <- t.stats.Stats.tables_dropped + 1;
           t.stats.Stats.page_writes <- t.stats.Stats.page_writes + 1
       | Error msg -> if not if_exists then raise (Sql_error msg));
       Done
   | Sql_ast.Truncate { name } ->
-      clear_table t name;
+      clear_table_raw t name;
       Done
   | Sql_ast.Create_index { index; table; column; ordered } ->
       (if ordered then
@@ -137,6 +308,7 @@ let run_stmt t stmt =
              : Ordered_index.t)
        else
          ignore (or_fail (Catalog.create_index t.catalog ~name:index ~table ~column) : Index.t));
+      record t (fun () -> U_create_index index);
       (* building the index reads the table and writes the index pages *)
       (match Catalog.find_table t.catalog table with
       | Some tbl ->
@@ -145,7 +317,16 @@ let run_stmt t stmt =
       | None -> ());
       Done
   | Sql_ast.Drop_index { index } ->
+      let saved =
+        match t.sink with
+        | Some _ -> find_index_spec t.catalog index
+        | None -> None
+      in
       or_fail (Catalog.drop_index t.catalog index);
+      (match saved with
+      | Some (di_table, di_column, di_ordered) ->
+          record t (fun () -> U_drop_index { di_index = index; di_table; di_column; di_ordered })
+      | None -> ());
       Done
   | Sql_ast.Insert_values { table; rows } ->
       insert_rows t table (List.map (fun r -> Array.of_list (List.map Sql_ast.value_of_literal r)) rows)
@@ -197,7 +378,16 @@ let run_stmt t stmt =
             let scratch = Stats.create () in
             Executor.run scratch plan
       in
-      let deleted = List.fold_left (fun acc row -> if Relation.delete rel row then acc + 1 else acc) 0 victims in
+      let deleted =
+        List.fold_left
+          (fun acc row ->
+            if Relation.delete rel row then begin
+              record t (fun () -> U_delete (table, row));
+              acc + 1
+            end
+            else acc)
+          0 victims
+      in
       if deleted > 0 then begin
         let bytes = List.fold_left (fun acc r -> acc + Tuple.byte_size r) 0 victims in
         t.stats.Stats.page_writes <- t.stats.Stats.page_writes + max 1 (Stats.pages_of_bytes bytes);
@@ -268,8 +458,8 @@ let run_stmt t stmt =
             List.iter (fun (pos, value_of) -> fresh.(pos) <- value_of old) compiled_sets;
             if Tuple.equal fresh old then acc
             else begin
-              ignore (Relation.delete rel old);
-              ignore (Relation.insert rel fresh);
+              if Relation.delete rel old then record t (fun () -> U_delete (table, old));
+              if Relation.insert rel fresh then record t (fun () -> U_insert (table, fresh));
               acc + 1
             end)
           0 victims
@@ -291,6 +481,58 @@ let run_stmt t stmt =
         Array.to_list (Array.map (fun c -> c.Plan.h_name) (Plan.header_of plan))
       in
       Rows { columns; rows }
+
+(* A statement with zero effect (duplicate INSERT, DELETE matching nothing)
+   is not worth a log record: replaying it is a no-op. *)
+let worth_logging = function
+  | Affected 0 -> false
+  | Rows _ | Affected _ | Done -> true
+
+(* Run the execution [body] of data-modifying [stmt] inside a
+   statement-local undo frame: on failure the statement's partial effects
+   are undone before the exception propagates (statement atomicity), on
+   success the frame folds into the open transaction — or, in autocommit,
+   the statement is published to the commit hook immediately. *)
+let with_stmt_frame t stmt body =
+  let frame = ref [] in
+  let saved = t.sink in
+  t.sink <- Some frame;
+  let result =
+    match body () with
+    | result ->
+        t.sink <- saved;
+        result
+    | exception e ->
+        t.sink <- saved;
+        List.iter (apply_undo t) !frame;
+        raise e
+  in
+  (match t.txn with
+  | Some txn ->
+      txn.t_undo <- !frame @ txn.t_undo;
+      if (not t.log_suspended) && worth_logging result then
+        txn.t_redo <- Sql_printer.stmt stmt :: txn.t_redo
+  | None ->
+      if (not t.log_suspended) && worth_logging result then
+        notify_commit t (Sql_printer.stmt stmt));
+  result
+
+(* Dispatcher: transaction control, then reads, then guarded writes. *)
+let run_stmt t stmt =
+  match stmt with
+  | Sql_ast.Begin ->
+      begin_txn t;
+      Done
+  | Sql_ast.Commit ->
+      commit_txn t;
+      Done
+  | Sql_ast.Rollback ->
+      rollback_txn t;
+      Done
+  | Sql_ast.Select _ -> run_stmt_raw t stmt
+  | _ -> with_stmt_frame t stmt (fun () -> run_stmt_raw t stmt)
+
+let clear_table t name = ignore (run_stmt t (Sql_ast.Truncate { name }) : result)
 
 let exec_stmt t stmt =
   t.stats.Stats.statements <- t.stats.Stats.statements + 1;
@@ -369,10 +611,11 @@ let exec_prepared t p =
         let rows = Executor.run t.stats plan in
         let columns = Array.to_list (Array.map (fun c -> c.Plan.h_name) (Plan.header_of plan)) in
         Rows { columns; rows }
-    | Sql_ast.Insert_select { table; query } ->
-        let plan = insert_select_plan_of_prepared t p table query in
-        let rows = Executor.run t.stats plan in
-        insert_rows t table rows
+    | Sql_ast.Insert_select { table; query } as stmt ->
+        with_stmt_frame t stmt (fun () ->
+            let plan = insert_select_plan_of_prepared t p table query in
+            let rows = Executor.run t.stats plan in
+            insert_rows t table rows)
     | stmt ->
         (* no plan to cache, but a re-execution still skips lexing and
            parsing — count it so the counters mean "compiled form reused" *)
@@ -415,7 +658,9 @@ let cached_prepared t sql =
   | None -> (
       let stmt = parse_or_fail sql in
       match stmt with
-      | Sql_ast.Insert_values _ -> None
+      (* bulk fact loads rarely repeat verbatim, and transaction control is
+         trivial to parse — neither earns a cache slot *)
+      | Sql_ast.Insert_values _ | Sql_ast.Begin | Sql_ast.Commit | Sql_ast.Rollback -> None
       | _ ->
           t.stats.Stats.statements_prepared <- t.stats.Stats.statements_prepared + 1;
           let p = { p_stmt = stmt; p_plan = None; p_runs = 0; p_last_used = 0 } in

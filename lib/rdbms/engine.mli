@@ -33,6 +33,50 @@ val stats : t -> Stats.t
 (** Cumulative counters; callers may snapshot with {!Stats.copy} and take
     {!Stats.diff}. *)
 
+(** {1 Transactions}
+
+    [BEGIN] / [COMMIT] / [ROLLBACK] (as SQL text or via the functions
+    below) bracket an explicit transaction. While one is open, every
+    data-modifying statement appends logical undo records (per inserted /
+    deleted row, per DDL action, the old contents of a truncated table);
+    ROLLBACK applies them in reverse execution order. Outside a
+    transaction the engine autocommits each statement. Every statement is
+    atomic in both modes: a failure (e.g. a schema violation halfway
+    through a multi-row INSERT) undoes that statement's partial effects
+    before the [Sql_error] propagates.
+
+    Undo application is deliberately not charged to the simulated page-I/O
+    counters — the paper's cost model prices forward work only. *)
+
+val begin_txn : t -> unit
+(** Open an explicit transaction. Raises [Sql_error] if one is already
+    open (no nesting). *)
+
+val commit_txn : t -> unit
+(** Close the transaction, publish its data-modifying statements to the
+    commit hook (one script), bump {!Stats.t.txns_committed}. Raises
+    [Sql_error] if none is open. *)
+
+val rollback_txn : t -> unit
+(** Undo the transaction's effects in reverse order and bump
+    {!Stats.t.txns_rolled_back}. Raises [Sql_error] if none is open. *)
+
+val in_transaction : t -> bool
+
+val set_commit_hook : t -> (string -> unit) option -> unit
+(** The durability hook ({!Wal.attach} installs the WAL's appender). It
+    receives one [;]-separated SQL script per committed transaction — or
+    per statement in autocommit — containing exactly the data-modifying
+    statements that had an effect, re-printed via {!Sql_printer} so the
+    script reparses to the executed statements. *)
+
+val suspend_logging : t -> (unit -> 'a) -> 'a
+(** Run a thunk with commit-hook publication disabled (undo logging stays
+    active, so rollback remains correct). The LFP runtime wraps query
+    evaluation in this: its temp tables are created and dropped within a
+    single query, so logging their churn would bloat the WAL with work
+    that replays to nothing. *)
+
 val exec : t -> string -> result
 (** Execute one SQL statement given as text. When the statement cache is
     enabled (the default), the text is looked up in a transparent LRU

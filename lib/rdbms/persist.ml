@@ -75,13 +75,34 @@ let save engine path =
           cleanup ();
           Error msg)
 
+(* Long INSERT batches would make an error message unreadable; show the
+   head of the offending statement only. *)
+let abbreviate stmt_text =
+  let limit = 80 in
+  if String.length stmt_text <= limit then stmt_text
+  else String.sub stmt_text 0 limit ^ "..."
+
 let load engine path =
   match In_channel.with_open_text path In_channel.input_all with
   | exception Sys_error msg -> Error msg
   | script -> (
-      match Engine.exec_script engine script with
-      | (_ : Engine.result list) -> Ok ()
-      | exception Engine.Sql_error msg -> Error ("corrupt database file: " ^ msg))
+      match Sql_parser.parse_many script with
+      | exception Sql_parser.Parse_error (msg, pos) ->
+          Error (Printf.sprintf "corrupt database file %s: parse error at offset %d: %s" path pos msg)
+      | exception Sql_lexer.Lex_error (msg, pos) ->
+          Error (Printf.sprintf "corrupt database file %s: lex error at offset %d: %s" path pos msg)
+      | stmts ->
+          let rec run i = function
+            | [] -> Ok ()
+            | stmt :: rest -> (
+                match Engine.exec_stmt engine stmt with
+                | (_ : Engine.result) -> run (i + 1) rest
+                | exception Engine.Sql_error msg ->
+                    Error
+                      (Printf.sprintf "corrupt database file %s: statement %d (%s): %s" path i
+                         (abbreviate (Sql_printer.stmt stmt)) msg))
+          in
+          run 1 stmts)
 
 let restore path =
   let engine = Engine.create () in

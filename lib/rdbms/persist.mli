@@ -13,7 +13,9 @@ val save : Engine.t -> string -> (unit, string) result
 
 val load : Engine.t -> string -> (unit, string) result
 (** Executes a saved script against an engine. The engine should be
-    fresh; existing tables with clashing names make the load fail. *)
+    fresh; existing tables with clashing names make the load fail. On
+    failure the error names the file, the 1-based index of the offending
+    statement, and (a prefix of) its text. *)
 
 val restore : string -> (Engine.t, string) result
 (** [load] into a brand-new engine. *)

@@ -80,6 +80,9 @@ type stmt =
       where : cond option;
     }
   | Select of { query : query; order_by : order_key list }
+  | Begin
+  | Commit
+  | Rollback
 
 let value_of_literal = function
   | L_int n -> Value.Int n

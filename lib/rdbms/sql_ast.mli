@@ -100,6 +100,12 @@ type stmt =
       where : cond option;
     }
   | Select of { query : query; order_by : order_key list }
+  | Begin
+      (** [BEGIN [TRANSACTION|WORK]]: open an explicit transaction; until
+          COMMIT/ROLLBACK every data-modifying statement appends logical
+          undo records that ROLLBACK applies in reverse *)
+  | Commit
+  | Rollback
 
 val value_of_literal : literal -> Value.t
 val literal_of_value : Value.t -> literal

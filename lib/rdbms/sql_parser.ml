@@ -290,8 +290,23 @@ let parse_values_rows st =
   in
   rows ()
 
+(* BEGIN/COMMIT/ROLLBACK accept an optional TRANSACTION or WORK noise word. *)
+let eat_txn_noise st = ignore (eat_kw st "TRANSACTION" || eat_kw st "WORK")
+
 let parse_stmt st =
-  if eat_kw st "CREATE" then
+  if eat_kw st "BEGIN" then begin
+    eat_txn_noise st;
+    Begin
+  end
+  else if eat_kw st "COMMIT" then begin
+    eat_txn_noise st;
+    Commit
+  end
+  else if eat_kw st "ROLLBACK" then begin
+    eat_txn_noise st;
+    Rollback
+  end
+  else if eat_kw st "CREATE" then
     if eat_kw st "TABLE" then begin
       let name = ident st in
       let columns = parse_column_defs st in

@@ -103,3 +103,6 @@ let stmt = function
       let base = query q in
       if order_by = [] then base
       else base ^ " ORDER BY " ^ String.concat ", " (List.map order_key order_by)
+  | Begin -> "BEGIN"
+  | Commit -> "COMMIT"
+  | Rollback -> "ROLLBACK"

@@ -16,6 +16,11 @@ type t = {
   mutable statements_prepared : int;
   mutable plan_cache_hits : int;
   mutable plan_cache_misses : int;
+  mutable txns_committed : int;
+  mutable txns_rolled_back : int;
+  mutable wal_records : int;
+  mutable wal_bytes : int;
+  mutable recoveries : int;
 }
 
 let create () =
@@ -33,6 +38,11 @@ let create () =
     statements_prepared = 0;
     plan_cache_hits = 0;
     plan_cache_misses = 0;
+    txns_committed = 0;
+    txns_rolled_back = 0;
+    wal_records = 0;
+    wal_bytes = 0;
+    recoveries = 0;
   }
 
 let reset t =
@@ -48,7 +58,12 @@ let reset t =
   t.statements <- 0;
   t.statements_prepared <- 0;
   t.plan_cache_hits <- 0;
-  t.plan_cache_misses <- 0
+  t.plan_cache_misses <- 0;
+  t.txns_committed <- 0;
+  t.txns_rolled_back <- 0;
+  t.wal_records <- 0;
+  t.wal_bytes <- 0;
+  t.recoveries <- 0
 
 let copy t = { t with page_reads = t.page_reads }
 
@@ -67,6 +82,11 @@ let diff a b =
     statements_prepared = a.statements_prepared - b.statements_prepared;
     plan_cache_hits = a.plan_cache_hits - b.plan_cache_hits;
     plan_cache_misses = a.plan_cache_misses - b.plan_cache_misses;
+    txns_committed = a.txns_committed - b.txns_committed;
+    txns_rolled_back = a.txns_rolled_back - b.txns_rolled_back;
+    wal_records = a.wal_records - b.wal_records;
+    wal_bytes = a.wal_bytes - b.wal_bytes;
+    recoveries = a.recoveries - b.recoveries;
   }
 
 let add acc x =
@@ -82,14 +102,21 @@ let add acc x =
   acc.statements <- acc.statements + x.statements;
   acc.statements_prepared <- acc.statements_prepared + x.statements_prepared;
   acc.plan_cache_hits <- acc.plan_cache_hits + x.plan_cache_hits;
-  acc.plan_cache_misses <- acc.plan_cache_misses + x.plan_cache_misses
+  acc.plan_cache_misses <- acc.plan_cache_misses + x.plan_cache_misses;
+  acc.txns_committed <- acc.txns_committed + x.txns_committed;
+  acc.txns_rolled_back <- acc.txns_rolled_back + x.txns_rolled_back;
+  acc.wal_records <- acc.wal_records + x.wal_records;
+  acc.wal_bytes <- acc.wal_bytes + x.wal_bytes;
+  acc.recoveries <- acc.recoveries + x.recoveries
 
 let total_io t = t.page_reads + t.page_writes
 
 let to_string t =
   Printf.sprintf
     "reads=%d writes=%d probes=%d rows_read=%d ins=%d del=%d create=%d drop=%d trunc=%d \
-     stmts=%d prepared=%d cache_hits=%d cache_misses=%d"
+     stmts=%d prepared=%d cache_hits=%d cache_misses=%d commits=%d rollbacks=%d \
+     wal_records=%d wal_bytes=%d recoveries=%d"
     t.page_reads t.page_writes t.index_probes t.rows_read t.rows_inserted t.rows_deleted
     t.tables_created t.tables_dropped t.tables_truncated t.statements t.statements_prepared
-    t.plan_cache_hits t.plan_cache_misses
+    t.plan_cache_hits t.plan_cache_misses t.txns_committed t.txns_rolled_back t.wal_records
+    t.wal_bytes t.recoveries

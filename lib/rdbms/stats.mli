@@ -32,6 +32,13 @@ type t = {
   mutable plan_cache_misses : int;
       (** executions that had to (re)build a plan: first use of a SQL
           text, or a cached plan invalidated by a catalog change *)
+  mutable txns_committed : int;
+      (** explicit transactions ended by COMMIT (autocommitted single
+          statements are not counted) *)
+  mutable txns_rolled_back : int;  (** explicit transactions ended by ROLLBACK *)
+  mutable wal_records : int;  (** records appended to an attached {!Wal} *)
+  mutable wal_bytes : int;  (** bytes appended to an attached {!Wal}, headers included *)
+  mutable recoveries : int;  (** successful {!Wal.recover} runs that built this engine *)
 }
 
 val create : unit -> t

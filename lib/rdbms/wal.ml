@@ -1,0 +1,180 @@
+(* Logical write-ahead log. Each record is the SQL script of one committed
+   transaction (or one autocommitted statement), framed as
+
+     "WREC" | payload length (int32 LE) | Adler-32 of payload (int32 LE) | payload
+
+   Records are appended and flushed at commit time by the engine's commit
+   hook. Recovery replays the longest valid prefix of the file and
+   physically truncates anything after it (a torn record from a crash
+   mid-append), so recovering twice is a no-op. *)
+
+exception Crashed
+
+let magic = "WREC"
+let header_size = 12
+
+type t = {
+  path : string;
+  mutable oc : out_channel option;
+  mutable stats : Stats.t option;
+  mutable crash_after : int option; (* bytes this log may still write *)
+}
+
+let adler32 s =
+  let a = ref 1 and b = ref 0 in
+  String.iter
+    (fun c ->
+      a := (!a + Char.code c) mod 65521;
+      b := (!b + !a) mod 65521)
+    s;
+  (!b lsl 16) lor !a
+
+let open_log path =
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+  { path; oc = Some oc; stats = None; crash_after = None }
+
+let path t = t.path
+
+let close t =
+  match t.oc with
+  | Some oc ->
+      t.oc <- None;
+      close_out oc
+  | None -> ()
+
+let set_crash_after t n = t.crash_after <- n
+
+let frame payload =
+  let len = String.length payload in
+  let b = Bytes.create (header_size + len) in
+  Bytes.blit_string magic 0 b 0 4;
+  Bytes.set_int32_le b 4 (Int32.of_int len);
+  Bytes.set_int32_le b 8 (Int32.of_int (adler32 payload));
+  Bytes.blit_string payload 0 b header_size len;
+  b
+
+let append t payload =
+  let oc =
+    match t.oc with
+    | Some oc -> oc
+    | None -> raise Crashed
+  in
+  let record = frame payload in
+  let len = Bytes.length record in
+  (match t.crash_after with
+  | Some budget when budget < len ->
+      (* fault injection: the "process" dies after [budget] more bytes,
+         leaving a torn record on disk *)
+      output_bytes oc (Bytes.sub record 0 (max 0 budget));
+      flush oc;
+      t.oc <- None;
+      close_out oc;
+      t.crash_after <- Some 0;
+      raise Crashed
+  | Some budget -> t.crash_after <- Some (budget - len)
+  | None -> ());
+  output_bytes oc record;
+  flush oc;
+  match t.stats with
+  | Some stats ->
+      stats.Stats.wal_records <- stats.Stats.wal_records + 1;
+      stats.Stats.wal_bytes <- stats.Stats.wal_bytes + len
+  | None -> ()
+
+let attach t engine =
+  t.stats <- Some (Engine.stats engine);
+  Engine.set_commit_hook engine (Some (fun script -> append t script))
+
+(* ------------------------------------------------------------------ *)
+(* Reading *)
+
+(* Longest valid prefix of the log: the records it holds and the byte
+   offset where validity ends. Anything after that offset — a bad magic,
+   an impossible length, a checksum mismatch, a short read — is a torn
+   tail from a crash mid-append. *)
+let scan contents =
+  let n = String.length contents in
+  let records = ref [] in
+  let rec loop off =
+    if off + header_size > n then off
+    else if String.sub contents off 4 <> magic then off
+    else
+      let len = Int32.to_int (String.get_int32_le contents (off + 4)) in
+      if len < 0 || off + header_size + len > n then off
+      else
+        let crc = Int32.to_int (String.get_int32_le contents (off + 8)) land 0xFFFFFFFF in
+        let payload = String.sub contents (off + header_size) len in
+        if adler32 payload <> crc then off
+        else begin
+          records := payload :: !records;
+          loop (off + header_size + len)
+        end
+  in
+  let valid_end = loop 0 in
+  (List.rev !records, valid_end)
+
+let read_records path =
+  if not (Sys.file_exists path) then []
+  else fst (scan (In_channel.with_open_bin path In_channel.input_all))
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint and recovery *)
+
+let truncate_file path keep =
+  let contents = In_channel.with_open_bin path In_channel.input_all in
+  if String.length contents > keep then
+    Out_channel.with_open_gen
+      [ Open_wronly; Open_trunc; Open_binary ]
+      0o644 path
+      (fun oc -> output_string oc (String.sub contents 0 keep))
+
+let checkpoint t engine ~db =
+  if Engine.in_transaction engine then
+    Error "cannot checkpoint inside an open transaction"
+  else
+    match Persist.save engine db with
+    | Error _ as e -> e
+    | Ok () -> (
+        (* the checkpoint now holds everything the log described *)
+        close t;
+        match open_out_gen [ Open_wronly; Open_trunc; Open_creat; Open_binary ] 0o644 t.path with
+        | oc ->
+            t.oc <- Some oc;
+            Ok ()
+        | exception Sys_error msg -> Error msg)
+
+let replay engine wal =
+  let records =
+    if Sys.file_exists wal then begin
+      let contents = In_channel.with_open_bin wal In_channel.input_all in
+      let records, valid_end = scan contents in
+      if valid_end < String.length contents then truncate_file wal valid_end;
+      records
+    end
+    else []
+  in
+  let rec run i = function
+    | [] -> Ok i
+    | script :: rest -> (
+        match Engine.exec_script engine script with
+        | (_ : Engine.result list) -> run (i + 1) rest
+        | exception Engine.Sql_error msg ->
+            Error (Printf.sprintf "recovery: WAL record %d failed to replay: %s" (i + 1) msg))
+  in
+  match run 0 records with
+  | Error _ as e -> e
+  | Ok n ->
+      let stats = Engine.stats engine in
+      stats.Stats.recoveries <- stats.Stats.recoveries + 1;
+      Ok n
+
+let recover ~db ~wal =
+  let base =
+    if Sys.file_exists db then Persist.restore db else Ok (Engine.create ())
+  in
+  match base with
+  | Error msg -> Error ("recovery: " ^ msg)
+  | Ok engine -> (
+      match replay engine wal with
+      | Error _ as e -> e
+      | Ok n -> Ok (engine, n))

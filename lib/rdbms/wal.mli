@@ -1,0 +1,68 @@
+(** Logical write-ahead log for the testbed engine.
+
+    The WAL records {e committed work}: the engine's commit hook hands it
+    one SQL script per committed transaction (or per autocommitted
+    statement), and the log appends it as a framed record
+
+    {v "WREC" | payload length (int32 LE) | Adler-32 (int32 LE) | payload v}
+
+    flushed before the commit returns. {!recover} rebuilds an engine from
+    the last {!checkpoint} plus the longest valid prefix of the log,
+    physically truncating any torn tail left by a crash mid-append —
+    so a crash between two records loses nothing, a crash inside a record
+    loses only the uncommitted transaction being written, and recovering
+    twice is a no-op. *)
+
+type t
+
+exception Crashed
+(** Raised by {!append} when fault injection ({!set_crash_after}) kills
+    the log, and by any append after that: the "process" is dead. *)
+
+val open_log : string -> t
+(** Open (creating if needed) a log file for appending. *)
+
+val attach : t -> Engine.t -> unit
+(** Install this log as the engine's commit hook and direct
+    {!Stats.t.wal_records} / {!Stats.t.wal_bytes} accounting at the
+    engine's counters. *)
+
+val append : t -> string -> unit
+(** Append one record (normally called via the commit hook). The record
+    is flushed to the OS before returning. *)
+
+val close : t -> unit
+val path : t -> string
+
+val read_records : string -> string list
+(** The payloads of the longest valid record prefix of a log file (empty
+    if the file does not exist). Does not truncate; see {!recover}. *)
+
+val set_crash_after : t -> int option -> unit
+(** Fault injection for tests: [Some n] allows the log to write [n] more
+    bytes. An append that would exceed the budget writes only the bytes
+    that fit — possibly a torn partial record — then raises {!Crashed}
+    and closes the file. [Some 0] crashes before the next record;
+    a budget equal to a record's framed size crashes just after it.
+    [None] (the default) disables injection. *)
+
+val replay : Engine.t -> string -> (int, string) result
+(** Truncate the log's torn tail (if any), execute its remaining records
+    against the given engine in order, and bump {!Stats.t.recoveries}.
+    Returns the number of records replayed (0 if the file is missing).
+    Building-block for {!recover}; callers that pre-populate the engine
+    (e.g. a session whose dictionary tables predate the WAL) replay
+    directly. *)
+
+val checkpoint : t -> Engine.t -> db:string -> (unit, string) result
+(** [Persist.save] the engine's current state to [db], then truncate the
+    log to empty: the checkpoint now subsumes every logged record.
+    Refuses to run inside an open transaction. *)
+
+val recover : db:string -> wal:string -> (Engine.t * int, string) result
+(** Rebuild an engine: restore the checkpoint [db] (a fresh engine if the
+    file does not exist), truncate the log's torn tail if any, replay the
+    remaining records in order, and bump {!Stats.t.recoveries}. Returns
+    the engine and the number of records replayed. No commit hook is
+    attached during or after replay — call {!open_log} / {!attach} to
+    resume logging. *)

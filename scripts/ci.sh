@@ -1,0 +1,18 @@
+#!/bin/sh
+# One-command CI gate: build everything, run the full test suite, then
+# smoke the two JSON-emitting ablation benches at quick scale.
+# Run from the repository root:  sh scripts/ci.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+dune build @all
+
+echo "== tests =="
+dune runtest
+
+echo "== bench smoke (quick scale) =="
+dune exec bench/main.exe -- wal cache quick
+
+echo "== ci OK =="

@@ -1,0 +1,40 @@
+Transactions, the write-ahead log, and crash recovery driven through the
+shell. Timing values are masked (they vary run to run).
+
+  $ ../../bin/dkb.exe txn_session.dkb | grep -v 't_c=' | sed -E 's/in [0-9.]+ ms/in X ms/'
+  wal attached: txn_test.wal
+  base relation parent defined
+  ok
+  ok
+  count
+  2
+  (1 rows)
+  ok
+  ok
+  count
+  3
+  (1 rows)
+  stored 2 rules in X ms (2 reachability pairs)
+  w
+  mary
+  sue
+  ann
+  (3 rows)
+  checkpoint written to txn_test.db
+  reads=62 writes=56 probes=16 rows_read=73 ins=33 del=12 create=11 drop=4 trunc=9 stmts=89 prepared=48 cache_hits=22 cache_misses=48 commits=2 rollbacks=1 wal_records=9 wal_bytes=931 recoveries=0
+
+A "fresh process" rebuilds the same D/KB from the checkpoint plus the
+records logged after it (the rolled-back transaction was never logged):
+
+  $ ../../bin/dkb.exe txn_recover.dkb | grep -v 't_c='
+  error: no WAL attached (.wal <file> first)
+  recovered from txn_test.db + txn_test.wal (1 records replayed)
+  count
+  4
+  (1 rows)
+  w
+  mary
+  sue
+  ann
+  eve
+  (4 rows)
