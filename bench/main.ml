@@ -9,6 +9,7 @@
      dune exec bench/main.exe -- ablation     -- ablation benches
      dune exec bench/main.exe -- cache        -- statement-cache ablation (writes BENCH_cache.json)
      dune exec bench/main.exe -- wal          -- write-ahead-log ablation (writes BENCH_wal.json)
+     dune exec bench/main.exe -- profile      -- observability bench (writes BENCH_profile.json)
      dune exec bench/main.exe -- bechamel     -- bechamel microbenchmarks *)
 
 let known =
@@ -25,6 +26,7 @@ let known =
     ("ablation", fun scale -> Experiments.Ablation.run ~scale ());
     ("cache", fun scale -> Experiments.Ablation.run_cache ~scale ());
     ("wal", fun scale -> Experiments.Ablation.run_wal ~scale ());
+    ("profile", fun scale -> Experiments.Observe.run ~scale ());
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -110,7 +112,9 @@ let () =
     let to_run =
       match selected with
       | [] | [ "all" ] ->
-          List.filter (fun (n, _) -> not (List.mem n [ "ablation"; "cache"; "wal" ])) known
+          List.filter
+            (fun (n, _) -> not (List.mem n [ "ablation"; "cache"; "wal"; "profile" ]))
+            known
       | names ->
           List.map
             (fun n ->

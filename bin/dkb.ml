@@ -34,6 +34,11 @@ let help_text =
   .rules                         list workspace and stored rules
   .tables                        list DBMS tables
   .sql <statement>               run raw SQL against the DBMS
+  .analyze <statement>           EXPLAIN ANALYZE: run a SELECT (or INSERT
+                                 ... SELECT) with per-operator counters
+  .profile goal(..)              run a query and show its per-iteration
+                                 LFP profile (deltas, simulated I/O)
+  .trace on <file> | .trace off  stream JSONL trace events to a file
   .stats                         show cumulative DBMS counters
   .load <file>                   execute a script of shell commands
   .save <file>                   persist the D/KB (EDB + stored rules) to a file
@@ -192,6 +197,42 @@ let run_sql st sql =
 let explain_goal st text =
   on_result (Session.explain st.session ~options:st.options text) ~ok:print_string
 
+let analyze_sql st sql =
+  match Rdbms.Engine.explain_analyze (Session.engine st.session) sql with
+  | text -> print_string text
+  | exception Rdbms.Engine.Sql_error msg -> report_error msg
+
+let profile_goal st text =
+  on_result (Session.query st.session ~options:st.options text) ~ok:(fun answer ->
+      let profile = answer.Session.run.Core.Runtime.profile in
+      if profile = [] then printf "no LFP iterations (non-recursive goal)\n"
+      else begin
+        printf "%-16s %4s %8s %9s  %s\n" "clique" "iter" "sim io" "ms" "new tuples";
+        List.iter
+          (fun ip ->
+            printf "%-16s %4d %8d %9.3f  %s\n" ip.Core.Runtime.ip_label
+              ip.Core.Runtime.ip_index
+              (Rdbms.Stats.total_io ip.Core.Runtime.ip_io)
+              ip.Core.Runtime.ip_ms
+              (String.concat " "
+                 (List.map
+                    (fun (p, n) -> Printf.sprintf "%s=%d" p n)
+                    ip.Core.Runtime.ip_deltas)))
+          profile;
+        let phase_totals =
+          List.fold_left
+            (fun acc ip ->
+              List.map2
+                (fun (b, total) (_, v) -> (b, total + v))
+                acc ip.Core.Runtime.ip_phase_io)
+            (List.map (fun (b, _) -> (b, 0)) (List.hd profile).Core.Runtime.ip_phase_io)
+            profile
+        in
+        printf "phase io: %s\n"
+          (String.concat "  "
+             (List.map (fun (b, v) -> Printf.sprintf "%s=%d" b v) phase_totals))
+      end)
+
 let emit_c_goal st text =
   match Datalog.Parser.parse_query text with
   | exception Datalog.Parser.Parse_error (msg, pos) ->
@@ -266,6 +307,23 @@ let rec handle st line =
     | ".sql", _ ->
         run_sql st (rest_text ".sql");
         true
+    | ".analyze", _ ->
+        analyze_sql st (rest_text ".analyze");
+        true
+    | ".profile", _ ->
+        profile_goal st (rest_text ".profile");
+        true
+    | ".trace", [ "off" ] ->
+        Session.detach_trace st.session;
+        printf "trace off\n";
+        true
+    | ".trace", [ "on"; file ] ->
+        on_result (Session.attach_trace st.session file) ~ok:(fun () ->
+            printf "trace on: %s\n" file);
+        true
+    | ".trace", _ ->
+        report_error "usage: .trace on <file> | .trace off";
+        true
     | ".stats", _ ->
         printf "%s\n" (Rdbms.Stats.to_string (Rdbms.Engine.stats (Session.engine st.session)));
         true
@@ -331,6 +389,26 @@ let rec handle st line =
     true
   end
 
+(* The shell must survive anything a command raises: report and continue.
+   [Sql_error] and [Corrupt] are mapped to [Error] inside the session, but
+   commands that talk to the engine directly (.sql facts, raw shell I/O)
+   can still surface them — and a residual [Failure] anywhere is a bug
+   that should not take the REPL down with it. *)
+and safe_handle st line =
+  try handle st line with
+  | Rdbms.Engine.Sql_error msg ->
+      report_error msg;
+      true
+  | Core.Stored_dkb.Corrupt msg ->
+      report_error ("corrupt stored D/KB: " ^ msg);
+      true
+  | Failure msg ->
+      report_error msg;
+      true
+  | Sys_error msg ->
+      report_error msg;
+      true
+
 and load_file st file =
   match open_in file with
   | exception Sys_error msg -> report_error msg
@@ -341,7 +419,7 @@ and load_file st file =
          let rec loop () =
            match input_line ic with
            | line ->
-               ignore (handle st line);
+               ignore (safe_handle st line);
                loop ()
            | exception End_of_file -> ()
          in
@@ -371,7 +449,7 @@ let () =
       let rec loop () =
         printf "dkb> %!";
         match input_line stdin with
-        | line -> if handle st line then loop ()
+        | line -> if safe_handle st line then loop ()
         | exception End_of_file -> ()
       in
       loop ()

@@ -10,11 +10,22 @@ let strategy_to_string = function
   | Naive -> "naive"
   | Seminaive -> "semi-naive"
 
+(* One LFP iteration of one clique, as observed by the profiler. *)
+type iteration_profile = {
+  ip_label : string;
+  ip_index : int;  (* 1-based iteration number within the clique *)
+  ip_deltas : (string * int) list;  (* per-member new-tuple cardinality *)
+  ip_phase_io : (string * int) list;  (* simulated I/O per step bucket *)
+  ip_io : Rdbms.Stats.t;  (* full counter delta of the iteration *)
+  ip_ms : float;
+}
+
 type report = {
   rows : Rdbms.Tuple.t list;
   columns : string list;
   boolean : bool option;
   iterations : (string * int) list;
+  profile : iteration_profile list;
   phases : Timer.Phases.t;
   entry_ms : (string * float) list;
   exec_ms : float;
@@ -26,23 +37,62 @@ type ctx = {
   phases : Timer.Phases.t;
   index_derived : bool;
   max_iterations : int;
+  iter_phase_io : (string, int ref) Hashtbl.t;  (* current iteration, per bucket *)
+  observer : iteration_profile -> unit;
 }
 
+let phase_buckets = [ "create_drop"; "eval"; "termination"; "copy" ]
+
+(* Attribute the simulated I/O a thunk causes to [bucket] of the current
+   iteration. Cheap enough to leave on unconditionally: two counter reads
+   and one hashtable probe per statement. *)
+let with_phase_io ctx bucket f =
+  let stats = Engine.stats ctx.engine in
+  let before = Rdbms.Stats.total_io stats in
+  let result = f () in
+  let moved = Rdbms.Stats.total_io stats - before in
+  (match Hashtbl.find_opt ctx.iter_phase_io bucket with
+  | Some cell -> cell := !cell + moved
+  | None -> Hashtbl.add ctx.iter_phase_io bucket (ref moved));
+  result
+
+let begin_iteration ctx =
+  Hashtbl.reset ctx.iter_phase_io;
+  (Timer.now_ms (), Rdbms.Stats.copy (Engine.stats ctx.engine))
+
+let end_iteration ctx ~label ~index ~deltas (t0, io_before) =
+  ctx.observer
+    {
+      ip_label = label;
+      ip_index = index;
+      ip_deltas = deltas;
+      ip_phase_io =
+        List.map
+          (fun b ->
+            (b, match Hashtbl.find_opt ctx.iter_phase_io b with Some c -> !c | None -> 0))
+          phase_buckets;
+      ip_io = Rdbms.Stats.diff (Engine.stats ctx.engine) io_before;
+      ip_ms = Timer.now_ms () -. t0;
+    }
+
 let exec ctx bucket sql =
-  Timer.Phases.record ctx.phases bucket (fun () -> ignore (Engine.exec ctx.engine sql))
+  Timer.Phases.record ctx.phases bucket (fun () ->
+      with_phase_io ctx bucket (fun () -> ignore (Engine.exec ctx.engine sql)))
 
 (* The LFP inner loop executes the same handful of SQL texts every
    iteration; each is parsed and planned exactly once, before the loop. *)
 let prep ctx sql = Engine.prepare ctx.engine sql
 
 let run_prep ctx bucket p =
-  Timer.Phases.record ctx.phases bucket (fun () -> ignore (Engine.exec_prepared ctx.engine p))
+  Timer.Phases.record ctx.phases bucket (fun () ->
+      with_phase_io ctx bucket (fun () -> ignore (Engine.exec_prepared ctx.engine p)))
 
 let count_prep ctx p =
   Timer.Phases.record ctx.phases "termination" (fun () ->
-      match Engine.exec_prepared ctx.engine p with
-      | Engine.Rows { rows = [ [| Rdbms.Value.Int n |] ]; _ } -> n
-      | _ -> failwith "COUNT(*) did not return a single integer")
+      with_phase_io ctx "termination" (fun () ->
+          match Engine.exec_prepared ctx.engine p with
+          | Engine.Rows { rows = [ [| Rdbms.Value.Int n |] ]; _ } -> n
+          | _ -> failwith "COUNT(*) did not return a single integer"))
 
 let create_table ctx ?(with_index = false) name types =
   exec ctx "create_drop" (Datalog.Sqlgen.create_table ~name ~types ());
@@ -72,6 +122,7 @@ let eval_pred ctx ~pred ~types ~fact_inserts ~rules =
 
 (* The per-member statements of one naive iteration, prepared up front. *)
 type naive_member = {
+  nm_pred : string;
   nm_truncate_next : Engine.prepared;
   nm_truncate_diff : Engine.prepared;
   nm_fill_diff : Engine.prepared;  (** diff <- next EXCEPT current *)
@@ -80,7 +131,7 @@ type naive_member = {
   nm_swap_in : Engine.prepared;  (** current <- next *)
 }
 
-let eval_clique_naive ctx ~members ~fact_inserts ~exit_rules ~rec_rules =
+let eval_clique_naive ctx ~label ~members ~fact_inserts ~exit_rules ~rec_rules =
   (* member tables start empty; each iteration recomputes F from scratch
      into next tables and swaps. Scratch tables are created once and
      truncated between iterations instead of dropped and recreated. *)
@@ -108,6 +159,7 @@ let eval_clique_naive ctx ~members ~fact_inserts ~exit_rules ~rec_rules =
       (fun (p, _) ->
         let next = Names.next p and diff = Names.diff p in
         {
+          nm_pred = p;
           nm_truncate_next = prep ctx ("TRUNCATE TABLE " ^ next);
           nm_truncate_diff = prep ctx ("TRUNCATE TABLE " ^ diff);
           nm_fill_diff =
@@ -126,22 +178,27 @@ let eval_clique_naive ctx ~members ~fact_inserts ~exit_rules ~rec_rules =
     incr iterations;
     if !iterations > ctx.max_iterations then failwith "naive evaluation exceeded max iterations";
     changed := false;
+    let snap = begin_iteration ctx in
     List.iter (fun nm -> run_prep ctx "create_drop" nm.nm_truncate_next) member_preps;
     List.iter (fun p -> run_prep ctx "eval" p) fact_preps;
     List.iter (fun p -> run_prep ctx "eval" p) rule_preps;
     (* termination: next EXCEPT current, per member *)
+    let deltas = ref [] in
     List.iter
       (fun nm ->
         run_prep ctx "create_drop" nm.nm_truncate_diff;
         run_prep ctx "termination" nm.nm_fill_diff;
-        if count_prep ctx nm.nm_count_diff > 0 then changed := true)
+        let n = count_prep ctx nm.nm_count_diff in
+        deltas := (nm.nm_pred, n) :: !deltas;
+        if n > 0 then changed := true)
       member_preps;
     (* swap: current <- next (a full table copy, as the paper laments) *)
     List.iter
       (fun nm ->
         run_prep ctx "create_drop" nm.nm_truncate_self;
         run_prep ctx "copy" nm.nm_swap_in)
-      member_preps
+      member_preps;
+    end_iteration ctx ~label ~index:!iterations ~deltas:(List.rev !deltas) snap
   done;
   List.iter
     (fun (p, _) ->
@@ -154,6 +211,7 @@ let eval_clique_naive ctx ~members ~fact_inserts ~exit_rules ~rec_rules =
 (* Clique evaluation: semi-naive *)
 
 type seminaive_member = {
+  sm_pred : string;
   sm_truncate_cand : Engine.prepared;
   sm_truncate_diff : Engine.prepared;
   sm_fill_diff : Engine.prepared;  (** diff <- candidates EXCEPT current *)
@@ -163,7 +221,7 @@ type seminaive_member = {
   sm_absorb : Engine.prepared;  (** current <- delta *)
 }
 
-let eval_clique_seminaive ctx ~members ~fact_inserts ~exit_rules ~rec_rules =
+let eval_clique_seminaive ctx ~label ~members ~fact_inserts ~exit_rules ~rec_rules =
   (* init: facts and exit rules, delta = everything so far *)
   List.iter (fun (p, types) -> create_table ctx ~with_index:true p types) members;
   List.iter
@@ -195,6 +253,7 @@ let eval_clique_seminaive ctx ~members ~fact_inserts ~exit_rules ~rec_rules =
       (fun (p, _) ->
         let delta = Names.delta p and cand = Names.new_delta p and diff = Names.diff p in
         {
+          sm_pred = p;
           sm_truncate_cand = prep ctx ("TRUNCATE TABLE " ^ cand);
           sm_truncate_diff = prep ctx ("TRUNCATE TABLE " ^ diff);
           sm_fill_diff =
@@ -214,18 +273,22 @@ let eval_clique_seminaive ctx ~members ~fact_inserts ~exit_rules ~rec_rules =
     incr iterations;
     if !iterations > ctx.max_iterations then failwith "semi-naive evaluation exceeded max iterations";
     changed := false;
+    let snap = begin_iteration ctx in
     List.iter (fun sm -> run_prep ctx "create_drop" sm.sm_truncate_cand) member_preps;
     List.iter (fun p -> run_prep ctx "eval" p) rule_preps;
+    let deltas = ref [] in
     List.iter
       (fun sm ->
         run_prep ctx "create_drop" sm.sm_truncate_diff;
         run_prep ctx "termination" sm.sm_fill_diff;
         let n = count_prep ctx sm.sm_count_diff in
+        deltas := (sm.sm_pred, n) :: !deltas;
         run_prep ctx "create_drop" sm.sm_truncate_delta;
         run_prep ctx "copy" sm.sm_new_delta;
         run_prep ctx "copy" sm.sm_absorb;
         if n > 0 then changed := true)
-      member_preps
+      member_preps;
+    end_iteration ctx ~label ~index:!iterations ~deltas:(List.rev !deltas) snap
   done;
   List.iter
     (fun (p, _) ->
@@ -245,12 +308,30 @@ let drop_all_program_tables ctx (program : Codegen.t) =
     program.Codegen.derived_tables
 
 let execute engine ?(strategy = Seminaive) ?(index_derived = false) ?(max_iterations = 100_000)
-    ?(cleanup = true) (program : Codegen.t) =
+    ?(cleanup = true) ?observer (program : Codegen.t) =
   (* Derived and scratch tables live and die within this evaluation, so
      none of their churn belongs in the WAL. Undo logging stays active. *)
   Engine.suspend_logging engine @@ fun () ->
   let phases = Timer.Phases.create () in
-  let ctx = { engine; phases; index_derived; max_iterations } in
+  (* iteration profiles always accumulate into the report; the optional
+     observer additionally sees each one live (the trace sink) *)
+  let profile_rev = ref [] in
+  let observe ip =
+    profile_rev := ip :: !profile_rev;
+    match observer with
+    | Some f -> f ip
+    | None -> ()
+  in
+  let ctx =
+    {
+      engine;
+      phases;
+      index_derived;
+      max_iterations;
+      iter_phase_io = Hashtbl.create 8;
+      observer = observe;
+    }
+  in
   let io_before = Rdbms.Stats.copy (Engine.stats engine) in
   let t0 = Timer.now_ms () in
   (* accumulated in reverse; reversed once when the report is built *)
@@ -268,9 +349,11 @@ let execute engine ?(strategy = Seminaive) ?(index_derived = false) ?(max_iterat
               fun () ->
                 let iters =
                   match strategy with
-                  | Naive -> eval_clique_naive ctx ~members ~fact_inserts ~exit_rules ~rec_rules
+                  | Naive ->
+                      eval_clique_naive ctx ~label ~members ~fact_inserts ~exit_rules ~rec_rules
                   | Seminaive ->
-                      eval_clique_seminaive ctx ~members ~fact_inserts ~exit_rules ~rec_rules
+                      eval_clique_seminaive ctx ~label ~members ~fact_inserts ~exit_rules
+                        ~rec_rules
                 in
                 iterations := (label, iters) :: !iterations )
       in
@@ -303,6 +386,7 @@ let execute engine ?(strategy = Seminaive) ?(index_derived = false) ?(max_iterat
     columns;
     boolean;
     iterations = List.rev !iterations;
+    profile = List.rev !profile_rev;
     phases;
     entry_ms = List.rev !entry_ms;
     exec_ms;

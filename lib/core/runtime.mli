@@ -15,11 +15,26 @@ type strategy =
   | Naive
   | Seminaive
 
+type iteration_profile = {
+  ip_label : string;  (** clique label (as in [iterations]) *)
+  ip_index : int;  (** 1-based iteration number within the clique *)
+  ip_deltas : (string * int) list;
+      (** per member predicate, the number of genuinely new tuples this
+          iteration produced (the EXCEPT difference cardinality) *)
+  ip_phase_io : (string * int) list;
+      (** simulated I/O ({!Rdbms.Stats.total_io}) per step bucket, all
+          four buckets always present in documentation order *)
+  ip_io : Rdbms.Stats.t;  (** full counter delta of the iteration *)
+  ip_ms : float;  (** wall time of the iteration *)
+}
+
 type report = {
   rows : Rdbms.Tuple.t list;
   columns : string list;
   boolean : bool option;  (** [Some b] for a ground (yes/no) goal *)
   iterations : (string * int) list;  (** per-clique iteration counts *)
+  profile : iteration_profile list;
+      (** one entry per LFP iteration, in execution order across cliques *)
   phases : Dkb_util.Timer.Phases.t;  (** the four step buckets *)
   entry_ms : (string * float) list;  (** wall time per evaluation-order entry *)
   exec_ms : float;  (** total execution wall time, [t_e] *)
@@ -32,12 +47,15 @@ val execute :
   ?index_derived:bool ->
   ?max_iterations:int ->
   ?cleanup:bool ->
+  ?observer:(iteration_profile -> unit) ->
   Codegen.t ->
   report
 (** Runs the program. [index_derived] creates a hash index on the first
     column of every derived table (the paper's "dynamically adaptable
     indexing" future-work idea; off by default). [cleanup] (default true)
-    drops all derived tables afterwards. Raises [Failure] if a clique
-    exceeds [max_iterations] (default 100_000). *)
+    drops all derived tables afterwards. [observer] sees each
+    {!iteration_profile} as its iteration completes (the trace sink
+    attaches here); the full list is also returned in the report. Raises
+    [Failure] if a clique exceeds [max_iterations] (default 100_000). *)
 
 val strategy_to_string : strategy -> string

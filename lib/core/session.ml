@@ -10,6 +10,7 @@ type t = {
   mutable epoch : int;
   mutable changes : (int * string) list; (* (epoch, head pred) *)
   mutable wal : Rdbms.Wal.t option;
+  mutable trace : Trace.t option;
 }
 
 let create () =
@@ -21,6 +22,7 @@ let create () =
     epoch = 0;
     changes = [];
     wal = None;
+    trace = None;
   }
 
 let engine t = t.engine
@@ -146,10 +148,16 @@ type options = {
   optimize : Compiler.optimize_mode;
   strategy : Runtime.strategy;
   index_derived : bool;
+  max_iterations : int;
 }
 
 let default_options =
-  { optimize = Compiler.Opt_off; strategy = Runtime.Seminaive; index_derived = false }
+  {
+    optimize = Compiler.Opt_off;
+    strategy = Runtime.Seminaive;
+    index_derived = false;
+    max_iterations = 100_000;
+  }
 
 type answer = {
   compiled : Compiler.compiled;
@@ -158,18 +166,47 @@ type answer = {
 }
 
 let query_goal t ?(options = default_options) goal =
+  let goal_text = Ast.atom_to_string goal in
+  (match t.trace with Some tr -> Trace.query_begin tr goal_text | None -> ());
+  let t0 = Timer.now_ms () in
+  (* every exit — success or error — goes through here so the trace's
+     query_begin/query_end events always pair up *)
+  let finish result =
+    (match t.trace with
+    | Some tr ->
+        let ms = Timer.now_ms () -. t0 in
+        (match result with
+        | Ok a ->
+            Trace.query_end tr goal_text ~ok:true ~ms
+              ~rows:(List.length a.run.Runtime.rows) ()
+        | Error _ -> Trace.query_end tr goal_text ~ok:false ~ms ())
+    | None -> ());
+    result
+  in
   match
     Compiler.compile ~stored:t.stored ~workspace:t.workspace ~optimize:options.optimize ~goal ()
   with
-  | Error _ as e -> e
+  | exception Stored_dkb.Corrupt msg -> finish (Error ("corrupt stored D/KB: " ^ msg))
+  | exception Engine.Sql_error msg -> finish (Error ("DBMS error during compilation: " ^ msg))
+  | exception Failure msg -> finish (Error msg)
+  | Error _ as e -> finish e
   | Ok compiled -> (
+      let observer =
+        match t.trace with
+        | Some tr -> Some (fun ip -> Trace.iteration tr ip)
+        | None -> None
+      in
       match
         Runtime.execute t.engine ~strategy:options.strategy
-          ~index_derived:options.index_derived compiled.Compiler.program
+          ~index_derived:options.index_derived ~max_iterations:options.max_iterations ?observer
+          compiled.Compiler.program
       with
-      | exception Engine.Sql_error msg -> Error ("DBMS error during execution: " ^ msg)
-      | exception Failure msg -> Error msg
-      | run -> Ok { compiled; run; total_ms = compiled.Compiler.compile_ms +. run.Runtime.exec_ms })
+      | exception Engine.Sql_error msg -> finish (Error ("DBMS error during execution: " ^ msg))
+      | exception Stored_dkb.Corrupt msg -> finish (Error ("corrupt stored D/KB: " ^ msg))
+      | exception Failure msg -> finish (Error msg)
+      | run ->
+          finish
+            (Ok { compiled; run; total_ms = compiled.Compiler.compile_ms +. run.Runtime.exec_ms }))
 
 let query t ?options text =
   match Datalog.Parser.parse_query text with
@@ -204,6 +241,9 @@ let explain t ?(options = default_options) text =
         Compiler.compile ~stored:t.stored ~workspace:t.workspace ~optimize:options.optimize
           ~goal ()
       with
+      | exception Stored_dkb.Corrupt msg -> Error ("corrupt stored D/KB: " ^ msg)
+      | exception Engine.Sql_error msg -> Error ("DBMS error during compilation: " ^ msg)
+      | exception Failure msg -> Error msg
       | Error _ as e -> e
       | Ok compiled ->
           let buf = Buffer.create 256 in
@@ -235,6 +275,7 @@ let of_engine engine =
     epoch = 0;
     changes = [];
     wal = None;
+    trace = None;
   }
 
 let restore path =
@@ -260,6 +301,28 @@ let checkpoint t ~db =
   match t.wal with
   | None -> Error "no WAL attached"
   | Some w -> Rdbms.Wal.checkpoint w t.engine ~db
+
+(* ------------------------------------------------------------------ *)
+(* Structured tracing *)
+
+let trace t = t.trace
+
+let detach_trace t =
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+      Engine.set_trace_hook t.engine None;
+      Trace.close tr;
+      t.trace <- None
+
+let attach_trace t path =
+  match Trace.open_sink path with
+  | Error _ as e -> e
+  | Ok tr ->
+      detach_trace t;
+      t.trace <- Some tr;
+      Engine.set_trace_hook t.engine (Some (Trace.engine_event tr));
+      Ok ()
 
 let recover ~db ~wal:wal_path =
   let base =

@@ -56,11 +56,12 @@ type options = {
   optimize : Compiler.optimize_mode;
   strategy : Runtime.strategy;
   index_derived : bool;
+  max_iterations : int;  (** LFP iteration cap per clique *)
 }
 
 val default_options : options
-(** Semi-naive, no optimization, no derived-table indexes — the paper's
-    baseline configuration. *)
+(** Semi-naive, no optimization, no derived-table indexes, a 100_000
+    iteration cap — the paper's baseline configuration. *)
 
 type answer = {
   compiled : Compiler.compiled;
@@ -70,7 +71,10 @@ type answer = {
 
 val query : t -> ?options:options -> string -> (answer, string) result
 (** Compiles and executes a goal given as text (e.g.
-    ["ancestor(john, W)"] or ["?- ancestor(john, W)."]). *)
+    ["ancestor(john, W)"] or ["?- ancestor(john, W)."]). Never raises for
+    a failed query: evaluation errors — including an exceeded iteration
+    cap, a corrupt Stored D/KB ({!Stored_dkb.Corrupt}), and internal
+    [Failure]s — come back as [Error msg]. *)
 
 val query_goal : t -> ?options:options -> Datalog.Ast.atom -> (answer, string) result
 
@@ -124,3 +128,22 @@ val recover : db:string -> wal:string -> (t * int, string) result
     missing) plus the WAL's valid record prefix, then re-attach the WAL
     so the recovered session keeps logging. Returns the session and the
     number of records replayed. *)
+
+(** {1 Observability: structured tracing}
+
+    A {!Trace} sink attaches like the WAL does. While attached it
+    receives JSONL events for every SQL statement (begin/end, with the
+    statement's {!Rdbms.Stats} delta), every plan build, every LFP
+    iteration (per-member delta cardinalities, per-phase simulated I/O),
+    and every D/KB goal (begin/end). *)
+
+val attach_trace : t -> string -> (unit, string) result
+(** Open (or create, append) the JSONL trace file at the given path and
+    install it as the engine's trace hook and the runtime's iteration
+    observer. Replaces (and closes) any previous trace sink. *)
+
+val detach_trace : t -> unit
+(** Close the trace sink and stop emitting events. No-op when none is
+    attached. *)
+
+val trace : t -> Trace.t option

@@ -2,6 +2,10 @@ module Engine = Rdbms.Engine
 module Value = Rdbms.Value
 module Datatype = Rdbms.Datatype
 
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
 type t = {
   engine : Engine.t;
   mutable next_ruleid : int;
@@ -67,7 +71,7 @@ let register_base t name cols =
 let parse_type s =
   match Datatype.of_string s with
   | Some ty -> ty
-  | None -> failwith (Printf.sprintf "corrupt dictionary: unknown type %s" s)
+  | None -> corrupt "dictionary: unknown type %s" s
 
 let base_schema t name =
   let rows =
@@ -83,7 +87,7 @@ let base_schema t name =
          (fun row ->
            match row with
            | [| Value.Int _; Value.Str colname; Value.Str ty |] -> (colname, parse_type ty)
-           | _ -> failwith "corrupt edb_columns row")
+           | _ -> corrupt "edb_columns row for %s" name)
          rows)
 
 let base_predicates t =
@@ -118,7 +122,7 @@ let derived_types t name =
          (fun row ->
            match row with
            | [| Value.Int _; Value.Str ty |] -> parse_type ty
-           | _ -> failwith "corrupt idb_columns row")
+           | _ -> corrupt "idb_columns row for %s" name)
          rows)
 
 let read_dictionaries t ~base ~derived =
@@ -155,9 +159,9 @@ let store_rule t clause =
 let rule_count t = Engine.scalar_int t.engine "SELECT COUNT(*) FROM rulesource"
 
 let parse_rule_text s =
-  try Datalog.Parser.parse_clause s
-  with Datalog.Parser.Parse_error (msg, _) ->
-    failwith (Printf.sprintf "corrupt rulesource text %S: %s" s msg)
+  try Datalog.Parser.parse_clause s with
+  | Datalog.Parser.Parse_error (msg, _) -> corrupt "rulesource text %S: %s" s msg
+  | Datalog.Lexer.Lex_error (msg, _) -> corrupt "rulesource text %S: %s" s msg
 
 let stored_rules t =
   Engine.query t.engine "SELECT ruleid, ruletext FROM rulesource ORDER BY 1"
@@ -189,7 +193,7 @@ let extract_rules_for t preds =
           Hashtbl.add seen id ();
           out := parse_rule_text text :: !out
         end
-    | _ -> failwith "corrupt rulesource row"
+    | _ -> corrupt "rulesource row: expected (ruleid, ruletext)"
   in
   List.iter
     (fun p ->
@@ -230,7 +234,7 @@ let rules_with_head t preds =
                 Hashtbl.add seen id ();
                 out := parse_rule_text text :: !out
               end
-          | _ -> failwith "corrupt rulesource row")
+          | _ -> corrupt "rulesource row: expected (ruleid, ruletext)")
         (Engine.query t.engine
            (Printf.sprintf
               "SELECT r.ruleid, r.ruletext FROM rulesource r WHERE r.headpredname = %s" (sq p))))

@@ -19,6 +19,12 @@
     extraction are charged like any other DBMS work — this is what Tests
     1–3 and 8–9 measure. *)
 
+exception Corrupt of string
+(** Raised when a stored-D/KB relation holds a row this module cannot
+    decode (wrong shape, unknown type name, unparsable rule text) — i.e.
+    the dictionaries were edited through raw SQL. {!Session} maps it to
+    [Error] at its result boundaries. *)
+
 type t
 
 val init : Rdbms.Engine.t -> t

@@ -1,0 +1,75 @@
+module Stats = Rdbms.Stats
+module Profile = Rdbms.Profile
+
+type t = {
+  path : string;
+  oc : out_channel;
+  mutable events : int;
+}
+
+let open_sink path =
+  match open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path with
+  | exception Sys_error msg -> Error msg
+  | oc -> Ok { path; oc; events = 0 }
+
+let close t = close_out t.oc
+let path t = t.path
+let events t = t.events
+
+(* ------------------------------------------------------------------ *)
+(* JSON fragments. Values below are pre-rendered JSON, keys are plain
+   identifiers. *)
+
+let str s = "\"" ^ Profile.json_escape s ^ "\""
+let int n = string_of_int n
+let flt x = Printf.sprintf "%.3f" x
+let bool b = if b then "true" else "false"
+
+let counts kvs =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s:%d" (str k) v) kvs) ^ "}"
+
+let io_json (s : Stats.t) =
+  Printf.sprintf {|{"page_reads":%d,"page_writes":%d,"index_probes":%d,"rows_read":%d}|}
+    s.Stats.page_reads s.Stats.page_writes s.Stats.index_probes s.Stats.rows_read
+
+(* One event = one line = one JSON object, flushed immediately so the log
+   survives a crash mid-session. *)
+let emit t ev fields =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf {|{"ev":%s|} (str ev));
+  List.iter (fun (k, v) -> Buffer.add_string buf (Printf.sprintf ",%s:%s" (str k) v)) fields;
+  Buffer.add_string buf "}\n";
+  output_string t.oc (Buffer.contents buf);
+  flush t.oc;
+  t.events <- t.events + 1
+
+(* ------------------------------------------------------------------ *)
+(* Event constructors *)
+
+let engine_event t (ev : Rdbms.Engine.trace_event) =
+  match ev with
+  | Rdbms.Engine.Tr_stmt_begin { sql } -> emit t "stmt_begin" [ ("sql", str sql) ]
+  | Rdbms.Engine.Tr_plan { sql; tree } -> emit t "plan" [ ("sql", str sql); ("tree", str tree) ]
+  | Rdbms.Engine.Tr_stmt_end { sql; ms; rows; ok; delta } ->
+      emit t "stmt_end"
+        ([ ("sql", str sql); ("ms", flt ms) ]
+        @ (match rows with Some n -> [ ("rows", int n) ] | None -> [])
+        @ [ ("ok", bool ok); ("io", io_json delta) ])
+
+let iteration t (ip : Runtime.iteration_profile) =
+  emit t "iteration"
+    [
+      ("label", str ip.Runtime.ip_label);
+      ("index", int ip.Runtime.ip_index);
+      ("deltas", counts ip.Runtime.ip_deltas);
+      ("phase_io", counts ip.Runtime.ip_phase_io);
+      ("io", io_json ip.Runtime.ip_io);
+      ("ms", flt ip.Runtime.ip_ms);
+    ]
+
+let query_begin t goal = emit t "query_begin" [ ("goal", str goal) ]
+
+let query_end t goal ~ok ~ms ?rows () =
+  emit t "query_end"
+    ([ ("goal", str goal); ("ok", bool ok); ("ms", flt ms) ]
+    @ match rows with Some n -> [ ("rows", int n) ] | None -> [])

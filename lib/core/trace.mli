@@ -1,0 +1,30 @@
+(** Structured trace sink: one JSON object per line (JSONL), one line per
+    event, flushed as written. A sink attaches to a {!Session} like the
+    WAL does ({!Session.attach_trace}) and then receives
+
+    - ["stmt_begin"] / ["stmt_end"] / ["plan"] — per SQL statement, from
+      the engine's trace hook ({!Rdbms.Engine.set_trace_hook});
+    - ["iteration"] — per LFP iteration, from the runtime's observer
+      (per-member delta cardinalities and per-phase simulated I/O);
+    - ["query_begin"] / ["query_end"] — per D/KB goal. *)
+
+type t
+
+val open_sink : string -> (t, string) result
+(** Open (or create) the JSONL file at the given path in append mode. *)
+
+val close : t -> unit
+val path : t -> string
+
+val events : t -> int
+(** Events written through this sink so far. *)
+
+val engine_event : t -> Rdbms.Engine.trace_event -> unit
+(** Write a statement-level event (the function installed as the engine's
+    trace hook). *)
+
+val iteration : t -> Runtime.iteration_profile -> unit
+(** Write one LFP-iteration event (the runtime observer). *)
+
+val query_begin : t -> string -> unit
+val query_end : t -> string -> ok:bool -> ms:float -> ?rows:int -> unit -> unit

@@ -145,6 +145,9 @@ let update ~stored ~workspace ?(compiled_storage = true) () =
     | Failure msg ->
         abort ();
         Error msg
+    | Stored_dkb.Corrupt msg ->
+        abort ();
+        Error ("corrupt stored D/KB: " ^ msg)
     | Rdbms.Engine.Sql_error msg ->
         abort ();
         Error ("DBMS error during update: " ^ msg)

@@ -1,0 +1,126 @@
+module Session = Core.Session
+module Runtime = Core.Runtime
+module Engine = Rdbms.Engine
+module Profile = Rdbms.Profile
+module Stats = Rdbms.Stats
+module Graphgen = Workload.Graphgen
+
+(* One JSON object per LFP iteration, mirroring the trace sink's
+   "iteration" event shape. *)
+let iteration_json (ip : Runtime.iteration_profile) =
+  let pairs kv =
+    String.concat ", "
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %d" (Profile.json_escape k) v) kv)
+  in
+  Printf.sprintf
+    {|      { "clique": "%s", "iteration": %d, "deltas": { %s }, "phase_io": { %s }, "page_reads": %d, "page_writes": %d, "index_probes": %d, "ms": %.3f }|}
+    (Profile.json_escape ip.Runtime.ip_label)
+    ip.Runtime.ip_index
+    (pairs ip.Runtime.ip_deltas)
+    (pairs ip.Runtime.ip_phase_io)
+    ip.Runtime.ip_io.Stats.page_reads ip.Runtime.ip_io.Stats.page_writes
+    ip.Runtime.ip_io.Stats.index_probes ip.Runtime.ip_ms
+
+let run ?(json_path = "BENCH_profile.json") ~scale () =
+  let depth =
+    match scale with
+    | Common.Full -> 9
+    | Common.Quick -> 5
+  in
+  Common.section "Profile bench (observability layer)"
+    "EXPLAIN ANALYZE attribution for a join-with-index SQL query and the\n\
+     per-iteration LFP profile of the Table 5 ancestor workload, written\n\
+     to BENCH_profile.json. Checks that the per-operator counters sum\n\
+     exactly to the engine's global Stats delta.";
+  let s, tree = Common.tree_session ~depth in
+  let engine = Session.engine s in
+
+  (* --- per-operator attribution of one join-with-index query --------- *)
+  let sql =
+    "SELECT p.par, q.child FROM parent p, parent q WHERE p.child = q.par"
+  in
+  Printf.printf "\n  EXPLAIN ANALYZE %s\n" sql;
+  let result, profile, delta = Engine.exec_analyze engine sql in
+  String.split_on_char '\n' (Profile.render profile)
+  |> List.iter (fun l -> if l <> "" then Printf.printf "    %s\n" l);
+  let rows =
+    match result with Engine.Rows { rows; _ } -> List.length rows | _ -> 0
+  in
+  Printf.printf "    -> %d rows; delta reads=%d writes=%d probes=%d\n" rows
+    delta.Stats.page_reads delta.Stats.page_writes delta.Stats.index_probes;
+  let sums_ok =
+    Profile.total_reads profile = delta.Stats.page_reads
+    && Profile.total_writes profile = delta.Stats.page_writes
+    && Profile.total_probes profile = delta.Stats.index_probes
+  in
+  ignore (Common.shape "operator counters sum to the engine Stats delta" sums_ok);
+  ignore (Common.shape "join query returned rows" (rows > 0));
+
+  (* --- per-iteration attribution of the LFP ancestor query ----------- *)
+  let goal = Workload.Queries.ancestor_goal tree.Graphgen.t_root in
+  let answer = Common.ok (Session.query_goal s goal) in
+  let profile_entries = answer.Session.run.Runtime.profile in
+  Printf.printf "\n  LFP profile: %s  (%d answers)\n"
+    (Datalog.Ast.atom_to_string goal)
+    (List.length answer.Session.run.Runtime.rows);
+  Common.print_table
+    ~header:[ "clique"; "iter"; "delta"; "io"; "ms" ]
+    (List.map
+       (fun (ip : Runtime.iteration_profile) ->
+         [
+           ip.Runtime.ip_label;
+           string_of_int ip.Runtime.ip_index;
+           String.concat " "
+             (List.map (fun (p, n) -> Printf.sprintf "%s=%d" p n) ip.Runtime.ip_deltas);
+           string_of_int (Stats.total_io ip.Runtime.ip_io);
+           Common.fmt_ms ip.Runtime.ip_ms;
+         ])
+       profile_entries);
+  (* semi-naive on a tree: every iteration but the closing one produces
+     new tuples, and only the last is empty *)
+  let empty ip = List.for_all (fun (_, n) -> n = 0) ip.Runtime.ip_deltas in
+  let shape_ok =
+    match List.rev profile_entries with
+    | last :: earlier ->
+        List.length profile_entries >= 2
+        && empty last
+        && List.for_all (fun ip -> not (empty ip)) earlier
+    | [] -> false
+  in
+  ignore
+    (Common.shape "productive iterations followed by one empty closing iteration"
+       shape_ok);
+
+  (* --- BENCH_profile.json ------------------------------------------- *)
+  let json =
+    Printf.sprintf
+      {|{
+  "experiment": "profile",
+  "workload": { "shape": "full-binary-tree", "depth": %d, "edges": %d },
+  "sql": {
+    "query": "%s",
+    "rows": %d,
+    "delta": { "page_reads": %d, "page_writes": %d, "index_probes": %d },
+    "operators": %s
+  },
+  "lfp": {
+    "goal": "%s",
+    "answers": %d,
+    "iterations": [
+%s
+    ]
+  }
+}
+|}
+      depth
+      (List.length tree.Graphgen.t_edges)
+      (Profile.json_escape sql) rows delta.Stats.page_reads delta.Stats.page_writes
+      delta.Stats.index_probes (Profile.to_json profile)
+      (Profile.json_escape (Datalog.Ast.atom_to_string goal))
+      (List.length answer.Session.run.Runtime.rows)
+      (String.concat ",\n" (List.map iteration_json profile_entries))
+  in
+  let oc = open_out json_path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "  wrote %s\n" json_path

@@ -1,0 +1,7 @@
+(** Profile bench: exercises the observability layer end to end.
+    Runs [EXPLAIN ANALYZE] on a join-with-index SQL query (checking that
+    the per-operator counters sum exactly to the engine's {!Rdbms.Stats}
+    delta), collects the per-iteration LFP profile of the ancestor
+    workload, and writes both attributions to [BENCH_profile.json]. *)
+
+val run : ?json_path:string -> scale:Common.scale -> unit -> unit

@@ -24,7 +24,7 @@ let find_table t name = Hashtbl.find_opt t.by_name (key name)
 let find_table_exn t name =
   match find_table t name with
   | Some tbl -> tbl
-  | None -> failwith (Printf.sprintf "no such table: %s" name)
+  | None -> Sql_error.fail "no such table: %s" name
 
 let create_table t name schema =
   if table_exists t name then Error (Printf.sprintf "table %s already exists" name)

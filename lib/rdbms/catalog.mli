@@ -28,7 +28,8 @@ val drop_table : t -> string -> (unit, string) result
 val table_exists : t -> string -> bool
 val find_table : t -> string -> table option
 val find_table_exn : t -> string -> table
-(** Raises [Failure] with a user-facing message if absent. *)
+(** Raises {!Sql_error.Sql_error} (= [Engine.Sql_error]) with a
+    user-facing message if absent. *)
 
 val create_index : t -> name:string -> table:string -> column:string -> (Index.t, string) result
 (** Fails if the index name is taken, the table is missing, or the column

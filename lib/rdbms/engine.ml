@@ -1,4 +1,8 @@
-exception Sql_error of string
+module Timer = Dkb_util.Timer
+
+(* Re-export: the exception itself lives in {!Sql_error} so that lower
+   layers (Catalog) can raise it without depending on the engine. *)
+exception Sql_error = Sql_error.Sql_error
 
 (* A plan cached inside a prepared statement, tagged with the catalog
    version and join-order mode it was planned under. Validation is one
@@ -11,6 +15,7 @@ type cached_plan = {
 }
 
 type prepared = {
+  p_sql : string; (* original text, for trace events *)
   p_stmt : Sql_ast.stmt;
   mutable p_plan : cached_plan option; (* SELECT / INSERT ... SELECT only *)
   mutable p_runs : int; (* executions so far, for hit/miss accounting *)
@@ -41,6 +46,20 @@ type txn = {
   mutable t_redo : string list;  (* committed-statement SQL texts, newest first *)
 }
 
+(* Structured trace events, emitted through the trace hook (when one is
+   attached) as statements execute. [delta] is the engine-global Stats
+   movement attributable to the statement. *)
+type trace_event =
+  | Tr_stmt_begin of { sql : string }
+  | Tr_plan of { sql : string; tree : string }
+  | Tr_stmt_end of {
+      sql : string;
+      ms : float;
+      rows : int option; (* result rows, or affected count *)
+      ok : bool;
+      delta : Stats.t;
+    }
+
 type t = {
   catalog : Catalog.t;
   stats : Stats.t;
@@ -52,6 +71,8 @@ type t = {
   mutable sink : undo list ref option; (* the executing statement's undo frame *)
   mutable commit_hook : (string -> unit) option; (* WAL append, via Wal.attach *)
   mutable log_suspended : bool; (* LFP scratch churn is not worth logging *)
+  mutable trace_hook : (trace_event -> unit) option; (* structured trace sink *)
+  mutable cur_sql : string option; (* text of the statement being traced *)
 }
 
 type result =
@@ -73,7 +94,48 @@ let create () =
     sink = None;
     commit_hook = None;
     log_suspended = false;
+    trace_hook = None;
+    cur_sql = None;
   }
+
+let set_trace_hook t hook = t.trace_hook <- hook
+
+let emit_plan t plan =
+  match (t.trace_hook, t.cur_sql) with
+  | Some hook, Some sql -> hook (Tr_plan { sql; tree = Plan.describe plan })
+  | _ -> ()
+
+(* Wrap a statement execution in begin/end trace events. Free when no hook
+   is attached. [rows_of] classifies the result after the fact so the
+   wrapper stays monomorphic in [result]. *)
+let traced t sql run =
+  match t.trace_hook with
+  | None -> run ()
+  | Some hook ->
+      hook (Tr_stmt_begin { sql });
+      let before = Stats.copy t.stats in
+      let t0 = Timer.now_ms () in
+      let saved = t.cur_sql in
+      t.cur_sql <- Some sql;
+      let finish ok rows =
+        t.cur_sql <- saved;
+        hook
+          (Tr_stmt_end
+             { sql; ms = Timer.now_ms () -. t0; rows; ok; delta = Stats.diff t.stats before })
+      in
+      (match run () with
+      | result ->
+          let rows =
+            match result with
+            | Rows { rows; _ } -> Some (List.length rows)
+            | Affected n -> Some n
+            | Done -> None
+          in
+          finish true rows;
+          result
+      | exception e ->
+          finish false None;
+          raise e)
 
 let set_join_order t mode = t.join_order <- mode
 let join_order t = t.join_order
@@ -218,10 +280,6 @@ let plan_query_or_fail t q =
   | Planner.Plan_error msg -> raise (Sql_error msg)
   | Failure msg -> raise (Sql_error msg)
 
-let run_query t q =
-  let plan = plan_query_or_fail t q in
-  (plan, Executor.run t.stats plan)
-
 let clear_table_raw t name =
   match Catalog.find_table t.catalog name with
   | None -> fail "no such table: %s" name
@@ -236,6 +294,27 @@ let clear_table_raw t name =
       else t.stats.Stats.page_writes <- t.stats.Stats.page_writes + 1;
       t.stats.Stats.tables_truncated <- t.stats.Stats.tables_truncated + 1;
       Relation.clear rel
+
+(* Check an INSERT ... SELECT source plan against the target table's
+   current schema. Both depend only on the catalog, so a successful check
+   stays valid exactly as long as a cached plan does. *)
+let typecheck_insert_select t table plan =
+  let tbl =
+    match Catalog.find_table t.catalog table with
+    | Some tbl -> tbl
+    | None -> fail "no such table: %s" table
+  in
+  let target = Relation.schema tbl.Catalog.tbl_relation in
+  let source_types = Array.map (fun c -> c.Plan.h_type) (Plan.header_of plan) in
+  let target_types = Array.of_list (Schema.types target) in
+  if Array.length source_types <> Array.length target_types then
+    fail "INSERT ... SELECT: arity mismatch (%d into %d)" (Array.length source_types)
+      (Array.length target_types);
+  Array.iteri
+    (fun i ty ->
+      if not (Datatype.equal ty target_types.(i)) then
+        fail "INSERT ... SELECT: column %d type mismatch" (i + 1))
+    source_types
 
 (* Capture everything needed to recreate a table if a transaction drops it
    and then rolls back. *)
@@ -331,23 +410,10 @@ let run_stmt_raw t stmt =
   | Sql_ast.Insert_values { table; rows } ->
       insert_rows t table (List.map (fun r -> Array.of_list (List.map Sql_ast.value_of_literal r)) rows)
   | Sql_ast.Insert_select { table; query } ->
-      let tbl =
-        match Catalog.find_table t.catalog table with
-        | Some tbl -> tbl
-        | None -> fail "no such table: %s" table
-      in
-      let plan, rows = run_query t query in
-      let target = Relation.schema tbl.Catalog.tbl_relation in
-      let source_types = Array.map (fun c -> c.Plan.h_type) (Plan.header_of plan) in
-      let target_types = Array.of_list (Schema.types target) in
-      if Array.length source_types <> Array.length target_types then
-        fail "INSERT ... SELECT: arity mismatch (%d into %d)" (Array.length source_types)
-          (Array.length target_types);
-      Array.iteri
-        (fun i ty ->
-          if not (Datatype.equal ty target_types.(i)) then
-            fail "INSERT ... SELECT: column %d type mismatch" (i + 1))
-        source_types;
+      let plan = plan_query_or_fail t query in
+      typecheck_insert_select t table plan;
+      emit_plan t plan;
+      let rows = Executor.run t.stats plan in
       insert_rows t table rows
   | Sql_ast.Delete { table; where } ->
       let tbl =
@@ -476,6 +542,7 @@ let run_stmt_raw t stmt =
         | Planner.Plan_error msg -> raise (Sql_error msg)
         | Failure msg -> raise (Sql_error msg)
       in
+      emit_plan t plan;
       let rows = Executor.run t.stats plan in
       let columns =
         Array.to_list (Array.map (fun c -> c.Plan.h_name) (Plan.header_of plan))
@@ -536,7 +603,9 @@ let clear_table t name = ignore (run_stmt t (Sql_ast.Truncate { name }) : result
 
 let exec_stmt t stmt =
   t.stats.Stats.statements <- t.stats.Stats.statements + 1;
-  run_stmt t stmt
+  match t.trace_hook with
+  | None -> run_stmt t stmt
+  | Some _ -> traced t (Sql_printer.stmt stmt) (fun () -> run_stmt t stmt)
 
 let parse_or_fail sql =
   try Sql_parser.parse sql with
@@ -549,7 +618,7 @@ let parse_or_fail sql =
 let prepare t sql =
   let stmt = parse_or_fail sql in
   t.stats.Stats.statements_prepared <- t.stats.Stats.statements_prepared + 1;
-  { p_stmt = stmt; p_plan = None; p_runs = 0; p_last_used = 0 }
+  { p_sql = sql; p_stmt = stmt; p_plan = None; p_runs = 0; p_last_used = 0 }
 
 (* Return the prepared statement's plan, reusing the cached operator tree
    when the catalog version and join-order mode still match. With the
@@ -559,7 +628,9 @@ let plan_of_prepared t p build =
   let version = Catalog.version t.catalog in
   if not t.cache_enabled then begin
     t.stats.Stats.plan_cache_misses <- t.stats.Stats.plan_cache_misses + 1;
-    build ()
+    let plan = build () in
+    emit_plan t plan;
+    plan
   end
   else
   match p.p_plan with
@@ -570,6 +641,7 @@ let plan_of_prepared t p build =
       t.stats.Stats.plan_cache_misses <- t.stats.Stats.plan_cache_misses + 1;
       let plan = build () in
       p.p_plan <- Some { cp_plan = plan; cp_version = version; cp_join_order = t.join_order };
+      emit_plan t plan;
       plan
 
 let select_plan_of_prepared t p query order_by =
@@ -583,28 +655,14 @@ let select_plan_of_prepared t p query order_by =
    successful check stays valid exactly as long as the plan does. *)
 let insert_select_plan_of_prepared t p table query =
   plan_of_prepared t p (fun () ->
-      let tbl =
-        match Catalog.find_table t.catalog table with
-        | Some tbl -> tbl
-        | None -> fail "no such table: %s" table
-      in
       let plan = plan_query_or_fail t query in
-      let target = Relation.schema tbl.Catalog.tbl_relation in
-      let source_types = Array.map (fun c -> c.Plan.h_type) (Plan.header_of plan) in
-      let target_types = Array.of_list (Schema.types target) in
-      if Array.length source_types <> Array.length target_types then
-        fail "INSERT ... SELECT: arity mismatch (%d into %d)" (Array.length source_types)
-          (Array.length target_types);
-      Array.iteri
-        (fun i ty ->
-          if not (Datatype.equal ty target_types.(i)) then
-            fail "INSERT ... SELECT: column %d type mismatch" (i + 1))
-        source_types;
+      typecheck_insert_select t table plan;
       plan)
 
 let exec_prepared t p =
   t.stats.Stats.statements <- t.stats.Stats.statements + 1;
   let result =
+    traced t p.p_sql (fun () ->
     match p.p_stmt with
     | Sql_ast.Select { query; order_by } ->
         let plan = select_plan_of_prepared t p query order_by in
@@ -623,7 +681,7 @@ let exec_prepared t p =
           if p.p_runs > 0 then
             t.stats.Stats.plan_cache_hits <- t.stats.Stats.plan_cache_hits + 1
           else t.stats.Stats.plan_cache_misses <- t.stats.Stats.plan_cache_misses + 1;
-        run_stmt t stmt
+        run_stmt t stmt)
   in
   p.p_runs <- p.p_runs + 1;
   result
@@ -663,7 +721,7 @@ let cached_prepared t sql =
       | Sql_ast.Insert_values _ | Sql_ast.Begin | Sql_ast.Commit | Sql_ast.Rollback -> None
       | _ ->
           t.stats.Stats.statements_prepared <- t.stats.Stats.statements_prepared + 1;
-          let p = { p_stmt = stmt; p_plan = None; p_runs = 0; p_last_used = 0 } in
+          let p = { p_sql = sql; p_stmt = stmt; p_plan = None; p_runs = 0; p_last_used = 0 } in
           touch t p;
           Hashtbl.replace t.stmt_cache sql p;
           evict_lru t;
@@ -715,3 +773,64 @@ let table_cardinality t name =
   match Catalog.find_table t.catalog name with
   | Some tbl -> Relation.cardinal tbl.Catalog.tbl_relation
   | None -> fail "no such table: %s" name
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN ANALYZE *)
+
+let exec_analyze t sql =
+  let stmt = parse_or_fail sql in
+  t.stats.Stats.statements <- t.stats.Stats.statements + 1;
+  match stmt with
+  | Sql_ast.Select { query; order_by } ->
+      let plan =
+        try Planner.plan_select_stmt ~join_order:t.join_order t.catalog query order_by with
+        | Planner.Plan_error msg -> raise (Sql_error msg)
+        | Failure msg -> raise (Sql_error msg)
+      in
+      let before = Stats.copy t.stats in
+      let rows, profile = Executor.run_profiled t.stats plan in
+      let delta = Stats.diff t.stats before in
+      let columns = Array.to_list (Array.map (fun c -> c.Plan.h_name) (Plan.header_of plan)) in
+      (Rows { columns; rows }, profile, delta)
+  | Sql_ast.Insert_select { table; query } ->
+      let before = Stats.copy t.stats in
+      let t0 = Timer.now_ms () in
+      let source = ref None in
+      let result =
+        with_stmt_frame t stmt (fun () ->
+            let plan = plan_query_or_fail t query in
+            typecheck_insert_select t table plan;
+            let rows, profile = Executor.run_profiled t.stats plan in
+            source := Some profile;
+            insert_rows t table rows)
+      in
+      let delta = Stats.diff t.stats before in
+      let child =
+        match !source with
+        | Some p -> p
+        | None -> assert false
+      in
+      (* synthetic root for the insert side; its own counters are the
+         statement delta minus the source subtree, so tree sums still
+         equal the delta *)
+      let root = Profile.make (Printf.sprintf "Insert %s" table) in
+      root.Profile.children <- [ child ];
+      root.Profile.reads <- delta.Stats.page_reads - Profile.total_reads child;
+      root.Profile.writes <- delta.Stats.page_writes - Profile.total_writes child;
+      root.Profile.probes <- delta.Stats.index_probes - Profile.total_probes child;
+      root.Profile.rows <- (match result with Affected n -> n | _ -> 0);
+      root.Profile.ms <- Timer.now_ms () -. t0;
+      (result, root, delta)
+  | _ -> fail "EXPLAIN ANALYZE supports only SELECT and INSERT ... SELECT"
+
+let explain_analyze t sql =
+  let result, profile, delta = exec_analyze t sql in
+  let tail =
+    match result with
+    | Rows { rows; _ } -> Printf.sprintf " rows=%d" (List.length rows)
+    | Affected n -> Printf.sprintf " affected=%d" n
+    | Done -> ""
+  in
+  Profile.render profile
+  ^ Printf.sprintf "Total: reads=%d writes=%d probes=%d ms=%.3f%s\n" delta.Stats.page_reads
+      delta.Stats.page_writes delta.Stats.index_probes profile.Profile.ms tail

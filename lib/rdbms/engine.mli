@@ -4,7 +4,9 @@
 
 exception Sql_error of string
 (** Raised for any SQL failure: lex/parse errors, unknown tables or
-    columns, type mismatches, schema violations. *)
+    columns, type mismatches, schema violations. A re-export of
+    {!Sql_error.Sql_error} (so {!Catalog} can raise it from below the
+    engine): catching either catches both. *)
 
 type t
 
@@ -127,6 +129,40 @@ val explain : t -> string -> string
 (** Plan a SELECT and render the physical operator tree. Goes through the
     statement cache, so the rendered plan is exactly what a subsequent
     {!exec} of the same text would run. *)
+
+val exec_analyze : t -> string -> result * Profile.t * Stats.t
+(** Execute a SELECT or INSERT ... SELECT with per-operator profiling.
+    Returns the result, the operator-counter tree, and the statement's
+    engine-global {!Stats} delta; the tree's reads/writes/probes sums
+    equal the corresponding delta components. For INSERT ... SELECT the
+    root is a synthetic [Insert <table>] node carrying the write side.
+    Raises {!Sql_error} for any other statement kind. *)
+
+val explain_analyze : t -> string -> string
+(** [exec_analyze] rendered as text: the annotated operator tree followed
+    by a [Total: ...] summary line (the EXPLAIN ANALYZE output). *)
+
+(** {1 Structured tracing}
+
+    An attached trace hook receives one {!trace_event} per statement
+    boundary, plus the plan tree whenever a statement is (re)planned.
+    Emission is skipped entirely while no hook is attached. *)
+
+type trace_event =
+  | Tr_stmt_begin of { sql : string }
+  | Tr_plan of { sql : string; tree : string }
+      (** emitted when a plan is built (a plan-cache miss), not on reuse *)
+  | Tr_stmt_end of {
+      sql : string;
+      ms : float;
+      rows : int option;  (** result rows, or affected count; [None] for DDL *)
+      ok : bool;  (** [false] when the statement raised *)
+      delta : Stats.t;  (** engine-global counter movement of the statement *)
+    }
+
+val set_trace_hook : t -> (trace_event -> unit) option -> unit
+(** Install (or remove) the structured trace sink. {!Core.Trace} attaches
+    its JSONL writer through this, the same shape as {!set_commit_hook}. *)
 
 val table_cardinality : t -> string -> int
 (** Live row count of a table. *)

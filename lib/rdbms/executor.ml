@@ -1,12 +1,32 @@
-let charge_scan stats rel =
-  stats.Stats.page_reads <- stats.Stats.page_reads + Relation.pages rel
+module Timer = Dkb_util.Timer
 
-let charge_probe stats matched =
-  stats.Stats.index_probes <- stats.Stats.index_probes + 1;
+(* Execution observer: the engine-global stats plus, when profiling, the
+   Profile node of the operator currently running. Charges are recorded on
+   both, so tree sums over a profile equal the statement's Stats delta. *)
+type obs = {
+  stats : Stats.t;
+  node : Profile.t option;
+}
+
+let charge_scan obs rel =
+  let pages = Relation.pages rel in
+  obs.stats.Stats.page_reads <- obs.stats.Stats.page_reads + pages;
+  match obs.node with
+  | Some n -> n.Profile.reads <- n.Profile.reads + pages
+  | None -> ()
+
+let charge_probe obs matched =
   let bytes = List.fold_left (fun acc r -> acc + Tuple.byte_size r) 0 matched in
-  stats.Stats.page_reads <- stats.Stats.page_reads + 1 + Stats.pages_of_bytes bytes
+  let pages = 1 + Stats.pages_of_bytes bytes in
+  obs.stats.Stats.index_probes <- obs.stats.Stats.index_probes + 1;
+  obs.stats.Stats.page_reads <- obs.stats.Stats.page_reads + pages;
+  match obs.node with
+  | Some n ->
+      n.Profile.probes <- n.Profile.probes + 1;
+      n.Profile.reads <- n.Profile.reads + pages
+  | None -> ()
 
-let produced stats n = stats.Stats.rows_read <- stats.Stats.rows_read + n
+let produced obs n = obs.stats.Stats.rows_read <- obs.stats.Stats.rows_read + n
 
 let keep filter row =
   match filter with
@@ -27,33 +47,33 @@ module Key_tbl = Hashtbl.Make (struct
   let hash k = List.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 k
 end)
 
-let rec run stats plan =
+let rec go obs plan =
   match plan with
   | Plan.Seq_scan { table; filter; _ } ->
       let rel = table.Catalog.tbl_relation in
-      charge_scan stats rel;
+      charge_scan obs rel;
       let out =
         Relation.fold (fun acc row -> if keep filter row then row :: acc else acc) [] rel
       in
       let rows = List.rev out in
-      produced stats (List.length rows);
+      produced obs (List.length rows);
       rows
   | Plan.Index_scan { index; key; filter; _ } ->
       let matched = Index.lookup index key in
-      charge_probe stats matched;
+      charge_probe obs matched;
       let rows = List.filter (keep filter) matched in
-      produced stats (List.length rows);
+      produced obs (List.length rows);
       rows
   | Plan.Range_scan { oindex; lo; hi; filter; _ } ->
       let bound = Option.map (fun (value, inclusive) -> { Ordered_index.value; inclusive }) in
       let matched = Ordered_index.range oindex ?lo:(bound lo) ?hi:(bound hi) () in
-      charge_probe stats matched;
+      charge_probe obs matched;
       let rows = List.filter (keep filter) matched in
-      produced stats (List.length rows);
+      produced obs (List.length rows);
       rows
   | Plan.Nl_join { left; right; cond; _ } ->
-      let lrows = run stats left in
-      let rrows = run stats right in
+      let lrows = sub obs left in
+      let rrows = sub obs right in
       let out = ref [] in
       List.iter
         (fun l ->
@@ -64,11 +84,11 @@ let rec run stats plan =
             rrows)
         lrows;
       let rows = List.rev !out in
-      produced stats (List.length rows);
+      produced obs (List.length rows);
       rows
   | Plan.Hash_join { left; right; left_keys; right_keys; residual; _ } ->
-      let lrows = run stats left in
-      let rrows = run stats right in
+      let lrows = sub obs left in
+      let rrows = sub obs right in
       let table = Key_tbl.create (List.length rrows * 2 + 1) in
       List.iter
         (fun r ->
@@ -90,15 +110,15 @@ let rec run stats plan =
                 (List.rev matches))
         lrows;
       let rows = List.rev !out in
-      produced stats (List.length rows);
+      produced obs (List.length rows);
       rows
   | Plan.Index_join { left; index; outer_pos; residual; _ } ->
-      let lrows = run stats left in
+      let lrows = sub obs left in
       let out = ref [] in
       List.iter
         (fun l ->
           let matched = Index.lookup index l.(outer_pos) in
-          charge_probe stats matched;
+          charge_probe obs matched;
           List.iter
             (fun r ->
               let row = concat_rows l r in
@@ -106,12 +126,12 @@ let rec run stats plan =
             matched)
         lrows;
       let rows = List.rev !out in
-      produced stats (List.length rows);
+      produced obs (List.length rows);
       rows
   | Plan.Anti_join { left; table; key_outer; key_inner; residual; _ } ->
-      let lrows = run stats left in
+      let lrows = sub obs left in
       let rel = table.Catalog.tbl_relation in
-      charge_scan stats rel;
+      charge_scan obs rel;
       let inner_rows = Relation.to_list rel in
       let survives =
         match key_inner with
@@ -138,26 +158,26 @@ let rec run stats plan =
                   not (List.exists (fun r -> keep residual (concat_rows l r)) candidates))
       in
       let rows = List.filter survives lrows in
-      produced stats (List.length rows);
+      produced obs (List.length rows);
       rows
   | Plan.Project { input; exprs; _ } ->
-      let rows = run stats input in
+      let rows = sub obs input in
       List.map (fun row -> Array.map (fun e -> Plan.eval_rexpr e row) exprs) rows
   | Plan.Count_star { input; _ } ->
-      let rows = run stats input in
+      let rows = sub obs input in
       [ [| Value.Int (List.length rows) |] ]
   | Plan.Aggregate { input; group_keys; outputs; _ } ->
-      let rows = run stats input in
+      let rows = sub obs input in
       aggregate rows group_keys outputs
   | Plan.Distinct p ->
-      let rows = run stats p in
+      let rows = sub obs p in
       dedupe rows
-  | Plan.Union_all (a, b) -> run stats a @ run stats b
-  | Plan.Union_distinct (a, b) -> dedupe (run stats a @ run stats b)
+  | Plan.Union_all (a, b) -> sub obs a @ sub obs b
+  | Plan.Union_distinct (a, b) -> dedupe (sub obs a @ sub obs b)
   | Plan.Except_distinct (a, b) ->
-      let brows = run stats b in
+      let brows = sub obs b in
       let bset = Tuple.Hashset.of_seq (List.to_seq brows) in
-      let arows = run stats a in
+      let arows = sub obs a in
       let out =
         List.fold_left
           (fun acc row -> if Tuple.Hashset.add bset row then row :: acc else acc)
@@ -165,7 +185,7 @@ let rec run stats plan =
       in
       List.rev out
   | Plan.Sort { input; keys } ->
-      let rows = run stats input in
+      let rows = sub obs input in
       let cmp a b =
         let rec go = function
           | [] -> 0
@@ -176,6 +196,20 @@ let rec run stats plan =
         go keys
       in
       List.stable_sort cmp rows
+
+(* Recurse into a child operator, materializing a profile node for it when
+   profiling is on. [ms] is inclusive; counters are the child's own. *)
+and sub obs child =
+  match obs.node with
+  | None -> go obs child
+  | Some parent ->
+      let cn = Profile.make (Plan.op_label child) in
+      parent.Profile.children <- parent.Profile.children @ [ cn ];
+      let t0 = Timer.now_ms () in
+      let rows = go { obs with node = Some cn } child in
+      cn.Profile.ms <- Timer.now_ms () -. t0;
+      cn.Profile.rows <- List.length rows;
+      rows
 
 and aggregate rows group_keys outputs =
   let groups = Key_tbl.create 64 in
@@ -230,3 +264,13 @@ and dedupe rows =
     List.fold_left (fun acc row -> if Tuple.Hashset.add seen row then row :: acc else acc) [] rows
   in
   List.rev out
+
+let run stats plan = go { stats; node = None } plan
+
+let run_profiled stats plan =
+  let root = Profile.make (Plan.op_label plan) in
+  let t0 = Timer.now_ms () in
+  let rows = go { stats; node = Some root } plan in
+  root.Profile.ms <- Timer.now_ms () -. t0;
+  root.Profile.rows <- List.length rows;
+  (rows, root)

@@ -4,3 +4,9 @@
 val run : Stats.t -> Plan.t -> Tuple.t list
 (** Evaluates a plan to its result rows (in deterministic order: scans
     produce insertion order; joins are left-driven). *)
+
+val run_profiled : Stats.t -> Plan.t -> Tuple.t list * Profile.t
+(** Like {!run}, but also builds a per-operator {!Profile.t} tree: each
+    node carries the operator's own simulated-I/O charges (so tree sums
+    equal the statement's {!Stats} delta), its output cardinality, and its
+    inclusive wall time. *)

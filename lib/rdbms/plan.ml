@@ -121,102 +121,85 @@ let rec rcond_to_string header = function
   | R_or (a, b) -> Printf.sprintf "(%s OR %s)" (rcond_to_string header a) (rcond_to_string header b)
   | R_not a -> Printf.sprintf "(NOT %s)" (rcond_to_string header a)
 
-let describe plan =
-  let buf = Buffer.create 128 in
-  let pad depth = String.make (2 * depth) ' ' in
+let op_label p =
   let filter_str header = function
     | Some c -> " filter=[" ^ rcond_to_string header c ^ "]"
     | None -> ""
   in
+  match p with
+  | Seq_scan { table; header; filter } ->
+      Printf.sprintf "SeqScan %s%s" table.Catalog.tbl_name (filter_str header filter)
+  | Index_scan { table; index; key; header; filter } ->
+      Printf.sprintf "IndexScan %s via %s = %s%s" table.Catalog.tbl_name (Index.name index)
+        (Value.to_sql key) (filter_str header filter)
+  | Range_scan { table; oindex; lo; hi; header; filter } ->
+      let bound prefix = function
+        | None -> ""
+        | Some (v, incl) ->
+            Printf.sprintf " %s%s %s" prefix (if incl then "=" else "") (Value.to_sql v)
+      in
+      Printf.sprintf "RangeScan %s via %s%s%s%s" table.Catalog.tbl_name
+        (Ordered_index.name oindex) (bound ">" lo) (bound "<" hi) (filter_str header filter)
+  | Nl_join { header; cond; _ } -> "NestedLoopJoin" ^ filter_str header cond
+  | Hash_join { header; left_keys; right_keys; residual; _ } ->
+      Printf.sprintf "HashJoin keys=[%s]=[%s]%s"
+        (String.concat "," (List.map string_of_int left_keys))
+        (String.concat "," (List.map string_of_int right_keys))
+        (filter_str header residual)
+  | Index_join { table; index; outer_pos; header; residual; _ } ->
+      Printf.sprintf "IndexJoin %s via %s probe=col%d%s" table.Catalog.tbl_name
+        (Index.name index) outer_pos (filter_str header residual)
+  | Anti_join { table; key_outer; key_inner; residual; header; _ } ->
+      Printf.sprintf "AntiJoin %s keys=[%s]=[%s]%s" table.Catalog.tbl_name
+        (String.concat "," (List.map string_of_int key_outer))
+        (String.concat "," (List.map string_of_int key_inner))
+        (match residual with
+        | Some c -> " residual=[" ^ rcond_to_string header c ^ "]"
+        | None -> "")
+  | Project { input; exprs; _ } ->
+      Printf.sprintf "Project [%s]"
+        (String.concat ", "
+           (Array.to_list (Array.map (rexpr_to_string (header_of input)) exprs)))
+  | Count_star _ -> "CountStar"
+  | Aggregate { group_keys; outputs; _ } ->
+      let out_str = function
+        | O_group i -> Printf.sprintf "col%d" i
+        | O_count_star -> "count(*)"
+        | O_count i -> Printf.sprintf "count(col%d)" i
+        | O_sum i -> Printf.sprintf "sum(col%d)" i
+        | O_min i -> Printf.sprintf "min(col%d)" i
+        | O_max i -> Printf.sprintf "max(col%d)" i
+      in
+      Printf.sprintf "Aggregate keys=[%s] outputs=[%s]"
+        (String.concat "," (List.map string_of_int group_keys))
+        (String.concat ", " (Array.to_list (Array.map out_str outputs)))
+  | Distinct _ -> "Distinct"
+  | Union_all _ -> "UnionAll"
+  | Union_distinct _ -> "Union"
+  | Except_distinct _ -> "Except"
+  | Sort { keys; _ } ->
+      Printf.sprintf "Sort [%s]"
+        (String.concat ", "
+           (List.map (fun (i, d) -> string_of_int i ^ if d then " DESC" else "") keys))
+
+(* The sub-plans an operator's execution recurses into; Index_join and
+   Anti_join access their inner table through the operator itself, so only
+   the outer input is a child. *)
+let children = function
+  | Seq_scan _ | Index_scan _ | Range_scan _ -> []
+  | Nl_join { left; right; _ } | Hash_join { left; right; _ } -> [ left; right ]
+  | Index_join { left; _ } | Anti_join { left; _ } -> [ left ]
+  | Project { input; _ } | Count_star { input; _ } | Aggregate { input; _ }
+  | Sort { input; _ } ->
+      [ input ]
+  | Distinct p -> [ p ]
+  | Union_all (a, b) | Union_distinct (a, b) | Except_distinct (a, b) -> [ a; b ]
+
+let describe plan =
+  let buf = Buffer.create 128 in
   let rec go depth p =
-    let line s = Buffer.add_string buf (pad depth ^ s ^ "\n") in
-    match p with
-    | Seq_scan { table; header; filter } ->
-        line (Printf.sprintf "SeqScan %s%s" table.Catalog.tbl_name (filter_str header filter))
-    | Index_scan { table; index; key; header; filter } ->
-        line
-          (Printf.sprintf "IndexScan %s via %s = %s%s" table.Catalog.tbl_name (Index.name index)
-             (Value.to_sql key) (filter_str header filter))
-    | Range_scan { table; oindex; lo; hi; header; filter } ->
-        let bound prefix = function
-          | None -> ""
-          | Some (v, incl) ->
-              Printf.sprintf " %s%s %s" prefix (if incl then "=" else "") (Value.to_sql v)
-        in
-        line
-          (Printf.sprintf "RangeScan %s via %s%s%s%s" table.Catalog.tbl_name
-             (Ordered_index.name oindex) (bound ">" lo) (bound "<" hi) (filter_str header filter))
-    | Nl_join { left; right; header; cond } ->
-        line ("NestedLoopJoin" ^ filter_str header cond);
-        go (depth + 1) left;
-        go (depth + 1) right
-    | Hash_join { left; right; header; left_keys; right_keys; residual } ->
-        line
-          (Printf.sprintf "HashJoin keys=[%s]=[%s]%s"
-             (String.concat "," (List.map string_of_int left_keys))
-             (String.concat "," (List.map string_of_int right_keys))
-             (filter_str header residual));
-        go (depth + 1) left;
-        go (depth + 1) right
-    | Index_join { left; table; index; outer_pos; header; residual } ->
-        line
-          (Printf.sprintf "IndexJoin %s via %s probe=col%d%s" table.Catalog.tbl_name
-             (Index.name index) outer_pos (filter_str header residual));
-        go (depth + 1) left
-    | Anti_join { left; table; key_outer; key_inner; residual; header } ->
-        line
-          (Printf.sprintf "AntiJoin %s keys=[%s]=[%s]%s" table.Catalog.tbl_name
-             (String.concat "," (List.map string_of_int key_outer))
-             (String.concat "," (List.map string_of_int key_inner))
-             (match residual with
-             | Some c -> " residual=[" ^ rcond_to_string header c ^ "]"
-             | None -> ""));
-        go (depth + 1) left
-    | Project { input; header; exprs } ->
-        line
-          (Printf.sprintf "Project [%s]"
-             (String.concat ", "
-                (Array.to_list (Array.map (rexpr_to_string (header_of input)) exprs))));
-        ignore header;
-        go (depth + 1) input
-    | Count_star { input; _ } ->
-        line "CountStar";
-        go (depth + 1) input
-    | Aggregate { input; group_keys; outputs; _ } ->
-        let out_str = function
-          | O_group i -> Printf.sprintf "col%d" i
-          | O_count_star -> "count(*)"
-          | O_count i -> Printf.sprintf "count(col%d)" i
-          | O_sum i -> Printf.sprintf "sum(col%d)" i
-          | O_min i -> Printf.sprintf "min(col%d)" i
-          | O_max i -> Printf.sprintf "max(col%d)" i
-        in
-        line
-          (Printf.sprintf "Aggregate keys=[%s] outputs=[%s]"
-             (String.concat "," (List.map string_of_int group_keys))
-             (String.concat ", " (Array.to_list (Array.map out_str outputs))));
-        go (depth + 1) input
-    | Distinct p ->
-        line "Distinct";
-        go (depth + 1) p
-    | Union_all (a, b) ->
-        line "UnionAll";
-        go (depth + 1) a;
-        go (depth + 1) b
-    | Union_distinct (a, b) ->
-        line "Union";
-        go (depth + 1) a;
-        go (depth + 1) b
-    | Except_distinct (a, b) ->
-        line "Except";
-        go (depth + 1) a;
-        go (depth + 1) b
-    | Sort { input; keys } ->
-        line
-          (Printf.sprintf "Sort [%s]"
-             (String.concat ", "
-                (List.map (fun (i, d) -> string_of_int i ^ if d then " DESC" else "") keys)));
-        go (depth + 1) input
+    Buffer.add_string buf (String.make (2 * depth) ' ' ^ op_label p ^ "\n");
+    List.iter (go (depth + 1)) (children p)
   in
   go 0 plan;
   Buffer.contents buf

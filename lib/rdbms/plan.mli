@@ -95,5 +95,14 @@ val header_of : t -> header
 val eval_rexpr : rexpr -> Tuple.t -> Value.t
 val eval_rcond : rcond -> Tuple.t -> bool
 
+val op_label : t -> string
+(** One-line description of the operator itself (no children); the lines
+    of {!describe} and the node labels of EXPLAIN ANALYZE profiles. *)
+
+val children : t -> t list
+(** The sub-plans an operator's execution recurses into, in plan order.
+    [Index_join] and [Anti_join] reach their inner table through the
+    operator itself, so only the outer input is a child. *)
+
 val describe : t -> string
 (** Multi-line operator-tree rendering (EXPLAIN output). *)

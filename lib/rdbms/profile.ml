@@ -1,0 +1,51 @@
+type t = {
+  op : string;
+  mutable rows : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable probes : int;
+  mutable ms : float;
+  mutable children : t list;
+}
+
+let make op = { op; rows = 0; reads = 0; writes = 0; probes = 0; ms = 0.0; children = [] }
+
+let rec fold f acc node = List.fold_left (fold f) (f acc node) node.children
+
+let total_reads t = fold (fun acc n -> acc + n.reads) 0 t
+let total_writes t = fold (fun acc n -> acc + n.writes) 0 t
+let total_probes t = fold (fun acc n -> acc + n.probes) 0 t
+
+let render t =
+  let buf = Buffer.create 256 in
+  let rec go depth n =
+    Buffer.add_string buf (String.make (2 * depth) ' ');
+    Buffer.add_string buf n.op;
+    Buffer.add_string buf
+      (Printf.sprintf "  (rows=%d reads=%d writes=%d probes=%d ms=%.3f)\n" n.rows n.reads
+         n.writes n.probes n.ms);
+    List.iter (go (depth + 1)) n.children
+  in
+  go 0 t;
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec to_json n =
+  Printf.sprintf
+    {|{"op":"%s","rows":%d,"page_reads":%d,"page_writes":%d,"index_probes":%d,"ms":%.3f,"children":[%s]}|}
+    (json_escape n.op) n.rows n.reads n.writes n.probes n.ms
+    (String.concat "," (List.map to_json n.children))

@@ -1,0 +1,3 @@
+exception Sql_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Sql_error s)) fmt

@@ -1,0 +1,9 @@
+(** The engine-wide SQL failure exception, defined below {!Engine} so that
+    lower layers ({!Catalog} in particular) can raise it without a
+    dependency cycle. {!Engine.Sql_error} is a re-export of this
+    exception: catching either catches both. *)
+
+exception Sql_error of string
+
+val fail : ('a, unit, string, 'b) format4 -> 'a
+(** [fail fmt ...] raises {!Sql_error} with a formatted message. *)

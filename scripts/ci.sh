@@ -1,6 +1,7 @@
 #!/bin/sh
-# One-command CI gate: build everything, run the full test suite, then
-# smoke the two JSON-emitting ablation benches at quick scale.
+# One-command CI gate: build everything, run the full test suite, smoke
+# the JSON-emitting benches at quick scale, then drive the shell's
+# observability commands end to end and check the trace sink's JSONL.
 # Run from the repository root:  sh scripts/ci.sh
 set -eu
 
@@ -13,6 +14,44 @@ echo "== tests =="
 dune runtest
 
 echo "== bench smoke (quick scale) =="
-dune exec bench/main.exe -- wal cache quick
+dune exec bench/main.exe -- wal cache profile quick
+test -s BENCH_profile.json || { echo "BENCH_profile.json missing/empty"; exit 1; }
+
+echo "== shell observability smoke =="
+TRACE=$(mktemp /tmp/dkb_ci_trace.XXXXXX)
+SCRIPT=$(mktemp /tmp/dkb_ci_script.XXXXXX)
+OUT=$(mktemp /tmp/dkb_ci_out.XXXXXX)
+trap 'rm -f "$TRACE" "$SCRIPT" "$OUT"' EXIT
+: > "$TRACE"
+cat > "$SCRIPT" <<EOF
+.base parent(par int, child int)
+.index parent(par)
+.index parent(child)
+.sql INSERT INTO parent VALUES (1, 2), (1, 3), (2, 4), (2, 5), (3, 6), (3, 7)
+ancestor(X, Y) :- parent(X, Y).
+ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).
+.trace on $TRACE
+.analyze SELECT p.par, q.child FROM parent p, parent q WHERE p.child = q.par
+?- ancestor(1, W).
+.profile ancestor(1, W)
+.analyze CREATE TABLE should_be_rejected (x int)
+?- nosuchpred(X).
+.trace off
+.quit
+EOF
+dune exec bin/dkb.exe -- "$SCRIPT" > "$OUT" 2>&1
+
+grep -q "Total: reads=" "$OUT" || { echo ".analyze produced no totals"; cat "$OUT"; exit 1; }
+# the two deliberate errors must be reported, not crash the shell
+grep -qi "error" "$OUT" || { echo "error paths not reported"; cat "$OUT"; exit 1; }
+
+test -s "$TRACE" || { echo "trace sink is empty"; exit 1; }
+# every line is one JSON object with an "ev" tag
+BAD=$(grep -cv '^{"ev":".*}$' "$TRACE" || true)
+[ "$BAD" -eq 0 ] || { echo "$BAD malformed trace lines"; exit 1; }
+grep -q '"ev":"iteration"' "$TRACE" || { echo "no iteration events"; exit 1; }
+grep -q '"ev":"stmt_end"' "$TRACE" || { echo "no stmt_end events"; exit 1; }
+grep -q '"ev":"query_begin"' "$TRACE" || { echo "no query_begin events"; exit 1; }
+echo "trace sink OK: $(wc -l < "$TRACE") events"
 
 echo "== ci OK =="

@@ -194,6 +194,65 @@ let test_index_derived_same_answers () =
   in
   Alcotest.(check (list (pair int int))) "indexing changes nothing" plain indexed
 
+let test_iteration_profile () =
+  (* Two-level binary tree: 1 -> {2,3}, 2 -> {4,5}, 3 -> {6,7}.
+     same_generation's exit rule seeds 12 same-parent pairs (including
+     the reflexive ones) before the loop; semi-naive iteration 1 then
+     derives the 8 cousin pairs {4,5}x{6,7} in both orders, and
+     iteration 2 finds nothing new and terminates. *)
+  let s = Session.create () in
+  ok (Workload.Queries.setup_parent s [ (1, 2); (1, 3); (2, 4); (2, 5); (3, 6); (3, 7) ]);
+  ok (Session.load_rules s Workload.Queries.same_generation_rules);
+  let a = ok (Session.query_goal s (A.atom "sg" [ A.Var "X"; A.Var "Y" ])) in
+  let run = a.Session.run in
+  Alcotest.(check int) "12 seeded + 8 derived answers" 20
+    (List.length run.Core.Runtime.rows);
+  let profile = run.Core.Runtime.profile in
+  Alcotest.(check (list (list (pair string int))))
+    "hand-computed per-iteration deltas"
+    [ [ ("sg", 8) ]; [ ("sg", 0) ] ]
+    (List.map (fun ip -> ip.Core.Runtime.ip_deltas) profile);
+  Alcotest.(check (list (pair string int))) "iteration numbering"
+    [ ("clique(sg)", 1); ("clique(sg)", 2) ]
+    (List.map (fun ip -> (ip.Core.Runtime.ip_label, ip.Core.Runtime.ip_index)) profile);
+  List.iter
+    (fun ip ->
+      Alcotest.(check (list string)) "all four phase buckets, in order"
+        [ "create_drop"; "eval"; "termination"; "copy" ]
+        (List.map fst ip.Core.Runtime.ip_phase_io);
+      let bucket_io = List.fold_left (fun acc (_, n) -> acc + n) 0 ip.Core.Runtime.ip_phase_io in
+      Alcotest.(check int) "phase buckets account for the iteration's I/O"
+        (Rdbms.Stats.total_io ip.Core.Runtime.ip_io)
+        bucket_io;
+      Alcotest.(check bool) "iteration wall time recorded" true (ip.Core.Runtime.ip_ms >= 0.0))
+    profile;
+  (* a terminating iteration still pays for its (empty) delta evaluation *)
+  (match profile with
+  | [ first; last ] ->
+      Alcotest.(check bool) "productive iteration costs more I/O" true
+        (Rdbms.Stats.total_io first.Core.Runtime.ip_io
+        > Rdbms.Stats.total_io last.Core.Runtime.ip_io)
+  | _ -> Alcotest.fail "expected exactly two iterations")
+
+let test_profile_matches_iteration_counts () =
+  let edges = [ (1, 2); (2, 3); (3, 4); (4, 5) ] in
+  let s = session_with edges Workload.Queries.tc_rules in
+  let a = ok (Session.query_goal s tc_all_goal) in
+  let run = a.Session.run in
+  let counted =
+    List.map
+      (fun (label, n) ->
+        ( label,
+          List.length
+            (List.filter (fun ip -> ip.Core.Runtime.ip_label = label) run.Core.Runtime.profile),
+          n ))
+      run.Core.Runtime.iterations
+  in
+  List.iter
+    (fun (label, profiled, reported) ->
+      Alcotest.(check int) (label ^ " profile entries = iteration count") reported profiled)
+    counted
+
 (* ---------------- properties ---------------- *)
 
 let gen_edges = QCheck2.Gen.(list_size (int_range 0 25) (pair (int_bound 8) (int_bound 8)))
@@ -239,6 +298,12 @@ let () =
           Alcotest.test_case "derived pred with facts" `Quick test_derived_pred_with_facts;
           Alcotest.test_case "report metadata" `Quick test_report_metadata;
           Alcotest.test_case "derived indexing" `Quick test_index_derived_same_answers;
+        ] );
+      ( "iteration profile",
+        [
+          Alcotest.test_case "same_generation deltas" `Quick test_iteration_profile;
+          Alcotest.test_case "profile entries = iteration counts" `Quick
+            test_profile_matches_iteration_counts;
         ] );
       ("properties", [ prop_strategies_and_reference; prop_bound_query_is_slice ]);
     ]

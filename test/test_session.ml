@@ -61,7 +61,7 @@ let test_all_option_combinations_agree () =
         (fun strategy ->
           List.iter
             (fun index_derived ->
-              let options = { Session.optimize; strategy; index_derived } in
+              let options = { Session.default_options with Session.optimize; strategy; index_derived } in
               Alcotest.(check (list string)) "same answers" expected
                 (answers s ~options "ancestor(john, W)"))
             [ false; true ])
@@ -122,6 +122,29 @@ let test_errors () =
   Alcotest.(check bool) "bad fact arity" true
     (Result.is_error (Session.add_fact s "parent" [ V.Str "solo" ]))
 
+let test_max_iterations_is_an_error () =
+  (* an exceeded iteration cap is an evaluation Error, not an escaping
+     Failure crashing the boundary *)
+  let s = family () in
+  let options = { Session.default_options with Session.max_iterations = 0 } in
+  (match Session.query s ~options "ancestor(john, W)" with
+  | Error msg ->
+      Alcotest.(check bool) "mentions the cap" true
+        (Astring.String.is_infix ~affix:"max iterations" msg)
+  | Ok _ -> Alcotest.fail "a zero cap cannot converge");
+  (* both strategies hit their own cap check *)
+  let naive =
+    { Session.default_options with
+      Session.max_iterations = 0;
+      strategy = Core.Runtime.Naive
+    }
+  in
+  Alcotest.(check bool) "naive too" true
+    (Result.is_error (Session.query s ~options:naive "ancestor(john, W)"));
+  (* the session survives: the same query succeeds with the default cap *)
+  Alcotest.(check (list string)) "session still usable" [ "ann"; "mary"; "sue" ]
+    (answers s "ancestor(john, W)")
+
 let test_rule_head_clashing_with_base () =
   let s = family () in
   ok (Session.add_rule s "parent(X, Y) :- parent(Y, X).");
@@ -178,6 +201,7 @@ let () =
       ( "robustness",
         [
           Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "iteration cap" `Quick test_max_iterations_is_an_error;
           Alcotest.test_case "rule head clashes with base" `Quick test_rule_head_clashing_with_base;
           Alcotest.test_case "explain" `Quick test_explain;
           Alcotest.test_case "epochs" `Quick test_epochs_and_changes;

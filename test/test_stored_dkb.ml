@@ -110,6 +110,50 @@ let test_extraction () =
     [ "top1(X) :- mid1(X)." ]
     (List.map clause_str (SD.rules_with_head t [ "top1" ]))
 
+let test_corrupt_rulesource () =
+  (* a rulesource row whose text no longer parses (hand-edited D/KB,
+     torn write, ...) must surface as the typed Corrupt exception, and
+     come back as Error from the session boundary — never as Failure *)
+  let s = Core.Session.create () in
+  let engine = Core.Session.engine s in
+  let t = Core.Session.stored s in
+  ignore (SD.store_rule t (rule "good(X) :- base(X)."));
+  ignore
+    (Rdbms.Engine.exec engine
+       "INSERT INTO rulesource VALUES (99, 'bad', 'this is :::: not datalog')");
+  (match SD.stored_rules t with
+  | exception SD.Corrupt msg ->
+      Alcotest.(check bool) "message shows the bad text" true
+        (Astring.String.is_infix ~affix:"not datalog" msg)
+  | exception Failure _ -> Alcotest.fail "expected Corrupt, got Failure"
+  | _ -> Alcotest.fail "expected Corrupt");
+  (match SD.extract_rules_for t [ "bad" ] with
+  | exception SD.Corrupt _ -> ()
+  | _ -> Alcotest.fail "extraction must also detect the corrupt row");
+  (* the session maps it to Error instead of letting it escape *)
+  match Core.Session.query s "bad(X)" with
+  | Error msg ->
+      Alcotest.(check bool) "session labels the corruption" true
+        (Astring.String.is_infix ~affix:"corrupt stored D/KB" msg)
+  | Ok _ -> Alcotest.fail "querying a corrupt predicate cannot succeed"
+
+let test_corrupt_dictionary () =
+  let s = Core.Session.create () in
+  let engine = Core.Session.engine s in
+  let t = Core.Session.stored s in
+  SD.register_base t "rel" [ ("a", D.TInt) ] ;
+  ignore
+    (Rdbms.Engine.exec engine
+       "INSERT INTO idb_tables VALUES ('mystery', 1)");
+  ignore
+    (Rdbms.Engine.exec engine
+       "INSERT INTO idb_columns VALUES ('mystery', 1, 'blob')");
+  match SD.derived_types t "mystery" with
+  | exception SD.Corrupt msg ->
+      Alcotest.(check bool) "names the bad type" true
+        (Astring.String.is_infix ~affix:"blob" msg)
+  | _ -> Alcotest.fail "unknown column type must raise Corrupt"
+
 let test_has_rules_for () =
   let t = fresh () in
   ignore (SD.store_rule t (rule "a(X) :- b(X)."));
@@ -130,5 +174,7 @@ let () =
           Alcotest.test_case "reachable pairs" `Quick test_reachable_storage;
           Alcotest.test_case "extraction" `Quick test_extraction;
           Alcotest.test_case "has_rules_for" `Quick test_has_rules_for;
+          Alcotest.test_case "corrupt rulesource row" `Quick test_corrupt_rulesource;
+          Alcotest.test_case "corrupt dictionary row" `Quick test_corrupt_dictionary;
         ] );
     ]
