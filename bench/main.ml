@@ -10,6 +10,7 @@
      dune exec bench/main.exe -- cache        -- statement-cache ablation (writes BENCH_cache.json)
      dune exec bench/main.exe -- wal          -- write-ahead-log ablation (writes BENCH_wal.json)
      dune exec bench/main.exe -- profile      -- observability bench (writes BENCH_profile.json)
+     dune exec bench/main.exe -- joins        -- join-order/cost-model bench (writes BENCH_joins.json)
      dune exec bench/main.exe -- bechamel     -- bechamel microbenchmarks *)
 
 let known =
@@ -27,6 +28,7 @@ let known =
     ("cache", fun scale -> Experiments.Ablation.run_cache ~scale ());
     ("wal", fun scale -> Experiments.Ablation.run_wal ~scale ());
     ("profile", fun scale -> Experiments.Observe.run ~scale ());
+    ("joins", fun scale -> Experiments.Joins.run ~scale ());
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -113,7 +115,7 @@ let () =
       match selected with
       | [] | [ "all" ] ->
           List.filter
-            (fun (n, _) -> not (List.mem n [ "ablation"; "cache"; "wal"; "profile" ]))
+            (fun (n, _) -> not (List.mem n [ "ablation"; "cache"; "wal"; "profile"; "joins" ]))
             known
       | names ->
           List.map

@@ -26,6 +26,7 @@ let help_text =
   .base name(col type, ...)      define a base relation (types: integer|char)
   .index name(col) [ordered]     build a hash (or ordered/range) index
   .options [magic off|on|sup|auto] [strategy naive|semi] [indexderived on|off]
+           [joinorder syntactic|greedy|costed]
                                  set query-processing options
   .cache on|off                  toggle the precompiled-query cache
   .explain goal(..)              show the compiled program without running it
@@ -36,6 +37,8 @@ let help_text =
   .sql <statement>               run raw SQL against the DBMS
   .analyze <statement>           EXPLAIN ANALYZE: run a SELECT (or INSERT
                                  ... SELECT) with per-operator counters
+  .analyze-stats [table]         collect optimizer statistics (SQL ANALYZE)
+                                 and show the snapshot per table
   .profile goal(..)              run a query and show its per-iteration
                                  LFP profile (deltas, simulated I/O)
   .trace on <file> | .trace off  stream JSONL trace events to a file
@@ -152,17 +155,29 @@ let set_options st words =
     | "indexderived" :: v :: rest ->
         st.options <- { st.options with index_derived = v = "on" };
         go rest
+    | "joinorder" :: v :: rest ->
+        let set m = st.options <- { st.options with join_order = m } in
+        (match v with
+        | "syntactic" -> set Rdbms.Planner.Syntactic; go rest
+        | "greedy" -> set Rdbms.Planner.Greedy; go rest
+        | "costed" -> set Rdbms.Planner.Costed; go rest
+        | _ -> Error ("unknown join order " ^ v))
     | w :: _ -> Error ("unknown option " ^ w)
   in
   on_result (go words) ~ok:(fun () ->
-      printf "options: magic=%s strategy=%s indexderived=%b cache=%b\n"
+      printf "options: magic=%s strategy=%s indexderived=%b joinorder=%s cache=%b\n"
         (match st.options.Session.optimize with
         | Core.Compiler.Opt_off -> "off"
         | Core.Compiler.Opt_on -> "on"
         | Core.Compiler.Opt_supplementary -> "sup"
         | Core.Compiler.Opt_auto -> "auto")
         (Core.Runtime.strategy_to_string st.options.Session.strategy)
-        st.options.Session.index_derived st.use_cache)
+        st.options.Session.index_derived
+        (match st.options.Session.join_order with
+        | Rdbms.Planner.Syntactic -> "syntactic"
+        | Rdbms.Planner.Greedy -> "greedy"
+        | Rdbms.Planner.Costed -> "costed")
+        st.use_cache)
 
 let show_rules st =
   let ws = Core.Workspace.rules (Session.workspace st.session) in
@@ -201,6 +216,28 @@ let analyze_sql st sql =
   match Rdbms.Engine.explain_analyze (Session.engine st.session) sql with
   | text -> print_string text
   | exception Rdbms.Engine.Sql_error msg -> report_error msg
+
+(* .analyze-stats [table] — run SQL ANALYZE and print each refreshed
+   snapshot from the catalog *)
+let analyze_stats st table =
+  let engine = Session.engine st.session in
+  let sql = match table with Some t -> "ANALYZE " ^ t | None -> "ANALYZE" in
+  match Rdbms.Engine.exec engine sql with
+  | exception Rdbms.Engine.Sql_error msg -> report_error msg
+  | _ ->
+      let catalog = Rdbms.Engine.catalog engine in
+      let show tbl =
+        match tbl.Rdbms.Catalog.tbl_stats with
+        | Some stats ->
+            printf "%s:\n%s\n" tbl.Rdbms.Catalog.tbl_name (Rdbms.Table_stats.to_string stats)
+        | None -> ()
+      in
+      (match table with
+      | Some name -> (
+          match Rdbms.Catalog.find_table catalog name with
+          | Some tbl -> show tbl
+          | None -> ())
+      | None -> List.iter show (Rdbms.Catalog.tables catalog))
 
 let profile_goal st text =
   on_result (Session.query st.session ~options:st.options text) ~ok:(fun answer ->
@@ -306,6 +343,15 @@ let rec handle st line =
         true
     | ".sql", _ ->
         run_sql st (rest_text ".sql");
+        true
+    | ".analyze-stats", [] ->
+        analyze_stats st None;
+        true
+    | ".analyze-stats", [ table ] ->
+        analyze_stats st (Some table);
+        true
+    | ".analyze-stats", _ ->
+        report_error "usage: .analyze-stats [table]";
         true
     | ".analyze", _ ->
         analyze_sql st (rest_text ".analyze");

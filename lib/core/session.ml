@@ -149,6 +149,7 @@ type options = {
   strategy : Runtime.strategy;
   index_derived : bool;
   max_iterations : int;
+  join_order : Rdbms.Planner.join_order;
 }
 
 let default_options =
@@ -157,6 +158,7 @@ let default_options =
     strategy = Runtime.Seminaive;
     index_derived = false;
     max_iterations = 100_000;
+    join_order = Rdbms.Planner.Syntactic;
   }
 
 type answer = {
@@ -169,9 +171,14 @@ let query_goal t ?(options = default_options) goal =
   let goal_text = Ast.atom_to_string goal in
   (match t.trace with Some tr -> Trace.query_begin tr goal_text | None -> ());
   let t0 = Timer.now_ms () in
+  (* the query runs under the caller's join-order mode; the engine's prior
+     mode is restored on every exit so the setting stays query-scoped *)
+  let saved_join_order = Engine.join_order t.engine in
+  Engine.set_join_order t.engine options.join_order;
   (* every exit — success or error — goes through here so the trace's
      query_begin/query_end events always pair up *)
   let finish result =
+    Engine.set_join_order t.engine saved_join_order;
     (match t.trace with
     | Some tr ->
         let ms = Timer.now_ms () -. t0 in

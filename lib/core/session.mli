@@ -57,11 +57,15 @@ type options = {
   strategy : Runtime.strategy;
   index_derived : bool;
   max_iterations : int;  (** LFP iteration cap per clique *)
+  join_order : Rdbms.Planner.join_order;
+      (** how the DBMS orders joins in the generated SQL; applied to the
+          engine for the duration of the query and restored afterwards *)
 }
 
 val default_options : options
 (** Semi-naive, no optimization, no derived-table indexes, a 100_000
-    iteration cap — the paper's baseline configuration. *)
+    iteration cap, syntactic join order — the paper's baseline
+    configuration. *)
 
 type answer = {
   compiled : Compiler.compiled;

@@ -50,10 +50,14 @@ let engine_event t (ev : Rdbms.Engine.trace_event) =
   match ev with
   | Rdbms.Engine.Tr_stmt_begin { sql } -> emit t "stmt_begin" [ ("sql", str sql) ]
   | Rdbms.Engine.Tr_plan { sql; tree } -> emit t "plan" [ ("sql", str sql); ("tree", str tree) ]
-  | Rdbms.Engine.Tr_stmt_end { sql; ms; rows; ok; delta } ->
+  | Rdbms.Engine.Tr_stmt_end { sql; ms; rows; ok; delta; est } ->
       emit t "stmt_end"
         ([ ("sql", str sql); ("ms", flt ms) ]
         @ (match rows with Some n -> [ ("rows", int n) ] | None -> [])
+        @ (match est with
+          | Some e ->
+              [ ("est_rows", flt e.Rdbms.Cost.rows); ("est_cost", flt e.Rdbms.Cost.cost) ]
+          | None -> [])
         @ [ ("ok", bool ok); ("io", io_json delta) ])
 
 let iteration t (ip : Runtime.iteration_profile) =

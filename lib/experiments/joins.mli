@@ -1,0 +1,8 @@
+(** Join-order bench: syntactic vs greedy vs costed planning measured in
+    simulated page I/O — a skewed 3-way join written in the worst FROM
+    order, a grandparent self-join on the paper's Test 1-3 base-relation
+    shapes, and the magic-sets ancestor LFP where cardinality-bucketed
+    plan-cache keys let the costed planner replan the prepared inner-loop
+    statements for small deltas. Writes [BENCH_joins.json]. *)
+
+val run : ?json_path:string -> scale:Common.scale -> unit -> unit

@@ -3,6 +3,7 @@ type table = {
   tbl_relation : Relation.t;
   mutable tbl_indexes : Index.t list;
   mutable tbl_ordered : Ordered_index.t list;
+  mutable tbl_stats : Table_stats.t option;
 }
 
 type t = {
@@ -30,7 +31,13 @@ let create_table t name schema =
   if table_exists t name then Error (Printf.sprintf "table %s already exists" name)
   else begin
     let tbl =
-      { tbl_name = name; tbl_relation = Relation.create schema; tbl_indexes = []; tbl_ordered = [] }
+      {
+        tbl_name = name;
+        tbl_relation = Relation.create schema;
+        tbl_indexes = [];
+        tbl_ordered = [];
+        tbl_stats = None;
+      }
     in
     Hashtbl.add t.by_name (key name) tbl;
     bump t;
@@ -106,6 +113,12 @@ let find_index t ~table ~column =
       List.find_opt
         (fun idx -> String.lowercase_ascii (Index.column idx) = key column)
         tbl.tbl_indexes
+
+let set_stats t tbl stats =
+  tbl.tbl_stats <- Some stats;
+  (* Fresh statistics invalidate cached plans the same way DDL does: any
+     plan chosen under the old (or missing) stats should be recosted. *)
+  bump t
 
 let tables t =
   Hashtbl.fold (fun _ tbl acc -> tbl :: acc) t.by_name []

@@ -6,6 +6,9 @@ type table = {
   tbl_relation : Relation.t;
   mutable tbl_indexes : Index.t list;
   mutable tbl_ordered : Ordered_index.t list;
+  mutable tbl_stats : Table_stats.t option;
+      (** Optimizer statistics from the last [ANALYZE]; [None] until the
+          table has been analyzed. *)
 }
 
 type t
@@ -14,10 +17,10 @@ val create : unit -> t
 
 val version : t -> int
 (** Monotonically increasing schema version, bumped on every CREATE/DROP
-    TABLE and CREATE/DROP INDEX. Cached query plans are validated against
-    this counter (one integer comparison per execution) instead of
-    hashing schemas; TRUNCATE does not bump it, which is what keeps the
-    LFP scratch tables plan-cache-friendly. *)
+    TABLE, CREATE/DROP INDEX and {!set_stats} (ANALYZE). Cached query
+    plans are validated against this counter (one integer comparison per
+    execution) instead of hashing schemas; TRUNCATE does not bump it,
+    which is what keeps the LFP scratch tables plan-cache-friendly. *)
 
 val create_table : t -> string -> Schema.t -> (table, string) result
 (** Fails if a table of that name already exists. *)
@@ -44,6 +47,10 @@ val drop_index : t -> string -> (unit, string) result
 
 val find_index : t -> table:string -> column:string -> Index.t option
 (** Any index on the given table column. *)
+
+val set_stats : t -> table -> Table_stats.t -> unit
+(** Installs fresh ANALYZE statistics and bumps the schema version so
+    cached plans are re-planned under the new estimates. *)
 
 val tables : t -> table list
 (** All tables sorted by name. *)

@@ -6,17 +6,25 @@ exception Sql_error = Sql_error.Sql_error
 
 (* A plan cached inside a prepared statement, tagged with the catalog
    version and join-order mode it was planned under. Validation is one
-   integer comparison per execution; any CREATE/DROP TABLE or INDEX bumps
-   the catalog version and invalidates every cached plan at its next use. *)
+   integer comparison per execution; any CREATE/DROP TABLE or INDEX (or
+   ANALYZE) bumps the catalog version and invalidates every cached plan at
+   its next use. Under cost-aware planning ([Greedy]/[Costed]) the key
+   also carries a log2 bucket of each referenced table's live cardinality:
+   TRUNCATE and INSERT do not bump the catalog version, so this is what
+   lets the LFP inner loop replan when its delta tables grow or shrink by
+   orders of magnitude (counted in {!Stats.card_replans}). *)
 type cached_plan = {
   cp_plan : Plan.t;
   cp_version : int;
   cp_join_order : Planner.join_order;
+  cp_card_key : (string * int) list; (* table -> log2 cardinality bucket *)
+  cp_est : Cost.est Lazy.t; (* planner's estimate — forced only when traced *)
 }
 
 type prepared = {
   p_sql : string; (* original text, for trace events *)
   p_stmt : Sql_ast.stmt;
+  p_tables : string list; (* tables a SELECT/INSERT..SELECT reads from *)
   mutable p_plan : cached_plan option; (* SELECT / INSERT ... SELECT only *)
   mutable p_runs : int; (* executions so far, for hit/miss accounting *)
   mutable p_last_used : int; (* LRU tick *)
@@ -58,6 +66,7 @@ type trace_event =
       rows : int option; (* result rows, or affected count *)
       ok : bool;
       delta : Stats.t;
+      est : Cost.est option; (* planner estimate, when the stmt was planned *)
     }
 
 type t = {
@@ -73,6 +82,7 @@ type t = {
   mutable log_suspended : bool; (* LFP scratch churn is not worth logging *)
   mutable trace_hook : (trace_event -> unit) option; (* structured trace sink *)
   mutable cur_sql : string option; (* text of the statement being traced *)
+  mutable cur_est : Cost.est option; (* estimate of the statement's plan *)
 }
 
 type result =
@@ -96,6 +106,7 @@ let create () =
     log_suspended = false;
     trace_hook = None;
     cur_sql = None;
+    cur_est = None;
   }
 
 let set_trace_hook t hook = t.trace_hook <- hook
@@ -104,6 +115,13 @@ let emit_plan t plan =
   match (t.trace_hook, t.cur_sql) with
   | Some hook, Some sql -> hook (Tr_plan { sql; tree = Plan.describe plan })
   | _ -> ()
+
+(* Record the selected plan's cost estimate for the Tr_stmt_end event.
+   Skipped when no hook is attached, so untraced runs never pay for an
+   estimate walk. *)
+let note_est t est = if t.trace_hook <> None then t.cur_est <- Some (Lazy.force est)
+let note_est_of_plan t plan =
+  if t.trace_hook <> None then t.cur_est <- Some (Cost.estimate plan)
 
 (* Wrap a statement execution in begin/end trace events. Free when no hook
    is attached. [rows_of] classifies the result after the fact so the
@@ -116,12 +134,16 @@ let traced t sql run =
       let before = Stats.copy t.stats in
       let t0 = Timer.now_ms () in
       let saved = t.cur_sql in
+      let saved_est = t.cur_est in
       t.cur_sql <- Some sql;
+      t.cur_est <- None;
       let finish ok rows =
+        let est = t.cur_est in
         t.cur_sql <- saved;
+        t.cur_est <- saved_est;
         hook
           (Tr_stmt_end
-             { sql; ms = Timer.now_ms () -. t0; rows; ok; delta = Stats.diff t.stats before })
+             { sql; ms = Timer.now_ms () -. t0; rows; ok; delta = Stats.diff t.stats before; est })
       in
       (match run () with
       | result ->
@@ -380,6 +402,24 @@ let run_stmt_raw t stmt =
   | Sql_ast.Truncate { name } ->
       clear_table_raw t name;
       Done
+  | Sql_ast.Analyze { table } ->
+      let targets =
+        match table with
+        | Some name -> (
+            match Catalog.find_table t.catalog name with
+            | Some tbl -> [ tbl ]
+            | None -> fail "no such table: %s" name)
+        | None -> Catalog.tables t.catalog
+      in
+      List.iter
+        (fun tbl ->
+          (* collecting statistics reads the whole table once *)
+          t.stats.Stats.page_reads <-
+            t.stats.Stats.page_reads + Relation.pages tbl.Catalog.tbl_relation;
+          t.stats.Stats.tables_analyzed <- t.stats.Stats.tables_analyzed + 1;
+          Catalog.set_stats t.catalog tbl (Table_stats.collect tbl.Catalog.tbl_relation))
+        targets;
+      Done
   | Sql_ast.Create_index { index; table; column; ordered } ->
       (if ordered then
          ignore
@@ -413,6 +453,7 @@ let run_stmt_raw t stmt =
       let plan = plan_query_or_fail t query in
       typecheck_insert_select t table plan;
       emit_plan t plan;
+      note_est_of_plan t plan;
       let rows = Executor.run t.stats plan in
       insert_rows t table rows
   | Sql_ast.Delete { table; where } ->
@@ -543,6 +584,7 @@ let run_stmt_raw t stmt =
         | Failure msg -> raise (Sql_error msg)
       in
       emit_plan t plan;
+      note_est_of_plan t plan;
       let rows = Executor.run t.stats plan in
       let columns =
         Array.to_list (Array.map (fun c -> c.Plan.h_name) (Plan.header_of plan))
@@ -596,7 +638,10 @@ let run_stmt t stmt =
   | Sql_ast.Rollback ->
       rollback_txn t;
       Done
-  | Sql_ast.Select _ -> run_stmt_raw t stmt
+  (* ANALYZE changes only the catalog's statistics snapshot, never logged
+     data, so like SELECT it runs outside the undo/redo frame (a WAL replay
+     of ANALYZE would be harmless but is pointless noise). *)
+  | Sql_ast.Select _ | Sql_ast.Analyze _ -> run_stmt_raw t stmt
   | _ -> with_stmt_frame t stmt (fun () -> run_stmt_raw t stmt)
 
 let clear_table t name = ignore (run_stmt t (Sql_ast.Truncate { name }) : result)
@@ -618,30 +663,91 @@ let parse_or_fail sql =
 let prepare t sql =
   let stmt = parse_or_fail sql in
   t.stats.Stats.statements_prepared <- t.stats.Stats.statements_prepared + 1;
-  { p_sql = sql; p_stmt = stmt; p_plan = None; p_runs = 0; p_last_used = 0 }
+  {
+    p_sql = sql;
+    p_stmt = stmt;
+    p_tables = Sql_ast.tables_of_stmt stmt;
+    p_plan = None;
+    p_runs = 0;
+    p_last_used = 0;
+  }
+
+(* Floor log2 of a table's cardinality: rows 1..1 -> 0, 2..3 -> 1,
+   4..7 -> 2, ... An empty table gets its own bucket (-1). Buckets are
+   deliberately coarse — a plan stays cached while a table grows within
+   the same power of two and is rebuilt only when the cardinality moves by
+   an order of magnitude, which is when a different join order or access
+   path could actually pay off. *)
+let card_bucket n =
+  if n <= 0 then -1
+  else begin
+    let b = ref 0 in
+    let n = ref n in
+    while !n > 1 do
+      incr b;
+      n := !n lsr 1
+    done;
+    !b
+  end
+
+(* The cardinality part of a plan-cache key. Syntactic planning ignores
+   cardinalities entirely, so its key is empty and TRUNCATE/INSERT churn
+   (the LFP inner loop) never invalidates a cached plan — the pre-existing
+   behaviour. Cost-aware modes key on each referenced table's bucket. *)
+let card_key t (p : prepared) =
+  if t.join_order = Planner.Syntactic then []
+  else
+    List.map
+      (fun name ->
+        match Catalog.find_table t.catalog name with
+        | Some tbl -> (name, card_bucket (Relation.cardinal tbl.Catalog.tbl_relation))
+        | None -> (name, -2))
+      p.p_tables
 
 (* Return the prepared statement's plan, reusing the cached operator tree
-   when the catalog version and join-order mode still match. With the
-   statement cache disabled (an ablation configuration) every execution
-   replans, so the measured difference is the full cost of plan caching. *)
+   when the catalog version, join-order mode and cardinality buckets still
+   match. With the statement cache disabled (an ablation configuration)
+   every execution replans, so the measured difference is the full cost of
+   plan caching. *)
 let plan_of_prepared t p build =
   let version = Catalog.version t.catalog in
   if not t.cache_enabled then begin
     t.stats.Stats.plan_cache_misses <- t.stats.Stats.plan_cache_misses + 1;
     let plan = build () in
     emit_plan t plan;
+    note_est_of_plan t plan;
     plan
   end
   else
+  let key = card_key t p in
   match p.p_plan with
-  | Some cp when cp.cp_version = version && cp.cp_join_order = t.join_order ->
+  | Some cp
+    when cp.cp_version = version && cp.cp_join_order = t.join_order
+         && cp.cp_card_key = key ->
       t.stats.Stats.plan_cache_hits <- t.stats.Stats.plan_cache_hits + 1;
+      note_est t cp.cp_est;
       cp.cp_plan
-  | _ ->
+  | prev ->
       t.stats.Stats.plan_cache_misses <- t.stats.Stats.plan_cache_misses + 1;
+      (* a miss caused purely by cardinality drift is the LFP delta
+         feedback firing — count it separately *)
+      (match prev with
+      | Some cp when cp.cp_version = version && cp.cp_join_order = t.join_order ->
+          t.stats.Stats.card_replans <- t.stats.Stats.card_replans + 1
+      | _ -> ());
       let plan = build () in
-      p.p_plan <- Some { cp_plan = plan; cp_version = version; cp_join_order = t.join_order };
+      let est = lazy (Cost.estimate plan) in
+      p.p_plan <-
+        Some
+          {
+            cp_plan = plan;
+            cp_version = version;
+            cp_join_order = t.join_order;
+            cp_card_key = key;
+            cp_est = est;
+          };
       emit_plan t plan;
+      note_est t est;
       plan
 
 let select_plan_of_prepared t p query order_by =
@@ -716,12 +822,23 @@ let cached_prepared t sql =
   | None -> (
       let stmt = parse_or_fail sql in
       match stmt with
-      (* bulk fact loads rarely repeat verbatim, and transaction control is
-         trivial to parse — neither earns a cache slot *)
-      | Sql_ast.Insert_values _ | Sql_ast.Begin | Sql_ast.Commit | Sql_ast.Rollback -> None
+      (* bulk fact loads rarely repeat verbatim, transaction control is
+         trivial to parse, and ANALYZE is rare by nature — none earns a
+         cache slot *)
+      | Sql_ast.Insert_values _ | Sql_ast.Begin | Sql_ast.Commit | Sql_ast.Rollback
+      | Sql_ast.Analyze _ -> None
       | _ ->
           t.stats.Stats.statements_prepared <- t.stats.Stats.statements_prepared + 1;
-          let p = { p_sql = sql; p_stmt = stmt; p_plan = None; p_runs = 0; p_last_used = 0 } in
+          let p =
+            {
+              p_sql = sql;
+              p_stmt = stmt;
+              p_tables = Sql_ast.tables_of_stmt stmt;
+              p_plan = None;
+              p_runs = 0;
+              p_last_used = 0;
+            }
+          in
           touch t p;
           Hashtbl.replace t.stmt_cache sql p;
           evict_lru t;

@@ -14,8 +14,15 @@ type prepared
 (** A statement parsed once and executable many times. SELECT and
     INSERT ... SELECT statements additionally cache their planned operator
     tree; the plan is revalidated against {!Catalog.version} (and the
-    engine's join-order mode) on each execution and rebuilt only after a
-    CREATE/DROP TABLE or INDEX. TRUNCATE does not invalidate plans. *)
+    engine's join-order mode) on each execution and rebuilt after a
+    CREATE/DROP TABLE or INDEX, or ANALYZE. TRUNCATE does not bump the
+    catalog version; under {!Planner.Syntactic} planning it therefore
+    never invalidates plans, while the cost-aware modes
+    ({!Planner.Greedy}/{!Planner.Costed}) additionally key the cached plan
+    on a log2 bucket of each referenced table's cardinality, so a plan is
+    rebuilt — counted in {!Stats.card_replans} — when a table it reads
+    grows or shrinks by an order of magnitude (the LFP delta-feedback
+    path). *)
 
 type result =
   | Rows of { columns : string list; rows : Tuple.t list }
@@ -158,6 +165,10 @@ type trace_event =
       rows : int option;  (** result rows, or affected count; [None] for DDL *)
       ok : bool;  (** [false] when the statement raised *)
       delta : Stats.t;  (** engine-global counter movement of the statement *)
+      est : Cost.est option;
+          (** the planner's cost estimate for the statement's plan, when
+              one was planned (SELECT / INSERT ... SELECT); lets a trace
+              consumer compare estimated against measured page I/O *)
     }
 
 val set_trace_hook : t -> (trace_event -> unit) option -> unit

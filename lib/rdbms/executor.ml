@@ -86,29 +86,35 @@ let rec go obs plan =
       let rows = List.rev !out in
       produced obs (List.length rows);
       rows
-  | Plan.Hash_join { left; right; left_keys; right_keys; residual; _ } ->
+  | Plan.Hash_join { left; right; left_keys; right_keys; residual; build_left; _ } ->
       let lrows = sub obs left in
       let rrows = sub obs right in
-      let table = Key_tbl.create (List.length rrows * 2 + 1) in
+      (* build on whichever side the planner chose (right by default);
+         output rows are left-then-right either way *)
+      let build_rows, build_keys, probe_rows, probe_keys =
+        if build_left then (lrows, left_keys, rrows, right_keys)
+        else (rrows, right_keys, lrows, left_keys)
+      in
+      let table = Key_tbl.create (List.length build_rows * 2 + 1) in
       List.iter
         (fun r ->
-          let k = List.map (fun i -> r.(i)) right_keys in
+          let k = List.map (fun i -> r.(i)) build_keys in
           let prev = match Key_tbl.find_opt table k with Some l -> l | None -> [] in
           Key_tbl.replace table k (r :: prev))
-        rrows;
+        build_rows;
       let out = ref [] in
       List.iter
-        (fun l ->
-          let k = List.map (fun i -> l.(i)) left_keys in
+        (fun p ->
+          let k = List.map (fun i -> p.(i)) probe_keys in
           match Key_tbl.find_opt table k with
           | None -> ()
           | Some matches ->
               List.iter
-                (fun r ->
-                  let row = concat_rows l r in
+                (fun b ->
+                  let row = if build_left then concat_rows b p else concat_rows p b in
                   if keep residual row then out := row :: !out)
                 (List.rev matches))
-        lrows;
+        probe_rows;
       let rows = List.rev !out in
       produced obs (List.length rows);
       rows

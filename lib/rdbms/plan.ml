@@ -49,6 +49,7 @@ type t =
       left_keys : int list;
       right_keys : int list;
       residual : rcond option;
+      build_left : bool;
     }
   | Index_join of {
       left : t;
@@ -141,10 +142,11 @@ let op_label p =
       Printf.sprintf "RangeScan %s via %s%s%s%s" table.Catalog.tbl_name
         (Ordered_index.name oindex) (bound ">" lo) (bound "<" hi) (filter_str header filter)
   | Nl_join { header; cond; _ } -> "NestedLoopJoin" ^ filter_str header cond
-  | Hash_join { header; left_keys; right_keys; residual; _ } ->
-      Printf.sprintf "HashJoin keys=[%s]=[%s]%s"
+  | Hash_join { header; left_keys; right_keys; residual; build_left; _ } ->
+      Printf.sprintf "HashJoin keys=[%s]=[%s]%s%s"
         (String.concat "," (List.map string_of_int left_keys))
         (String.concat "," (List.map string_of_int right_keys))
+        (if build_left then " build=left" else "")
         (filter_str header residual)
   | Index_join { table; index; outer_pos; header; residual; _ } ->
       Printf.sprintf "IndexJoin %s via %s probe=col%d%s" table.Catalog.tbl_name

@@ -57,6 +57,10 @@ type t =
       left_keys : int list;   (** positions in left header *)
       right_keys : int list;  (** positions in right header *)
       residual : rcond option;  (** over the concatenated header *)
+      build_left : bool;
+          (** build the hash table on the left input and probe with the
+              right (the costed planner's choice when the left side is
+              estimated smaller); output columns stay left-then-right *)
     }
   | Index_join of {
       left : t;

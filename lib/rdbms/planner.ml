@@ -5,6 +5,7 @@ exception Plan_error of string
 type join_order =
   | Syntactic
   | Greedy
+  | Costed
 
 let err fmt = Printf.ksprintf (fun s -> raise (Plan_error s)) fmt
 
@@ -151,7 +152,7 @@ let conjoin = function
 (* Scan planning: apply local predicates, using an index when an equality
    with a literal mentions an indexed column. *)
 
-let plan_scan catalog scope i (local_conds : cond list) : Plan.t =
+let plan_scan ?(costed = false) catalog scope i (local_conds : cond list) : Plan.t =
   let si = scope.(i) in
   let layout = [ (i, 0) ] in
   let header = header_of_items scope layout (Schema.arity si.si_schema) in
@@ -176,8 +177,9 @@ let plan_scan catalog scope i (local_conds : cond list) : Plan.t =
         | None -> pick (c :: acc) rest)
   in
   let hit, residual_conds = pick [] local_conds in
-  match hit with
-  | Some (index, key) ->
+  let chosen_plan =
+    match hit with
+    | Some (index, key) ->
       let filter = conjoin (List.map (compile_cond scope layout) residual_conds) in
       Plan.Index_scan { table = si.si_table; index; key; header; filter }
   | None -> (
@@ -256,6 +258,18 @@ let plan_scan catalog scope i (local_conds : cond list) : Plan.t =
           in
           let filter = conjoin (List.map (compile_cond scope layout) leftovers) in
           Plan.Range_scan { table = si.si_table; oindex = oidx; lo = !lo; hi = !hi; header; filter })
+  in
+  if not costed then chosen_plan
+  else
+    match chosen_plan with
+    | Plan.Seq_scan _ -> chosen_plan
+    | _ ->
+        (* the syntax-preferred access path is not always cheapest: probing
+           an index on a one-page table reads more pages than scanning it *)
+        let filter = conjoin (List.map (compile_cond scope layout) local_conds) in
+        let seq = Plan.Seq_scan { table = si.si_table; header; filter } in
+        if (Cost.estimate seq).Cost.cost < (Cost.estimate chosen_plan).Cost.cost then seq
+        else chosen_plan
 
 (* ------------------------------------------------------------------ *)
 (* Join planning *)
@@ -278,127 +292,225 @@ let as_join_edge scope c =
 let width_of scope layout =
   List.fold_left (fun acc (i, _) -> acc + Schema.arity scope.(i).si_schema) 0 layout
 
-let plan_joins catalog scope ~order per_table_conds join_conds residual_conds =
-  let order = Array.of_list order in
-  let n = Array.length scope in
-  let first_idx = order.(0) in
-  let first = plan_scan catalog scope first_idx per_table_conds.(first_idx) in
-  let layout = ref [ (first_idx, 0) ] in
-  let joined = ref [ first_idx ] in
-  let pending_edges = ref (List.filter_map (as_join_edge scope) join_conds) in
-  let pending_other =
-    ref (List.filter (fun c -> as_join_edge scope c = None) join_conds @ residual_conds)
+(* The in-progress left-deep join: the plan built so far and the
+   predicates not yet applied. Pure value, so the costed enumerator can
+   branch from one state into several candidate extensions. *)
+type build_state = {
+  bs_plan : Plan.t;
+  bs_layout : layout;
+  bs_joined : int list;
+  bs_edges : join_edge list;  (* equi-join edges not yet applied *)
+  bs_other : cond list;  (* non-edge join/residual conds not yet applied *)
+}
+
+let initial_state ~costed catalog scope per_table_conds join_conds residual_conds first_idx =
+  {
+    bs_plan = plan_scan ~costed catalog scope first_idx per_table_conds.(first_idx);
+    bs_layout = [ (first_idx, 0) ];
+    bs_joined = [ first_idx ];
+    bs_edges = List.filter_map (as_join_edge scope) join_conds;
+    bs_other = List.filter (fun c -> as_join_edge scope c = None) join_conds @ residual_conds;
+  }
+
+(* Join table [j] onto [st]. In costed mode the access path (index probe
+   vs building the inner side) and the hash-join build side are chosen by
+   comparing {!Cost} estimates; otherwise an index join is taken whenever
+   table [j] is indexed on a join column and has no local filter. *)
+let join_step ~costed catalog scope per_table_conds st j =
+  let prev_layout = st.bs_layout in
+  let base = width_of scope prev_layout in
+  let next_layout = prev_layout @ [ (j, base) ] in
+  let covered = j :: st.bs_joined in
+  (* edges connecting j to already-joined tables *)
+  let usable, rest =
+    List.partition
+      (fun e ->
+        let li, _ = e.je_left and ri, _ = e.je_right in
+        (li = j && List.mem ri st.bs_joined) || (ri = j && List.mem li st.bs_joined))
+      st.bs_edges
   in
-  let plan = ref first in
-  for step = 1 to n - 1 do
-    let j = order.(step) in
-    let prev_layout = !layout in
-    let base = width_of scope prev_layout in
-    let next_layout = prev_layout @ [ (j, base) ] in
-    let covered = j :: !joined in
-    (* edges connecting j to already-joined tables *)
-    let usable, rest =
-      List.partition
-        (fun e ->
-          let li, _ = e.je_left and ri, _ = e.je_right in
-          (li = j && List.mem ri !joined) || (ri = j && List.mem li !joined))
-        !pending_edges
-    in
-    pending_edges := rest;
-    (* conditions that become applicable once j is joined *)
-    let applicable, still_pending =
-      List.partition
-        (fun c -> List.for_all (fun i -> List.mem i covered) (tables_of_cond scope c))
-        !pending_other
-    in
-    pending_other := still_pending;
-    let header = header_of_items scope next_layout (base + Schema.arity scope.(j).si_schema) in
-    let residual = List.map (compile_cond scope next_layout) applicable in
-    (* local scan for table j, including its single-table predicates *)
-    let make_inner_scan () = plan_scan catalog scope j per_table_conds.(j) in
-    let new_plan =
-      match usable with
-      | [] ->
-          (* no equi-join edge: cross join with any residual *)
-          Plan.Nl_join { left = !plan; right = make_inner_scan (); header; cond = conjoin residual }
-      | edges -> (
-          (* orient edges as (outer column in left layout, inner column of j) *)
-          let oriented =
-            List.map
-              (fun e ->
-                let (li, lcol), (ri, rcol) = (e.je_left, e.je_right) in
-                if li = j then ((ri, rcol), lcol) else ((li, lcol), rcol))
-              edges
-          in
-          (* try an index join on one edge if table j is indexed on that
-             column and has no extra local filter to lose *)
-          let index_edge =
-            if per_table_conds.(j) <> [] then None
-            else
-              List.find_map
-                (fun (outer, inner_col) ->
-                  match
-                    Catalog.find_index catalog ~table:scope.(j).si_table.Catalog.tbl_name
-                      ~column:inner_col
-                  with
-                  | Some idx -> Some (outer, inner_col, idx)
-                  | None -> None)
-                oriented
-          in
+  (* conditions that become applicable once j is joined *)
+  let applicable, still_pending =
+    List.partition
+      (fun c -> List.for_all (fun i -> List.mem i covered) (tables_of_cond scope c))
+      st.bs_other
+  in
+  let header = header_of_items scope next_layout (base + Schema.arity scope.(j).si_schema) in
+  let residual = List.map (compile_cond scope next_layout) applicable in
+  (* local scan for table j, including its single-table predicates *)
+  let make_inner_scan () = plan_scan ~costed catalog scope j per_table_conds.(j) in
+  let rows_in = lazy ((Cost.estimate st.bs_plan).Cost.rows) in
+  let new_plan =
+    match usable with
+    | [] ->
+        (* no equi-join edge: cross join with any residual *)
+        Plan.Nl_join
+          { left = st.bs_plan; right = make_inner_scan (); header; cond = conjoin residual }
+    | edges -> (
+        (* orient edges as (outer column in left layout, inner column of j) *)
+        let oriented =
+          List.map
+            (fun e ->
+              let (li, lcol), (ri, rcol) = (e.je_left, e.je_right) in
+              if li = j then ((ri, rcol), lcol) else ((li, lcol), rcol))
+            edges
+        in
+        (* an index join on one edge is available when table j is indexed
+           on that column and has no extra local filter to lose *)
+        let index_edge =
+          if per_table_conds.(j) <> [] then None
+          else
+            List.find_map
+              (fun (outer, inner_col) ->
+                match
+                  Catalog.find_index catalog ~table:scope.(j).si_table.Catalog.tbl_name
+                    ~column:inner_col
+                with
+                | Some idx -> Some (outer, inner_col, idx)
+                | None -> None)
+              oriented
+        in
+        (* in costed mode, probe only if cheaper than scanning j once for
+           a hash join: probing charges (1 + matched pages) per outer row *)
+        let index_edge =
           match index_edge with
-          | Some ((oi, ocol), inner_col, idx) ->
-              let obase = List.assoc oi prev_layout in
-              let opos = Schema.position_exn scope.(oi).si_schema ocol in
-              (* all other edges become residual conditions *)
-              let other_edges =
-                List.filter (fun (o, ic) -> not (o = (oi, ocol) && ic = inner_col)) oriented
+          | Some (_, _, idx) when costed ->
+              let tbl = scope.(j).si_table in
+              let per_probe =
+                Cost.table_rows tbl /. max 1.0 (float_of_int (Index.distinct_keys idx))
               in
-              let extra =
-                List.map
-                  (fun ((o, ocol'), icol) ->
-                    compile_cond scope next_layout
-                      (Cmp
-                         ( Col { qualifier = Some scope.(o).si_alias; column = ocol' },
-                           Eq,
-                           Col { qualifier = Some scope.(j).si_alias; column = icol } )))
-                  other_edges
-              in
-              Plan.Index_join
-                {
-                  left = !plan;
-                  table = scope.(j).si_table;
-                  index = idx;
-                  outer_pos = obase + opos;
-                  header;
-                  residual = conjoin (extra @ residual);
-                }
-          | None ->
-              let left_keys, right_keys =
-                List.split
-                  (List.map
-                     (fun ((oi, ocol), icol) ->
-                       let obase = List.assoc oi prev_layout in
-                       ( obase + Schema.position_exn scope.(oi).si_schema ocol,
-                         Schema.position_exn scope.(j).si_schema icol ))
-                     oriented)
-              in
-              Plan.Hash_join
-                {
-                  left = !plan;
-                  right = make_inner_scan ();
-                  header;
-                  left_keys;
-                  right_keys;
-                  residual = conjoin residual;
-                })
-    in
-    plan := new_plan;
-    layout := next_layout;
-    joined := covered
-  done;
-  if !pending_other <> [] || !pending_edges <> [] then
+              let probe_cost = 1.0 +. Cost.pages_f (per_probe *. Cost.avg_row_bytes tbl) in
+              let cost_index = Lazy.force rows_in *. probe_cost in
+              let cost_hash = (Cost.estimate (make_inner_scan ())).Cost.cost in
+              if cost_index < cost_hash then index_edge else None
+          | _ -> index_edge
+        in
+        match index_edge with
+        | Some ((oi, ocol), inner_col, idx) ->
+            let obase = List.assoc oi prev_layout in
+            let opos = Schema.position_exn scope.(oi).si_schema ocol in
+            (* all other edges become residual conditions *)
+            let other_edges =
+              List.filter (fun (o, ic) -> not (o = (oi, ocol) && ic = inner_col)) oriented
+            in
+            let extra =
+              List.map
+                (fun ((o, ocol'), icol) ->
+                  compile_cond scope next_layout
+                    (Cmp
+                       ( Col { qualifier = Some scope.(o).si_alias; column = ocol' },
+                         Eq,
+                         Col { qualifier = Some scope.(j).si_alias; column = icol } )))
+                other_edges
+            in
+            Plan.Index_join
+              {
+                left = st.bs_plan;
+                table = scope.(j).si_table;
+                index = idx;
+                outer_pos = obase + opos;
+                header;
+                residual = conjoin (extra @ residual);
+              }
+        | None ->
+            let left_keys, right_keys =
+              List.split
+                (List.map
+                   (fun ((oi, ocol), icol) ->
+                     let obase = List.assoc oi prev_layout in
+                     ( obase + Schema.position_exn scope.(oi).si_schema ocol,
+                       Schema.position_exn scope.(j).si_schema icol ))
+                   oriented)
+            in
+            let right = make_inner_scan () in
+            let build_left =
+              costed && Lazy.force rows_in < (Cost.estimate right).Cost.rows
+            in
+            Plan.Hash_join
+              {
+                left = st.bs_plan;
+                right;
+                header;
+                left_keys;
+                right_keys;
+                residual = conjoin residual;
+                build_left;
+              })
+  in
+  {
+    bs_plan = new_plan;
+    bs_layout = next_layout;
+    bs_joined = covered;
+    bs_edges = rest;
+    bs_other = still_pending;
+  }
+
+let finish_state st =
+  if st.bs_other <> [] || st.bs_edges <> [] then
     err "internal: unapplied predicates remain after join planning";
-  (!plan, !layout)
+  (st.bs_plan, st.bs_layout)
+
+let plan_joins ?(costed = false) catalog scope ~order per_table_conds join_conds residual_conds =
+  match order with
+  | [] -> err "internal: empty join order"
+  | first_idx :: rest ->
+      let st0 =
+        initial_state ~costed catalog scope per_table_conds join_conds residual_conds first_idx
+      in
+      finish_state
+        (List.fold_left (fun st j -> join_step ~costed catalog scope per_table_conds st j) st0 rest)
+
+(* Beyond this many FROM items the costed planner falls back to a greedy
+   order (the DP below is exponential in the number of tables). *)
+let costed_dp_limit = 12
+
+(* Dynamic-programming enumeration of left-deep join orders: for every
+   subset of FROM items keep the cheapest (by {!Cost.estimate}) partial
+   plan that joins exactly that subset. Cross joins are deferred until no
+   connected extension exists, like the greedy planner. Ties keep the
+   first candidate in (subset, table-index) order, so plans are
+   deterministic. *)
+let costed_order_plan catalog scope per_table_conds join_conds residual_conds =
+  let n = Array.length scope in
+  let edge_pairs =
+    List.filter_map (as_join_edge scope) join_conds
+    |> List.map (fun e -> (fst e.je_left, fst e.je_right))
+  in
+  let size = 1 lsl n in
+  let best = Array.make size None in
+  for i = 0 to n - 1 do
+    let st =
+      initial_state ~costed:true catalog scope per_table_conds join_conds residual_conds i
+    in
+    best.(1 lsl i) <- Some ((Cost.estimate st.bs_plan).Cost.cost, st)
+  done;
+  for mask = 1 to size - 2 do
+    match best.(mask) with
+    | None -> ()
+    | Some (_, st) ->
+        let in_mask j = mask land (1 lsl j) <> 0 in
+        let connected j =
+          List.exists
+            (fun (a, b) -> (a = j && in_mask b) || (b = j && in_mask a))
+            edge_pairs
+        in
+        let absent = List.filter (fun j -> not (in_mask j)) (List.init n (fun i -> i)) in
+        let candidates =
+          match List.filter connected absent with [] -> absent | conn -> conn
+        in
+        List.iter
+          (fun j ->
+            let st' = join_step ~costed:true catalog scope per_table_conds st j in
+            let cost = (Cost.estimate st'.bs_plan).Cost.cost in
+            let mask' = mask lor (1 lsl j) in
+            match best.(mask') with
+            | Some (prev, _) when prev <= cost -> ()
+            | _ -> best.(mask') <- Some (cost, st'))
+          candidates
+  done;
+  match best.(size - 1) with
+  | Some (_, st) -> finish_state st
+  | None -> err "internal: costed join enumeration found no complete plan"
 
 (* ------------------------------------------------------------------ *)
 (* Projection *)
@@ -552,7 +664,9 @@ let plan_aggregate scope layout input items group_by =
 
 (* crude selectivity estimate for greedy ordering: an equality filter on
    an indexed column keeps about cardinality/distinct-keys rows; any other
-   local filter is assumed to keep a tenth *)
+   local filter is assumed to keep a tenth. Each division is clamped to
+   >= 1 so stacked filters never collapse an estimate to 0 (which made
+   every later table look equally cheap). *)
 let estimated_rows catalog scope per_table i =
   let si = scope.(i) in
   let n = Relation.cardinal si.si_table.Catalog.tbl_relation in
@@ -563,9 +677,9 @@ let estimated_rows catalog scope per_table i =
           match
             Catalog.find_index catalog ~table:si.si_table.Catalog.tbl_name ~column:cr.column
           with
-          | Some idx -> est / max 1 (Index.distinct_keys idx)
-          | None -> est / 10)
-      | _ -> est / 10)
+          | Some idx -> max 1 (est / max 1 (Index.distinct_keys idx))
+          | None -> max 1 (est / 10))
+      | _ -> max 1 (est / 10))
     n per_table.(i)
 
 let greedy_order catalog scope per_table joins =
@@ -578,27 +692,28 @@ let greedy_order catalog scope per_table joins =
     List.exists (fun (a, b) -> (a = j && List.mem b covered) || (b = j && List.mem a covered)) edges
   in
   let est = Array.init n (fun i -> estimated_rows catalog scope per_table i) in
-  let remaining = ref (List.init n (fun i -> i)) in
   let pick candidates =
+    (* ties break on the lower from-item index for deterministic plans *)
     List.fold_left
       (fun best j ->
         match best with
         | None -> Some j
-        | Some b -> if est.(j) < est.(b) then Some j else best)
+        | Some b -> if est.(j) < est.(b) || (est.(j) = est.(b) && j < b) then Some j else best)
       None candidates
     |> Option.get
   in
-  let first = pick !remaining in
-  remaining := List.filter (fun i -> i <> first) !remaining;
+  let first = pick (List.init n (fun i -> i)) in
+  let remaining = ref (List.filter (fun i -> i <> first) (List.init n (fun i -> i))) in
   let order = ref [ first ] in
+  (* reversed accumulator: [order] holds the chosen prefix newest-first *)
   while !remaining <> [] do
     let covered = !order in
     let connected_cands = List.filter (connected covered) !remaining in
     let next = pick (if connected_cands = [] then !remaining else connected_cands) in
     remaining := List.filter (fun i -> i <> next) !remaining;
-    order := !order @ [ next ]
+    order := next :: !order
   done;
-  !order
+  List.rev !order
 
 let plan_core ?(join_order = Syntactic) catalog core =
   let scope = scope_of_from catalog core.from in
@@ -625,15 +740,22 @@ let plan_core ?(join_order = Syntactic) catalog core =
       | [ _; _ ] -> joins := !joins @ [ c ]
       | _ -> residual := !residual @ [ c ])
     conjuncts;
+  let costed = join_order = Costed in
   let base_plan, layout =
-    if n = 1 then (plan_scan catalog scope 0 per_table.(0), [ (0, 0) ])
+    if n = 1 then (plan_scan ~costed catalog scope 0 per_table.(0), [ (0, 0) ])
     else
-      let order =
-        match join_order with
-        | Syntactic -> List.init n (fun i -> i)
-        | Greedy -> greedy_order catalog scope per_table !joins
-      in
-      plan_joins catalog scope ~order per_table !joins !residual
+      match join_order with
+      | Syntactic ->
+          plan_joins catalog scope ~order:(List.init n (fun i -> i)) per_table !joins !residual
+      | Greedy ->
+          let order = greedy_order catalog scope per_table !joins in
+          plan_joins catalog scope ~order per_table !joins !residual
+      | Costed when n <= costed_dp_limit ->
+          costed_order_plan catalog scope per_table !joins !residual
+      | Costed ->
+          (* too many tables for the DP: greedy order, costed access paths *)
+          let order = greedy_order catalog scope per_table !joins in
+          plan_joins ~costed:true catalog scope ~order per_table !joins !residual
   in
   let with_anti =
     List.fold_left (fun p core -> plan_anti catalog scope layout p core) base_plan anti_cores

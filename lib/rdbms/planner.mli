@@ -21,6 +21,13 @@ type join_order =
   | Greedy
       (** smallest (estimated post-filter) table first, then repeatedly
           the cheapest table connected by an equi-join edge *)
+  | Costed
+      (** dynamic-programming enumeration of left-deep orders minimizing
+          the {!Cost} estimate (simulated page reads), with cost-based
+          access-path selection (seq vs index vs range scan, index probe
+          vs hash join) and hash-join build-side selection; uses ANALYZE
+          statistics when available and falls back to a greedy order
+          beyond 12 FROM items *)
 
 val plan_query : ?join_order:join_order -> Catalog.t -> Sql_ast.query -> Plan.t
 

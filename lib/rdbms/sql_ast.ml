@@ -83,6 +83,32 @@ type stmt =
   | Begin
   | Commit
   | Rollback
+  | Analyze of { table : string option }
+
+let tables_of_query q =
+  let acc = ref [] in
+  let add t = acc := String.lowercase_ascii t :: !acc in
+  let rec core c =
+    List.iter (fun (f : from_item) -> add f.table) c.from;
+    Option.iter cond c.where
+  and cond = function
+    | Cmp _ -> ()
+    | And (a, b) | Or (a, b) -> cond a; cond b
+    | Not c -> cond c
+    | Not_exists c -> core c
+  in
+  let rec query = function
+    | Q_select c -> core c
+    | Q_union (a, b) | Q_union_all (a, b) | Q_except (a, b) -> query a; query b
+  in
+  query q;
+  List.sort_uniq String.compare !acc
+
+let tables_of_stmt = function
+  | Select { query; _ } | Insert_select { query; _ } -> tables_of_query query
+  | Create_table _ | Drop_table _ | Truncate _ | Create_index _ | Drop_index _
+  | Insert_values _ | Delete _ | Update _ | Begin | Commit | Rollback | Analyze _ ->
+      []
 
 let value_of_literal = function
   | L_int n -> Value.Int n

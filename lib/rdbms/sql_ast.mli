@@ -106,6 +106,15 @@ type stmt =
           undo records that ROLLBACK applies in reverse *)
   | Commit
   | Rollback
+  | Analyze of { table : string option }
+      (** [ANALYZE [t]]: collect optimizer statistics ({!Table_stats.t})
+          for one table, or for every catalog table when none is named *)
+
+val tables_of_stmt : stmt -> string list
+(** Lowercased, sorted, duplicate-free table names a SELECT or
+    INSERT ... SELECT reads from (FROM clauses, including NOT EXISTS
+    subqueries); [[]] for every other statement. Used for the plan
+    cache's cardinality-bucketed keys. *)
 
 val value_of_literal : literal -> Value.t
 val literal_of_value : Value.t -> literal

@@ -340,6 +340,14 @@ let parse_stmt st =
     end
     else if eat_kw st "INDEX" then Drop_index { index = ident st }
     else error st "expected TABLE or INDEX after DROP"
+  else if eat_kw st "ANALYZE" then begin
+    let table =
+      match peek st with
+      | Sql_lexer.IDENT _, _ -> Some (ident st)
+      | _ -> None
+    in
+    Analyze { table }
+  end
   else if eat_kw st "TRUNCATE" then begin
     ignore (eat_kw st "TABLE");
     Truncate { name = ident st }

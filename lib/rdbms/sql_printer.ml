@@ -106,3 +106,5 @@ let stmt = function
   | Begin -> "BEGIN"
   | Commit -> "COMMIT"
   | Rollback -> "ROLLBACK"
+  | Analyze { table = Some t } -> "ANALYZE " ^ t
+  | Analyze { table = None } -> "ANALYZE"

@@ -21,6 +21,8 @@ type t = {
   mutable wal_records : int;
   mutable wal_bytes : int;
   mutable recoveries : int;
+  mutable tables_analyzed : int;
+  mutable card_replans : int;
 }
 
 let create () =
@@ -43,6 +45,8 @@ let create () =
     wal_records = 0;
     wal_bytes = 0;
     recoveries = 0;
+    tables_analyzed = 0;
+    card_replans = 0;
   }
 
 let reset t =
@@ -63,7 +67,9 @@ let reset t =
   t.txns_rolled_back <- 0;
   t.wal_records <- 0;
   t.wal_bytes <- 0;
-  t.recoveries <- 0
+  t.recoveries <- 0;
+  t.tables_analyzed <- 0;
+  t.card_replans <- 0
 
 let copy t = { t with page_reads = t.page_reads }
 
@@ -87,6 +93,8 @@ let diff a b =
     wal_records = a.wal_records - b.wal_records;
     wal_bytes = a.wal_bytes - b.wal_bytes;
     recoveries = a.recoveries - b.recoveries;
+    tables_analyzed = a.tables_analyzed - b.tables_analyzed;
+    card_replans = a.card_replans - b.card_replans;
   }
 
 let add acc x =
@@ -107,7 +115,9 @@ let add acc x =
   acc.txns_rolled_back <- acc.txns_rolled_back + x.txns_rolled_back;
   acc.wal_records <- acc.wal_records + x.wal_records;
   acc.wal_bytes <- acc.wal_bytes + x.wal_bytes;
-  acc.recoveries <- acc.recoveries + x.recoveries
+  acc.recoveries <- acc.recoveries + x.recoveries;
+  acc.tables_analyzed <- acc.tables_analyzed + x.tables_analyzed;
+  acc.card_replans <- acc.card_replans + x.card_replans
 
 let total_io t = t.page_reads + t.page_writes
 
@@ -115,8 +125,8 @@ let to_string t =
   Printf.sprintf
     "reads=%d writes=%d probes=%d rows_read=%d ins=%d del=%d create=%d drop=%d trunc=%d \
      stmts=%d prepared=%d cache_hits=%d cache_misses=%d commits=%d rollbacks=%d \
-     wal_records=%d wal_bytes=%d recoveries=%d"
+     wal_records=%d wal_bytes=%d recoveries=%d analyzed=%d card_replans=%d"
     t.page_reads t.page_writes t.index_probes t.rows_read t.rows_inserted t.rows_deleted
     t.tables_created t.tables_dropped t.tables_truncated t.statements t.statements_prepared
     t.plan_cache_hits t.plan_cache_misses t.txns_committed t.txns_rolled_back t.wal_records
-    t.wal_bytes t.recoveries
+    t.wal_bytes t.recoveries t.tables_analyzed t.card_replans

@@ -39,6 +39,11 @@ type t = {
   mutable wal_records : int;  (** records appended to an attached {!Wal} *)
   mutable wal_bytes : int;  (** bytes appended to an attached {!Wal}, headers included *)
   mutable recoveries : int;  (** successful {!Wal.recover} runs that built this engine *)
+  mutable tables_analyzed : int;  (** tables whose statistics ANALYZE collected *)
+  mutable card_replans : int;
+      (** cached plans rebuilt because a referenced table's cardinality
+          moved to a different log2 bucket (LFP delta feedback, costed
+          and greedy planning only) *)
 }
 
 val create : unit -> t

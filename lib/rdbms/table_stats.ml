@@ -1,0 +1,67 @@
+type col = {
+  c_name : string;
+  c_ndv : int;
+  c_min : Value.t option;
+  c_max : Value.t option;
+  c_null_frac : float;
+}
+
+type t = { s_rows : int; s_bytes : int; s_cols : col list }
+
+let collect rel =
+  let schema = Relation.schema rel in
+  let ncols = Schema.arity schema in
+  let seen = Array.init ncols (fun _ -> Hashtbl.create 64) in
+  let mins = Array.make ncols None in
+  let maxs = Array.make ncols None in
+  let rows = ref 0 in
+  let bytes = ref 0 in
+  Relation.iter
+    (fun tup ->
+      incr rows;
+      bytes := !bytes + Tuple.byte_size tup;
+      Array.iteri
+        (fun i v ->
+          if not (Hashtbl.mem seen.(i) v) then Hashtbl.replace seen.(i) v ();
+          (match mins.(i) with
+          | Some m when Value.compare m v <= 0 -> ()
+          | _ -> mins.(i) <- Some v);
+          match maxs.(i) with
+          | Some m when Value.compare m v >= 0 -> ()
+          | _ -> maxs.(i) <- Some v)
+        tup)
+    rel;
+  let cols =
+    List.mapi
+      (fun i name ->
+        {
+          c_name = String.lowercase_ascii name;
+          c_ndv = Hashtbl.length seen.(i);
+          c_min = mins.(i);
+          c_max = maxs.(i);
+          c_null_frac = 0.0;
+        })
+      (Schema.names schema)
+  in
+  { s_rows = !rows; s_bytes = !bytes; s_cols = cols }
+
+let find_col t name =
+  let name = String.lowercase_ascii name in
+  List.find_opt (fun c -> c.c_name = name) t.s_cols
+
+let avg_row_bytes t =
+  if t.s_rows = 0 then 16.0 else float_of_int t.s_bytes /. float_of_int t.s_rows
+
+let to_string t =
+  let opt = function None -> "-" | Some v -> Value.to_string v in
+  let lines =
+    List.map
+      (fun c ->
+        Printf.sprintf "  %-16s ndv=%-6d min=%-10s max=%-10s null_frac=%.2f"
+          c.c_name c.c_ndv (opt c.c_min) (opt c.c_max) c.c_null_frac)
+      t.s_cols
+  in
+  String.concat "\n"
+    (Printf.sprintf "rows=%d bytes=%d pages=%d" t.s_rows t.s_bytes
+       (Stats.pages_of_bytes t.s_bytes)
+    :: lines)

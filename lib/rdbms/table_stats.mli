@@ -1,0 +1,39 @@
+(** Optimizer statistics for one table, collected by [ANALYZE].
+
+    One pass over the relation yields the row count, byte footprint and,
+    per column, the number of distinct values, the extreme values and the
+    null fraction. The testbed's data dictionary has no NULLs, so the
+    null fraction is always 0.0 — it is kept so the stats record matches
+    the classical catalog shape (and stays honest if NULLs ever arrive).
+
+    A stats record is a snapshot: it does not track later inserts or
+    deletes. The cost model ({!Cost}) therefore reads live row counts
+    from the relation (free in this in-memory engine) and uses the
+    snapshot only for per-column facts the relation cannot answer
+    cheaply (NDV of unindexed columns, min/max). *)
+
+type col = {
+  c_name : string;  (** lowercased column name *)
+  c_ndv : int;  (** number of distinct values at collection time *)
+  c_min : Value.t option;  (** [None] iff the table was empty *)
+  c_max : Value.t option;
+  c_null_frac : float;  (** always 0.0 — see above *)
+}
+
+type t = {
+  s_rows : int;  (** row count at collection time *)
+  s_bytes : int;  (** simulated byte footprint at collection time *)
+  s_cols : col list;  (** one entry per column, in schema order *)
+}
+
+val collect : Relation.t -> t
+(** One full scan of the relation (the caller charges the page reads). *)
+
+val find_col : t -> string -> col option
+(** Column stats by case-insensitive name. *)
+
+val avg_row_bytes : t -> float
+(** Mean simulated row footprint; a plausible default when [s_rows = 0]. *)
+
+val to_string : t -> string
+(** One line per column, for the shell's [.analyze-stats] display. *)

@@ -14,8 +14,24 @@ echo "== tests =="
 dune runtest
 
 echo "== bench smoke (quick scale) =="
-dune exec bench/main.exe -- wal cache profile quick
+dune exec bench/main.exe -- wal cache profile joins quick
 test -s BENCH_profile.json || { echo "BENCH_profile.json missing/empty"; exit 1; }
+test -s BENCH_joins.json || { echo "BENCH_joins.json missing/empty"; exit 1; }
+
+# the cost-based planner must not regress against greedy by more than 10%
+# on the skewed 3-way join (and the LFP delta feedback must have helped)
+awk '
+  /"skewed_3way"/ { in_skewed = 1 }
+  in_skewed && /"mode": "greedy"/  { if (match($0, /"total_io": [0-9]+/)) greedy = substr($0, RSTART + 12, RLENGTH - 12) }
+  in_skewed && /"mode": "costed"/  { if (match($0, /"total_io": [0-9]+/)) costed = substr($0, RSTART + 12, RLENGTH - 12); in_skewed = 0 }
+  /"improved": true/ { improved = 1 }
+  END {
+    if (greedy == "" || costed == "") { print "BENCH_joins.json missing measures"; exit 1 }
+    if (costed + 0 > greedy * 1.10) { print "costed planner regressed vs greedy: " costed " > 1.10 * " greedy; exit 1 }
+    if (!improved) { print "LFP delta feedback did not improve inner-loop I/O"; exit 1 }
+    print "joins bench OK: costed=" costed " greedy=" greedy
+  }
+' BENCH_joins.json
 
 echo "== shell observability smoke =="
 TRACE=$(mktemp /tmp/dkb_ci_trace.XXXXXX)

@@ -121,11 +121,16 @@ let test_trace_hook_events () =
   let evs = List.rev !events in
   (match evs with
   | [ Engine.Tr_stmt_begin { sql = b }; Engine.Tr_plan { sql = p; tree };
-      Engine.Tr_stmt_end { sql = f; ok; rows; delta; ms } ] ->
+      Engine.Tr_stmt_end { sql = f; ok; rows; delta; ms; est } ] ->
       Alcotest.(check bool) "same sql on begin/plan/end" true (b = p && p = f);
       Alcotest.(check bool) "plan tree rendered" true (String.length tree > 0);
       Alcotest.(check bool) "ok" true ok;
       Alcotest.(check (option int)) "row count" (Some 2) rows;
+      (match est with
+      | Some e ->
+          Alcotest.(check bool) "estimate positive" true
+            (e.Rdbms.Cost.rows > 0.0 && e.Rdbms.Cost.cost > 0.0)
+      | None -> Alcotest.fail "expected a cost estimate on a planned SELECT");
       Alcotest.(check bool) "charged reads or probes" true
         (delta.Stats.page_reads + delta.Stats.index_probes > 0);
       Alcotest.(check bool) "ms recorded" true (ms >= 0.0)

@@ -145,6 +145,115 @@ let test_explain_rejects_non_select () =
        false
      with E.Sql_error _ -> true)
 
+(* A 3-way join with skewed sizes, written largest-first, every join
+   column indexed — the shape where the three planners genuinely diverge. *)
+let skewed () =
+  let e = E.create () in
+  let x sql = ignore (E.exec e sql) in
+  x "CREATE TABLE big (bk integer, bv integer)";
+  x "CREATE TABLE mid (mk integer, bk integer, sk integer)";
+  x "CREATE TABLE small (sk integer, sv integer)";
+  for i = 0 to 299 do
+    x (Printf.sprintf "INSERT INTO big VALUES (%d, %d)" i (i mod 50))
+  done;
+  for i = 0 to 99 do
+    x (Printf.sprintf "INSERT INTO mid VALUES (%d, %d, %d)" i (i * 3) (i mod 12))
+  done;
+  for i = 0 to 11 do
+    x (Printf.sprintf "INSERT INTO small VALUES (%d, %d)" i (i mod 10))
+  done;
+  x "CREATE INDEX idx_big_bk ON big (bk)";
+  x "CREATE INDEX idx_mid_bk ON mid (bk)";
+  x "CREATE INDEX idx_mid_sk ON mid (sk)";
+  x "CREATE INDEX idx_small_sk ON small (sk)";
+  x "ANALYZE";
+  e
+
+let skewed_sql =
+  "SELECT b.bv FROM big b, mid m, small s WHERE b.bk = m.bk AND m.sk = s.sk AND s.sv = 0"
+
+let test_costed_golden_plans () =
+  let e = skewed () in
+  let plan mode =
+    E.set_join_order e mode;
+    let p = E.explain e skewed_sql in
+    E.set_join_order e Rdbms.Planner.Syntactic;
+    p
+  in
+  Alcotest.(check string) "syntactic golden plan"
+    "Project [b.bv]\n\
+    \  HashJoin keys=[4]=[0]\n\
+    \    IndexJoin mid via idx_mid_bk probe=col0\n\
+    \      SeqScan big\n\
+    \    SeqScan small filter=[s.sv = 0]\n"
+    (plan Rdbms.Planner.Syntactic);
+  Alcotest.(check string) "greedy golden plan"
+    "Project [b.bv]\n\
+    \  IndexJoin big via idx_big_bk probe=col3\n\
+    \    IndexJoin mid via idx_mid_sk probe=col0\n\
+    \      SeqScan small filter=[s.sv = 0]\n"
+    (plan Rdbms.Planner.Greedy);
+  (* the costed planner drops every per-row index probe in favour of
+     scans of the small tables, and builds the final hash table on the
+     smaller (left, post-join) side *)
+  Alcotest.(check string) "costed golden plan"
+    "Project [b.bv]\n\
+    \  HashJoin keys=[1]=[0] build=left\n\
+    \    HashJoin keys=[2]=[0]\n\
+    \      SeqScan mid\n\
+    \      SeqScan small filter=[s.sv = 0]\n\
+    \    SeqScan big\n"
+    (plan Rdbms.Planner.Costed)
+
+let test_costed_deterministic_and_correct () =
+  let e = skewed () in
+  E.set_join_order e Rdbms.Planner.Costed;
+  Alcotest.(check string) "same plan on replan" (E.explain e skewed_sql)
+    (E.explain e skewed_sql);
+  let count mode =
+    E.set_join_order e mode;
+    match E.exec e skewed_sql with
+    | E.Rows { rows; _ } -> List.length rows
+    | _ -> Alcotest.fail "rows"
+  in
+  let costed = count Rdbms.Planner.Costed in
+  let syntactic = count Rdbms.Planner.Syntactic in
+  Alcotest.(check int) "same answers as syntactic" syntactic costed;
+  Alcotest.(check bool) "non-empty" true (costed > 0)
+
+let test_greedy_tie_breaks_on_from_order () =
+  (* identical twin tables: every cardinality estimate ties, so greedy
+     must fall back to FROM order (and stay deterministic) *)
+  let e = E.create () in
+  let x sql = ignore (E.exec e sql) in
+  x "CREATE TABLE t1 (k integer, v char)";
+  x "CREATE TABLE t2 (k integer, v char)";
+  x "INSERT INTO t1 VALUES (1, 'a'), (2, 'b')";
+  x "INSERT INTO t2 VALUES (1, 'c'), (2, 'd')";
+  E.set_join_order e Rdbms.Planner.Greedy;
+  let plan = E.explain e "SELECT t2.v FROM t2, t1 WHERE t2.k = t1.k" in
+  (* the driving table is the join's left input — the first Scan line *)
+  let driver =
+    List.find_opt
+      (fun l -> Astring.String.is_infix ~affix:"Scan" l)
+      (String.split_on_char '\n' plan)
+  in
+  match driver with
+  | Some l ->
+      Alcotest.(check bool) ("drives from t2:\n" ^ plan) true
+        (Astring.String.is_infix ~affix:"t2" l)
+  | None -> Alcotest.fail "no scan in plan"
+
+let test_greedy_empty_table_estimates () =
+  (* an empty, filtered, indexed table exercises the >= 1 clamp in
+     estimated_rows: planning must neither divide to zero nor error *)
+  let e = fresh () in
+  ignore (E.exec e "INSERT INTO big VALUES (1, 'x')");
+  E.set_join_order e Rdbms.Planner.Greedy;
+  match E.exec e "SELECT b.v FROM big b, small s WHERE b.k = s.k AND s.k = 3 AND s.w = 'y'" with
+  | E.Rows { rows; _ } -> Alcotest.(check int) "empty join result" 0 (List.length rows)
+  | _ -> Alcotest.fail "rows"
+
 let () =
   Alcotest.run "planner"
     [
@@ -164,5 +273,14 @@ let () =
           Alcotest.test_case "explain non-select" `Quick test_explain_rejects_non_select;
           Alcotest.test_case "greedy join order" `Quick test_greedy_join_order;
           Alcotest.test_case "greedy drives from filtered" `Quick test_greedy_prefers_filtered_table;
+        ] );
+      ( "costed",
+        [
+          Alcotest.test_case "golden plans" `Quick test_costed_golden_plans;
+          Alcotest.test_case "deterministic and correct" `Quick
+            test_costed_deterministic_and_correct;
+          Alcotest.test_case "greedy tie-break on FROM order" `Quick
+            test_greedy_tie_breaks_on_from_order;
+          Alcotest.test_case "empty-table estimates" `Quick test_greedy_empty_table_estimates;
         ] );
     ]
