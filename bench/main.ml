@@ -11,6 +11,7 @@
      dune exec bench/main.exe -- wal          -- write-ahead-log ablation (writes BENCH_wal.json)
      dune exec bench/main.exe -- profile      -- observability bench (writes BENCH_profile.json)
      dune exec bench/main.exe -- joins        -- join-order/cost-model bench (writes BENCH_joins.json)
+     dune exec bench/main.exe -- exec         -- compiled-vs-interpreted execution bench (writes BENCH_exec.json)
      dune exec bench/main.exe -- bechamel     -- bechamel microbenchmarks *)
 
 let known =
@@ -29,6 +30,7 @@ let known =
     ("wal", fun scale -> Experiments.Ablation.run_wal ~scale ());
     ("profile", fun scale -> Experiments.Observe.run ~scale ());
     ("joins", fun scale -> Experiments.Joins.run ~scale ());
+    ("exec", fun scale -> Experiments.Exec_bench.run ~scale ());
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -115,7 +117,7 @@ let () =
       match selected with
       | [] | [ "all" ] ->
           List.filter
-            (fun (n, _) -> not (List.mem n [ "ablation"; "cache"; "wal"; "profile"; "joins" ]))
+            (fun (n, _) -> not (List.mem n [ "ablation"; "cache"; "wal"; "profile"; "joins"; "exec" ]))
             known
       | names ->
           List.map

@@ -26,7 +26,7 @@ let help_text =
   .base name(col type, ...)      define a base relation (types: integer|char)
   .index name(col) [ordered]     build a hash (or ordered/range) index
   .options [magic off|on|sup|auto] [strategy naive|semi] [indexderived on|off]
-           [joinorder syntactic|greedy|costed]
+           [joinorder syntactic|greedy|costed] [exec interpreted|compiled]
                                  set query-processing options
   .cache on|off                  toggle the precompiled-query cache
   .explain goal(..)              show the compiled program without running it
@@ -162,10 +162,16 @@ let set_options st words =
         | "greedy" -> set Rdbms.Planner.Greedy; go rest
         | "costed" -> set Rdbms.Planner.Costed; go rest
         | _ -> Error ("unknown join order " ^ v))
+    | "exec" :: v :: rest ->
+        let set m = st.options <- { st.options with exec = m } in
+        (match v with
+        | "interpreted" -> set Rdbms.Engine.Interpreted; go rest
+        | "compiled" -> set Rdbms.Engine.Compiled; go rest
+        | _ -> Error ("unknown exec backend " ^ v))
     | w :: _ -> Error ("unknown option " ^ w)
   in
   on_result (go words) ~ok:(fun () ->
-      printf "options: magic=%s strategy=%s indexderived=%b joinorder=%s cache=%b\n"
+      printf "options: magic=%s strategy=%s indexderived=%b joinorder=%s exec=%s cache=%b\n"
         (match st.options.Session.optimize with
         | Core.Compiler.Opt_off -> "off"
         | Core.Compiler.Opt_on -> "on"
@@ -177,6 +183,9 @@ let set_options st words =
         | Rdbms.Planner.Syntactic -> "syntactic"
         | Rdbms.Planner.Greedy -> "greedy"
         | Rdbms.Planner.Costed -> "costed")
+        (match st.options.Session.exec with
+        | Rdbms.Engine.Interpreted -> "interpreted"
+        | Rdbms.Engine.Compiled -> "compiled")
         st.use_cache)
 
 let show_rules st =

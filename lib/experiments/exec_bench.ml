@@ -1,0 +1,238 @@
+(* Compiled-execution bench: the closure-compiled batch backend against
+   the tuple-at-a-time interpreter.
+
+   Part 1 — per-operator EXPLAIN ANALYZE timings of the grandparent
+   self-join over a full binary tree, one column per backend: where does
+   closure compilation actually save time, operator by operator?
+
+   Part 2 — ad hoc SQL throughput: the same self-join executed
+   repeatedly, median wall-clock per backend.
+
+   Part 3 — the headline number: end-to-end magic-sets ancestor LFP
+   (goal bound at the tree root, so the magic set is the whole relation
+   and the executor dominates the loop), wall-clock per backend. The
+   backends must agree on answers and iteration counts; the compiled
+   backend must not be slower, and at full scale must win by >= 3x.
+
+   Writes BENCH_exec.json. *)
+
+module Session = Core.Session
+module Runtime = Core.Runtime
+module Engine = Rdbms.Engine
+module Stats = Rdbms.Stats
+module Profile = Rdbms.Profile
+module Graphgen = Workload.Graphgen
+module Queries = Workload.Queries
+
+let backends =
+  [ ("interpreted", Engine.Interpreted); ("compiled", Engine.Compiled) ]
+
+let tree_session depth =
+  let s = Session.create () in
+  let tree = Graphgen.full_binary_tree ~depth () in
+  Common.ok (Queries.setup_parent s tree.Graphgen.t_edges);
+  Common.ok (Session.load_rules s Queries.ancestor_rules);
+  (s, tree)
+
+let grandparent_sql =
+  "SELECT p1.par, p3.child FROM parent p1, parent p2, parent p3 \
+   WHERE p1.child = p2.par AND p2.child = p3.par"
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: per-operator EXPLAIN ANALYZE under each backend *)
+
+type op_timing = {
+  ot_op : string;
+  ot_rows : int;
+  ot_interp_ms : float;
+  ot_compiled_ms : float;
+}
+
+let flatten profile =
+  let rec go depth (n : Profile.t) =
+    (String.make (2 * depth) ' ' ^ n.Profile.op, n.Profile.rows, n.Profile.ms)
+    :: List.concat_map (go (depth + 1)) (Profile.children n)
+  in
+  go 0 profile
+
+let analyze_timings depth =
+  let profile_of backend =
+    let s, _ = tree_session depth in
+    let engine = Session.engine s in
+    Engine.set_exec_backend engine backend;
+    (* warm the statement cache so we time execution, not planning *)
+    ignore (Engine.exec engine grandparent_sql : Engine.result);
+    let _, profile, _ = Engine.exec_analyze engine grandparent_sql in
+    flatten profile
+  in
+  let interp = profile_of Engine.Interpreted in
+  let compiled = profile_of Engine.Compiled in
+  List.map2
+    (fun (op, rows, ims) (op', _, cms) ->
+      assert (op = op');
+      { ot_op = op; ot_rows = rows; ot_interp_ms = ims; ot_compiled_ms = cms })
+    interp compiled
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: ad hoc SQL throughput *)
+
+let adhoc_ms depth repeat backend =
+  let s, _ = tree_session depth in
+  let engine = Session.engine s in
+  Engine.set_exec_backend engine backend;
+  ignore (Engine.exec engine grandparent_sql : Engine.result);
+  Common.measure ~repeat (fun () ->
+      Dkb_util.Timer.time_unit (fun () ->
+          ignore (Engine.exec engine grandparent_sql : Engine.result)))
+
+(* ------------------------------------------------------------------ *)
+(* Part 3: end-to-end magic-sets LFP *)
+
+type lfp_run = {
+  lr_backend : string;
+  lr_ms : float;
+  lr_answers : int;
+  lr_iterations : (string * int) list;
+}
+
+let lfp_run depth repeat (name, backend) =
+  let s, tree = tree_session depth in
+  let options =
+    {
+      Session.default_options with
+      exec = backend;
+      optimize = Core.Compiler.Opt_on;
+    }
+  in
+  let goal = Queries.ancestor_goal tree.Graphgen.t_root in
+  let last = ref None in
+  let ms =
+    Common.measure ~repeat (fun () ->
+        (* collect the previous backend's (and repeat's) garbage up front
+           so major-GC pauses for dead heaps aren't charged to whichever
+           backend happens to run second *)
+        Gc.full_major ();
+        let answer = Common.ok (Session.query_goal s ~options goal) in
+        last := Some answer;
+        answer.Session.total_ms)
+  in
+  let answer = match !last with Some a -> a | None -> assert false in
+  {
+    lr_backend = name;
+    lr_ms = ms;
+    lr_answers = List.length answer.Session.run.Runtime.rows;
+    lr_iterations = answer.Session.run.Runtime.iterations;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let run ?(json_path = "BENCH_exec.json") ~scale () =
+  Common.section "Compiled-execution bench"
+    "Closure-compiled batch execution vs the tuple-at-a-time interpreter:\n\
+     per-operator EXPLAIN ANALYZE timings, ad hoc join throughput, and\n\
+     the end-to-end magic-sets ancestor LFP. Writes BENCH_exec.json.";
+  let depth, repeat =
+    match scale with Common.Full -> (14, 5) | Common.Quick -> (9, 5)
+  in
+  let edges = (1 lsl depth) - 2 in
+
+  (* --- part 1: per-operator timings --------------------------------- *)
+  let ops = analyze_timings depth in
+  Printf.printf "  per-operator EXPLAIN ANALYZE, grandparent self-join (%d edges)\n"
+    edges;
+  Common.print_table
+    ~header:[ "operator"; "rows"; "interpreted"; "compiled" ]
+    (List.map
+       (fun o ->
+         [
+           o.ot_op;
+           string_of_int o.ot_rows;
+           Common.fmt_ms o.ot_interp_ms;
+           Common.fmt_ms o.ot_compiled_ms;
+         ])
+       ops);
+
+  (* --- part 2: ad hoc throughput ------------------------------------ *)
+  let adhoc_i = adhoc_ms depth repeat Engine.Interpreted in
+  let adhoc_c = adhoc_ms depth repeat Engine.Compiled in
+  let adhoc_speedup = if adhoc_c > 0.0 then adhoc_i /. adhoc_c else 1.0 in
+  Printf.printf "\n  ad hoc self-join: interpreted %s, compiled %s (%.2fx)\n"
+    (Common.fmt_ms adhoc_i) (Common.fmt_ms adhoc_c) adhoc_speedup;
+
+  (* --- part 3: magic-sets LFP --------------------------------------- *)
+  let runs = List.map (lfp_run depth repeat) backends in
+  let interp = List.find (fun r -> r.lr_backend = "interpreted") runs in
+  let compiled = List.find (fun r -> r.lr_backend = "compiled") runs in
+  let speedup = if compiled.lr_ms > 0.0 then interp.lr_ms /. compiled.lr_ms else 1.0 in
+  Printf.printf "\n  magic-sets ancestor LFP from the root (%d edges)\n" edges;
+  Common.print_table
+    ~header:[ "backend"; "wall clock"; "answers"; "iterations" ]
+    (List.map
+       (fun r ->
+         [
+           r.lr_backend;
+           Common.fmt_ms r.lr_ms;
+           string_of_int r.lr_answers;
+           string_of_int (List.fold_left (fun a (_, n) -> a + n) 0 r.lr_iterations);
+         ])
+       runs);
+  Printf.printf "  end-to-end speedup: %.2fx\n" speedup;
+  ignore
+    (Common.shape "both backends return the same answers"
+       (interp.lr_answers = compiled.lr_answers));
+  ignore
+    (Common.shape "both backends take the same iterations"
+       (interp.lr_iterations = compiled.lr_iterations));
+  ignore
+    (Common.shape "compiled LFP wall-clock <= interpreted"
+       (compiled.lr_ms <= interp.lr_ms));
+  let target = 3.0 in
+  let met = speedup >= target in
+  (match scale with
+  | Common.Full ->
+      ignore (Common.shape (Printf.sprintf "compiled >= %.0fx faster end-to-end" target) met)
+  | Common.Quick -> ());
+
+  (* --- BENCH_exec.json ---------------------------------------------- *)
+  let op_json o =
+    Printf.sprintf
+      {|{ "op": "%s", "rows": %d, "interpreted_ms": %.3f, "compiled_ms": %.3f }|}
+      (Rdbms.Profile.json_escape (String.trim o.ot_op))
+      o.ot_rows o.ot_interp_ms o.ot_compiled_ms
+  in
+  let json =
+    Printf.sprintf
+      {|{
+  "experiment": "exec",
+  "scale": "%s",
+  "analyze": {
+    "sql": "%s",
+    "edges": %d,
+    "operators": [
+      %s
+    ]
+  },
+  "adhoc_join": { "repeat": %d, "interpreted_ms": %.3f, "compiled_ms": %.3f, "speedup": %.2f },
+  "lfp_magic": {
+    "workload": "magic-sets ancestor from the root of a full binary tree",
+    "edges": %d,
+    "answers": %d,
+    "interpreted_ms": %.3f,
+    "compiled_ms": %.3f,
+    "speedup": %.2f,
+    "target_speedup": %.1f,
+    "met": %b
+  }
+}
+|}
+      (match scale with Common.Full -> "full" | Common.Quick -> "quick")
+      (Rdbms.Profile.json_escape grandparent_sql)
+      edges
+      (String.concat ",\n      " (List.map op_json ops))
+      repeat adhoc_i adhoc_c adhoc_speedup
+      edges compiled.lr_answers interp.lr_ms compiled.lr_ms speedup target met
+  in
+  let oc = open_out json_path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "  wrote %s\n" json_path

@@ -1,0 +1,7 @@
+(** Compiled-execution bench: the closure-compiled batch backend against
+    the tuple-at-a-time interpreter — per-operator EXPLAIN ANALYZE
+    timings, ad hoc join throughput, and the end-to-end magic-sets
+    ancestor LFP (where the compiled backend must not be slower, and at
+    full scale must win by at least 3x). Writes [BENCH_exec.json]. *)
+
+val run : ?json_path:string -> scale:Common.scale -> unit -> unit

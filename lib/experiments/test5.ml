@@ -20,7 +20,7 @@ type result_t = {
 }
 
 let run_query s node strategy =
-  let options = { Session.default_options with strategy } in
+  let options = { Common.paper_options with strategy } in
   let answer = Common.ok (Session.query_goal s ~options (Workload.Queries.ancestor_goal node)) in
   (answer.Session.run.Core.Runtime.exec_ms, Rdbms.Stats.total_io answer.Session.run.Core.Runtime.io)
 
@@ -28,7 +28,10 @@ let run ?(scale = Common.Full) () =
   let depth, repeat =
     match scale with
     | Common.Full -> (10, 3)
-    | Common.Quick -> (6, 1)
+    (* median-of-3 at depth 7 even in quick mode: at depth 6 the per-query
+       times are well under a millisecond, where one GC slice on either
+       side flips the speedup shape *)
+    | Common.Quick -> (7, 3)
   in
   Common.section "Test 5 (Figure 12)"
     "t_e for naive vs semi-naive LFP evaluation of ancestor queries rooted at\n\

@@ -39,7 +39,7 @@ let is_magic_entry label =
   String.length label >= 10 && String.sub label 0 10 = "clique(m__"
 
 let run_one s node ~optimize ~strategy =
-  let options = { Session.default_options with strategy; optimize } in
+  let options = { Common.paper_options with strategy; optimize } in
   let answer = Common.ok (Session.query_goal s ~options (Workload.Queries.ancestor_goal node)) in
   let run = answer.Session.run in
   let magic_ms, modified_ms =
@@ -98,7 +98,9 @@ let run ?(scale = Common.Full) () =
   let depth, big_depth, repeat =
     match scale with
     | Common.Full -> (10, 13, 3)
-    | Common.Quick -> (6, 8, 1)
+    (* big_depth 9 rather than 8: the >= 10x low-selectivity shape needs
+       the magic-side run comfortably above timer noise *)
+    | Common.Quick -> (6, 9, 1)
   in
   Common.section "Test 7 (Figures 13-14)"
     "Magic sets on/off vs query selectivity (ancestor over full binary trees),\n\
@@ -137,8 +139,22 @@ let run ?(scale = Common.Full) () =
     float_of_int (Graphgen.subtree_edge_count tree2 level)
     /. float_of_int (List.length tree2.Graphgen.t_edges)
   in
-  let noopt_ms, _, _ = run_one s2 node ~optimize:Core.Compiler.Opt_off ~strategy:Core.Runtime.Seminaive in
-  let magic_ms, _, _ = run_one s2 node ~optimize:Core.Compiler.Opt_on ~strategy:Core.Runtime.Seminaive in
+  (* median-of-3 regardless of scale: this is a single-point ratio shape,
+     and the magic-side run is fast enough for one GC slice to flip it *)
+  let noopt_ms =
+    Common.measure ~repeat:3 (fun () ->
+        let ms, _, _ =
+          run_one s2 node ~optimize:Core.Compiler.Opt_off ~strategy:Core.Runtime.Seminaive
+        in
+        ms)
+  in
+  let magic_ms =
+    Common.measure ~repeat:3 (fun () ->
+        let ms, _, _ =
+          run_one s2 node ~optimize:Core.Compiler.Opt_on ~strategy:Core.Runtime.Seminaive
+        in
+        ms)
+  in
   let lowsel_speedup = noopt_ms /. magic_ms in
   Printf.printf
     "  low-selectivity case: %d tuples, selectivity %.2f%%: no-opt %.1f ms vs magic %.1f ms (%.0fx)\n"

@@ -1,0 +1,48 @@
+type t = {
+  mutable rows : Tuple.t array;
+  mutable len : int;
+}
+
+let empty_row : Tuple.t = [||]
+
+let create ?(capacity = 16) () = { rows = Array.make (max capacity 1) empty_row; len = 0 }
+
+let length b = b.len
+let get b i = b.rows.(i)
+
+let ensure_capacity b =
+  if b.len >= Array.length b.rows then begin
+    let bigger = Array.make (2 * Array.length b.rows) empty_row in
+    Array.blit b.rows 0 bigger 0 b.len;
+    b.rows <- bigger
+  end
+
+let push b row =
+  ensure_capacity b;
+  b.rows.(b.len) <- row;
+  b.len <- b.len + 1
+
+let iter f b =
+  for i = 0 to b.len - 1 do
+    f b.rows.(i)
+  done
+
+let fold f init b =
+  let acc = ref init in
+  iter (fun row -> acc := f !acc row) b;
+  !acc
+
+let to_list b =
+  let out = ref [] in
+  for i = b.len - 1 downto 0 do
+    out := b.rows.(i) :: !out
+  done;
+  !out
+
+let of_list rows =
+  let b = create ~capacity:(max 1 (List.length rows)) () in
+  List.iter (push b) rows;
+  b
+
+let to_array b = Array.sub b.rows 0 b.len
+let of_array rows = { rows; len = Array.length rows }

@@ -13,12 +13,22 @@ exception Sql_error = Sql_error.Sql_error
    TRUNCATE and INSERT do not bump the catalog version, so this is what
    lets the LFP inner loop replan when its delta tables grow or shrink by
    orders of magnitude (counted in {!Stats.card_replans}). *)
+(* Which execution backend runs SELECT / INSERT ... SELECT plans: the
+   tuple-at-a-time interpreter ({!Executor}, the oracle) or the
+   closure-compiled batch backend ({!Exec_compiled}). Both charge the same
+   Stats at the same points and return the same rows in the same order. *)
+type exec_backend = Interpreted | Compiled
+
 type cached_plan = {
   cp_plan : Plan.t;
   cp_version : int;
   cp_join_order : Planner.join_order;
   cp_card_key : (string * int) list; (* table -> log2 cardinality bucket *)
   cp_est : Cost.est Lazy.t; (* planner's estimate — forced only when traced *)
+  cp_exec : Exec_compiled.t Lazy.t;
+      (* compiled form, forced on first use under the Compiled backend; it
+         shares the plan's cache entry, so every invalidation (catalog
+         version, join-order mode, cardinality-bucket drift) drops both *)
 }
 
 type prepared = {
@@ -73,6 +83,7 @@ type t = {
   catalog : Catalog.t;
   stats : Stats.t;
   mutable join_order : Planner.join_order;
+  mutable backend : exec_backend;
   stmt_cache : (string, prepared) Hashtbl.t; (* SQL text -> prepared *)
   mutable cache_enabled : bool;
   mutable tick : int;
@@ -97,6 +108,7 @@ let create () =
     catalog = Catalog.create ();
     stats = Stats.create ();
     join_order = Planner.Syntactic;
+    backend = Compiled;
     stmt_cache = Hashtbl.create 64;
     cache_enabled = true;
     tick = 0;
@@ -161,6 +173,8 @@ let traced t sql run =
 
 let set_join_order t mode = t.join_order <- mode
 let join_order t = t.join_order
+let set_exec_backend t backend = t.backend <- backend
+let exec_backend t = t.backend
 let catalog t = t.catalog
 let stats t = t.stats
 
@@ -270,32 +284,51 @@ let rollback_txn t =
          counters: the paper's cost model covers forward work only. *)
       List.iter (apply_undo t) txn.t_undo
 
-let charge_insert stats rows =
-  let n = List.length rows in
-  if n > 0 then begin
-    let bytes = List.fold_left (fun acc r -> acc + Tuple.byte_size r) 0 rows in
-    stats.Stats.page_writes <- stats.Stats.page_writes + max 1 (Stats.pages_of_bytes bytes);
-    stats.Stats.rows_inserted <- stats.Stats.rows_inserted + n
-  end
-
-let insert_rows t table_name rows =
+(* Insert every row an iterator yields, accumulating count and bytes in a
+   single pass (no intermediate inserted-rows list); works off either a
+   list or a Batch. [trust] skips the per-row schema check — only for
+   rows of a type-checked INSERT ... SELECT plan (see
+   [typecheck_insert_select]); literal INSERT ... VALUES rows stay
+   validated. *)
+let insert_iter ?(trust = false) t table_name iter =
   let tbl = Catalog.find_table t.catalog table_name in
   match tbl with
   | None -> fail "no such table: %s" table_name
   | Some tbl ->
-      let inserted =
-        List.fold_left
-          (fun acc row ->
-            match Relation.insert tbl.Catalog.tbl_relation row with
-            | true ->
-                record t (fun () -> U_insert (table_name, row));
-                row :: acc
-            | false -> acc
-            | exception Invalid_argument msg -> raise (Sql_error msg))
-          [] rows
+      let rel = tbl.Catalog.tbl_relation in
+      let count = ref 0 in
+      (* the relation already sums inserted bytes; charge off its delta
+         instead of re-folding every row *)
+      let bytes0 = Relation.byte_size rel in
+      (* hoist the sink dispatch out of the hot loop: with no open
+         transaction there is no undo frame, so don't allocate one
+         closure per inserted row *)
+      let log =
+        match t.sink with
+        | None -> fun _ -> ()
+        | Some sink -> fun row -> sink := U_insert (table_name, row) :: !sink
       in
-      charge_insert t.stats inserted;
-      Affected (List.length inserted)
+      let ins = if trust then Relation.insert_unchecked else Relation.insert in
+      iter (fun row ->
+          match ins rel row with
+          | true ->
+              log row;
+              incr count
+          | false -> ()
+          | exception Invalid_argument msg -> raise (Sql_error msg));
+      if !count > 0 then begin
+        t.stats.Stats.page_writes <-
+          t.stats.Stats.page_writes
+          + max 1 (Stats.pages_of_bytes (Relation.byte_size rel - bytes0));
+        t.stats.Stats.rows_inserted <- t.stats.Stats.rows_inserted + !count
+      end;
+      Affected !count
+
+let insert_rows ?trust t table_name rows =
+  insert_iter ?trust t table_name (fun f -> List.iter f rows)
+
+let insert_batch ?trust t table_name b =
+  insert_iter ?trust t table_name (fun f -> Batch.iter f b)
 
 let plan_query_or_fail t q =
   try Planner.plan_query ~join_order:t.join_order t.catalog q with
@@ -369,6 +402,14 @@ let find_index_spec catalog name =
             tbl.Catalog.tbl_ordered
           |> Option.map (fun idx -> (tbl.Catalog.tbl_name, Ordered_index.column idx, true)))
     (Catalog.tables catalog)
+
+(* Run an ad-hoc (uncached) plan under the current backend. The one-time
+   closure compile is paid per execution here; repeated statements go
+   through the prepared paths, which cache the compiled form. *)
+let run_plan t plan =
+  match t.backend with
+  | Interpreted -> Executor.run t.stats plan
+  | Compiled -> Exec_compiled.run (Exec_compiled.compile t.stats plan)
 
 (* Execute a statement that has already been counted in [stats.statements].
    SELECT and INSERT ... SELECT are planned from scratch here; the cached
@@ -454,8 +495,11 @@ let run_stmt_raw t stmt =
       typecheck_insert_select t table plan;
       emit_plan t plan;
       note_est_of_plan t plan;
-      let rows = Executor.run t.stats plan in
-      insert_rows t table rows
+      (match t.backend with
+      | Interpreted -> insert_rows ~trust:true t table (Executor.run t.stats plan)
+      | Compiled ->
+          insert_batch ~trust:true t table
+            (Exec_compiled.run_batch (Exec_compiled.compile t.stats plan)))
   | Sql_ast.Delete { table; where } ->
       let tbl =
         match Catalog.find_table t.catalog table with
@@ -585,7 +629,7 @@ let run_stmt_raw t stmt =
       in
       emit_plan t plan;
       note_est_of_plan t plan;
-      let rows = Executor.run t.stats plan in
+      let rows = run_plan t plan in
       let columns =
         Array.to_list (Array.map (fun c -> c.Plan.h_name) (Plan.header_of plan))
       in
@@ -709,14 +753,27 @@ let card_key t (p : prepared) =
    match. With the statement cache disabled (an ablation configuration)
    every execution replans, so the measured difference is the full cost of
    plan caching. *)
+let make_cached t plan ~version ~key =
+  {
+    cp_plan = plan;
+    cp_version = version;
+    cp_join_order = t.join_order;
+    cp_card_key = key;
+    cp_est = lazy (Cost.estimate plan);
+    cp_exec = lazy (Exec_compiled.compile t.stats plan);
+  }
+
 let plan_of_prepared t p build =
   let version = Catalog.version t.catalog in
   if not t.cache_enabled then begin
     t.stats.Stats.plan_cache_misses <- t.stats.Stats.plan_cache_misses + 1;
     let plan = build () in
     emit_plan t plan;
-    note_est_of_plan t plan;
-    plan
+    (* a fresh (uncached) entry: compiled form, if used, lives only for
+       this execution *)
+    let cp = make_cached t plan ~version ~key:[] in
+    note_est t cp.cp_est;
+    cp
   end
   else
   let key = card_key t p in
@@ -726,7 +783,7 @@ let plan_of_prepared t p build =
          && cp.cp_card_key = key ->
       t.stats.Stats.plan_cache_hits <- t.stats.Stats.plan_cache_hits + 1;
       note_est t cp.cp_est;
-      cp.cp_plan
+      cp
   | prev ->
       t.stats.Stats.plan_cache_misses <- t.stats.Stats.plan_cache_misses + 1;
       (* a miss caused purely by cardinality drift is the LFP delta
@@ -736,19 +793,11 @@ let plan_of_prepared t p build =
           t.stats.Stats.card_replans <- t.stats.Stats.card_replans + 1
       | _ -> ());
       let plan = build () in
-      let est = lazy (Cost.estimate plan) in
-      p.p_plan <-
-        Some
-          {
-            cp_plan = plan;
-            cp_version = version;
-            cp_join_order = t.join_order;
-            cp_card_key = key;
-            cp_est = est;
-          };
+      let cp = make_cached t plan ~version ~key in
+      p.p_plan <- Some cp;
       emit_plan t plan;
-      note_est t est;
-      plan
+      note_est t cp.cp_est;
+      cp
 
 let select_plan_of_prepared t p query order_by =
   plan_of_prepared t p (fun () ->
@@ -771,15 +820,24 @@ let exec_prepared t p =
     traced t p.p_sql (fun () ->
     match p.p_stmt with
     | Sql_ast.Select { query; order_by } ->
-        let plan = select_plan_of_prepared t p query order_by in
-        let rows = Executor.run t.stats plan in
-        let columns = Array.to_list (Array.map (fun c -> c.Plan.h_name) (Plan.header_of plan)) in
+        let cp = select_plan_of_prepared t p query order_by in
+        let rows =
+          match t.backend with
+          | Interpreted -> Executor.run t.stats cp.cp_plan
+          | Compiled -> Exec_compiled.run (Lazy.force cp.cp_exec)
+        in
+        let columns =
+          Array.to_list (Array.map (fun c -> c.Plan.h_name) (Plan.header_of cp.cp_plan))
+        in
         Rows { columns; rows }
     | Sql_ast.Insert_select { table; query } as stmt ->
         with_stmt_frame t stmt (fun () ->
-            let plan = insert_select_plan_of_prepared t p table query in
-            let rows = Executor.run t.stats plan in
-            insert_rows t table rows)
+            let cp = insert_select_plan_of_prepared t p table query in
+            match t.backend with
+            | Interpreted -> insert_rows ~trust:true t table (Executor.run t.stats cp.cp_plan)
+            | Compiled ->
+                insert_batch ~trust:true t table
+                  (Exec_compiled.run_batch (Lazy.force cp.cp_exec)))
     | stmt ->
         (* no plan to cache, but a re-execution still skips lexing and
            parsing — count it so the counters mean "compiled form reused" *)
@@ -873,7 +931,9 @@ let explain t sql =
   (* route through the statement cache so the rendered tree is exactly the
      plan a subsequent [exec] of the same text would run (and so tests can
      observe cached plans being invalidated by DDL) *)
-  let describe_select p query order_by = Plan.describe (select_plan_of_prepared t p query order_by) in
+  let describe_select p query order_by =
+    Plan.describe (select_plan_of_prepared t p query order_by).cp_plan
+  in
   if t.cache_enabled then
     match cached_prepared t sql with
     | Some ({ p_stmt = Sql_ast.Select { query; order_by }; _ } as p) ->
@@ -894,6 +954,13 @@ let table_cardinality t name =
 (* ------------------------------------------------------------------ *)
 (* EXPLAIN ANALYZE *)
 
+(* Profiled execution under the current backend; both produce profile
+   trees whose counter sums equal the statement's Stats delta. *)
+let run_profiled_dispatch t plan =
+  match t.backend with
+  | Interpreted -> Executor.run_profiled t.stats plan
+  | Compiled -> Exec_compiled.run_profiled (Exec_compiled.compile t.stats plan)
+
 let exec_analyze t sql =
   let stmt = parse_or_fail sql in
   t.stats.Stats.statements <- t.stats.Stats.statements + 1;
@@ -905,7 +972,7 @@ let exec_analyze t sql =
         | Failure msg -> raise (Sql_error msg)
       in
       let before = Stats.copy t.stats in
-      let rows, profile = Executor.run_profiled t.stats plan in
+      let rows, profile = run_profiled_dispatch t plan in
       let delta = Stats.diff t.stats before in
       let columns = Array.to_list (Array.map (fun c -> c.Plan.h_name) (Plan.header_of plan)) in
       (Rows { columns; rows }, profile, delta)
@@ -917,9 +984,9 @@ let exec_analyze t sql =
         with_stmt_frame t stmt (fun () ->
             let plan = plan_query_or_fail t query in
             typecheck_insert_select t table plan;
-            let rows, profile = Executor.run_profiled t.stats plan in
+            let rows, profile = run_profiled_dispatch t plan in
             source := Some profile;
-            insert_rows t table rows)
+            insert_rows ~trust:true t table rows)
       in
       let delta = Stats.diff t.stats before in
       let child =
@@ -931,7 +998,7 @@ let exec_analyze t sql =
          statement delta minus the source subtree, so tree sums still
          equal the delta *)
       let root = Profile.make (Printf.sprintf "Insert %s" table) in
-      root.Profile.children <- [ child ];
+      Profile.add_child root child;
       root.Profile.reads <- delta.Stats.page_reads - Profile.total_reads child;
       root.Profile.writes <- delta.Stats.page_writes - Profile.total_writes child;
       root.Profile.probes <- delta.Stats.index_probes - Profile.total_probes child;

@@ -1,0 +1,28 @@
+(** Compiled execution backend: translates a physical plan once into a
+    tree of OCaml closures exchanging {!Batch.t} buffers, then re-runs the
+    closure with no plan-AST dispatch — built for the LFP inner loop,
+    where the same handful of prepared plans execute hundreds of times.
+
+    Behavioural contract with {!Executor} (the interpreted oracle): same
+    result rows in the same order, same {!Stats} charges at the same
+    points (so statement deltas are identical), and the same
+    EXPLAIN ANALYZE profile-tree sums. *)
+
+type t
+(** A compiled plan. The engine {!Stats} to charge are captured at compile
+    time, so a compiled plan is invalidated together with the plan it came
+    from (the prepared-statement cache does this). *)
+
+val compile : Stats.t -> Plan.t -> t
+(** One-time translation of the plan into closures. Does not touch data or
+    charge any I/O; all charging happens per {!run}. *)
+
+val run : t -> Tuple.t list
+val run_batch : t -> Batch.t
+(** Execute, charging the captured {!Stats} exactly as {!Executor.run}
+    would for the same plan against the same data. *)
+
+val run_profiled : t -> Tuple.t list * Profile.t
+val run_profiled_batch : t -> Batch.t * Profile.t
+(** Like {!Executor.run_profiled}: also builds the per-operator profile
+    tree, whose counter sums equal the statement's Stats delta. *)

@@ -15,8 +15,9 @@ let charge_scan obs rel =
   | Some n -> n.Profile.reads <- n.Profile.reads + pages
   | None -> ()
 
-let charge_probe obs matched =
-  let bytes = List.fold_left (fun acc r -> acc + Tuple.byte_size r) 0 matched in
+(* One probe charged at [bytes] worth of matched rows. Index probes pass the
+   bucket's running byte counter; range scans still fold over the matches. *)
+let charge_probe_bytes obs bytes =
   let pages = 1 + Stats.pages_of_bytes bytes in
   obs.stats.Stats.index_probes <- obs.stats.Stats.index_probes + 1;
   obs.stats.Stats.page_reads <- obs.stats.Stats.page_reads + pages;
@@ -25,6 +26,9 @@ let charge_probe obs matched =
       n.Profile.probes <- n.Profile.probes + 1;
       n.Profile.reads <- n.Profile.reads + pages
   | None -> ()
+
+let charge_probe obs matched =
+  charge_probe_bytes obs (List.fold_left (fun acc r -> acc + Tuple.byte_size r) 0 matched)
 
 let produced obs n = obs.stats.Stats.rows_read <- obs.stats.Stats.rows_read + n
 
@@ -59,8 +63,8 @@ let rec go obs plan =
       produced obs (List.length rows);
       rows
   | Plan.Index_scan { index; key; filter; _ } ->
-      let matched = Index.lookup index key in
-      charge_probe obs matched;
+      let matched, bytes = Index.lookup_with_bytes index key in
+      charge_probe_bytes obs bytes;
       let rows = List.filter (keep filter) matched in
       produced obs (List.length rows);
       rows
@@ -102,6 +106,9 @@ let rec go obs plan =
           let prev = match Key_tbl.find_opt table k with Some l -> l | None -> [] in
           Key_tbl.replace table k (r :: prev))
         build_rows;
+      (* flip each bucket into insertion order once, instead of List.rev
+         on every probe hit *)
+      Key_tbl.filter_map_inplace (fun _ matches -> Some (List.rev matches)) table;
       let out = ref [] in
       List.iter
         (fun p ->
@@ -113,7 +120,7 @@ let rec go obs plan =
                 (fun b ->
                   let row = if build_left then concat_rows b p else concat_rows p b in
                   if keep residual row then out := row :: !out)
-                (List.rev matches))
+                matches)
         probe_rows;
       let rows = List.rev !out in
       produced obs (List.length rows);
@@ -123,8 +130,8 @@ let rec go obs plan =
       let out = ref [] in
       List.iter
         (fun l ->
-          let matched = Index.lookup index l.(outer_pos) in
-          charge_probe obs matched;
+          let matched, bytes = Index.lookup_with_bytes index l.(outer_pos) in
+          charge_probe_bytes obs bytes;
           List.iter
             (fun r ->
               let row = concat_rows l r in
@@ -210,7 +217,7 @@ and sub obs child =
   | None -> go obs child
   | Some parent ->
       let cn = Profile.make (Plan.op_label child) in
-      parent.Profile.children <- parent.Profile.children @ [ cn ];
+      Profile.add_child parent cn;
       let t0 = Timer.now_ms () in
       let rows = go { obs with node = Some cn } child in
       cn.Profile.ms <- Timer.now_ms () -. t0;
@@ -270,6 +277,8 @@ and dedupe rows =
     List.fold_left (fun acc row -> if Tuple.Hashset.add seen row then row :: acc else acc) [] rows
   in
   List.rev out
+
+let aggregate_rows = aggregate
 
 let run stats plan = go { stats; node = None } plan
 

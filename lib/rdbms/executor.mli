@@ -1,6 +1,12 @@
 (** Materializing plan executor. Every operator charges the simulated
     page-I/O cost model (see {!Stats}) as it runs. *)
 
+val aggregate_rows : Tuple.t list -> int list -> Plan.agg_output array -> Tuple.t list
+(** Hash aggregation over materialized rows (GROUP BY semantics, group
+    order = first appearance; empty [group_keys] = one group, which on
+    empty input yields a single zero row iff every output is a count).
+    Shared with {!Exec_compiled} so both backends agree exactly. *)
+
 val run : Stats.t -> Plan.t -> Tuple.t list
 (** Evaluates a plan to its result rows (in deterministic order: scans
     produce insertion order; joins are left-driven). *)

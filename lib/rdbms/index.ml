@@ -5,27 +5,38 @@ module H = Hashtbl.Make (struct
   let hash = Value.hash
 end)
 
+(* Each bucket carries a running byte total of its rows so probe-time page
+   accounting is O(1) instead of a fold over the matched rows. *)
+type bucket = {
+  mutable ids : int list; (* row ids, most recent first *)
+  mutable bytes : int; (* sum of Tuple.byte_size over the bucket's rows *)
+}
+
 type t = {
   name : string;
   column : string;
   pos : int;
   relation : Relation.t;
-  buckets : int list ref H.t; (* value -> row ids, most recent first *)
+  buckets : bucket H.t;
 }
 
 let add_entry t row_id row =
   let key = row.(t.pos) in
   match H.find_opt t.buckets key with
-  | Some ids -> ids := row_id :: !ids
-  | None -> H.add t.buckets key (ref [ row_id ])
+  | Some b ->
+      b.ids <- row_id :: b.ids;
+      b.bytes <- b.bytes + Tuple.byte_size row
+  | None -> H.add t.buckets key { ids = [ row_id ]; bytes = Tuple.byte_size row }
 
 let remove_entry t row_id row =
   let key = row.(t.pos) in
   match H.find_opt t.buckets key with
   | None -> ()
-  | Some ids ->
-      ids := List.filter (fun id -> id <> row_id) !ids;
-      if !ids = [] then H.remove t.buckets key
+  | Some b -> (
+      b.ids <- List.filter (fun id -> id <> row_id) b.ids;
+      match b.ids with
+      | [] -> H.remove t.buckets key
+      | _ -> b.bytes <- b.bytes - Tuple.byte_size row)
 
 let create ~name relation ~column =
   let schema = Relation.schema relation in
@@ -46,21 +57,28 @@ let name t = t.name
 let column t = t.column
 let column_pos t = t.pos
 
+let resolve t ids =
+  (* ids are most-recent-first; restore insertion order and resolve *)
+  List.fold_left
+    (fun acc id ->
+      match Relation.get_row t.relation id with
+      | Some row -> row :: acc
+      | None -> acc)
+    [] ids
+
 let lookup t key =
   match H.find_opt t.buckets key with
   | None -> []
-  | Some ids ->
-      (* ids are most-recent-first; restore insertion order and resolve *)
-      List.fold_left
-        (fun acc id ->
-          match Relation.get_row t.relation id with
-          | Some row -> row :: acc
-          | None -> acc)
-        [] !ids
+  | Some b -> resolve t b.ids
+
+let lookup_with_bytes t key =
+  match H.find_opt t.buckets key with
+  | None -> ([], 0)
+  | Some b -> (resolve t b.ids, b.bytes)
 
 let lookup_count t key =
   match H.find_opt t.buckets key with
   | None -> 0
-  | Some ids -> List.length !ids
+  | Some b -> List.length b.ids
 
 let distinct_keys t = H.length t.buckets

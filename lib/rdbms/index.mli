@@ -15,6 +15,10 @@ val column_pos : t -> int
 val lookup : t -> Value.t -> Tuple.t list
 (** Rows whose indexed column equals the given value, in insertion order. *)
 
+val lookup_with_bytes : t -> Value.t -> Tuple.t list * int
+(** Like {!lookup}, also returning the total {!Tuple.byte_size} of the
+    matched rows from the bucket's running counter (no per-probe fold). *)
+
 val lookup_count : t -> Value.t -> int
 
 val distinct_keys : t -> int

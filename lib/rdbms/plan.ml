@@ -107,11 +107,40 @@ let rec eval_rcond c row =
   | R_or (a, b) -> eval_rcond a row || eval_rcond b row
   | R_not a -> not (eval_rcond a row)
 
+(* Compiled forms: dispatch on the expression AST once, yielding a closure
+   with no per-row constructor matching (the Exec_compiled hot path). *)
+let compile_rexpr e =
+  match e with
+  | R_col i -> fun (row : Tuple.t) -> row.(i)
+  | R_lit v -> fun _ -> v
+
+let rec compile_rcond c =
+  match c with
+  | R_cmp (R_col i, op, R_lit v) -> fun (row : Tuple.t) -> Sql_ast.eval_cmp op row.(i) v
+  | R_cmp (R_col i, op, R_col j) -> fun (row : Tuple.t) -> Sql_ast.eval_cmp op row.(i) row.(j)
+  | R_cmp (a, op, b) ->
+      let fa = compile_rexpr a and fb = compile_rexpr b in
+      fun row -> Sql_ast.eval_cmp op (fa row) (fb row)
+  | R_and (a, b) ->
+      let fa = compile_rcond a and fb = compile_rcond b in
+      fun row -> fa row && fb row
+  | R_or (a, b) ->
+      let fa = compile_rcond a and fb = compile_rcond b in
+      fun row -> fa row || fb row
+  | R_not a ->
+      let fa = compile_rcond a in
+      fun row -> not (fa row)
+
 let rexpr_to_string header e =
   match e with
   | R_col i ->
-      let c = header.(i) in
-      if c.h_qual = "" then c.h_name else c.h_qual ^ "." ^ c.h_name
+      (* Anti_join residuals are resolved against the concatenation of the
+         outer header and the inner table, so positions can exceed the
+         operator's own header — fall back to a positional name *)
+      if i >= Array.length header then "col" ^ string_of_int i
+      else
+        let c = header.(i) in
+        if c.h_qual = "" then c.h_name else c.h_qual ^ "." ^ c.h_name
   | R_lit v -> Value.to_sql v
 
 let rec rcond_to_string header = function

@@ -99,6 +99,12 @@ val header_of : t -> header
 val eval_rexpr : rexpr -> Tuple.t -> Value.t
 val eval_rcond : rcond -> Tuple.t -> bool
 
+val compile_rexpr : rexpr -> Tuple.t -> Value.t
+val compile_rcond : rcond -> Tuple.t -> bool
+(** Like {!eval_rexpr}/{!eval_rcond} but dispatching on the AST once at
+    compile time; the returned closures are semantically identical to the
+    interpreted forms. *)
+
 val op_label : t -> string
 (** One-line description of the operator itself (no children); the lines
     of {!describe} and the node labels of EXPLAIN ANALYZE profiles. *)

@@ -5,12 +5,16 @@ type t = {
   mutable writes : int;
   mutable probes : int;
   mutable ms : float;
-  mutable children : t list;
+  mutable rev_children : t list; (* newest first; O(1) append via cons *)
 }
 
-let make op = { op; rows = 0; reads = 0; writes = 0; probes = 0; ms = 0.0; children = [] }
+let make op = { op; rows = 0; reads = 0; writes = 0; probes = 0; ms = 0.0; rev_children = [] }
 
-let rec fold f acc node = List.fold_left (fold f) (f acc node) node.children
+let add_child parent child = parent.rev_children <- child :: parent.rev_children
+let children t = List.rev t.rev_children
+let set_children t l = t.rev_children <- List.rev l
+
+let rec fold f acc node = List.fold_left (fold f) (f acc node) (children node)
 
 let total_reads t = fold (fun acc n -> acc + n.reads) 0 t
 let total_writes t = fold (fun acc n -> acc + n.writes) 0 t
@@ -24,7 +28,7 @@ let render t =
     Buffer.add_string buf
       (Printf.sprintf "  (rows=%d reads=%d writes=%d probes=%d ms=%.3f)\n" n.rows n.reads
          n.writes n.probes n.ms);
-    List.iter (go (depth + 1)) n.children
+    List.iter (go (depth + 1)) (children n)
   in
   go 0 t;
   Buffer.contents buf
@@ -48,4 +52,4 @@ let rec to_json n =
   Printf.sprintf
     {|{"op":"%s","rows":%d,"page_reads":%d,"page_writes":%d,"index_probes":%d,"ms":%.3f,"children":[%s]}|}
     (json_escape n.op) n.rows n.reads n.writes n.probes n.ms
-    (String.concat "," (List.map to_json n.children))
+    (String.concat "," (List.map to_json (children n)))

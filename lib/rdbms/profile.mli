@@ -15,11 +15,22 @@ type t = {
   mutable writes : int;
   mutable probes : int;
   mutable ms : float;
-  mutable children : t list;  (** in plan order *)
+  mutable rev_children : t list;
+      (** newest first — appending a child is an O(1) cons; read through
+          {!children} for plan order *)
 }
 
 val make : string -> t
 (** Fresh node with zeroed counters and no children. *)
+
+val add_child : t -> t -> unit
+(** Append a child (constant time; children are stored newest-first). *)
+
+val children : t -> t list
+(** Children in plan (append) order. *)
+
+val set_children : t -> t list -> unit
+(** Replace the children with the given plan-order list. *)
 
 val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
 (** Pre-order fold over the whole tree. *)

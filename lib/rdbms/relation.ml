@@ -1,15 +1,8 @@
-module H = Hashtbl.Make (struct
-  type t = Tuple.t
-
-  let equal = Tuple.equal
-  let hash = Tuple.hash
-end)
-
 type t = {
   schema : Schema.t;
   mutable rows : Tuple.t option array; (* slot per row id; None = tombstone *)
   mutable next_id : int;
-  ids : int H.t; (* live tuple -> row id *)
+  ids : Tuple_tbl.t; (* live tuple -> row id *)
   mutable bytes : int;
   mutable insert_obs : (int -> Tuple.t -> unit) list;
   mutable delete_obs : (int -> Tuple.t -> unit) list;
@@ -21,7 +14,7 @@ let create schema =
     schema;
     rows = Array.make 16 None;
     next_id = 0;
-    ids = H.create 64;
+    ids = Tuple_tbl.create ();
     bytes = 0;
     insert_obs = [];
     delete_obs = [];
@@ -29,10 +22,10 @@ let create schema =
   }
 
 let schema t = t.schema
-let cardinal t = H.length t.ids
+let cardinal t = Tuple_tbl.length t.ids
 let byte_size t = t.bytes
 let pages t = max 1 (Stats.pages_of_bytes t.bytes)
-let mem t row = H.mem t.ids row
+let mem t row = Tuple_tbl.mem t.ids row
 
 let ensure_capacity t =
   if t.next_id >= Array.length t.rows then begin
@@ -41,27 +34,31 @@ let ensure_capacity t =
     t.rows <- bigger
   end
 
-let insert t row =
-  (match Schema.validate t.schema row with
-  | Ok () -> ()
-  | Error msg -> invalid_arg ("Relation.insert: " ^ msg));
-  if H.mem t.ids row then false
+(* The insert body without the schema check: the engine uses this for
+   INSERT ... SELECT rows, whose types were already proven against the
+   target schema when the source plan was type-checked. *)
+let insert_unchecked t row =
+  let id = t.next_id in
+  if not (Tuple_tbl.insert_if_absent t.ids row id) then false
   else begin
     ensure_capacity t;
-    let id = t.next_id in
     t.rows.(id) <- Some row;
     t.next_id <- id + 1;
-    H.add t.ids row id;
     t.bytes <- t.bytes + Tuple.byte_size row;
     List.iter (fun f -> f id row) t.insert_obs;
     true
   end
 
+let insert t row =
+  (match Schema.validate t.schema row with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Relation.insert: " ^ msg));
+  insert_unchecked t row
+
 let delete t row =
-  match H.find_opt t.ids row with
-  | None -> false
-  | Some id ->
-      H.remove t.ids row;
+  match Tuple_tbl.remove t.ids row with
+  | -1 -> false
+  | id ->
       t.rows.(id) <- None;
       t.bytes <- t.bytes - Tuple.byte_size row;
       List.iter (fun f -> f id row) t.delete_obs;
@@ -70,7 +67,7 @@ let delete t row =
 let clear t =
   t.rows <- Array.make 16 None;
   t.next_id <- 0;
-  H.reset t.ids;
+  Tuple_tbl.reset t.ids;
   t.bytes <- 0;
   List.iter (fun f -> f ()) t.clear_obs
 

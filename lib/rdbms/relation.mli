@@ -27,6 +27,12 @@ val insert : t -> Tuple.t -> bool
     Returns [true] iff the row is new. Raises [Invalid_argument] on a
     schema violation. *)
 
+val insert_unchecked : t -> Tuple.t -> bool
+(** {!insert} without the per-row schema check. The caller must have
+    proven the row's types elsewhere (the engine type-checks an
+    INSERT ... SELECT source plan against the target schema once, which
+    covers every row the plan can produce). *)
+
 val delete : t -> Tuple.t -> bool
 (** Removes a row if present; [true] iff it was present. *)
 

@@ -14,9 +14,19 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
-let hash t = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 t
+let hash t =
+  let h = ref 17 in
+  for i = 0 to Array.length t - 1 do
+    h := (!h * 31) + Value.hash (Array.unsafe_get t i)
+  done;
+  !h
 
-let byte_size t = 4 + Array.fold_left (fun acc v -> acc + Value.byte_size v) 0 t
+let byte_size t =
+  let b = ref 4 in
+  for i = 0 to Array.length t - 1 do
+    b := !b + Value.byte_size (Array.unsafe_get t i)
+  done;
+  !b
 
 let to_string t =
   "(" ^ String.concat ", " (Array.to_list (Array.map Value.to_string t)) ^ ")"

@@ -1,0 +1,30 @@
+(** Open-addressing tuple -> int map with cached hashes: one
+    {!Tuple.hash} per operation, no per-insert allocation, and resizing
+    that never rehashes or re-compares tuples. Backs {!Relation}'s
+    tuple -> row-id table and the compiled executor's row sets — the
+    structures the LFP inner loop fills and probes hundreds of
+    thousands of times per query. Values are non-negative ints
+    ([-1] is the not-found return). *)
+
+type t
+
+val create : unit -> t
+val length : t -> int
+(** Live entries. *)
+
+val find : t -> Tuple.t -> int
+(** The value bound to the key, or [-1] if absent. *)
+
+val mem : t -> Tuple.t -> bool
+
+val insert_if_absent : t -> Tuple.t -> int -> bool
+(** [insert_if_absent t key v] binds [key -> v] and returns [true] iff
+    the key was absent; existing bindings are left untouched. *)
+
+val remove : t -> Tuple.t -> int
+(** Removes the binding and returns its value, or [-1] if absent. *)
+
+val reset : t -> unit
+
+val add : t -> Tuple.t -> bool
+(** Set view: [insert_if_absent t key 0]. [true] iff newly added. *)

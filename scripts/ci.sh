@@ -14,9 +14,10 @@ echo "== tests =="
 dune runtest
 
 echo "== bench smoke (quick scale) =="
-dune exec bench/main.exe -- wal cache profile joins quick
+dune exec bench/main.exe -- wal cache profile joins exec quick
 test -s BENCH_profile.json || { echo "BENCH_profile.json missing/empty"; exit 1; }
 test -s BENCH_joins.json || { echo "BENCH_joins.json missing/empty"; exit 1; }
+test -s BENCH_exec.json || { echo "BENCH_exec.json missing/empty"; exit 1; }
 
 # the cost-based planner must not regress against greedy by more than 10%
 # on the skewed 3-way join (and the LFP delta feedback must have helped)
@@ -32,6 +33,20 @@ awk '
     print "joins bench OK: costed=" costed " greedy=" greedy
   }
 ' BENCH_joins.json
+
+# the compiled backend must agree with the interpreter and must not be
+# slower on the end-to-end magic-sets LFP (the >= 3x headline is asserted
+# at full scale; quick scale just gates "never slower")
+awk '
+  /"lfp_magic"/ { in_lfp = 1 }
+  in_lfp && /"interpreted_ms"/ { if (match($0, /[0-9]+\.[0-9]+/)) interp = substr($0, RSTART, RLENGTH) }
+  in_lfp && /"compiled_ms"/    { if (match($0, /[0-9]+\.[0-9]+/)) compiled = substr($0, RSTART, RLENGTH) }
+  END {
+    if (interp == "" || compiled == "") { print "BENCH_exec.json missing measures"; exit 1 }
+    if (compiled + 0 > interp + 0) { print "compiled backend slower than interpreted: " compiled " > " interp; exit 1 }
+    print "exec bench OK: compiled=" compiled "ms interpreted=" interp "ms"
+  }
+' BENCH_exec.json
 
 echo "== shell observability smoke =="
 TRACE=$(mktemp /tmp/dkb_ci_trace.XXXXXX)

@@ -9,7 +9,7 @@ masked (they vary run to run); everything else is deterministic.
   alice
   (2 rows)
   no
-  options: magic=on strategy=semi-naive indexderived=false joinorder=syntactic cache=false
+  options: magic=on strategy=semi-naive indexderived=false joinorder=syntactic exec=compiled cache=false
   w
   mary
   alice

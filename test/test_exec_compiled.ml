@@ -1,0 +1,346 @@
+(* Differential tests for the compiled execution backend.
+
+   The contract is stronger than "same answers": for every plan shape the
+   planner can produce, the closure-compiled backend must return the same
+   rows in the same order as the tuple-at-a-time interpreter AND charge
+   the exact same Stats counter delta, statement by statement.  Twin
+   engines (one per backend) execute identical SQL in lockstep so their
+   tables never diverge; the session-level tests do the same for whole
+   LFP evaluations over randomized list/tree/dag data. *)
+
+module E = Rdbms.Engine
+module Stats = Rdbms.Stats
+module Profile = Rdbms.Profile
+module Value = Rdbms.Value
+module Rng = Dkb_util.Rng
+module Session = Core.Session
+module Compiler = Core.Compiler
+module Graphgen = Workload.Graphgen
+module Queries = Workload.Queries
+module Common = Experiments.Common
+
+(* ------------------------------------------------------------------ *)
+(* Stats deltas compared structurally (the record is all ints).       *)
+
+let stats_fields (d : Stats.t) =
+  [
+    ("page_reads", d.Stats.page_reads);
+    ("page_writes", d.Stats.page_writes);
+    ("index_probes", d.Stats.index_probes);
+    ("rows_read", d.Stats.rows_read);
+    ("rows_inserted", d.Stats.rows_inserted);
+    ("rows_deleted", d.Stats.rows_deleted);
+    ("tables_created", d.Stats.tables_created);
+    ("tables_dropped", d.Stats.tables_dropped);
+    ("tables_truncated", d.Stats.tables_truncated);
+    ("statements", d.Stats.statements);
+    ("statements_prepared", d.Stats.statements_prepared);
+    ("plan_cache_hits", d.Stats.plan_cache_hits);
+    ("plan_cache_misses", d.Stats.plan_cache_misses);
+    ("txns_committed", d.Stats.txns_committed);
+    ("txns_rolled_back", d.Stats.txns_rolled_back);
+    ("wal_records", d.Stats.wal_records);
+    ("wal_bytes", d.Stats.wal_bytes);
+    ("recoveries", d.Stats.recoveries);
+    ("tables_analyzed", d.Stats.tables_analyzed);
+    ("card_replans", d.Stats.card_replans);
+  ]
+
+let pp_stats fmt d =
+  Format.fprintf fmt "{%s}"
+    (String.concat "; "
+       (List.filter_map
+          (fun (k, v) -> if v = 0 then None else Some (Printf.sprintf "%s=%d" k v))
+          (stats_fields d)))
+
+let stats_t = Alcotest.testable pp_stats (fun a b -> stats_fields a = stats_fields b)
+
+let row_strings rows =
+  List.map (fun row -> Array.to_list (Array.map Value.to_string row)) rows
+
+(* ------------------------------------------------------------------ *)
+(* Twin engines running identical SQL under the two backends.         *)
+
+type twin = {
+  ei : E.t;  (** interpreted *)
+  ec : E.t;  (** compiled *)
+}
+
+let twin () =
+  let mk backend =
+    let e = E.create () in
+    E.set_exec_backend e backend;
+    e
+  in
+  { ei = mk E.Interpreted; ec = mk E.Compiled }
+
+let set_join_order t mode =
+  E.set_join_order t.ei mode;
+  E.set_join_order t.ec mode
+
+let norm = function
+  | E.Rows { columns; rows } -> `Rows (columns, row_strings rows)
+  | E.Affected n -> `Affected n
+  | E.Done -> `Done
+
+let step t sql =
+  let run e =
+    let before = Stats.copy (E.stats e) in
+    let r = E.exec e sql in
+    (norm r, Stats.diff (E.stats e) before)
+  in
+  let ri, di = run t.ei in
+  let rc, dc = run t.ec in
+  (match (ri, rc) with
+  | `Rows (ci, rowsi), `Rows (cc, rowsc) ->
+      Alcotest.(check (list string)) (sql ^ ": columns") ci cc;
+      Alcotest.(check (list (list string))) (sql ^ ": rows (in order)") rowsi rowsc
+  | `Affected a, `Affected b -> Alcotest.(check int) (sql ^ ": affected") a b
+  | `Done, `Done -> ()
+  | _ -> Alcotest.fail (sql ^ ": result kinds differ between backends"));
+  Alcotest.check stats_t (sql ^ ": stats delta") di dc
+
+let steps t sqls = List.iter (step t) sqls
+
+(* Randomized base data: [big] has duplicate keys in a small domain so
+   joins fan out, [small] keeps a few keys, [third] starts empty. *)
+let seeded_twin ?(index = true) seed =
+  let t = twin () in
+  steps t
+    [
+      "CREATE TABLE big (k integer, v char)";
+      "CREATE TABLE small (k integer, w char)";
+      "CREATE TABLE third (k integer, z char)";
+    ];
+  if index then
+    steps t
+      [
+        "CREATE INDEX idx_big_k ON big (k)";
+        "CREATE INDEX idx_small_k ON small (k)";
+      ];
+  let rng = Rng.create seed in
+  let letter () = Printf.sprintf "s%d" (Rng.int rng 4) in
+  steps t
+    (List.init 60 (fun _ ->
+         Printf.sprintf "INSERT INTO big VALUES (%d, '%s')" (Rng.int rng 20)
+           (letter ()))
+    @ List.init 12 (fun _ ->
+          Printf.sprintf "INSERT INTO small VALUES (%d, '%s')" (Rng.int rng 20)
+            (letter ())));
+  t
+
+(* Every operator the planner can emit (see test_planner.ml), plus the
+   set operations, aggregation and sorting. *)
+let battery =
+  [
+    "SELECT v FROM big WHERE k = 5";      (* IndexScan (or SeqScan w/o index) *)
+    "SELECT v FROM big WHERE 5 = k";
+    "SELECT v FROM big WHERE k > 5";      (* SeqScan + filter *)
+    "SELECT v FROM big WHERE k > 3 AND k < 9 AND NOT v = 's0'";
+    "SELECT b.v FROM small s, big b WHERE s.k = b.k";  (* Index/HashJoin *)
+    "SELECT b.v FROM small s, big b WHERE s.k = b.k AND b.v = 's1'";
+    "SELECT b.v, s.w FROM small s, big b";             (* NestedLoopJoin *)
+    "SELECT b.v FROM small s, big b WHERE s.k < b.k";  (* non-equi residual *)
+    "SELECT v FROM big WHERE NOT EXISTS (SELECT * FROM small s WHERE s.k = big.k)";
+    "SELECT DISTINCT v FROM big";
+    "SELECT v FROM big ORDER BY v";
+    "SELECT k, v FROM big ORDER BY v, k";
+    "SELECT t.z FROM small s, big b, third t WHERE s.k = b.k AND b.k = t.k";
+    "SELECT COUNT(*) FROM big";
+    "SELECT COUNT(*) FROM big WHERE k = 5";
+    "SELECT v, COUNT(*) FROM big GROUP BY v";
+    "SELECT v, COUNT(*), SUM(k) FROM big GROUP BY v ORDER BY 1";
+    "SELECT v FROM big UNION SELECT w FROM small";
+    "SELECT v FROM big UNION ALL SELECT w FROM small";
+    "SELECT v FROM big EXCEPT SELECT w FROM small";
+  ]
+
+let run_battery t =
+  (* each statement twice: first run plans (cache miss, compiles the
+     closure tree), second run exercises the cached/lazy-forced path *)
+  List.iter
+    (fun sql ->
+      step t sql;
+      step t sql)
+    battery
+
+let test_battery_indexed () = run_battery (seeded_twin 11)
+let test_battery_no_index () = run_battery (seeded_twin ~index:false 12)
+
+let test_battery_join_orders () =
+  let t = seeded_twin 13 in
+  step t "ANALYZE";
+  List.iter
+    (fun mode ->
+      set_join_order t mode;
+      run_battery t)
+    [ Rdbms.Planner.Greedy; Rdbms.Planner.Costed; Rdbms.Planner.Syntactic ]
+
+let test_mutations_in_lockstep () =
+  let t = seeded_twin 14 in
+  steps t
+    [
+      "INSERT INTO third SELECT k, v FROM big WHERE k < 10";  (* Insert_select *)
+      "SELECT k, z FROM third";
+      "INSERT INTO third SELECT b.k, s.w FROM big b, small s WHERE b.k = s.k";
+      "SELECT COUNT(*) FROM third";
+      "DELETE FROM third WHERE k > 12";
+      "UPDATE third SET z = 'u' WHERE k = 1";
+      "SELECT k, z FROM third ORDER BY 1, 2";
+      "TRUNCATE TABLE third";
+      "SELECT COUNT(*) FROM third";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN ANALYZE parity: under BOTH backends the per-operator counters
+   must sum exactly to the statement's Stats delta, and the two profile
+   trees must agree node for node (op label, rows, reads, writes,
+   probes — everything except wall time).                              *)
+
+let rec shape (n : Profile.t) =
+  Printf.sprintf "%s rows=%d reads=%d writes=%d probes=%d" n.Profile.op
+    n.Profile.rows n.Profile.reads n.Profile.writes n.Profile.probes
+  :: List.concat_map shape (Profile.children n)
+
+let check_sums what (profile : Profile.t) (delta : Stats.t) =
+  Alcotest.(check int) (what ^ ": reads sum") delta.Stats.page_reads
+    (Profile.total_reads profile);
+  Alcotest.(check int) (what ^ ": writes sum") delta.Stats.page_writes
+    (Profile.total_writes profile);
+  Alcotest.(check int) (what ^ ": probes sum") delta.Stats.index_probes
+    (Profile.total_probes profile)
+
+let test_analyze_parity () =
+  let t = seeded_twin 15 in
+  let analyzed =
+    [
+      "SELECT b.v FROM small s, big b WHERE s.k = b.k";
+      "SELECT v FROM big WHERE NOT EXISTS (SELECT * FROM small s WHERE s.k = big.k)";
+      "SELECT v, COUNT(*) FROM big GROUP BY v ORDER BY 1";
+      "INSERT INTO third SELECT k, v FROM big WHERE k < 10";
+    ]
+  in
+  List.iter
+    (fun sql ->
+      let pi, di =
+        let _, p, d = E.exec_analyze t.ei sql in
+        (p, d)
+      in
+      let pc, dc =
+        let _, p, d = E.exec_analyze t.ec sql in
+        (p, d)
+      in
+      check_sums ("interpreted " ^ sql) pi di;
+      check_sums ("compiled " ^ sql) pc dc;
+      Alcotest.check stats_t (sql ^ ": analyze deltas") di dc;
+      Alcotest.(check (list string)) (sql ^ ": profile trees") (shape pi) (shape pc))
+    analyzed
+
+(* ------------------------------------------------------------------ *)
+(* Whole-LFP differential through the Session facade: identical data in
+   two sessions, one query per backend, identical answers / iteration
+   counts / execution counters.                                        *)
+
+let session_with setup =
+  let s = Session.create () in
+  setup s;
+  s
+
+let query_both ?(optimize = Compiler.Opt_off) ?(strategy = Core.Runtime.Seminaive)
+    setup goal label =
+  let run exec =
+    let s = session_with setup in
+    let options = { Session.default_options with exec; optimize; strategy } in
+    match Session.query_goal s ~options goal with
+    | Ok a -> a
+    | Error msg -> Alcotest.fail (label ^ ": " ^ msg)
+  in
+  let ai = run E.Interpreted in
+  let ac = run E.Compiled in
+  let cols_i, rows_i = Session.answer_rows ai in
+  let cols_c, rows_c = Session.answer_rows ac in
+  Alcotest.(check (list string)) (label ^ ": columns") cols_i cols_c;
+  Alcotest.(check (list (list string)))
+    (label ^ ": answer rows (in order)")
+    (row_strings rows_i) (row_strings rows_c);
+  Alcotest.(check (list (pair string int)))
+    (label ^ ": iterations")
+    ai.Session.run.Core.Runtime.iterations ac.Session.run.Core.Runtime.iterations;
+  Alcotest.check stats_t (label ^ ": execution counters")
+    ai.Session.run.Core.Runtime.io ac.Session.run.Core.Runtime.io
+
+let test_lfp_tree () =
+  let tree = Graphgen.full_binary_tree ~depth:6 () in
+  let setup s =
+    Common.ok (Queries.setup_parent s tree.Graphgen.t_edges);
+    Common.ok (Session.load_rules s Queries.ancestor_rules)
+  in
+  let goal = Queries.ancestor_goal tree.Graphgen.t_root in
+  query_both setup goal "ancestor/tree seminaive";
+  query_both ~strategy:Core.Runtime.Naive setup goal "ancestor/tree naive";
+  query_both ~optimize:Compiler.Opt_on setup goal "ancestor/tree magic";
+  query_both ~optimize:Compiler.Opt_supplementary setup goal
+    "ancestor/tree supplementary"
+
+let test_lfp_lists () =
+  let l =
+    let rng = Rng.create 21 in
+    Graphgen.lists ~rng ~count:5 ~avg_length:8
+  in
+  let setup s =
+    Common.ok (Queries.setup_parent s l.Graphgen.l_edges);
+    Common.ok (Session.load_rules s Queries.ancestor_rules)
+  in
+  let goal = Queries.ancestor_goal (List.hd l.Graphgen.l_heads) in
+  query_both setup goal "ancestor/lists seminaive";
+  query_both ~optimize:Compiler.Opt_on setup goal "ancestor/lists magic"
+
+let test_lfp_dag () =
+  let d =
+    let rng = Rng.create 22 in
+    Graphgen.dag ~rng ~path_length:6 ~width:4 ~fan_out:2 ()
+  in
+  let setup s =
+    Common.ok (Queries.setup_edge s d.Graphgen.d_edges);
+    Common.ok (Session.load_rules s Queries.tc_rules)
+  in
+  query_both setup (Queries.tc_goal_from (List.hd d.Graphgen.d_sources))
+    "tc/dag from source";
+  query_both setup Queries.tc_goal_all "tc/dag all";
+  query_both ~optimize:Compiler.Opt_on setup
+    (Queries.tc_goal_from (List.hd d.Graphgen.d_sources))
+    "tc/dag magic"
+
+let test_lfp_same_generation () =
+  let tree = Graphgen.full_binary_tree ~depth:5 () in
+  let setup s =
+    Common.ok (Queries.setup_parent s tree.Graphgen.t_edges);
+    Common.ok (Session.load_rules s Queries.same_generation_rules)
+  in
+  let leaf = tree.Graphgen.t_root + ((1 lsl (tree.Graphgen.t_depth - 1)) - 1) in
+  query_both setup (Queries.same_generation_goal leaf) "sg/tree seminaive";
+  query_both ~optimize:Compiler.Opt_on setup
+    (Queries.same_generation_goal leaf)
+    "sg/tree magic"
+
+let () =
+  Alcotest.run "exec_compiled"
+    [
+      ( "sql differential",
+        [
+          Alcotest.test_case "operator battery, indexed" `Quick test_battery_indexed;
+          Alcotest.test_case "operator battery, no index" `Quick test_battery_no_index;
+          Alcotest.test_case "battery under greedy/costed/syntactic" `Quick
+            test_battery_join_orders;
+          Alcotest.test_case "mutations in lockstep" `Quick test_mutations_in_lockstep;
+        ] );
+      ( "explain analyze",
+        [ Alcotest.test_case "counter sums and profile parity" `Quick test_analyze_parity ] );
+      ( "lfp differential",
+        [
+          Alcotest.test_case "ancestor over a tree" `Quick test_lfp_tree;
+          Alcotest.test_case "ancestor over lists" `Quick test_lfp_lists;
+          Alcotest.test_case "transitive closure over a dag" `Quick test_lfp_dag;
+          Alcotest.test_case "same generation" `Quick test_lfp_same_generation;
+        ] );
+    ]

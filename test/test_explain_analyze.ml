@@ -47,7 +47,7 @@ let test_per_node_attribution () =
   in
   (* the probe charges must sit on the join node, not the scan below it *)
   let rec find pred n =
-    if pred n then Some n else List.find_map (find pred) n.Profile.children
+    if pred n then Some n else List.find_map (find pred) (Profile.children n)
   in
   let is_prefix p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p in
   (match find (fun n -> is_prefix "IndexJoin" n.Profile.op) profile with
