@@ -12,6 +12,7 @@
      dune exec bench/main.exe -- profile      -- observability bench (writes BENCH_profile.json)
      dune exec bench/main.exe -- joins        -- join-order/cost-model bench (writes BENCH_joins.json)
      dune exec bench/main.exe -- exec         -- compiled-vs-interpreted execution bench (writes BENCH_exec.json)
+     dune exec bench/main.exe -- updates      -- incremental-maintenance bench (writes BENCH_updates.json)
      dune exec bench/main.exe -- bechamel     -- bechamel microbenchmarks *)
 
 let known =
@@ -31,6 +32,7 @@ let known =
     ("profile", fun scale -> Experiments.Observe.run ~scale ());
     ("joins", fun scale -> Experiments.Joins.run ~scale ());
     ("exec", fun scale -> Experiments.Exec_bench.run ~scale ());
+    ("updates", fun scale -> Experiments.Updates.run ~scale ());
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -117,7 +119,10 @@ let () =
       match selected with
       | [] | [ "all" ] ->
           List.filter
-            (fun (n, _) -> not (List.mem n [ "ablation"; "cache"; "wal"; "profile"; "joins"; "exec" ]))
+            (fun (n, _) ->
+              not
+                (List.mem n
+                   [ "ablation"; "cache"; "wal"; "profile"; "joins"; "exec"; "updates" ]))
             known
       | names ->
           List.map

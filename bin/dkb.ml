@@ -27,8 +27,14 @@ let help_text =
   .index name(col) [ordered]     build a hash (or ordered/range) index
   .options [magic off|on|sup|auto] [strategy naive|semi] [indexderived on|off]
            [joinorder syntactic|greedy|costed] [exec interpreted|compiled]
+           [maintenance off|counting|dred|auto]
                                  set query-processing options
   .cache on|off                  toggle the precompiled-query cache
+  .materialize pred              materialize a stored predicate as an
+                                 incrementally maintained view
+  .views                         list materialized views and their strategies
+  .insert fact(..) | .delete fact(..)
+                                 change a base fact, maintaining the views
   .explain goal(..)              show the compiled program without running it
   .emitc goal(..)                show the generated embedded-SQL/C program
   .store [nocompiled]            persist workspace rules into the Stored D/KB
@@ -168,10 +174,18 @@ let set_options st words =
         | "interpreted" -> set Rdbms.Engine.Interpreted; go rest
         | "compiled" -> set Rdbms.Engine.Compiled; go rest
         | _ -> Error ("unknown exec backend " ^ v))
+    | "maintenance" :: v :: rest -> (
+        match Core.Incremental.mode_of_string v with
+        | Some m ->
+            Session.set_maintenance st.session m;
+            go rest
+        | None -> Error ("unknown maintenance mode " ^ v))
     | w :: _ -> Error ("unknown option " ^ w)
   in
   on_result (go words) ~ok:(fun () ->
-      printf "options: magic=%s strategy=%s indexderived=%b joinorder=%s exec=%s cache=%b\n"
+      printf
+        "options: magic=%s strategy=%s indexderived=%b joinorder=%s exec=%s maintenance=%s \
+         cache=%b\n"
         (match st.options.Session.optimize with
         | Core.Compiler.Opt_off -> "off"
         | Core.Compiler.Opt_on -> "on"
@@ -186,6 +200,7 @@ let set_options st words =
         (match st.options.Session.exec with
         | Rdbms.Engine.Interpreted -> "interpreted"
         | Rdbms.Engine.Compiled -> "compiled")
+        (Core.Incremental.mode_to_string (Session.maintenance_mode st.session))
         st.use_cache)
 
 let show_rules st =
@@ -278,6 +293,47 @@ let profile_goal st text =
           (String.concat "  "
              (List.map (fun (b, v) -> Printf.sprintf "%s=%d" b v) phase_totals))
       end)
+
+(* .insert edge(a, b) / .delete edge(a, b): a ground fact *)
+let parse_ground_fact text =
+  let text = String.trim text in
+  let text =
+    if String.length text > 0 && text.[String.length text - 1] = '.' then text else text ^ "."
+  in
+  match Datalog.Parser.parse_clause text with
+  | exception Datalog.Parser.Parse_error (msg, pos) ->
+      Error (Printf.sprintf "parse error at %d: %s" pos msg)
+  | exception Datalog.Lexer.Lex_error (msg, pos) ->
+      Error (Printf.sprintf "lex error at %d: %s" pos msg)
+  | clause ->
+      let args = clause.Datalog.Ast.head.Datalog.Ast.args in
+      if
+        (not (Datalog.Ast.is_fact clause))
+        || List.exists (function Datalog.Ast.Var _ -> true | _ -> false) args
+      then Error "expected a ground fact, e.g. edge(1, 2)"
+      else
+        Ok
+          ( Datalog.Ast.head_pred clause,
+            List.map
+              (function Datalog.Ast.Const v -> v | Datalog.Ast.Var _ -> assert false)
+              args )
+
+let print_apply_report (r : Core.Incremental.apply_report) =
+  let derived =
+    String.concat "  "
+      (List.map
+         (fun (p, i, d) -> Printf.sprintf "%s +%d/-%d" p i d)
+         r.Core.Incremental.derived_changes)
+  in
+  printf "base +%d/-%d%s%s  [%s]\n" r.Core.Incremental.base_inserted
+    r.Core.Incremental.base_deleted
+    (if derived = "" then "" else "  " ^ derived)
+    (if r.Core.Incremental.rederived > 0 then
+       Printf.sprintf "  rederived=%d" r.Core.Incremental.rederived
+     else "")
+    (if r.Core.Incremental.maintained then "maintained"
+     else if r.Core.Incremental.fallback then "recomputed (fallback)"
+     else "recomputed")
 
 let emit_c_goal st text =
   match Datalog.Parser.parse_query text with
@@ -378,6 +434,29 @@ let rec handle st line =
         true
     | ".trace", _ ->
         report_error "usage: .trace on <file> | .trace off";
+        true
+    | ".materialize", [ pred ] ->
+        on_result (Session.materialize st.session pred) ~ok:(fun assigned ->
+            List.iter
+              (fun (p, s) ->
+                printf "materialized %s (%s)\n" p (Core.Incremental.strategy_to_string s))
+              assigned);
+        true
+    | ".materialize", _ ->
+        report_error "usage: .materialize <pred>";
+        true
+    | ".views", _ ->
+        (match Session.views st.session with
+        | [] -> printf "no materialized views\n"
+        | vs -> List.iter (fun (p, s) -> printf "  %-20s %s\n" p s) vs);
+        true
+    | ".insert", _ ->
+        on_result (parse_ground_fact (rest_text ".insert")) ~ok:(fun (pred, values) ->
+            on_result (Session.insert_facts st.session pred [ values ]) ~ok:print_apply_report);
+        true
+    | ".delete", _ ->
+        on_result (parse_ground_fact (rest_text ".delete")) ~ok:(fun (pred, values) ->
+            on_result (Session.delete_facts st.session pred [ values ]) ~ok:print_apply_report);
         true
     | ".stats", _ ->
         printf "%s\n" (Rdbms.Stats.to_string (Rdbms.Engine.stats (Session.engine st.session)));

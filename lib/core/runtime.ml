@@ -219,7 +219,64 @@ type seminaive_member = {
   sm_truncate_delta : Engine.prepared;
   sm_new_delta : Engine.prepared;  (** delta <- diff *)
   sm_absorb : Engine.prepared;  (** current <- delta *)
+  sm_accumulate : Engine.prepared option;  (** optional: sink <- diff *)
 }
+
+(* The per-member statements of the semi-naive inner loop, over the given
+   table name. The member table and its [delta]/[new_delta]/[diff] scratch
+   tables must already exist. *)
+let seminaive_member ctx ?accumulate p =
+  let delta = Names.delta p and cand = Names.new_delta p and diff = Names.diff p in
+  {
+    sm_pred = p;
+    sm_truncate_cand = prep ctx ("TRUNCATE TABLE " ^ cand);
+    sm_truncate_diff = prep ctx ("TRUNCATE TABLE " ^ diff);
+    sm_fill_diff =
+      prep ctx
+        (Printf.sprintf "INSERT INTO %s (SELECT * FROM %s) EXCEPT (SELECT * FROM %s)" diff
+           cand p);
+    sm_count_diff = prep ctx (Printf.sprintf "SELECT COUNT(*) FROM %s" diff);
+    sm_truncate_delta = prep ctx ("TRUNCATE TABLE " ^ delta);
+    sm_new_delta = prep ctx (Printf.sprintf "INSERT INTO %s SELECT * FROM %s" delta diff);
+    sm_absorb = prep ctx (Printf.sprintf "INSERT INTO %s SELECT * FROM %s" p delta);
+    sm_accumulate =
+      Option.map
+        (fun sink -> prep ctx (Printf.sprintf "INSERT INTO %s SELECT * FROM %s" sink diff))
+        accumulate;
+  }
+
+(* The semi-naive inner loop itself, shared between full LFP evaluation
+   and incremental propagation (Core.Incremental): assumes each member's
+   delta table holds the seed (already absorbed into the member table)
+   and iterates to the fixpoint. *)
+let seminaive_loop ctx ~label ~rule_preps ~member_preps =
+  let iterations = ref 0 in
+  let changed = ref true in
+  while !changed do
+    incr iterations;
+    if !iterations > ctx.max_iterations then failwith "semi-naive evaluation exceeded max iterations";
+    changed := false;
+    let snap = begin_iteration ctx in
+    List.iter (fun sm -> run_prep ctx "create_drop" sm.sm_truncate_cand) member_preps;
+    List.iter (fun p -> run_prep ctx "eval" p) rule_preps;
+    let deltas = ref [] in
+    List.iter
+      (fun sm ->
+        run_prep ctx "create_drop" sm.sm_truncate_diff;
+        run_prep ctx "termination" sm.sm_fill_diff;
+        let n = count_prep ctx sm.sm_count_diff in
+        deltas := (sm.sm_pred, n) :: !deltas;
+        (match sm.sm_accumulate with
+        | Some p when n > 0 -> run_prep ctx "copy" p
+        | _ -> ());
+        run_prep ctx "create_drop" sm.sm_truncate_delta;
+        run_prep ctx "copy" sm.sm_new_delta;
+        run_prep ctx "copy" sm.sm_absorb;
+        if n > 0 then changed := true)
+      member_preps;
+    end_iteration ctx ~label ~index:!iterations ~deltas:(List.rev !deltas) snap
+  done;
+  !iterations
 
 let eval_clique_seminaive ctx ~label ~members ~fact_inserts ~exit_rules ~rec_rules =
   (* init: facts and exit rules, delta = everything so far *)
@@ -248,55 +305,15 @@ let eval_clique_seminaive ctx ~label ~members ~fact_inserts ~exit_rules ~rec_rul
             List.map (fun sel -> prep ctx (Printf.sprintf "INSERT INTO %s %s" target sel)) variants)
       rec_rules
   in
-  let member_preps =
-    List.map
-      (fun (p, _) ->
-        let delta = Names.delta p and cand = Names.new_delta p and diff = Names.diff p in
-        {
-          sm_pred = p;
-          sm_truncate_cand = prep ctx ("TRUNCATE TABLE " ^ cand);
-          sm_truncate_diff = prep ctx ("TRUNCATE TABLE " ^ diff);
-          sm_fill_diff =
-            prep ctx
-              (Printf.sprintf "INSERT INTO %s (SELECT * FROM %s) EXCEPT (SELECT * FROM %s)" diff
-                 cand p);
-          sm_count_diff = prep ctx (Printf.sprintf "SELECT COUNT(*) FROM %s" diff);
-          sm_truncate_delta = prep ctx ("TRUNCATE TABLE " ^ delta);
-          sm_new_delta = prep ctx (Printf.sprintf "INSERT INTO %s SELECT * FROM %s" delta diff);
-          sm_absorb = prep ctx (Printf.sprintf "INSERT INTO %s SELECT * FROM %s" p delta);
-        })
-      members
-  in
-  let iterations = ref 0 in
-  let changed = ref true in
-  while !changed do
-    incr iterations;
-    if !iterations > ctx.max_iterations then failwith "semi-naive evaluation exceeded max iterations";
-    changed := false;
-    let snap = begin_iteration ctx in
-    List.iter (fun sm -> run_prep ctx "create_drop" sm.sm_truncate_cand) member_preps;
-    List.iter (fun p -> run_prep ctx "eval" p) rule_preps;
-    let deltas = ref [] in
-    List.iter
-      (fun sm ->
-        run_prep ctx "create_drop" sm.sm_truncate_diff;
-        run_prep ctx "termination" sm.sm_fill_diff;
-        let n = count_prep ctx sm.sm_count_diff in
-        deltas := (sm.sm_pred, n) :: !deltas;
-        run_prep ctx "create_drop" sm.sm_truncate_delta;
-        run_prep ctx "copy" sm.sm_new_delta;
-        run_prep ctx "copy" sm.sm_absorb;
-        if n > 0 then changed := true)
-      member_preps;
-    end_iteration ctx ~label ~index:!iterations ~deltas:(List.rev !deltas) snap
-  done;
+  let member_preps = List.map (fun (p, _) -> seminaive_member ctx p) members in
+  let iterations = seminaive_loop ctx ~label ~rule_preps ~member_preps in
   List.iter
     (fun (p, _) ->
       drop_table ctx (Names.delta p);
       drop_table ctx (Names.new_delta p);
       drop_table ctx (Names.diff p))
     members;
-  !iterations
+  iterations
 
 (* ------------------------------------------------------------------ *)
 
@@ -396,3 +413,32 @@ let execute engine ?(strategy = Seminaive) ?(index_derived = false) ?(max_iterat
     (* never leak temp tables out of a failed evaluation *)
     drop_all_program_tables ctx program;
     raise e
+
+(* ------------------------------------------------------------------ *)
+(* Re-entering the semi-naive loop over existing tables (incremental
+   view maintenance). The caller owns table lifecycle: each member table
+   holds the current state, its delta table the seed (already absorbed
+   into the member), and the new-delta/diff scratch tables exist. *)
+
+let resume_seminaive engine ?(max_iterations = 100_000) ?observer ~label ~members ~rules
+    ?accumulate () =
+  Engine.suspend_logging engine @@ fun () ->
+  let ctx =
+    {
+      engine;
+      phases = Timer.Phases.create ();
+      index_derived = false;
+      max_iterations;
+      iter_phase_io = Hashtbl.create 8;
+      observer = (match observer with Some f -> f | None -> fun _ -> ());
+    }
+  in
+  let rule_preps =
+    List.map
+      (fun (target, select) ->
+        prep ctx (Printf.sprintf "INSERT INTO %s %s" (Names.new_delta target) select))
+      rules
+  in
+  let accumulate = match accumulate with Some f -> f | None -> fun _ -> None in
+  let member_preps = List.map (fun p -> seminaive_member ctx ?accumulate:(accumulate p) p) members in
+  seminaive_loop ctx ~label ~rule_preps ~member_preps

@@ -59,3 +59,24 @@ val execute :
     [Failure] if a clique exceeds [max_iterations] (default 100_000). *)
 
 val strategy_to_string : strategy -> string
+
+val resume_seminaive :
+  Rdbms.Engine.t ->
+  ?max_iterations:int ->
+  ?observer:(iteration_profile -> unit) ->
+  label:string ->
+  members:string list ->
+  rules:(string * string) list ->
+  ?accumulate:(string -> string option) ->
+  unit ->
+  int
+(** Re-enters the semi-naive inner loop over {e existing} tables, for
+    incremental view maintenance (Core.Incremental). [members] are table
+    names; for each member [m] the tables [m], [Names.delta m],
+    [Names.new_delta m] and [Names.diff m] must already exist, with
+    [delta m] holding the seed delta {e already absorbed} into [m].
+    [rules] are [(member, select_sql)] pairs whose SELECT reads the delta
+    tables and whose rows are inserted into [Names.new_delta member].
+    [accumulate m = Some sink] additionally copies every genuinely-new
+    tuple of [m] into [sink] as it is discovered. Runs with WAL logging
+    suspended; returns the iteration count. *)

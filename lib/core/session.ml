@@ -7,20 +7,25 @@ type t = {
   engine : Engine.t;
   stored : Stored_dkb.t;
   workspace : Workspace.t;
+  incr : Incremental.t;
   mutable epoch : int;
   mutable changes : (int * string) list; (* (epoch, head pred) *)
+  mutable maintenance : Incremental.mode;
   mutable wal : Rdbms.Wal.t option;
   mutable trace : Trace.t option;
 }
 
 let create () =
   let engine = Engine.create () in
+  let stored = Stored_dkb.init engine in
   {
     engine;
-    stored = Stored_dkb.init engine;
+    stored;
     workspace = Workspace.create ();
+    incr = Incremental.create stored;
     epoch = 0;
     changes = [];
+    maintenance = Incremental.Auto;
     wal = None;
     trace = None;
   }
@@ -30,6 +35,8 @@ let stored t = t.stored
 let workspace t = t.workspace
 let db_stats t = Engine.stats t.engine
 let rule_epoch t = t.epoch
+let maintenance_mode t = t.maintenance
+let set_maintenance t mode = t.maintenance <- mode
 
 let changed_since t epoch =
   List.filter_map (fun (e, p) -> if e > epoch then Some p else None) t.changes
@@ -66,17 +73,39 @@ let define_base t name cols ?(indexes = []) () =
             in
             build indexes)
 
+(* With materialized views registered, every base-fact mutation routes
+   through the maintenance layer so the views stay consistent. *)
+let apply_facts t ~inserts ~deletes () =
+  match Incremental.apply t.incr ~mode:t.maintenance ~inserts ~deletes () with
+  | Ok report ->
+      (match t.trace with Some tr -> Trace.maintenance tr report | None -> ());
+      Ok report
+  | Error _ as e -> e
+
+let insert_facts t name rows =
+  apply_facts t ~inserts:(List.map (fun row -> (name, row)) rows) ~deletes:[] ()
+
+let delete_facts t name rows =
+  apply_facts t ~inserts:[] ~deletes:(List.map (fun row -> (name, row)) rows) ()
+
 let add_fact t name values =
-  match
-    Engine.exec t.engine
-      (Printf.sprintf "INSERT INTO %s VALUES (%s)" name
-         (String.concat ", " (List.map Value.to_sql values)))
-  with
-  | exception Engine.Sql_error msg -> Error msg
-  | _ -> Ok ()
+  if Incremental.is_maintained t.incr then
+    match insert_facts t name [ values ] with Ok _ -> Ok () | Error _ as e -> e
+  else
+    match
+      Engine.exec t.engine
+        (Printf.sprintf "INSERT INTO %s VALUES (%s)" name
+           (String.concat ", " (List.map Value.to_sql values)))
+    with
+    | exception Engine.Sql_error msg -> Error msg
+    | _ -> Ok ()
 
 let add_facts t name rows =
   if rows = [] then Ok 0
+  else if Incremental.is_maintained t.incr then
+    match insert_facts t name rows with
+    | Ok r -> Ok r.Incremental.base_inserted
+    | Error _ as e -> e
   else begin
     (* batch VALUES lists to keep statements a sane size *)
     let batch = 500 in
@@ -235,11 +264,24 @@ let answer_rows a = (a.run.Runtime.columns, a.run.Runtime.rows)
 
 let update_stored t ?compiled_storage ?(clear = false) () =
   match Update.update ~stored:t.stored ~workspace:t.workspace ?compiled_storage () with
-  | Ok report ->
+  | Ok report -> (
       List.iter (fun p -> bump t p) (Workspace.head_predicates t.workspace);
       if clear then Workspace.clear t.workspace;
-      Ok report
+      (* the rule base changed under any registered views: rebuild them *)
+      if Incremental.is_maintained t.incr then
+        match Incremental.ensure t.incr with
+        | Ok () -> Ok report
+        | Error msg -> Error ("maintained views stale after update: " ^ msg)
+      else Ok report)
   | Error _ as e -> e
+
+(* ------------------------------------------------------------------ *)
+(* Incremental view maintenance *)
+
+let materialize t root = Incremental.materialize t.incr ~mode:t.maintenance root
+let views t = Incremental.registered t.incr
+let view_rows t pred = Incremental.view_rows t.incr pred
+let refresh_views t = Incremental.refresh t.incr
 
 (* ------------------------------------------------------------------ *)
 (* Inspection *)
@@ -280,12 +322,15 @@ let explain t ?(options = default_options) text =
 let save t path = Rdbms.Persist.save t.engine path
 
 let of_engine engine =
+  let stored = Stored_dkb.init engine in
   {
     engine;
-    stored = Stored_dkb.init engine;
+    stored;
     workspace = Workspace.create ();
+    incr = Incremental.create stored;
     epoch = 0;
     changes = [];
+    maintenance = Incremental.Auto;
     wal = None;
     trace = None;
   }
@@ -354,6 +399,13 @@ let recover ~db ~wal:wal_path =
       | Ok replayed -> (
           (* re-init so the ruleid counter resumes past replayed rules *)
           let t = of_engine engine in
-          match attach_wal t wal_path with
-          | Ok () -> Ok (t, replayed)
-          | Error msg -> Error msg))
+          (* maintenance runs with logging suspended, so replay leaves the
+             views stale: re-evaluate them from the replayed base state *)
+          match
+            if Incremental.is_maintained t.incr then Incremental.ensure t.incr else Ok ()
+          with
+          | Error msg -> Error ("view re-evaluation after recovery: " ^ msg)
+          | Ok () -> (
+              match attach_wal t wal_path with
+              | Ok () -> Ok (t, replayed)
+              | Error msg -> Error msg)))

@@ -33,12 +33,52 @@ val define_base :
     dictionary, and builds hash indexes on the named columns. *)
 
 val add_fact : t -> string -> Rdbms.Value.t list -> (unit, string) result
-(** Inserts one tuple into a base relation (via SQL). *)
+(** Inserts one tuple into a base relation (via SQL). With materialized
+    views registered, routes through the maintenance layer instead. *)
 
 val add_facts : t -> string -> Rdbms.Value.t list list -> (int, string) result
-(** Bulk insert, batched; returns the number of new tuples. *)
+(** Bulk insert, batched; returns the number of new tuples. With
+    materialized views registered, routes through the maintenance
+    layer (large batches fall back to a full view refresh). *)
 
 val base_count : t -> string -> int
+
+(** {1 Incremental view maintenance}
+
+    See {!Incremental}. The session-level maintenance mode (default
+    [Auto]) picks the per-predicate strategy at {!materialize} time and
+    gates whether {!apply_facts} maintains or recomputes. *)
+
+val maintenance_mode : t -> Incremental.mode
+val set_maintenance : t -> Incremental.mode -> unit
+
+val materialize : t -> string -> ((string * Incremental.strategy) list, string) result
+(** Materialize a derived predicate (and its dependencies) under the
+    session's maintenance mode. *)
+
+val views : t -> (string * string) list
+(** Registered (predicate, strategy) pairs. *)
+
+val view_rows : t -> string -> (Rdbms.Tuple.t list, string) result
+
+val refresh_views : t -> (unit, string) result
+(** Truncate and fully re-evaluate every registered view. *)
+
+val apply_facts :
+  t ->
+  inserts:(string * Rdbms.Value.t list) list ->
+  deletes:(string * Rdbms.Value.t list) list ->
+  unit ->
+  (Incremental.apply_report, string) result
+(** Apply a batch of base-fact changes, maintaining registered views
+    incrementally (see {!Incremental.apply}); emits a ["maint"] trace
+    event when a sink is attached. *)
+
+val insert_facts :
+  t -> string -> Rdbms.Value.t list list -> (Incremental.apply_report, string) result
+
+val delete_facts :
+  t -> string -> Rdbms.Value.t list list -> (Incremental.apply_report, string) result
 
 (** {1 Workspace rules} *)
 
@@ -94,7 +134,8 @@ val answer_rows : answer -> (string list * Rdbms.Tuple.t list)
 val update_stored :
   t -> ?compiled_storage:bool -> ?clear:bool -> unit -> (Update.report, string) result
 (** Persists the workspace rules (paper §4.3). [clear] (default false)
-    empties the workspace afterwards. *)
+    empties the workspace afterwards. If materialized views are
+    registered they are rebuilt against the new rule base. *)
 
 (** {1 Inspection} *)
 

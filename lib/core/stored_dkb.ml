@@ -33,6 +33,14 @@ let ddl =
     "CREATE INDEX idx_edb_columns_name ON edb_columns (tablename)";
   ]
 
+(* Added after the first release: ensured separately so that databases
+   saved by older builds pick it up on restore. *)
+let matviews_ddl =
+  [
+    "CREATE TABLE matviews (predname char, strategy char)";
+    "CREATE INDEX idx_matviews_name ON matviews (predname)";
+  ]
+
 let init engine =
   let t = { engine; next_ruleid = 1 } in
   let catalog = Engine.catalog engine in
@@ -48,6 +56,8 @@ let init engine =
     in
     t.next_ruleid <- max_id + 1
   end;
+  if not (Rdbms.Catalog.table_exists catalog "matviews") then
+    List.iter (exec t) matviews_ddl;
   t
 
 let engine t = t.engine
@@ -220,6 +230,34 @@ let dependents_of t p =
     (Printf.sprintf
        "SELECT DISTINCT frompredname FROM reachablepreds WHERE topredname = %s" (sq p))
   |> List.map (fun row -> Value.to_string row.(0))
+
+(* ------------------------------------------------------------------ *)
+(* Materialized-view registry *)
+
+let register_matview t pred strategy =
+  exec t (Printf.sprintf "DELETE FROM matviews WHERE predname = %s" (sq pred));
+  exec t (Printf.sprintf "INSERT INTO matviews VALUES (%s, %s)" (sq pred) (sq strategy))
+
+let unregister_matview t pred =
+  exec t (Printf.sprintf "DELETE FROM matviews WHERE predname = %s" (sq pred))
+
+let matview_strategy t pred =
+  match
+    Engine.query t.engine
+      (Printf.sprintf "SELECT strategy FROM matviews WHERE predname = %s" (sq pred))
+  with
+  | [] -> None
+  | [ [| Value.Str s |] ] -> Some s
+  | _ -> corrupt "matviews rows for %s" pred
+
+let matviews t =
+  Engine.query t.engine "SELECT predname, strategy FROM matviews ORDER BY 1"
+  |> List.map (fun row ->
+         match row with
+         | [| Value.Str p; Value.Str s |] -> (p, s)
+         | _ -> corrupt "matviews row: expected (predname, strategy)")
+
+let clear_matviews t = exec t "DELETE FROM matviews"
 
 let rules_with_head t preds =
   let seen = Hashtbl.create 16 in

@@ -89,3 +89,22 @@ val rules_with_head : t -> string list -> Datalog.Ast.clause list
 (** Stored rules whose head is one of the given predicates (one indexed
     probe per predicate) — the heads-only extraction the incremental
     update needs. *)
+
+(** {1 Materialized-view registry}
+
+    [matviews (predname, strategy)] records which derived predicates are
+    kept materialized ([mat__p] tables) and the maintenance strategy
+    assigned to each ("counting", "dred" or "recompute"). Persisted in
+    the DBMS like every other dictionary so snapshots restore it. *)
+
+val register_matview : t -> string -> string -> unit
+(** Upserts the (predicate, strategy) registration. *)
+
+val unregister_matview : t -> string -> unit
+
+val matview_strategy : t -> string -> string option
+
+val matviews : t -> (string * string) list
+(** All registrations, ordered by predicate name. *)
+
+val clear_matviews : t -> unit

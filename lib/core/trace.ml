@@ -71,6 +71,22 @@ let iteration t (ip : Runtime.iteration_profile) =
       ("ms", flt ip.Runtime.ip_ms);
     ]
 
+let maintenance t (r : Incremental.apply_report) =
+  emit t "maint"
+    [
+      ("base_inserted", int r.Incremental.base_inserted);
+      ("base_deleted", int r.Incremental.base_deleted);
+      ( "derived",
+        counts
+          (List.concat_map
+             (fun (p, i, d) -> [ (p ^ "+", i); (p ^ "-", d) ])
+             r.Incremental.derived_changes) );
+      ("rederived", int r.Incremental.rederived);
+      ("fallback", bool r.Incremental.fallback);
+      ("maintained", bool r.Incremental.maintained);
+      ("ms", flt r.Incremental.total_ms);
+    ]
+
 let query_begin t goal = emit t "query_begin" [ ("goal", str goal) ]
 
 let query_end t goal ~ok ~ms ?rows () =

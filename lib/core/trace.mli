@@ -6,7 +6,9 @@
       the engine's trace hook ({!Rdbms.Engine.set_trace_hook});
     - ["iteration"] — per LFP iteration, from the runtime's observer
       (per-member delta cardinalities and per-phase simulated I/O);
-    - ["query_begin"] / ["query_end"] — per D/KB goal. *)
+    - ["query_begin"] / ["query_end"] — per D/KB goal;
+    - ["maint"] — per maintained fact update (view deltas, rederivations,
+      fallbacks). *)
 
 type t
 
@@ -25,6 +27,9 @@ val engine_event : t -> Rdbms.Engine.trace_event -> unit
 
 val iteration : t -> Runtime.iteration_profile -> unit
 (** Write one LFP-iteration event (the runtime observer). *)
+
+val maintenance : t -> Incremental.apply_report -> unit
+(** Write one incremental-maintenance event (per maintained update). *)
 
 val query_begin : t -> string -> unit
 val query_end : t -> string -> ok:bool -> ms:float -> ?rows:int -> unit -> unit

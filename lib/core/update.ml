@@ -7,6 +7,7 @@ type report = {
   rules_stored : int;
   tc_edges : int;
   affected_preds : int;
+  affected_by : (string * int) list;
 }
 
 let dedup xs =
@@ -67,15 +68,21 @@ let update ~stored ~workspace ?(compiled_storage = true) () =
       let rules_stored = ref 0 in
       let tc_edges = ref 0 in
       let affected_count = ref 0 in
+      let affected_by = ref [] in
       if compiled_storage then begin
         let ws_heads = dedup (List.map Ast.head_pred ws_rules) in
         (* affected: heads of new rules plus every stored predicate that
            can already reach one of them (their closures may grow) *)
         let upstream, stored_defs =
           Timer.Phases.record phases "extract" (fun () ->
-              let upstream =
-                dedup (List.concat_map (fun p -> Stored_dkb.dependents_of stored p) ws_heads)
+              let per_head =
+                List.map (fun p -> (p, Stored_dkb.dependents_of stored p)) ws_heads
               in
+              (* per workspace head: itself plus the stored predicates
+                 whose closure it perturbs *)
+              affected_by :=
+                List.map (fun (p, deps) -> (p, List.length (dedup (p :: deps)))) per_head;
+              let upstream = dedup (List.concat_map snd per_head) in
               let affected = dedup (ws_heads @ upstream) in
               (upstream, Stored_dkb.rules_with_head stored affected))
         in
@@ -140,6 +147,7 @@ let update ~stored ~workspace ?(compiled_storage = true) () =
           rules_stored = !rules_stored;
           tc_edges = !tc_edges;
           affected_preds = !affected_count;
+          affected_by = !affected_by;
         }
     with
     | Failure msg ->

@@ -19,6 +19,9 @@ type report = {
   rules_stored : int;  (** workspace rules written (deduplicated) *)
   tc_edges : int;  (** reachability pairs written *)
   affected_preds : int;  (** predicates whose closure was recomputed *)
+  affected_by : (string * int) list;
+      (** per workspace head predicate: how many stored predicates that
+          head perturbs (itself plus its upstream dependents) *)
 }
 
 val update :

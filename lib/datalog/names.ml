@@ -28,6 +28,17 @@ let facts_base p = p ^ "__facts"
 
 let scratch_tables p = [ next p; delta p; new_delta p; diff p ]
 
+(* Incremental view maintenance (Core.Incremental): the persistent
+   materialization of a derived predicate, its derivation counts, and the
+   per-update delta scratch tables. *)
+let mat p = "mat__" ^ p
+let cnt p = "matcnt__" ^ p
+let ins_delta p = "insd__" ^ p
+let del_delta p = "deld__" ^ p
+let overdel p = "odel__" ^ p
+
+let maint_tables p = [ mat p; cnt p; ins_delta p; del_delta p; overdel p ]
+
 let strip_prefix prefix s =
   let lp = String.length prefix in
   if String.length s >= lp && String.sub s 0 lp = prefix then String.sub s lp (String.length s - lp)
@@ -39,6 +50,11 @@ let strip_decorations s =
   let s = strip_prefix "cand__" s in
   let s = strip_prefix "next__" s in
   let s = strip_prefix "diff__" s in
+  let s = strip_prefix "mat__" s in
+  let s = strip_prefix "matcnt__" s in
+  let s = strip_prefix "insd__" s in
+  let s = strip_prefix "deld__" s in
+  let s = strip_prefix "odel__" s in
   (* drop a trailing __adornment or __facts suffix *)
   let n = String.length s in
   let rec find i = if i + 1 >= n then None else if s.[i] = '_' && s.[i + 1] = '_' then Some i else find (i + 1) in

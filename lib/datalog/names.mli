@@ -33,6 +33,28 @@ val scratch_tables : string -> string list
     member: [next], [delta], [new_delta] and [diff]. Used to create them
     up front and to verify cleanup leaves none behind. *)
 
+(** {2 Incremental view maintenance} *)
+
+val mat : string -> string
+(** Persistent materialization of a derived predicate ([mat__p]). *)
+
+val cnt : string -> string
+(** Derivation-count companion table of a counting-maintained
+    materialization ([matcnt__p]: the view's columns plus [dcount]). *)
+
+val ins_delta : string -> string
+(** Per-update scratch: tuples inserted into a relation this update. *)
+
+val del_delta : string -> string
+(** Per-update scratch: tuples deleted from a relation this update. *)
+
+val overdel : string -> string
+(** DRed scratch: the over-deleted candidate set of a predicate. *)
+
+val maint_tables : string -> string list
+(** Every persistent or scratch table the maintenance layer may allocate
+    for one predicate. *)
+
 val strip_decorations : string -> string
 (** Best-effort inverse: [strip_decorations "m__p__bf"] is ["p"]. *)
 

@@ -23,6 +23,10 @@ type t = {
   mutable recoveries : int;
   mutable tables_analyzed : int;
   mutable card_replans : int;
+  mutable maint_insertions : int;
+  mutable maint_deletions : int;
+  mutable maint_rederived : int;
+  mutable maint_fallbacks : int;
 }
 
 let create () =
@@ -47,6 +51,10 @@ let create () =
     recoveries = 0;
     tables_analyzed = 0;
     card_replans = 0;
+    maint_insertions = 0;
+    maint_deletions = 0;
+    maint_rederived = 0;
+    maint_fallbacks = 0;
   }
 
 let reset t =
@@ -69,7 +77,11 @@ let reset t =
   t.wal_bytes <- 0;
   t.recoveries <- 0;
   t.tables_analyzed <- 0;
-  t.card_replans <- 0
+  t.card_replans <- 0;
+  t.maint_insertions <- 0;
+  t.maint_deletions <- 0;
+  t.maint_rederived <- 0;
+  t.maint_fallbacks <- 0
 
 let copy t = { t with page_reads = t.page_reads }
 
@@ -95,6 +107,10 @@ let diff a b =
     recoveries = a.recoveries - b.recoveries;
     tables_analyzed = a.tables_analyzed - b.tables_analyzed;
     card_replans = a.card_replans - b.card_replans;
+    maint_insertions = a.maint_insertions - b.maint_insertions;
+    maint_deletions = a.maint_deletions - b.maint_deletions;
+    maint_rederived = a.maint_rederived - b.maint_rederived;
+    maint_fallbacks = a.maint_fallbacks - b.maint_fallbacks;
   }
 
 let add acc x =
@@ -117,7 +133,11 @@ let add acc x =
   acc.wal_bytes <- acc.wal_bytes + x.wal_bytes;
   acc.recoveries <- acc.recoveries + x.recoveries;
   acc.tables_analyzed <- acc.tables_analyzed + x.tables_analyzed;
-  acc.card_replans <- acc.card_replans + x.card_replans
+  acc.card_replans <- acc.card_replans + x.card_replans;
+  acc.maint_insertions <- acc.maint_insertions + x.maint_insertions;
+  acc.maint_deletions <- acc.maint_deletions + x.maint_deletions;
+  acc.maint_rederived <- acc.maint_rederived + x.maint_rederived;
+  acc.maint_fallbacks <- acc.maint_fallbacks + x.maint_fallbacks
 
 let total_io t = t.page_reads + t.page_writes
 
@@ -125,8 +145,10 @@ let to_string t =
   Printf.sprintf
     "reads=%d writes=%d probes=%d rows_read=%d ins=%d del=%d create=%d drop=%d trunc=%d \
      stmts=%d prepared=%d cache_hits=%d cache_misses=%d commits=%d rollbacks=%d \
-     wal_records=%d wal_bytes=%d recoveries=%d analyzed=%d card_replans=%d"
+     wal_records=%d wal_bytes=%d recoveries=%d analyzed=%d card_replans=%d \
+     maint_ins=%d maint_del=%d maint_rederived=%d maint_fallbacks=%d"
     t.page_reads t.page_writes t.index_probes t.rows_read t.rows_inserted t.rows_deleted
     t.tables_created t.tables_dropped t.tables_truncated t.statements t.statements_prepared
     t.plan_cache_hits t.plan_cache_misses t.txns_committed t.txns_rolled_back t.wal_records
-    t.wal_bytes t.recoveries t.tables_analyzed t.card_replans
+    t.wal_bytes t.recoveries t.tables_analyzed t.card_replans t.maint_insertions
+    t.maint_deletions t.maint_rederived t.maint_fallbacks

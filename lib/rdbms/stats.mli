@@ -44,6 +44,21 @@ type t = {
       (** cached plans rebuilt because a referenced table's cardinality
           moved to a different log2 bucket (LFP delta feedback, costed
           and greedy planning only) *)
+  mutable maint_insertions : int;
+      (** derived tuples added to materialized views by incremental
+          maintenance (counting delta rules or DRed insertion
+          propagation) *)
+  mutable maint_deletions : int;
+      (** derived tuples removed from materialized views by incremental
+          maintenance (derivation count reaching zero, or DRed
+          over-deletions that failed to rederive) *)
+  mutable maint_rederived : int;
+      (** over-deleted tuples DRed put back because an alternative
+          derivation survived *)
+  mutable maint_fallbacks : int;
+      (** maintenance passes that fell back to a full recompute (large
+          delta, unsupported program shape, or an affected
+          recompute-strategy predicate) *)
 }
 
 val create : unit -> t

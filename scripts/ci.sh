@@ -14,10 +14,11 @@ echo "== tests =="
 dune runtest
 
 echo "== bench smoke (quick scale) =="
-dune exec bench/main.exe -- wal cache profile joins exec quick
+dune exec bench/main.exe -- wal cache profile joins exec updates quick
 test -s BENCH_profile.json || { echo "BENCH_profile.json missing/empty"; exit 1; }
 test -s BENCH_joins.json || { echo "BENCH_joins.json missing/empty"; exit 1; }
 test -s BENCH_exec.json || { echo "BENCH_exec.json missing/empty"; exit 1; }
+test -s BENCH_updates.json || { echo "BENCH_updates.json missing/empty"; exit 1; }
 
 # the cost-based planner must not regress against greedy by more than 10%
 # on the skewed 3-way join (and the LFP delta feedback must have helped)
@@ -48,6 +49,29 @@ awk '
   }
 ' BENCH_exec.json
 
+# maintained views must stay tuple-identical to a from-scratch LFP, every
+# single-edge delta must propagate incrementally, and maintenance must not
+# be slower than full re-evaluation (the >= 5x headline on the recursive
+# scenarios is asserted at full scale; quick scale gates "never slower")
+awk '
+  /"name"/ {
+    ok = index($0, "\"ok\": true") > 0
+    if (!ok) { print "updates bench: differential check failed: " $0; bad = 1 }
+    if (match($0, /"incremental_ms": [0-9.]+/)) incr = substr($0, RSTART + 18, RLENGTH - 18)
+    if (match($0, /"recompute_ms": [0-9.]+/)) recomp = substr($0, RSTART + 16, RLENGTH - 16)
+    if (match($0, /"fallbacks": [0-9]+/)) fb = substr($0, RSTART + 13, RLENGTH - 13)
+    if (incr == "" || recomp == "") { print "updates bench: missing measures: " $0; bad = 1 }
+    else if (incr + 0 > recomp + 0) { print "updates bench: incremental slower than recompute: " incr " > " recomp; bad = 1 }
+    if (fb + 0 > 0) { print "updates bench: single-edge deltas fell back " fb " times"; bad = 1 }
+    n += 1
+  }
+  END {
+    if (n < 3) { print "updates bench: expected 3 scenarios, saw " n; exit 1 }
+    if (bad) exit 1
+    print "updates bench OK: " n " scenarios maintained incrementally"
+  }
+' BENCH_updates.json
+
 echo "== shell observability smoke =="
 TRACE=$(mktemp /tmp/dkb_ci_trace.XXXXXX)
 SCRIPT=$(mktemp /tmp/dkb_ci_script.XXXXXX)
@@ -67,6 +91,10 @@ ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).
 .profile ancestor(1, W)
 .analyze CREATE TABLE should_be_rejected (x int)
 ?- nosuchpred(X).
+.store
+.materialize ancestor
+.insert parent(7, 8)
+.delete parent(7, 8)
 .trace off
 .quit
 EOF
@@ -83,6 +111,7 @@ BAD=$(grep -cv '^{"ev":".*}$' "$TRACE" || true)
 grep -q '"ev":"iteration"' "$TRACE" || { echo "no iteration events"; exit 1; }
 grep -q '"ev":"stmt_end"' "$TRACE" || { echo "no stmt_end events"; exit 1; }
 grep -q '"ev":"query_begin"' "$TRACE" || { echo "no query_begin events"; exit 1; }
+grep -q '"ev":"maint".*"maintained":true' "$TRACE" || { echo "no maintained maint events"; exit 1; }
 echo "trace sink OK: $(wc -l < "$TRACE") events"
 
 echo "== ci OK =="

@@ -9,7 +9,7 @@ masked (they vary run to run); everything else is deterministic.
   alice
   (2 rows)
   no
-  options: magic=on strategy=semi-naive indexderived=false joinorder=syntactic exec=compiled cache=false
+  options: magic=on strategy=semi-naive indexderived=false joinorder=syntactic exec=compiled maintenance=auto cache=false
   w
   mary
   alice
@@ -27,6 +27,19 @@ masked (they vary run to run); everything else is deterministic.
     edb_tables                1 rows  (tablename char, arity integer)
     idb_columns               2 rows  (tablename char, colnumber integer, coltype char)
     idb_tables                1 rows  (tablename char, arity integer)
+    matviews                  0 rows  (predname char, strategy char)
     parent                    2 rows  (par char, child char)
     reachablepreds            2 rows  (frompredname char, topredname char)
     rulesource                2 rows  (ruleid integer, headpredname char, ruletext char)
+  materialized ancestor (dred)
+    ancestor             dred
+  base +1/-0  ancestor +3/-0  [maintained]
+  w
+  mary
+  alice
+  bob
+  (3 rows)
+  base +0/-1  ancestor +0/-3  [maintained]
+  w
+  (0 rows)
+  options: magic=on strategy=semi-naive indexderived=false joinorder=syntactic exec=compiled maintenance=off cache=false

@@ -64,6 +64,8 @@ let test_incremental_new_root () =
   let r = push_rules s [ "top(X, Y) :- a(X, Y)." ] in
   (* only the new root's closure is recomputed *)
   Alcotest.(check int) "one affected pred" 1 r.Core.Update.affected_preds;
+  Alcotest.(check (list (pair string int)))
+    "per-head perturbation counts" [ ("top", 1) ] r.Core.Update.affected_by;
   check_invariant s
 
 let test_recursive_rules () =
