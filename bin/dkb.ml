@@ -27,14 +27,17 @@ let help_text =
   .index name(col) [ordered]     build a hash (or ordered/range) index
   .options [magic off|on|sup|auto] [strategy naive|semi] [indexderived on|off]
            [joinorder syntactic|greedy|costed] [exec interpreted|compiled]
-           [maintenance off|counting|dred|auto]
-                                 set query-processing options
+           [maintenance off|counting|dred|auto] [sanitize on|off]
+                                 set query-processing options (sanitize audits
+                                 engine invariants after every SQL statement)
   .cache on|off                  toggle the precompiled-query cache
   .materialize pred              materialize a stored predicate as an
                                  incrementally maintained view
   .views                         list materialized views and their strategies
   .insert fact(..) | .delete fact(..)
                                  change a base fact, maintaining the views
+  .check                         lint the rule base (workspace + stored) and
+                                 audit the engine's internal invariants
   .explain goal(..)              show the compiled program without running it
   .emitc goal(..)                show the generated embedded-SQL/C program
   .store [nocompiled]            persist workspace rules into the Stored D/KB
@@ -92,7 +95,7 @@ let run_query st text =
       | goal ->
           Result.map fst (Core.Precompiled.query st.cache st.session ~options:st.options goal)
       | exception Datalog.Parser.Parse_error (msg, pos) ->
-          Error (Printf.sprintf "parse error at %d: %s" pos msg)
+          Error (Printf.sprintf "parse error at %s: %s" (Datalog.Lexer.pos_to_string pos) msg)
     else Session.query st.session ~options:st.options text
   in
   on_result result ~ok:(fun answer ->
@@ -116,9 +119,9 @@ let add_clause st text =
   (* facts for existing base relations go to the EDB *)
   match Datalog.Parser.parse_clause text with
   | exception Datalog.Parser.Parse_error (msg, pos) ->
-      report_error (Printf.sprintf "parse error at %d: %s" pos msg)
+      report_error (Printf.sprintf "parse error at %s: %s" (Datalog.Lexer.pos_to_string pos) msg)
   | exception Datalog.Lexer.Lex_error (msg, pos) ->
-      report_error (Printf.sprintf "lex error at %d: %s" pos msg)
+      report_error (Printf.sprintf "lex error at %s: %s" (Datalog.Lexer.pos_to_string pos) msg)
   | clause ->
       if Datalog.Ast.is_fact clause then begin
         let pred = Datalog.Ast.head_pred clause in
@@ -174,6 +177,12 @@ let set_options st words =
         | "interpreted" -> set Rdbms.Engine.Interpreted; go rest
         | "compiled" -> set Rdbms.Engine.Compiled; go rest
         | _ -> Error ("unknown exec backend " ^ v))
+    | "sanitize" :: v :: rest -> (
+        match v with
+        | "on" | "off" ->
+            Rdbms.Engine.set_sanitize (Session.engine st.session) (v = "on");
+            go rest
+        | _ -> Error ("unknown sanitize setting " ^ v))
     | "maintenance" :: v :: rest -> (
         match Core.Incremental.mode_of_string v with
         | Some m ->
@@ -185,7 +194,7 @@ let set_options st words =
   on_result (go words) ~ok:(fun () ->
       printf
         "options: magic=%s strategy=%s indexderived=%b joinorder=%s exec=%s maintenance=%s \
-         cache=%b\n"
+         sanitize=%b cache=%b\n"
         (match st.options.Session.optimize with
         | Core.Compiler.Opt_off -> "off"
         | Core.Compiler.Opt_on -> "on"
@@ -201,6 +210,7 @@ let set_options st words =
         | Rdbms.Engine.Interpreted -> "interpreted"
         | Rdbms.Engine.Compiled -> "compiled")
         (Core.Incremental.mode_to_string (Session.maintenance_mode st.session))
+        (Rdbms.Engine.sanitize_enabled (Session.engine st.session))
         st.use_cache)
 
 let show_rules st =
@@ -302,9 +312,9 @@ let parse_ground_fact text =
   in
   match Datalog.Parser.parse_clause text with
   | exception Datalog.Parser.Parse_error (msg, pos) ->
-      Error (Printf.sprintf "parse error at %d: %s" pos msg)
+      Error (Printf.sprintf "parse error at %s: %s" (Datalog.Lexer.pos_to_string pos) msg)
   | exception Datalog.Lexer.Lex_error (msg, pos) ->
-      Error (Printf.sprintf "lex error at %d: %s" pos msg)
+      Error (Printf.sprintf "lex error at %s: %s" (Datalog.Lexer.pos_to_string pos) msg)
   | clause ->
       let args = clause.Datalog.Ast.head.Datalog.Ast.args in
       if
@@ -338,7 +348,7 @@ let print_apply_report (r : Core.Incremental.apply_report) =
 let emit_c_goal st text =
   match Datalog.Parser.parse_query text with
   | exception Datalog.Parser.Parse_error (msg, pos) ->
-      report_error (Printf.sprintf "parse error at %d: %s" pos msg)
+      report_error (Printf.sprintf "parse error at %s: %s" (Datalog.Lexer.pos_to_string pos) msg)
   | goal ->
       on_result
         (Core.Compiler.compile ~stored:(Session.stored st.session)
@@ -388,6 +398,19 @@ let rec handle st line =
         st.use_cache <- v = "on";
         printf "cache %s\n" (if st.use_cache then "on" else "off");
         true
+    | ".check", _ ->
+        (match Session.check st.session with
+        | [] -> printf "check: ok\n"
+        | ds ->
+            List.iter (fun d -> printf "%s\n" (Datalog.Lint.to_string d)) ds;
+            let errs =
+              List.length
+                (List.filter
+                   (fun d -> d.Datalog.Lint.severity = Datalog.Lint.Sev_error)
+                   ds)
+            in
+            printf "check: %d error(s), %d warning(s)\n" errs (List.length ds - errs));
+        true
     | ".explain", _ ->
         explain_goal st (rest_text ".explain");
         true
@@ -397,6 +420,9 @@ let rec handle st line =
     | ".store", rest ->
         let compiled_storage = not (List.mem "nocompiled" rest) in
         on_result (Session.update_stored st.session ~compiled_storage ()) ~ok:(fun r ->
+            List.iter
+              (fun d -> printf "warning: %s\n" (Datalog.Lint.to_string d))
+              r.Core.Update.warnings;
             printf "stored %d rules in %.2f ms (%d reachability pairs)\n"
               r.Core.Update.rules_stored r.Core.Update.total_ms r.Core.Update.tc_edges);
         true
@@ -565,6 +591,116 @@ and load_file st file =
       close_in ic;
       st.interactive <- was_interactive
 
+(* ------------------------------------------------------------------ *)
+(* [dkb check <file.dkb>...]: batch lint over shell scripts without
+   executing them. Each file is read the way the shell would: [.base]
+   and [.sql CREATE TABLE] lines register base relations, clause lines
+   parse with source positions, queries and goal-taking commands become
+   lint roots, [.load] recurses. Diagnostics print as
+   [file:line:col: severity[CODE] message]; exit status 1 when any
+   error-class diagnostic (including E100 syntax errors) was reported. *)
+
+let check_files files =
+  let module L = Datalog.Lint in
+  let any_error = ref false in
+  let check_one top_file =
+    let bases : (string, Rdbms.Datatype.t list) Hashtbl.t = Hashtbl.create 16 in
+    let clauses = ref [] in
+    let roots = ref [] in
+    let extra = ref [] in
+    let e100 ?loc msg =
+      extra :=
+        { L.code = "E100"; severity = L.Sev_error; loc; pred = ""; message = msg } :: !extra
+    in
+    let goal_root ~lineno ~col0 text =
+      match Datalog.Parser.parse_query text with
+      | (goal : Datalog.Ast.atom) -> roots := goal.Datalog.Ast.pred :: !roots
+      | exception Datalog.Parser.Parse_error (msg, pos) ->
+          e100 ~loc:{ Datalog.Lexer.line = lineno; col = pos.Datalog.Lexer.col + col0 } msg
+      | exception Datalog.Lexer.Lex_error (msg, pos) ->
+          e100 ~loc:{ Datalog.Lexer.line = lineno; col = pos.Datalog.Lexer.col + col0 } msg
+    in
+    let rec process_file file =
+      match open_in file with
+      | exception Sys_error msg -> e100 msg
+      | ic ->
+          let lineno = ref 0 in
+          (try
+             while true do
+               let raw = input_line ic in
+               incr lineno;
+               let n = !lineno in
+               let line = String.trim raw in
+               if line = "" || line.[0] = '%' then ()
+               else if String.length line >= 2 && String.sub line 0 2 = "?-" then
+                 goal_root ~lineno:n ~col0:2 (String.sub line 2 (String.length line - 2))
+               else if line.[0] = '.' then begin
+                 let words = String.split_on_char ' ' line |> List.filter (fun w -> w <> "") in
+                 let rest cmd =
+                   String.trim
+                     (String.sub line (String.length cmd) (String.length line - String.length cmd))
+                 in
+                 match words with
+                 | ".base" :: _ -> (
+                     match parse_base_spec (rest ".base") with
+                     | Ok (name, columns) -> Hashtbl.replace bases name (List.map snd columns)
+                     | Error msg ->
+                         e100 ~loc:{ Datalog.Lexer.line = n; col = 1 } ("bad .base: " ^ msg))
+                 | ".sql" :: _ -> (
+                     match Rdbms.Sql_parser.parse (rest ".sql") with
+                     | Rdbms.Sql_ast.Create_table { name; columns } ->
+                         Hashtbl.replace bases name (List.map snd columns)
+                     | _ -> ()
+                     | exception Rdbms.Sql_parser.Parse_error _ -> ()
+                     | exception Rdbms.Sql_lexer.Lex_error _ -> ())
+                 | (".explain" | ".profile" | ".emitc") :: _ ->
+                     let cmd = List.hd words in
+                     goal_root ~lineno:n ~col0:(String.length cmd + 1) (rest cmd)
+                 | [ ".materialize"; pred ] -> roots := pred :: !roots
+                 | [ ".load"; f ] -> process_file f
+                 | _ -> ()
+               end
+               else if
+                 match String.split_on_char ' ' (String.uppercase_ascii line) with
+                 | first :: _ ->
+                     let first =
+                       match String.index_opt first ';' with
+                       | Some i -> String.sub first 0 i
+                       | None -> first
+                     in
+                     List.mem first [ "BEGIN"; "COMMIT"; "ROLLBACK" ]
+                 | [] -> false
+               then ()
+               else begin
+                 match Datalog.Parser.parse_clause_located line with
+                 | clause, pos ->
+                     clauses :=
+                       (clause, Some { Datalog.Lexer.line = n; col = pos.Datalog.Lexer.col })
+                       :: !clauses
+                 | exception Datalog.Parser.Parse_error (msg, pos) ->
+                     e100 ~loc:{ Datalog.Lexer.line = n; col = pos.Datalog.Lexer.col } msg
+                 | exception Datalog.Lexer.Lex_error (msg, pos) ->
+                     e100 ~loc:{ Datalog.Lexer.line = n; col = pos.Datalog.Lexer.col } msg
+               end
+             done
+           with End_of_file -> ());
+          close_in ic
+    in
+    process_file top_file;
+    let diags =
+      L.check
+        ~roots:(List.sort_uniq compare !roots)
+        ~base_types:(Hashtbl.find_opt bases)
+        ~is_base:(Hashtbl.mem bases)
+        ~clauses:(List.rev !clauses) ()
+    in
+    let all = List.sort L.compare_diagnostic (!extra @ diags) in
+    List.iter (fun d -> printf "%s:%s\n" top_file (L.to_string d)) all;
+    if L.has_errors all then any_error := true
+  in
+  List.iter check_one files;
+  if !any_error then 1 else 0
+
 let () =
   let st =
     {
@@ -577,6 +713,7 @@ let () =
   in
   let args = List.tl (Array.to_list Sys.argv) in
   match args with
+  | "check" :: (_ :: _ as files) -> exit (check_files files)
   | [ file ] -> load_file st file
   | [] ->
       printf "D/KBMS testbed shell - .help for commands\n";
@@ -588,5 +725,5 @@ let () =
       in
       loop ()
   | _ ->
-      prerr_endline "usage: dkb [script.dkb]";
+      prerr_endline "usage: dkb [check <file.dkb>... | script.dkb]";
       exit 2

@@ -75,11 +75,24 @@ let define_base t name cols ?(indexes = []) () =
 
 (* With materialized views registered, every base-fact mutation routes
    through the maintenance layer so the views stay consistent. *)
+(* With the sanitizer on, maintenance completion is a quiescent point:
+   audit the maintained-view pairs (matcnt__p / mat__p) on top of the
+   per-statement structural checks the engine already ran. *)
+let sanitize_views t =
+  if Engine.sanitize_enabled t.engine then
+    match Rdbms.Invariants.check_views (Engine.catalog t.engine) with
+    | [] -> Ok ()
+    | vs ->
+        Error
+          ("sanitize: maintained views inconsistent after maintenance: "
+          ^ String.concat "; " (List.map Rdbms.Invariants.violation_to_string vs))
+  else Ok ()
+
 let apply_facts t ~inserts ~deletes () =
   match Incremental.apply t.incr ~mode:t.maintenance ~inserts ~deletes () with
-  | Ok report ->
+  | Ok report -> (
       (match t.trace with Some tr -> Trace.maintenance tr report | None -> ());
-      Ok report
+      match sanitize_views t with Ok () -> Ok report | Error _ as e -> e)
   | Error _ as e -> e
 
 let insert_facts t name rows =
@@ -147,13 +160,13 @@ let base_count t name =
 (* Workspace rules *)
 
 let add_rule t text =
-  match Datalog.Parser.parse_clause text with
+  match Datalog.Parser.parse_clause_located text with
   | exception Datalog.Parser.Parse_error (msg, pos) ->
-      Error (Printf.sprintf "parse error at offset %d: %s" pos msg)
+      Error (Printf.sprintf "parse error at %s: %s" (Datalog.Lexer.pos_to_string pos) msg)
   | exception Datalog.Lexer.Lex_error (msg, pos) ->
-      Error (Printf.sprintf "lex error at offset %d: %s" pos msg)
-  | clause -> (
-      match Workspace.add_clause t.workspace clause with
+      Error (Printf.sprintf "lex error at %s: %s" (Datalog.Lexer.pos_to_string pos) msg)
+  | clause, loc -> (
+      match Workspace.add_clause ~loc t.workspace clause with
       | Ok () ->
           bump t (Ast.head_pred clause);
           Ok ()
@@ -252,9 +265,9 @@ let query_goal t ?(options = default_options) goal =
 let query t ?options text =
   match Datalog.Parser.parse_query text with
   | exception Datalog.Parser.Parse_error (msg, pos) ->
-      Error (Printf.sprintf "parse error at offset %d: %s" pos msg)
+      Error (Printf.sprintf "parse error at %s: %s" (Datalog.Lexer.pos_to_string pos) msg)
   | exception Datalog.Lexer.Lex_error (msg, pos) ->
-      Error (Printf.sprintf "lex error at offset %d: %s" pos msg)
+      Error (Printf.sprintf "lex error at %s: %s" (Datalog.Lexer.pos_to_string pos) msg)
   | goal -> query_goal t ?options goal
 
 let answer_rows a = (a.run.Runtime.columns, a.run.Runtime.rows)
@@ -278,18 +291,51 @@ let update_stored t ?compiled_storage ?(clear = false) () =
 (* ------------------------------------------------------------------ *)
 (* Incremental view maintenance *)
 
-let materialize t root = Incremental.materialize t.incr ~mode:t.maintenance root
+let materialize t root =
+  match Incremental.materialize t.incr ~mode:t.maintenance root with
+  | Ok regs -> ( match sanitize_views t with Ok () -> Ok regs | Error _ as e -> e)
+  | Error _ as e -> e
 let views t = Incremental.registered t.incr
 let view_rows t pred = Incremental.view_rows t.incr pred
-let refresh_views t = Incremental.refresh t.incr
+let refresh_views t =
+  match Incremental.refresh t.incr with
+  | Ok () -> sanitize_views t
+  | Error _ as e -> e
 
 (* ------------------------------------------------------------------ *)
 (* Inspection *)
 
+let check t =
+  let ws = Workspace.located t.workspace in
+  let ws_clauses = List.map fst ws in
+  (* stored rules already loaded into the workspace would double-report *)
+  let stored =
+    List.filter
+      (fun c -> not (List.exists (Ast.equal_clause c) ws_clauses))
+      (Stored_dkb.stored_rules t.stored)
+  in
+  let clauses = ws @ List.map (fun c -> (c, None)) stored in
+  let is_base p = Stored_dkb.base_schema t.stored p <> None in
+  let base_types p = Option.map (List.map snd) (Stored_dkb.base_schema t.stored p) in
+  let lint = Datalog.Lint.check ~base_types ~is_base ~clauses () in
+  let invariants =
+    List.map
+      (fun (v : Rdbms.Invariants.violation) ->
+        {
+          Datalog.Lint.code = "E301";
+          severity = Datalog.Lint.Sev_error;
+          loc = None;
+          pred = v.Rdbms.Invariants.v_table;
+          message = "engine invariant: " ^ v.Rdbms.Invariants.v_message;
+        })
+      (Engine.check_invariants t.engine)
+  in
+  List.stable_sort Datalog.Lint.compare_diagnostic (invariants @ lint)
+
 let explain t ?(options = default_options) text =
   match Datalog.Parser.parse_query text with
   | exception Datalog.Parser.Parse_error (msg, pos) ->
-      Error (Printf.sprintf "parse error at offset %d: %s" pos msg)
+      Error (Printf.sprintf "parse error at %s: %s" (Datalog.Lexer.pos_to_string pos) msg)
   | goal -> (
       match
         Compiler.compile ~stored:t.stored ~workspace:t.workspace ~optimize:options.optimize

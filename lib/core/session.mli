@@ -139,6 +139,14 @@ val update_stored :
 
 (** {1 Inspection} *)
 
+val check : t -> Datalog.Lint.diagnostic list
+(** The [.check] audit: lints the combined rule base (workspace clauses
+    with their source positions, plus stored rules not already in the
+    workspace) against the EDB dictionary's base schemas, and runs the
+    full engine sanitizer ({!Rdbms.Engine.check_invariants}) — each
+    invariant violation surfaces as an [E301] error diagnostic named
+    after the offending table. Sorted errors-first. *)
+
 val explain : t -> ?options:options -> string -> (string, string) result
 (** Compiles a goal and renders the evaluation order list and the
     generated SQL program without executing it. *)

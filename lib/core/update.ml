@@ -8,6 +8,7 @@ type report = {
   tc_edges : int;
   affected_preds : int;
   affected_by : (string * int) list;
+  warnings : Datalog.Lint.diagnostic list;
 }
 
 let dedup xs =
@@ -55,6 +56,58 @@ let update ~stored ~workspace ?(compiled_storage = true) () =
   else begin
     let phases = Timer.Phases.create () in
     let t0 = Timer.now_ms () in
+    (* Lint gate (the Semantic Checker's role in §4.3 step 4): the
+       workspace rules combined with the {e affected} stored rules must be
+       free of error-class diagnostics — an update introducing
+       unstratified negation or an arity conflict is rejected before any
+       dictionary mutation commits. Like the closure recompute, the gate
+       is incremental: only rules the update can perturb are linted, so
+       t_u stays insensitive to the total stored-rule count. Predicates
+       defined solely by unaffected stored rules are opaque here (a new
+       negation cycle necessarily runs through affected predicates, so
+       nothing error-class hides behind them); warnings ride along on the
+       report. *)
+    let warnings = ref [] in
+    let ws_located = List.filter (fun (c, _) -> Ast.is_rule c) (Workspace.located workspace) in
+    let lint_gate stored_defs =
+      Timer.Phases.record phases "lint" (fun () ->
+          let composite_heads =
+            List.map Ast.head_pred (List.map fst ws_located @ stored_defs)
+          in
+          let memo f =
+            let h = Hashtbl.create 16 in
+            fun p ->
+              match Hashtbl.find_opt h p with
+              | Some v -> v
+              | None ->
+                  let v = f p in
+                  Hashtbl.add h p v;
+                  v
+          in
+          let is_base =
+            memo (fun p ->
+                Stored_dkb.base_schema stored p <> None
+                || ((not (List.mem p composite_heads)) && Stored_dkb.has_rules_for stored p))
+          in
+          let base_types p =
+            match Stored_dkb.base_schema stored p with
+            | Some cols -> Some (List.map snd cols)
+            | None -> None
+          in
+          let diags =
+            Datalog.Lint.check ~base_types ~is_base
+              ~clauses:(ws_located @ List.map (fun c -> (c, None)) stored_defs)
+              ()
+          in
+          let errors, warns =
+            List.partition (fun d -> d.Datalog.Lint.severity = Datalog.Lint.Sev_error) diags
+          in
+          warnings := warns;
+          if errors <> [] then
+            failwith
+              (Printf.sprintf "rule base rejected: %s"
+                 (String.concat "; " (List.map Datalog.Lint.to_string errors))))
+    in
     (* All phases run inside one DBMS transaction: a failed typecheck or
        closure recompute must leave rulesource / reachablepreds / the data
        dictionaries exactly as they were (paper §4.3's update is atomic).
@@ -88,10 +141,11 @@ let update ~stored ~workspace ?(compiled_storage = true) () =
         in
         let affected = dedup (ws_heads @ upstream) in
         affected_count := List.length affected;
-        let composite =
-          ws_rules
-          @ List.filter (fun c -> not (List.exists (Ast.equal_clause c) ws_rules)) stored_defs
+        let affected_defs =
+          List.filter (fun c -> not (List.exists (Ast.equal_clause c) ws_rules)) stored_defs
         in
+        lint_gate affected_defs;
+        let composite = ws_rules @ affected_defs in
         (* paper step 4: type checking of the composite rule set; body
            predicates defined outside the composite resolve through the
            data dictionaries *)
@@ -131,7 +185,15 @@ let update ~stored ~workspace ?(compiled_storage = true) () =
               (fun (p, tys) ->
                 if List.mem p affected then Stored_dkb.put_derived_types stored p tys)
               derived_types)
-      end;
+      end
+      else
+        (* source-only storage still gates on lint: the workspace rules
+           against the stored rules sharing their heads *)
+        lint_gate
+          (let ws_heads = dedup (List.map Ast.head_pred ws_rules) in
+           List.filter
+             (fun c -> not (List.exists (Ast.equal_clause c) ws_rules))
+             (Stored_dkb.rules_with_head stored ws_heads));
       (* step 7: source form *)
       Timer.Phases.record phases "source" (fun () ->
           List.iter
@@ -148,6 +210,7 @@ let update ~stored ~workspace ?(compiled_storage = true) () =
           tc_edges = !tc_edges;
           affected_preds = !affected_count;
           affected_by = !affected_by;
+          warnings = !warnings;
         }
     with
     | Failure msg ->

@@ -4,6 +4,10 @@
     portion of the stored rule base affected by the update is recomputed.
 
     Phase buckets:
+    - ["lint"]      — the Semantic Checker gate: {!Datalog.Lint.check}
+                      over the workspace + stored rule base; any
+                      error-class diagnostic rejects the update before
+                      it touches the dictionaries;
     - ["extract"]   — t_u1: extracting the stored rules relevant to the
                       workspace rules (both directions: what they reach
                       and what reaches them);
@@ -22,6 +26,9 @@ type report = {
   affected_by : (string * int) list;
       (** per workspace head predicate: how many stored predicates that
           head perturbs (itself plus its upstream dependents) *)
+  warnings : Datalog.Lint.diagnostic list;
+      (** warning-class lint diagnostics over the composite rule base;
+          error-class diagnostics reject the update entirely *)
 }
 
 val update :

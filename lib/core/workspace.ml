@@ -1,13 +1,13 @@
 module Ast = Datalog.Ast
 
 type t = {
-  mutable ws_rules : Ast.clause list;
-  mutable ws_facts : Ast.clause list;
+  mutable ws_rules : (Ast.clause * Datalog.Lexer.pos option) list;
+  mutable ws_facts : (Ast.clause * Datalog.Lexer.pos option) list;
 }
 
 let create () = { ws_rules = []; ws_facts = [] }
 
-let add_clause t c =
+let add_clause ?loc t c =
   match Datalog.Names.check_user_pred (Ast.head_pred c) with
   | Error _ as e -> e
   | Ok () -> (
@@ -15,32 +15,34 @@ let add_clause t c =
       | Error _ as e -> e
       | Ok () ->
           if Ast.is_fact c then begin
-            if not (List.exists (Ast.equal_clause c) t.ws_facts) then
-              t.ws_facts <- t.ws_facts @ [ c ]
+            if not (List.exists (fun (c', _) -> Ast.equal_clause c c') t.ws_facts) then
+              t.ws_facts <- t.ws_facts @ [ (c, loc) ]
           end
-          else if not (List.exists (Ast.equal_clause c) t.ws_rules) then
-            t.ws_rules <- t.ws_rules @ [ c ];
+          else if not (List.exists (fun (c', _) -> Ast.equal_clause c c') t.ws_rules) then
+            t.ws_rules <- t.ws_rules @ [ (c, loc) ];
           Ok ())
 
 let add_text t text =
-  match Datalog.Parser.parse_program text with
+  match Datalog.Parser.parse_program_located text with
   | exception Datalog.Parser.Parse_error (msg, pos) ->
-      Error (Printf.sprintf "parse error at offset %d: %s" pos msg)
+      Error (Printf.sprintf "parse error at %s: %s" (Datalog.Lexer.pos_to_string pos) msg)
   | exception Datalog.Lexer.Lex_error (msg, pos) ->
-      Error (Printf.sprintf "lex error at offset %d: %s" pos msg)
+      Error (Printf.sprintf "lex error at %s: %s" (Datalog.Lexer.pos_to_string pos) msg)
   | items ->
       let rec add = function
         | [] -> Ok ()
-        | Datalog.Parser.Query _ :: _ -> Error "queries are not workspace clauses; use Session.query"
-        | Datalog.Parser.Clause c :: rest -> (
-            match add_clause t c with
+        | (Datalog.Parser.Query _, _) :: _ ->
+            Error "queries are not workspace clauses; use Session.query"
+        | (Datalog.Parser.Clause c, pos) :: rest -> (
+            match add_clause ~loc:pos t c with
             | Ok () -> add rest
             | Error _ as e -> e)
       in
       add items
 
-let rules t = t.ws_rules
-let facts t = t.ws_facts
+let rules t = List.map fst t.ws_rules
+let facts t = List.map fst t.ws_facts
+let located t = t.ws_rules @ t.ws_facts
 
 let clear t =
   t.ws_rules <- [];
@@ -50,13 +52,13 @@ let rule_count t = List.length t.ws_rules
 
 let head_predicates t =
   List.fold_left
-    (fun acc c ->
+    (fun acc (c, _) ->
       let p = Ast.head_pred c in
       if List.mem p acc then acc else acc @ [ p ])
     [] t.ws_rules
 
 let reachable_preds t seeds =
-  let pcg = Datalog.Pcg.build t.ws_rules in
+  let pcg = Datalog.Pcg.build (rules t) in
   Datalog.Pcg.reachable_closure pcg seeds
 
-let cliques t = Datalog.Clique.find_all t.ws_rules
+let cliques t = Datalog.Clique.find_all (rules t)

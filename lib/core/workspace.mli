@@ -7,9 +7,10 @@ type t
 
 val create : unit -> t
 
-val add_clause : t -> Datalog.Ast.clause -> (unit, string) result
+val add_clause : ?loc:Datalog.Lexer.pos -> t -> Datalog.Ast.clause -> (unit, string) result
 (** Adds a parsed clause after safety and naming checks. Facts accumulate
-    separately from rules. *)
+    separately from rules. The optional [loc] is the clause's source position,
+    kept for lint diagnostics. *)
 
 val add_text : t -> string -> (unit, string) result
 (** Parses and adds a whole program text (clauses only; [?-] items are
@@ -17,6 +18,9 @@ val add_text : t -> string -> (unit, string) result
 
 val rules : t -> Datalog.Ast.clause list
 val facts : t -> Datalog.Ast.clause list
+
+(** Rules then facts, each with the source position recorded at add time. *)
+val located : t -> (Datalog.Ast.clause * Datalog.Lexer.pos option) list
 val clear : t -> unit
 val rule_count : t -> int
 

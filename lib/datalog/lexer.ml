@@ -1,3 +1,7 @@
+type pos = { line : int; col : int }
+
+let pos_to_string p = Printf.sprintf "%d:%d" p.line p.col
+
 type token =
   | LIDENT of string
   | UIDENT of string
@@ -12,7 +16,7 @@ type token =
   | CMP of Ast.cmp
   | EOF
 
-exception Lex_error of string * int
+exception Lex_error of string * pos
 
 let token_to_string = function
   | LIDENT s | UIDENT s -> s
@@ -32,10 +36,30 @@ let is_upper c = (c >= 'A' && c <= 'Z') || c = '_'
 let is_digit c = c >= '0' && c <= '9'
 let is_ident_char c = is_lower c || is_upper c || is_digit c
 
+(* Byte offsets of the first character of each line, so any byte offset can
+   be turned into a 1-based line:col pair with a binary search. *)
+let line_starts input =
+  let n = String.length input in
+  let starts = ref [ 0 ] in
+  for i = 0 to n - 1 do
+    if input.[i] = '\n' then starts := (i + 1) :: !starts
+  done;
+  Array.of_list (List.rev !starts)
+
+let pos_of_offset starts off =
+  let lo = ref 0 and hi = ref (Array.length starts - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if starts.(mid) <= off then lo := mid else hi := mid - 1
+  done;
+  { line = !lo + 1; col = off - starts.(!lo) + 1 }
+
 let tokenize input =
   let n = String.length input in
+  let starts = line_starts input in
+  let pos i = pos_of_offset starts i in
   let tokens = ref [] in
-  let emit tok pos = tokens := (tok, pos) :: !tokens in
+  let emit tok i = tokens := (tok, pos i) :: !tokens in
   let rec skip_comment i = if i < n && input.[i] <> '\n' then skip_comment (i + 1) else i in
   let rec loop i =
     if i >= n then emit EOF i
@@ -59,7 +83,7 @@ let tokenize input =
       else if c = '"' then begin
         let buf = Buffer.create 16 in
         let rec scan j =
-          if j >= n then raise (Lex_error ("unterminated string", i))
+          if j >= n then raise (Lex_error ("unterminated string", pos i))
           else if input.[j] = '"' then j + 1
           else begin
             Buffer.add_char buf input.[j];
@@ -117,7 +141,7 @@ let tokenize input =
         | ')' -> emit RPAREN i; loop (i + 1)
         | ',' -> emit COMMA i; loop (i + 1)
         | '.' -> emit DOT i; loop (i + 1)
-        | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, i))
+        | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, pos i))
   in
   loop 0;
   List.rev !tokens

@@ -3,6 +3,12 @@
     lowercase identifiers are predicate names or string constants;
     double-quoted strings and integers are constants. *)
 
+type pos = { line : int; col : int }
+(** 1-based source position of the first character of a token. *)
+
+val pos_to_string : pos -> string
+(** ["line:col"]. *)
+
 type token =
   | LIDENT of string  (** lowercase identifier *)
   | UIDENT of string  (** variable *)
@@ -17,7 +23,7 @@ type token =
   | CMP of Ast.cmp  (** [=], [<>], [<], [<=], [>], [>=] *)
   | EOF
 
-exception Lex_error of string * int
+exception Lex_error of string * pos
 
-val tokenize : string -> (token * int) list
+val tokenize : string -> (token * pos) list
 val token_to_string : token -> string

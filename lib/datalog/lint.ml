@@ -1,0 +1,514 @@
+(* Static analysis over a rule base: the Semantic Checker of paper §3.2.4
+   grown into a diagnostic engine. Every finding carries a stable code, a
+   severity, and (when known) the source position of the offending clause,
+   so the shell, the batch `dkb check` mode, and Update can all share one
+   report format. *)
+
+open Ast
+
+type severity = Sev_error | Sev_warning
+
+type diagnostic = {
+  code : string;
+  severity : severity;
+  loc : Lexer.pos option;
+  pred : string;
+  message : string;
+}
+
+let codes =
+  [
+    ("E100", "syntax error (batch check mode)");
+    ("E101", "unsafe rule (unbound head or negated/compared variable)");
+    ("E102", "unstratified negation (negative edge inside a recursive clique)");
+    ("E103", "arity conflict (predicate used at two different arities)");
+    ("E104", "type conflict (column types disagree across rules or with a base relation)");
+    ("W201", "dead rule (a positive body predicate can never hold a tuple)");
+    ("W202", "unreachable rule (not reachable from any query root)");
+    ("W203", "unused predicate (defined but never referenced or queried)");
+    ("W204", "duplicate rule (identical up to variable renaming)");
+    ("W205", "subsumed rule (a more general rule already derives everything it can)");
+    ("W206", "cartesian product (body literals split into variable-disjoint groups)");
+    ("W207", "singleton variable (occurs once; prefix with _ to silence)");
+    ("W208", "no binding can propagate into a recursive call (magic sets over-materialize)");
+    ("E301", "engine invariant violated (reported by the state sanitizer, not the linter)");
+  ]
+
+let severity_to_string = function Sev_error -> "error" | Sev_warning -> "warning"
+
+let to_string d =
+  let prefix = match d.loc with Some p -> Lexer.pos_to_string p ^ ": " | None -> "" in
+  Printf.sprintf "%s%s[%s] %s" prefix (severity_to_string d.severity) d.code d.message
+
+let has_errors diags = List.exists (fun d -> d.severity = Sev_error) diags
+
+let compare_diagnostic a b =
+  let sev = function Sev_error -> 0 | Sev_warning -> 1 in
+  let line = function Some p -> p.Lexer.line | None -> max_int in
+  let col = function Some p -> p.Lexer.col | None -> max_int in
+  let key d = (sev d.severity, line d.loc, col d.loc, d.code, d.message) in
+  compare (key a) (key b)
+
+(* ------------------------------------------------------------------ *)
+(* Helpers *)
+
+(* alpha-canonical form: variables renamed V0, V1, ... by first occurrence *)
+let canonical (c : clause) =
+  let map = Hashtbl.create 8 in
+  let n = ref 0 in
+  let ren v =
+    match Hashtbl.find_opt map v with
+    | Some s -> s
+    | None ->
+        let s = Printf.sprintf "V%d" !n in
+        incr n;
+        Hashtbl.add map v s;
+        s
+  in
+  let term = function Var v -> Var (ren v) | Const _ as t -> t in
+  let at (a : atom) = { a with args = List.map term a.args } in
+  let lit = function
+    | Pos a -> Pos (at a)
+    | Neg a -> Neg (at a)
+    | Cmp (x, op, y) -> Cmp (term x, op, term y)
+  in
+  { head = at c.head; body = List.map lit c.body }
+
+(* one-way matching: does a substitution of [a]'s variables map clause [a]
+   onto (a sub-multiset of) clause [b]? Then [a] derives everything [b]
+   does and [b] is redundant. *)
+let match_term sub ta tb =
+  match (ta, tb) with
+  | Const u, Const v -> if Rdbms.Value.equal u v then Some sub else None
+  | Const _, Var _ -> None
+  | Var x, t -> (
+      match List.assoc_opt x sub with
+      | Some t' -> if equal_term t' t then Some sub else None
+      | None -> Some ((x, t) :: sub))
+
+let match_args sub aa bb =
+  if List.length aa <> List.length bb then None
+  else
+    List.fold_left2
+      (fun acc ta tb -> match acc with None -> None | Some s -> match_term s ta tb)
+      (Some sub) aa bb
+
+let match_atom sub (a : atom) (b : atom) =
+  if a.pred <> b.pred then None else match_args sub a.args b.args
+
+let match_literal sub la lb =
+  match (la, lb) with
+  | Pos a, Pos b | Neg a, Neg b -> match_atom sub a b
+  | Cmp (x, op, y), Cmp (u, op', v) when op = op' -> (
+      match match_term sub x u with None -> None | Some s -> match_term s y v)
+  | _ -> None
+
+let subsumes (a : clause) (b : clause) =
+  (* bodies are small; cap the backtracking search anyway *)
+  if List.length a.body > 8 || List.length b.body > 8 then false
+  else
+    match match_atom [] a.head b.head with
+    | None -> false
+    | Some sub ->
+        let rec go sub = function
+          | [] -> true
+          | l :: rest ->
+              List.exists
+                (fun lb ->
+                  match match_literal sub l lb with Some sub' -> go sub' rest | None -> false)
+                b.body
+        in
+        go sub a.body
+
+(* ------------------------------------------------------------------ *)
+
+let check ?(roots = []) ?(base_types = fun _ -> None) ~is_base ~clauses () =
+  let diags = ref [] in
+  let emit ?loc code severity pred message =
+    diags := { code; severity; loc; pred; message } :: !diags
+  in
+  let all = List.map fst clauses in
+  let rules = List.filter (fun (c, _) -> is_rule c) clauses in
+  let rule_clauses = List.map fst rules in
+
+  (* E101: safety *)
+  List.iter
+    (fun (c, loc) ->
+      match Typecheck.check_safety c with
+      | Ok () -> ()
+      | Error msg -> emit ?loc "E101" Sev_error (head_pred c) msg)
+    clauses;
+
+  (* E102: unstratified negation, with the offending cycle spelled out *)
+  let pcg = Pcg.build all in
+  List.iter
+    (fun scc ->
+      let in_scc q = List.mem q scc in
+      let recursive =
+        match scc with
+        | [ p ] -> List.mem p (Pcg.depends_on pcg p)
+        | _ -> true
+      in
+      if recursive then
+        List.iter
+          (fun p ->
+            List.iter
+              (fun q ->
+                if in_scc q && Pcg.has_negative_edge pcg p q then begin
+                  (* BFS a path q -> ... -> p inside the clique to close the cycle *)
+                  let rec bfs frontier visited =
+                    match frontier with
+                    | [] -> None
+                    | path :: rest -> (
+                        let last = List.hd path in
+                        if last = p then Some (List.rev path)
+                        else
+                          let nexts =
+                            List.filter
+                              (fun r -> in_scc r && not (List.mem r visited))
+                              (Pcg.depends_on pcg last)
+                          in
+                          match nexts with
+                          | [] -> bfs rest visited
+                          | _ ->
+                              bfs
+                                (rest @ List.map (fun r -> r :: path) nexts)
+                                (nexts @ visited))
+                  in
+                  let cycle =
+                    match bfs [ [ q ] ] [ q ] with
+                    | Some path -> p :: path
+                    | None -> [ p; q ]
+                  in
+                  let loc =
+                    List.find_map
+                      (fun (c, l) ->
+                        if
+                          head_pred c = p
+                          && List.exists
+                               (function Neg a -> a.pred = q | _ -> false)
+                               c.body
+                        then Some l
+                        else None)
+                      rules
+                    |> Option.join
+                  in
+                  emit ?loc "E102" Sev_error p
+                    (Printf.sprintf
+                       "unstratified negation: %s depends negatively on %s inside the \
+                        recursive cycle %s"
+                       p q
+                       (String.concat " -> " cycle))
+                end)
+              (Pcg.depends_on pcg p))
+          scc)
+    (Pcg.sccs pcg);
+
+  (* E103: arity conflicts across every occurrence (heads, bodies, base schema) *)
+  let occ : (string, (int * Lexer.pos option * string) list) Hashtbl.t = Hashtbl.create 16 in
+  let add_occ p arity loc what =
+    Hashtbl.replace occ p
+      (Option.value (Hashtbl.find_opt occ p) ~default:[] @ [ (arity, loc, what) ])
+  in
+  List.iter
+    (fun (c, loc) ->
+      add_occ c.head.pred (arity c.head) loc "head";
+      List.iter
+        (function
+          | Pos a | Neg a -> add_occ a.pred (arity a) loc "body"
+          | Cmp _ -> ())
+        c.body)
+    clauses;
+  let arity_conflicts = ref false in
+  Hashtbl.iter
+    (fun p occs ->
+      let occs =
+        match base_types p with
+        | Some tys -> (List.length tys, None, "base relation declaration") :: occs
+        | None -> occs
+      in
+      match occs with
+      | (a0, _, what0) :: rest -> (
+          match List.find_opt (fun (a, _, _) -> a <> a0) rest with
+          | Some (a, loc, _) ->
+              arity_conflicts := true;
+              emit ?loc "E103" Sev_error p
+                (Printf.sprintf "%s used with arity %d but the %s has arity %d" p a what0 a0)
+          | None -> ())
+      | [] -> ())
+    occ;
+
+  (* E104: type conflicts (skipped when arities already disagree — inference
+     would only repeat the arity complaint) *)
+  if not !arity_conflicts then begin
+    match Typecheck.infer_partial ~base:base_types ~rules:all with
+    | Ok _ -> ()
+    | Error msg ->
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+          nn > 0 && go 0
+        in
+        let loc =
+          List.find_map
+            (fun (c, l) -> if l <> None && contains msg (clause_to_string c) then l else None)
+            clauses
+        in
+        emit ?loc "E104" Sev_error "" msg
+  end;
+
+  (* W201: dead rules, via a productivity least fixpoint. A predicate is
+     productive iff it is base, has a ground fact, or has a rule all of
+     whose positive body predicates are productive — so [p :- p.] alone
+     never marks [p]. *)
+  let productive = Hashtbl.create 16 in
+  let is_productive p = is_base p || Hashtbl.mem productive p in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun c ->
+        if not (Hashtbl.mem productive (head_pred c)) then
+          let ok =
+            List.for_all
+              (function Pos a -> is_productive a.pred | Neg _ | Cmp _ -> true)
+              c.body
+          in
+          if ok then begin
+            Hashtbl.add productive (head_pred c) ();
+            changed := true
+          end)
+      all
+  done;
+  List.iter
+    (fun (c, loc) ->
+      match
+        List.find_map
+          (function Pos a when not (is_productive a.pred) -> Some a.pred | _ -> None)
+          c.body
+      with
+      | Some q ->
+          emit ?loc "W201" Sev_warning (head_pred c)
+            (Printf.sprintf "rule for %s is dead: %s can never hold a tuple (no facts, \
+                             base relation, or productive rules)"
+               (head_pred c) q)
+      | None -> ())
+    rules;
+
+  (* W203 / W202: unused predicates and unreachable rules — both need query
+     roots to be meaningful, so they only fire when roots are known. *)
+  let unused = Hashtbl.create 8 in
+  if roots <> [] then begin
+    let referenced = Hashtbl.create 16 in
+    List.iter
+      (fun c ->
+        List.iter
+          (function Pos a | Neg a -> Hashtbl.replace referenced a.pred () | Cmp _ -> ())
+          c.body)
+      all;
+    let heads =
+      List.fold_left
+        (fun acc c ->
+          let p = head_pred c in
+          if List.mem p acc then acc else acc @ [ p ])
+        [] rule_clauses
+    in
+    List.iter
+      (fun p ->
+        if (not (is_base p)) && (not (List.mem p roots)) && not (Hashtbl.mem referenced p)
+        then begin
+          Hashtbl.replace unused p ();
+          let loc =
+            List.find_map
+              (fun (c, loc) -> if head_pred c = p then loc else None)
+              rules
+          in
+          emit ?loc "W203" Sev_warning p
+            (Printf.sprintf "%s is defined but never referenced in a body or queried" p)
+        end)
+      heads;
+    let relevant = Pcg.reachable_closure pcg roots in
+    List.iter
+      (fun (c, loc) ->
+        let p = head_pred c in
+        if (not (List.mem p relevant)) && not (Hashtbl.mem unused p) then
+          emit ?loc "W202" Sev_warning p
+            (Printf.sprintf "rule for %s is unreachable from the query roots (%s)" p
+               (String.concat ", " roots)))
+      rules
+  end;
+
+  (* W204 / W205: duplicate and subsumed clauses, per head predicate *)
+  let arr = Array.of_list clauses in
+  let n = Array.length arr in
+  let flagged = Array.make n false in
+  for j = 1 to n - 1 do
+    let cj, locj = arr.(j) in
+    let i = ref 0 in
+    while (not flagged.(j)) && !i < j do
+      let ci, loci = arr.(!i) in
+      if (not flagged.(!i)) && head_pred ci = head_pred cj then begin
+        let where loc =
+          match loc with
+          | Some p -> Printf.sprintf " at %s" (Lexer.pos_to_string p)
+          | None -> ""
+        in
+        if equal_clause (canonical ci) (canonical cj) then begin
+          flagged.(j) <- true;
+          emit ?loc:locj "W204" Sev_warning (head_pred cj)
+            (Printf.sprintf "duplicate of the %s%s"
+               (if is_fact ci then "fact" else "rule")
+               (where loci))
+        end
+        else if subsumes ci cj then begin
+          flagged.(j) <- true;
+          emit ?loc:locj "W205" Sev_warning (head_pred cj)
+            (Printf.sprintf "subsumed by the more general rule%s" (where loci))
+        end
+        else if subsumes cj ci then begin
+          flagged.(!i) <- true;
+          emit ?loc:loci "W205" Sev_warning (head_pred ci)
+            (Printf.sprintf "subsumed by the more general rule%s" (where locj))
+        end
+      end;
+      incr i
+    done
+  done;
+
+  (* W206: cartesian-product bodies — literals partition into groups sharing
+     no variables, at least two of which scan a relation *)
+  List.iter
+    (fun (c, loc) ->
+      let lits = Array.of_list c.body in
+      let m = Array.length lits in
+      if m >= 2 then begin
+        let comp = Array.init m (fun i -> i) in
+        let rec find i = if comp.(i) = i then i else find comp.(i) in
+        let union i j = comp.(find i) <- find j in
+        for i = 0 to m - 1 do
+          for j = i + 1 to m - 1 do
+            let vi = vars_of_literal lits.(i) and vj = vars_of_literal lits.(j) in
+            if List.exists (fun v -> List.mem v vj) vi then union i j
+          done
+        done;
+        let groups = Hashtbl.create 4 in
+        Array.iteri
+          (fun i l ->
+            if vars_of_literal l <> [] then
+              let r = find i in
+              Hashtbl.replace groups r
+                (Option.value (Hashtbl.find_opt groups r) ~default:[] @ [ l ]))
+          lits;
+        let scanning =
+          Hashtbl.fold
+            (fun _ ls acc ->
+              if List.exists (function Pos _ -> true | _ -> false) ls then ls :: acc else acc)
+            groups []
+        in
+        if List.length scanning >= 2 then
+          let show ls = String.concat ", " (List.map literal_to_string ls) in
+          emit ?loc "W206" Sev_warning (head_pred c)
+            (Printf.sprintf "body is a cartesian product: {%s} shares no variables with {%s}"
+               (show (List.nth scanning 0))
+               (show (List.nth scanning 1)))
+      end)
+    rules;
+
+  (* W207: singleton variables (underscore-prefixed names opt out) *)
+  List.iter
+    (fun (c, loc) ->
+      let counts = Hashtbl.create 8 in
+      let bump v = Hashtbl.replace counts v (1 + Option.value (Hashtbl.find_opt counts v) ~default:0) in
+      let term = function Var v -> bump v | Const _ -> () in
+      List.iter term c.head.args;
+      List.iter
+        (function
+          | Pos a | Neg a -> List.iter term a.args
+          | Cmp (x, _, y) -> term x; term y)
+        c.body;
+      let singles =
+        Hashtbl.fold
+          (fun v k acc -> if k = 1 && not (String.length v > 0 && v.[0] = '_') then v :: acc else acc)
+          counts []
+        |> List.sort compare
+      in
+      if singles <> [] then
+        emit ?loc "W207" Sev_warning (head_pred c)
+          (Printf.sprintf "singleton variable%s %s (prefix with _ if intentional)"
+             (if List.length singles > 1 then "s" else "")
+             (String.concat ", " singles)))
+    rules;
+
+  (* W208: recursive calls no binding can reach. Walk each recursive rule
+     left to right with every head argument assumed bound (the most
+     favorable sideways-information-passing); if a same-clique call still
+     shares no bound variable and carries no constant, magic sets would
+     materialize that predicate in full. *)
+  List.iter
+    (fun scc ->
+      let in_scc q = List.mem q scc in
+      let recursive =
+        match scc with
+        | [ p ] -> List.mem p (Pcg.depends_on pcg p)
+        | _ -> true
+      in
+      if recursive then
+        List.iter
+          (fun (c, loc) ->
+            if in_scc (head_pred c) then begin
+              let bound = Hashtbl.create 8 in
+              List.iter
+                (function Var v -> Hashtbl.replace bound v () | Const _ -> ())
+                c.head.args;
+              List.iter
+                (fun l ->
+                  (match l with
+                  | Pos a when in_scc a.pred ->
+                      let has_binding =
+                        List.exists
+                          (function
+                            | Const _ -> true
+                            | Var v -> Hashtbl.mem bound v)
+                          a.args
+                      in
+                      if (not has_binding) && a.args <> [] then
+                        emit ?loc "W208" Sev_warning (head_pred c)
+                          (Printf.sprintf
+                             "no binding can propagate into the recursive call %s: magic \
+                              sets would materialize all of %s"
+                             (atom_to_string a) a.pred)
+                  | _ -> ());
+                  match l with
+                  | Pos a -> List.iter (fun v -> Hashtbl.replace bound v ()) (vars_of_atom a)
+                  | Cmp (Var x, C_eq, Const _) -> Hashtbl.replace bound x ()
+                  | Neg _ | Cmp _ -> ())
+                c.body
+            end)
+          rules)
+    (Pcg.sccs pcg);
+
+  List.sort_uniq compare_diagnostic !diags
+
+(* ------------------------------------------------------------------ *)
+
+let check_text ?(roots = []) ?base_types ~is_base text =
+  match Parser.parse_program_located text with
+  | exception Parser.Parse_error (msg, pos) ->
+      [ { code = "E100"; severity = Sev_error; loc = Some pos; pred = ""; message = msg } ]
+  | exception Lexer.Lex_error (msg, pos) ->
+      [ { code = "E100"; severity = Sev_error; loc = Some pos; pred = ""; message = msg } ]
+  | items ->
+      let clauses =
+        List.filter_map
+          (function Parser.Clause c, pos -> Some (c, Some pos) | Parser.Query _, _ -> None)
+          items
+      in
+      let qroots =
+        List.filter_map
+          (function Parser.Query g, _ -> Some g.pred | Parser.Clause _, _ -> None)
+          items
+      in
+      let roots =
+        List.fold_left (fun acc r -> if List.mem r acc then acc else acc @ [ r ]) roots qroots
+      in
+      check ~roots ?base_types ~is_base ~clauses ()

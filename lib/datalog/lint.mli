@@ -1,0 +1,59 @@
+(** Static analysis over a rule base — the paper's Semantic Checker
+    (§3.2.4) grown into a diagnostic engine over the predicate connection
+    graph. Produces coded, severity-ranked, source-located diagnostics:
+
+    - errors ([E1xx]) reject a rule base: unsafe rules, unstratified
+      negation (the offending cycle is spelled out), arity and type
+      conflicts;
+    - warnings ([W2xx]) flag smells: dead/unreachable rules, unused
+      predicates, duplicate or subsumed rules, cartesian-product bodies,
+      singleton variables, and recursive calls no binding can reach
+      (magic sets would over-materialize). *)
+
+type severity = Sev_error | Sev_warning
+
+type diagnostic = {
+  code : string;       (** stable code, e.g. ["E102"] — see {!codes} *)
+  severity : severity;
+  loc : Lexer.pos option;  (** position of the offending clause, when known *)
+  pred : string;       (** the predicate the finding is about ([""] if none) *)
+  message : string;
+}
+
+val codes : (string * string) list
+(** Every diagnostic code with a one-line description (the table in
+    DESIGN.md is generated from the same data). *)
+
+val severity_to_string : severity -> string
+
+val to_string : diagnostic -> string
+(** ["line:col: severity[CODE] message"], position omitted when unknown. *)
+
+val has_errors : diagnostic list -> bool
+
+val compare_diagnostic : diagnostic -> diagnostic -> int
+(** Errors first, then by source position, then by code. *)
+
+val check :
+  ?roots:string list ->
+  ?base_types:(string -> Rdbms.Datatype.t list option) ->
+  is_base:(string -> bool) ->
+  clauses:(Ast.clause * Lexer.pos option) list ->
+  unit ->
+  diagnostic list
+(** Lints a rule base (rules and facts, each with an optional source
+    position). [roots] are the query entry points: reachability-based
+    warnings (unreachable rule, unused predicate) only fire when roots
+    are known. [base_types] supplies base-relation schemas for arity and
+    type checking; [is_base] says which predicates are base relations.
+    The result is sorted with {!compare_diagnostic}. *)
+
+val check_text :
+  ?roots:string list ->
+  ?base_types:(string -> Rdbms.Datatype.t list option) ->
+  is_base:(string -> bool) ->
+  string ->
+  diagnostic list
+(** Parses a program text and lints it; [?- goal.] items become roots and
+    syntax errors come back as located [E100] diagnostics instead of
+    exceptions. *)

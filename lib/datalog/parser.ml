@@ -1,15 +1,17 @@
-exception Parse_error of string * int
+exception Parse_error of string * Lexer.pos
 
 type item =
   | Clause of Ast.clause
   | Query of Ast.atom
 
-type state = { mutable toks : (Lexer.token * int) list }
+type state = { mutable toks : (Lexer.token * Lexer.pos) list }
+
+let no_pos = { Lexer.line = 0; col = 0 }
 
 let peek st =
   match st.toks with
   | (tok, pos) :: _ -> (tok, pos)
-  | [] -> (Lexer.EOF, 0)
+  | [] -> (Lexer.EOF, no_pos)
 
 let advance st =
   match st.toks with
@@ -124,31 +126,36 @@ let parse_clause_inner st =
 
 let eat_dot st = if fst (peek st) = Lexer.DOT then advance st
 
-let parse_program input =
+let parse_program_located input =
   let st = { toks = Lexer.tokenize input } in
   let rec loop acc =
     match peek st with
     | Lexer.EOF, _ -> List.rev acc
-    | Lexer.QUERY, _ ->
+    | Lexer.QUERY, pos ->
         advance st;
         let goal = parse_atom st in
         expect st Lexer.DOT "expected . after query";
-        loop (Query goal :: acc)
-    | _ ->
+        loop ((Query goal, pos) :: acc)
+    | _, pos ->
         let c = parse_clause_inner st in
         expect st Lexer.DOT "expected . after clause";
-        loop (Clause c :: acc)
+        loop ((Clause c, pos) :: acc)
   in
   loop []
 
+let parse_program input = List.map fst (parse_program_located input)
+
 let check_eof st = match peek st with Lexer.EOF, _ -> () | _ -> error st "trailing input"
 
-let parse_clause input =
+let parse_clause_located input =
   let st = { toks = Lexer.tokenize input } in
+  let pos = snd (peek st) in
   let c = parse_clause_inner st in
   eat_dot st;
   check_eof st;
-  c
+  (c, pos)
+
+let parse_clause input = fst (parse_clause_located input)
 
 let parse_query input =
   let st = { toks = Lexer.tokenize input } in

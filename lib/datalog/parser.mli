@@ -8,7 +8,9 @@
     ?- ancestor(john, W).
     v} *)
 
-exception Parse_error of string * int
+exception Parse_error of string * Lexer.pos
+(** Carries the source position of the offending token; the message names the
+    token that was found. *)
 
 type item =
   | Clause of Ast.clause
@@ -17,8 +19,15 @@ type item =
 val parse_program : string -> item list
 (** Parses a sequence of clauses and queries. *)
 
+val parse_program_located : string -> (item * Lexer.pos) list
+(** Like {!parse_program}, but each item carries the position of its first
+    token — the anchor used by lint diagnostics. *)
+
 val parse_clause : string -> Ast.clause
 (** Parses exactly one clause (the trailing [.] is optional). *)
+
+val parse_clause_located : string -> Ast.clause * Lexer.pos
+(** Like {!parse_clause}, also returning the position of the first token. *)
 
 val parse_query : string -> Ast.atom
 (** Parses a goal, with or without the [?-] prefix and trailing [.]. *)

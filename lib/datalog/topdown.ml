@@ -1,7 +1,18 @@
 open Ast
 module Value = Rdbms.Value
 
-exception Unsupported of string
+type error =
+  | Unsupported of string  (* feature outside the QSQ subset (negation) *)
+  | Unsafe of string       (* rule needs a binding the evaluator cannot supply *)
+  | Undefined of string    (* subgoal predicate with no rules, facts, or base relation *)
+
+let error_to_string = function
+  | Unsupported msg -> "unsupported: " ^ msg
+  | Unsafe msg -> "unsafe rule: " ^ msg
+  | Undefined p -> Printf.sprintf "no rules or facts for %s" p
+
+(* internal control flow only; [solve] catches it and returns [Error] *)
+exception Abort of error
 
 (* ------------------------------------------------------------------ *)
 (* Subgoal keys: a predicate plus its argument pattern with constants
@@ -66,7 +77,7 @@ let last_subgoal_count = ref 0
 
 let subgoal_count () = !last_subgoal_count
 
-let solve ~facts ~is_base ~rules ~goal =
+let solve_exn ~facts ~is_base ~rules ~goal =
   let tables : (subgoal, table) Hashtbl.t = Hashtbl.create 32 in
   let changed = ref true in
   let register sg =
@@ -159,7 +170,7 @@ let solve ~facts ~is_base ~rules ~goal =
       List.iter
         (fun l ->
           match l with
-          | Neg _ -> raise (Unsupported "top-down evaluation does not support negation")
+          | Neg _ -> raise (Abort (Unsupported "top-down evaluation does not support negation"))
           | Cmp (x, op, y) ->
               let side e = function
                 | Const v -> Some v
@@ -171,8 +182,7 @@ let solve ~facts ~is_base ~rules ~goal =
                     match (side e x, side e y) with
                     | Some a, Some b -> eval_cmp op a b
                     | _ ->
-                        invalid_arg
-                          "Topdown.solve: comparison over unbound variables (unsafe rule)")
+                        raise (Abort (Unsafe "comparison over unbound variables")))
                   !envs
           | Pos a ->
               let next =
@@ -195,7 +205,7 @@ let solve ~facts ~is_base ~rules ~goal =
                    | Var x -> (
                        match Hashtbl.find_opt e x with
                        | Some v -> v
-                       | None -> invalid_arg "Topdown.solve: unsafe rule (unbound head variable)"))
+                       | None -> raise (Abort (Unsafe "unbound head variable"))))
                  rule.head.args)
           in
           if matches sg.sg_pat row then add_answer t row)
@@ -237,9 +247,14 @@ let solve ~facts ~is_base ~rules ~goal =
         | Some rules -> List.iter (resolve_rule sg t) rules
         | None ->
             if not (is_base sg.sg_pred) && not (Hashtbl.mem program_facts sg.sg_pred) then
-              invalid_arg (Printf.sprintf "Topdown.solve: no rules or facts for %s" sg.sg_pred))
+              raise (Abort (Undefined sg.sg_pred)))
       snapshot
   done;
   last_subgoal_count := Hashtbl.length tables;
   let root_table = Hashtbl.find tables root in
   List.rev root_table.answers
+
+let solve ~facts ~is_base ~rules ~goal =
+  match solve_exn ~facts ~is_base ~rules ~goal with
+  | rows -> Ok rows
+  | exception Abort e -> Error e

@@ -17,18 +17,28 @@
     Restrictions: pure Horn clauses only (negation is rejected — the
     bottom-up runtime handles stratified negation). *)
 
-exception Unsupported of string
+type error =
+  | Unsupported of string
+      (** the program uses a feature outside the QSQ subset (negation) *)
+  | Unsafe of string
+      (** a rule needs a binding the evaluator cannot supply (unbound head
+          variable, comparison over unbound variables) *)
+  | Undefined of string
+      (** a subgoal's predicate has no rules, no program facts, and is not
+          a base relation *)
+
+val error_to_string : error -> string
 
 val solve :
   facts:(string -> Rdbms.Value.t list list) ->
   is_base:(string -> bool) ->
   rules:Ast.clause list ->
   goal:Ast.atom ->
-  Rdbms.Value.t array list
+  (Rdbms.Value.t array list, error) result
 (** All ground instances of [goal] derivable from the rules and facts,
-    as full-arity tuples in discovery order (deduplicated).
-    Raises {!Unsupported} on negated literals and [Invalid_argument] on
-    unsafe rules. *)
+    as full-arity tuples in discovery order (deduplicated). Failures are
+    reported through the typed {!error} channel — nothing escapes as a
+    raw exception. *)
 
 val subgoal_count : unit -> int
 (** Number of distinct subgoals tabled by the most recent {!solve} call

@@ -74,7 +74,7 @@ let base_indexing ~depth =
     "Ancestor evaluation with vs without indexes on the base relation's\n\
      join columns.";
   let run indexes =
-    let s = Session.create () in
+    let s = Common.bench_session () in
     let tree = Graphgen.full_binary_tree ~depth () in
     Common.ok
       (Session.define_base s "parent"
@@ -126,7 +126,9 @@ let topdown_vs_bottom_up ~depth =
     Common.measure ~repeat:3 (fun () ->
         let rows, ms =
           Dkb_util.Timer.time (fun () ->
-              Datalog.Topdown.solve ~facts ~is_base:(fun p -> p = "parent") ~rules ~goal)
+              match Datalog.Topdown.solve ~facts ~is_base:(fun p -> p = "parent") ~rules ~goal with
+              | Ok rows -> rows
+              | Error e -> failwith (Datalog.Topdown.error_to_string e))
         in
         td_rows := List.length rows;
         ms)
@@ -273,7 +275,7 @@ let wal_overhead ?(json_path = "BENCH_wal.json") ~depth () =
     let last = ref None in
     let ms =
       Common.measure ~repeat:3 (fun () ->
-          let s = Session.create () in
+          let s = Common.bench_session () in
           if with_wal then begin
             (* fresh log per sample: appending to the previous sample's
                log would misattribute its size *)

@@ -57,15 +57,23 @@ let ok = function
   | Ok v -> v
   | Error msg -> failwith msg
 
-let tree_session ~depth =
+(* Experiments measure where time goes; the per-statement invariant
+   sanitizer (DKB_SANITIZE) would perturb exactly that, so benchmark
+   sessions opt out. *)
+let bench_session () =
   let s = Session.create () in
+  Rdbms.Engine.set_sanitize (Session.engine s) false;
+  s
+
+let tree_session ~depth =
+  let s = bench_session () in
   let tree = Workload.Graphgen.full_binary_tree ~depth () in
   ok (Workload.Queries.setup_parent s tree.Workload.Graphgen.t_edges);
   ok (Session.load_rules s Workload.Queries.ancestor_rules);
   (s, tree)
 
 let rulebase_session (rb : Workload.Rulegen.t) =
-  let s = Session.create () in
+  let s = bench_session () in
   ok
     (Session.define_base s rb.Workload.Rulegen.base_pred
        [ ("x", Rdbms.Datatype.TInt); ("y", Rdbms.Datatype.TInt) ]

@@ -47,3 +47,7 @@ val rulebase_session : Workload.Rulegen.t -> Core.Session.t
 
 val ok : ('a, string) result -> 'a
 (** Unwraps or fails loudly. *)
+
+val bench_session : unit -> Core.Session.t
+(** A fresh session with the invariant sanitizer off: experiments measure
+    where time goes, and per-statement audits would perturb exactly that. *)

@@ -28,7 +28,7 @@ let backends =
   [ ("interpreted", Engine.Interpreted); ("compiled", Engine.Compiled) ]
 
 let tree_session depth =
-  let s = Session.create () in
+  let s = Common.bench_session () in
   let tree = Graphgen.full_binary_tree ~depth () in
   Common.ok (Queries.setup_parent s tree.Graphgen.t_edges);
   Common.ok (Session.load_rules s Queries.ancestor_rules);

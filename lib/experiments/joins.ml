@@ -155,7 +155,7 @@ let shape_edges scale =
   ]
 
 let shape_setup edges () =
-  let s = Session.create () in
+  let s = Common.bench_session () in
   Common.ok (Workload.Queries.setup_parent s edges);
   Session.engine s
 
@@ -176,7 +176,7 @@ type lfp_measure = {
 }
 
 let lfp_mode edges head (name, mode) =
-  let s = Session.create () in
+  let s = Common.bench_session () in
   Common.ok (Workload.Queries.setup_parent s edges);
   Common.ok (Session.load_rules s Workload.Queries.ancestor_rules);
   let engine = Session.engine s in

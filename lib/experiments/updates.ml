@@ -32,7 +32,7 @@ let ancestor_rules =
 let twohop_rules = "hop2(X, Y) :- edge(X, Z), edge(Z, Y).\n"
 
 let session ~edges ~rules ~roots ~mode =
-  let s = Session.create () in
+  let s = Common.bench_session () in
   Common.ok (Session.define_base s "edge" [ ("src", D.TInt); ("dst", D.TInt) ] ~indexes:[ "src" ] ());
   ignore (Common.ok (Session.add_facts s "edge" (Graphgen.to_rows edges)));
   Common.ok (Session.load_rules s rules);

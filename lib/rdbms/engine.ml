@@ -94,6 +94,8 @@ type t = {
   mutable trace_hook : (trace_event -> unit) option; (* structured trace sink *)
   mutable cur_sql : string option; (* text of the statement being traced *)
   mutable cur_est : Cost.est option; (* estimate of the statement's plan *)
+  mutable sanitize : bool; (* audit engine invariants after every statement *)
+  mutable last_version : int; (* catalog version watermark for the sanitizer *)
 }
 
 type result =
@@ -119,6 +121,11 @@ let create () =
     trace_hook = None;
     cur_sql = None;
     cur_est = None;
+    sanitize =
+      (match Sys.getenv_opt "DKB_SANITIZE" with
+      | Some ("1" | "true" | "on") -> true
+      | _ -> false);
+    last_version = 0;
   }
 
 let set_trace_hook t hook = t.trace_hook <- hook
@@ -743,11 +750,41 @@ let run_stmt t stmt =
 
 let clear_table t name = ignore (run_stmt t (Sql_ast.Truncate { name }) : result)
 
+(* Post-statement sanitizer: with the [sanitize] flag on, audit the
+   structural invariants of every catalog-owned structure and the
+   monotonicity of the schema version after each successful statement.
+   Violations surface as [Sql_error] — the statement that corrupted the
+   engine is the one that fails. *)
+let maybe_sanitize t =
+  if t.sanitize then begin
+    let v = Catalog.version t.catalog in
+    if v < t.last_version then
+      fail "sanitize: catalog version moved backwards (%d -> %d)" t.last_version v;
+    t.last_version <- v;
+    match Invariants.check_catalog t.catalog with
+    | [] -> ()
+    | vs ->
+        fail "sanitize: engine invariant violated: %s"
+          (String.concat "; " (List.map Invariants.violation_to_string vs))
+  end
+
+let set_sanitize t on =
+  t.sanitize <- on;
+  if on then t.last_version <- Catalog.version t.catalog
+
+let sanitize_enabled t = t.sanitize
+
+let check_invariants t = Invariants.check t.catalog
+
 let exec_stmt t stmt =
   t.stats.Stats.statements <- t.stats.Stats.statements + 1;
-  match t.trace_hook with
-  | None -> run_stmt t stmt
-  | Some _ -> traced t (Sql_printer.stmt stmt) (fun () -> run_stmt t stmt)
+  let result =
+    match t.trace_hook with
+    | None -> run_stmt t stmt
+    | Some _ -> traced t (Sql_printer.stmt stmt) (fun () -> run_stmt t stmt)
+  in
+  maybe_sanitize t;
+  result
 
 let parse_or_fail sql =
   try Sql_parser.parse sql with
@@ -901,6 +938,7 @@ let exec_prepared t p =
         run_stmt t stmt)
   in
   p.p_runs <- p.p_runs + 1;
+  maybe_sanitize t;
   result
 
 let touch t p =

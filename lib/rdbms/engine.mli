@@ -99,6 +99,20 @@ val suspend_logging : t -> (unit -> 'a) -> 'a
     single query, so logging their churn would bloat the WAL with work
     that replays to nothing. *)
 
+val set_sanitize : t -> bool -> unit
+(** Toggle the invariant sanitizer: with it on, every statement executed
+    through {!exec}, {!exec_stmt} or {!exec_prepared} is followed by
+    {!Invariants.check_catalog} plus a catalog-version monotonicity
+    check, and any violation raises {!Sql_error} (attributing the
+    corruption to the statement that caused it). Defaults to the
+    [DKB_SANITIZE] environment variable ([1]/[true]/[on]). *)
+
+val sanitize_enabled : t -> bool
+
+val check_invariants : t -> Invariants.violation list
+(** On-demand full audit: {!Invariants.check} (structural invariants plus
+    the maintained-view cross-checks), regardless of the sanitize flag. *)
+
 val exec : t -> string -> result
 (** Execute one SQL statement given as text. When the statement cache is
     enabled (the default), the text is looked up in a transparent LRU

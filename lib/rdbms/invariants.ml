@@ -1,0 +1,173 @@
+(* The engine-state sanitizer: audits every structure the catalog owns
+   against first principles. [check_catalog] is cheap enough to run after
+   every statement (the engine's `sanitize` flag does exactly that);
+   [check_views] cross-checks the incremental-maintenance tables, which
+   are only consistent at statement-sequence boundaries, so it runs on
+   demand (Session.check, tests, post-maintenance). *)
+
+type violation = {
+  v_table : string;
+  v_message : string;
+}
+
+let violation_to_string v = Printf.sprintf "%s: %s" v.v_table v.v_message
+
+(* maintenance-table naming, mirrored from Datalog.Names (lib/datalog
+   sits above lib/rdbms, so the decorations are restated here) *)
+let mat_prefix = "mat__"
+let cnt_prefix = "matcnt__"
+
+let check_table (tbl : Catalog.table) =
+  let errs = ref [] in
+  let err fmt =
+    Printf.ksprintf
+      (fun s -> errs := { v_table = tbl.Catalog.tbl_name; v_message = s } :: !errs)
+      fmt
+  in
+  let rel = tbl.Catalog.tbl_relation in
+  List.iter (fun m -> err "relation: %s" m) (Relation.check rel);
+  (* hash indexes: every bucket must hold exactly the live rows of its key *)
+  List.iter
+    (fun idx ->
+      let pos = Index.column_pos idx in
+      let expected : (Value.t, int * int) Hashtbl.t = Hashtbl.create 64 in
+      Relation.iter
+        (fun row ->
+          let key = row.(pos) in
+          let cnt, bytes = Option.value (Hashtbl.find_opt expected key) ~default:(0, 0) in
+          Hashtbl.replace expected key (cnt + 1, bytes + Tuple.byte_size row))
+        rel;
+      Hashtbl.iter
+        (fun key (cnt, bytes) ->
+          let rows, got_bytes = Index.lookup_with_bytes idx key in
+          if List.length rows <> cnt then
+            err "index %s: key %s resolves %d rows, relation holds %d" (Index.name idx)
+              (Value.to_string key) (List.length rows) cnt;
+          if Index.lookup_count idx key <> cnt then
+            err "index %s: key %s bucket has %d entries, relation holds %d rows"
+              (Index.name idx) (Value.to_string key) (Index.lookup_count idx key) cnt;
+          if got_bytes <> bytes then
+            err "index %s: key %s bucket byte counter %d, rows sum to %d" (Index.name idx)
+              (Value.to_string key) got_bytes bytes;
+          List.iter
+            (fun row ->
+              if not (Value.equal row.(pos) key) then
+                err "index %s: key %s returned a row whose column holds %s" (Index.name idx)
+                  (Value.to_string key)
+                  (Value.to_string row.(pos)))
+            rows)
+        expected;
+      if Index.distinct_keys idx <> Hashtbl.length expected then
+        err "index %s: %d buckets but the relation has %d distinct keys" (Index.name idx)
+          (Index.distinct_keys idx) (Hashtbl.length expected))
+    tbl.Catalog.tbl_indexes;
+  (* ordered indexes: the full range scan must enumerate every live row in
+     ascending key order *)
+  List.iter
+    (fun oidx ->
+      let pos = Ordered_index.column_pos oidx in
+      let rows = Ordered_index.range oidx () in
+      if List.length rows <> Relation.cardinal rel then
+        err "ordered index %s: range scan yields %d rows, relation holds %d"
+          (Ordered_index.name oidx) (List.length rows) (Relation.cardinal rel);
+      let rec ascending = function
+        | a :: (b :: _ as rest) ->
+            if Value.compare a.(pos) b.(pos) > 0 then
+              err "ordered index %s: range scan is out of order at key %s"
+                (Ordered_index.name oidx)
+                (Value.to_string b.(pos))
+            else ascending rest
+        | _ -> ()
+      in
+      ascending rows)
+    tbl.Catalog.tbl_ordered;
+  (* statistics snapshots: internally consistent (they are snapshots, so
+     they are not compared against the live row count) *)
+  (match tbl.Catalog.tbl_stats with
+  | None -> ()
+  | Some s ->
+      let schema = Relation.schema rel in
+      if List.length s.Table_stats.s_cols <> Schema.arity schema then
+        err "stats: %d column entries for a %d-column schema"
+          (List.length s.Table_stats.s_cols) (Schema.arity schema);
+      List.iter
+        (fun (c : Table_stats.col) ->
+          if c.c_ndv < 0 || c.c_ndv > s.Table_stats.s_rows then
+            err "stats: column %s has ndv %d out of [0, %d]" c.c_name c.c_ndv
+              s.Table_stats.s_rows;
+          if c.c_null_frac <> 0.0 then
+            err "stats: column %s has null fraction %f (engine stores no NULLs)" c.c_name
+              c.c_null_frac;
+          match (c.c_min, c.c_max) with
+          | Some lo, Some hi ->
+              if Value.compare lo hi > 0 then
+                err "stats: column %s has min %s > max %s" c.c_name (Value.to_string lo)
+                  (Value.to_string hi)
+          | None, None ->
+              if s.Table_stats.s_rows > 0 then
+                err "stats: column %s has no min/max despite %d rows" c.c_name
+                  s.Table_stats.s_rows
+          | _ -> err "stats: column %s has min/max presence mismatch" c.c_name)
+        s.Table_stats.s_cols);
+  List.rev !errs
+
+let check_catalog catalog =
+  List.concat_map check_table (Catalog.tables catalog)
+
+(* A maintained view pair: matcnt__p holds (view columns..., dcount) with
+   dcount >= 1 and one row per distinct tuple; mat__p holds exactly the
+   distinct support. *)
+let check_view_pair ~cnt_name ~(cnt : Relation.t) ~mat_name ~(mat : Relation.t) =
+  let errs = ref [] in
+  let err ~table fmt =
+    Printf.ksprintf (fun s -> errs := { v_table = table; v_message = s } :: !errs) fmt
+  in
+  let n = Schema.arity (Relation.schema cnt) in
+  if n <> Schema.arity (Relation.schema mat) + 1 then
+    err ~table:cnt_name "arity %d does not extend %s's arity %d by the dcount column" n
+      mat_name
+      (Schema.arity (Relation.schema mat))
+  else begin
+    let seen = Tuple_tbl.create () in
+    let distinct = ref 0 in
+    Relation.iter
+      (fun row ->
+        (match row.(n - 1) with
+        | Value.Int d when d >= 1 -> ()
+        | v ->
+            err ~table:cnt_name "tuple %s has derivation count %s (must be an int >= 1)"
+              (Tuple.to_string row) (Value.to_string v));
+        let proj = Array.sub row 0 (n - 1) in
+        if Tuple_tbl.add seen proj then begin
+          incr distinct;
+          if not (Relation.mem mat proj) then
+            err ~table:mat_name "missing tuple %s counted in %s" (Tuple.to_string proj)
+              cnt_name
+        end
+        else err ~table:cnt_name "duplicate count row for tuple %s" (Tuple.to_string proj))
+      cnt;
+    if Relation.cardinal mat <> !distinct then
+      err ~table:mat_name "%d tuples but %s counts %d distinct tuples"
+        (Relation.cardinal mat) cnt_name !distinct
+  end;
+  List.rev !errs
+
+let check_views catalog =
+  List.concat_map
+    (fun (tbl : Catalog.table) ->
+      let name = tbl.Catalog.tbl_name in
+      let plen = String.length cnt_prefix in
+      if String.length name > plen && String.sub name 0 plen = cnt_prefix then begin
+        let suffix = String.sub name plen (String.length name - plen) in
+        let mat_name = mat_prefix ^ suffix in
+        match Catalog.find_table catalog mat_name with
+        | None ->
+            [ { v_table = name; v_message = "has no matching " ^ mat_name ^ " table" } ]
+        | Some mat_tbl ->
+            check_view_pair ~cnt_name:name ~cnt:tbl.Catalog.tbl_relation ~mat_name
+              ~mat:mat_tbl.Catalog.tbl_relation
+      end
+      else [])
+    (Catalog.tables catalog)
+
+let check catalog = check_catalog catalog @ check_views catalog

@@ -1,0 +1,32 @@
+(** The engine-state sanitizer: audits catalog-owned structures against
+    first principles and reports violations instead of trusting the
+    incremental bookkeeping.
+
+    - {!check_catalog} is the structural audit — relation row/tuple-table
+      agreement, {!Tuple_tbl} occupancy and cached hashes, hash-index
+      buckets versus live rows (counts, bytes, distinct keys), ordered
+      indexes, statistics-snapshot sanity. It is cheap enough that the
+      engine's [sanitize] flag runs it after every statement.
+    - {!check_views} cross-checks the incremental-maintenance pairs
+      ([matcnt__p] derivation counts >= 1, one count row per tuple,
+      [mat__p] = the distinct support). Maintenance updates these tables
+      over several statements, so this audit is only meaningful at
+      quiescent points and runs on demand.
+    - {!check} is both. *)
+
+type violation = {
+  v_table : string;   (** the table (or index owner) the violation is in *)
+  v_message : string;
+}
+
+val violation_to_string : violation -> string
+
+val check_catalog : Catalog.t -> violation list
+(** Structural audit of every table: safe after any single statement. *)
+
+val check_views : Catalog.t -> violation list
+(** Maintained-view audit ([matcnt__p] / [mat__p] pairs): only valid at
+    statement-sequence boundaries (after maintenance completes). *)
+
+val check : Catalog.t -> violation list
+(** [check_catalog] followed by [check_views]. *)

@@ -94,3 +94,30 @@ let get_row t id = if id < 0 || id >= t.next_id then None else t.rows.(id)
 let on_insert t f = t.insert_obs <- f :: t.insert_obs
 let on_delete t f = t.delete_obs <- f :: t.delete_obs
 let on_clear t f = t.clear_obs <- f :: t.clear_obs
+
+(* Structural audit for the sanitizer: the rows array, the tuple -> id
+   table, and the byte accounting must tell the same story. *)
+let check t =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  List.iter (fun m -> err "tuple table: %s" m) (Tuple_tbl.check t.ids);
+  let live = ref 0 and bytes = ref 0 in
+  for id = 0 to t.next_id - 1 do
+    match t.rows.(id) with
+    | None -> ()
+    | Some row ->
+        incr live;
+        bytes := !bytes + Tuple.byte_size row;
+        (match Schema.validate t.schema row with
+        | Ok () -> ()
+        | Error m -> err "row %d violates the schema: %s" id m);
+        let id' = Tuple_tbl.find t.ids row in
+        if id' <> id then err "row %d does not round-trip through the tuple table (find -> %d)" id id'
+  done;
+  for id = t.next_id to Array.length t.rows - 1 do
+    if t.rows.(id) <> None then err "row slot %d is populated beyond next_id %d" id t.next_id
+  done;
+  if !live <> Tuple_tbl.length t.ids then
+    err "%d live rows but the tuple table holds %d entries" !live (Tuple_tbl.length t.ids);
+  if !bytes <> t.bytes then err "byte accounting drifted: rows sum to %d, recorded %d" !bytes t.bytes;
+  List.rev !errs

@@ -61,3 +61,10 @@ val on_delete : t -> (int -> Tuple.t -> unit) -> unit
 
 val on_clear : t -> (unit -> unit) -> unit
 (** Same contract as {!on_insert}, for {!clear}. *)
+
+val check : t -> string list
+(** Structural audit for the sanitizer: live rows agree with the
+    tuple -> id table (count and per-row round-trip), every live row
+    satisfies the schema, no slot is populated beyond the id watermark,
+    and the byte accounting matches. Returns violation descriptions
+    ([[]] when consistent). *)

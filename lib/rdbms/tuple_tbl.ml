@@ -136,3 +136,30 @@ let reset t =
 
 (* Set view: membership-only use, as the compiled executor's dedup sets. *)
 let add t key = insert_if_absent t key 0
+
+(* Structural audit for the sanitizer: occupancy counters, cached hashes,
+   and probe-chain reachability of every live key. *)
+let check t =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let cap = Array.length t.keys in
+  if cap <> Array.length t.hashes || cap <> Array.length t.vals then
+    err "parallel arrays disagree: keys=%d hashes=%d vals=%d" cap (Array.length t.hashes)
+      (Array.length t.vals);
+  let live = ref 0 and occupied = ref 0 in
+  for i = 0 to cap - 1 do
+    let k = t.keys.(i) in
+    if k != empty_slot then begin
+      incr occupied;
+      if k != tomb_slot then begin
+        incr live;
+        let h = Tuple.hash k in
+        if t.hashes.(i) <> h then err "slot %d: cached hash %d <> recomputed %d" i t.hashes.(i) h;
+        if find t k <> t.vals.(i) then err "key at slot %d is not reachable by probing" i
+      end
+    end
+  done;
+  if !live <> t.size then err "size is %d but %d live slots exist" t.size !live;
+  if !occupied <> t.fill then err "fill is %d but %d occupied slots exist" t.fill !occupied;
+  if 2 * t.fill > cap then err "load factor exceeded: fill %d of capacity %d" t.fill cap;
+  List.rev !errs

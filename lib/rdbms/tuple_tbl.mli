@@ -28,3 +28,9 @@ val reset : t -> unit
 
 val add : t -> Tuple.t -> bool
 (** Set view: [insert_if_absent t key 0]. [true] iff newly added. *)
+
+val check : t -> string list
+(** Structural audit: occupancy counters match the slot states, every
+    cached hash equals the recomputed tuple hash, every live key is
+    reachable by probing, and the load-factor bound holds. Returns
+    violation descriptions ([[]] when consistent). *)

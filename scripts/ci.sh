@@ -13,6 +13,24 @@ dune build @all
 echo "== tests =="
 dune runtest
 
+echo "== tests (per-statement sanitizer on) =="
+# --force: dune caches passing tests; the env var must actually reach them
+DKB_SANITIZE=1 dune runtest --force
+
+echo "== lint gate =="
+# every shipped script must be diagnostics-clean (exit 0, no output)
+LINT_OUT=$(dune exec bin/dkb.exe -- check \
+  examples/scripts/*.dkb \
+  test/cram/shell_session.dkb test/cram/policy_session.dkb \
+  test/cram/txn_session.dkb test/cram/txn_recover.dkb) \
+  || { echo "lint gate: error-class diagnostics"; echo "$LINT_OUT"; exit 1; }
+[ -z "$LINT_OUT" ] || { echo "lint gate: shipped scripts must be diagnostics-clean"; echo "$LINT_OUT"; exit 1; }
+# the seeded-defect fixture must be rejected (non-zero exit)
+if dune exec bin/dkb.exe -- check test/cram/lint_defects.dkb > /dev/null 2>&1; then
+  echo "lint gate: seeded defects were not flagged"; exit 1
+fi
+echo "lint gate OK"
+
 echo "== bench smoke (quick scale) =="
 dune exec bench/main.exe -- wal cache profile joins exec updates quick
 test -s BENCH_profile.json || { echo "BENCH_profile.json missing/empty"; exit 1; }

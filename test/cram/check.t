@@ -1,0 +1,28 @@
+Batch lint: `dkb check` flags every diagnostic class with a stable code
+and a line:col position, and exits non-zero when any error-class
+diagnostic is present.
+
+  $ ../../bin/dkb.exe check lint_defects.dkb
+  lint_defects.dkb:4:1: error[E101] unsafe rule: head variable Y not bound in a positive body literal: unsafe(X, Y) :- edge(X, X).
+  lint_defects.dkb:5:1: error[E102] unstratified negation: strat depends negatively on strat inside the recursive cycle strat -> strat
+  lint_defects.dkb:6:1: error[E103] edge used with arity 1 but the base relation declaration has arity 2
+  lint_defects.dkb:17:10: error[E100] expected ) after atom arguments (found :-)
+  lint_defects.dkb:4:1: warning[W207] singleton variable Y (prefix with _ if intentional)
+  lint_defects.dkb:7:1: warning[W201] rule for dead is dead: ghost can never hold a tuple (no facts, base relation, or productive rules)
+  lint_defects.dkb:8:1: warning[W202] rule for island is unreachable from the query roots (arity, cart, dead, dup, gen, rec, single, strat, unsafe)
+  lint_defects.dkb:9:1: warning[W203] isl2 is defined but never referenced in a body or queried
+  lint_defects.dkb:11:1: warning[W204] duplicate of the rule at 10:1
+  lint_defects.dkb:13:1: warning[W205] subsumed by the more general rule at 12:1
+  lint_defects.dkb:14:1: warning[W206] body is a cartesian product: {edge(Y, Y)} shares no variables with {edge(X, X)}
+  lint_defects.dkb:15:1: warning[W207] singleton variable Y (prefix with _ if intentional)
+  lint_defects.dkb:16:1: warning[W201] rule for rec is dead: rec can never hold a tuple (no facts, base relation, or productive rules)
+  lint_defects.dkb:16:1: warning[W208] no binding can propagate into the recursive call rec(Y): magic sets would materialize all of rec
+  [1]
+
+  $ ../../bin/dkb.exe check lint_typeconf.dkb
+  lint_typeconf.dkb:5:1: error[E104] conf(X) :- num(X), name(X).: variable X used both as integer and char
+  [1]
+
+The shipped session scripts are diagnostics-clean (no output, exit 0).
+
+  $ ../../bin/dkb.exe check shell_session.dkb policy_session.dkb txn_session.dkb txn_recover.dkb

@@ -9,7 +9,7 @@ masked (they vary run to run); everything else is deterministic.
   alice
   (2 rows)
   no
-  options: magic=on strategy=semi-naive indexderived=false joinorder=syntactic exec=compiled maintenance=auto cache=false
+  options: magic=on strategy=semi-naive indexderived=false joinorder=syntactic exec=compiled maintenance=auto sanitize=false cache=false
   w
   mary
   alice
@@ -42,4 +42,4 @@ masked (they vary run to run); everything else is deterministic.
   base +0/-1  ancestor +0/-3  [maintained]
   w
   (0 rows)
-  options: magic=on strategy=semi-naive indexderived=false joinorder=syntactic exec=compiled maintenance=off cache=false
+  options: magic=on strategy=semi-naive indexderived=false joinorder=syntactic exec=compiled maintenance=off sanitize=false cache=false

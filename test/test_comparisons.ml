@@ -150,8 +150,12 @@ let test_topdown_with_comparisons () =
     | _ -> []
   in
   let got =
-    Datalog.Topdown.solve ~facts ~is_base:(fun p -> p = "edge") ~rules
-      ~goal:(A.atom "t" [ A.Const (V.Int 1); A.Var "W" ])
+    (match
+       Datalog.Topdown.solve ~facts ~is_base:(fun p -> p = "edge") ~rules
+         ~goal:(A.atom "t" [ A.Const (V.Int 1); A.Var "W" ])
+     with
+    | Ok rows -> rows
+    | Error e -> Alcotest.fail (Datalog.Topdown.error_to_string e))
     |> List.map (fun r -> match r.(1) with V.Int n -> n | _ -> -1)
     |> List.sort compare
   in

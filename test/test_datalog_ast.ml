@@ -139,7 +139,7 @@ let roundtrip =
          match P.parse_clause text with
          | c' -> A.equal_clause c c'
          | exception P.Parse_error (msg, pos) ->
-             QCheck2.Test.fail_reportf "reparse failed at %d (%s) for %s" pos msg text))
+             QCheck2.Test.fail_reportf "reparse failed at %s (%s) for %s" (Datalog.Lexer.pos_to_string pos) msg text))
 
 let () =
   Alcotest.run "datalog_ast"

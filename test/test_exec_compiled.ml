@@ -70,6 +70,10 @@ let twin () =
   let mk backend =
     let e = E.create () in
     E.set_exec_backend e backend;
+    (* the whole differential battery runs with the invariant sanitizer
+       on: any index/relation bookkeeping either backend corrupts turns
+       into an immediate Sql_error at the offending statement *)
+    E.set_sanitize e true;
     e
   in
   { ei = mk E.Interpreted; ec = mk E.Compiled }
@@ -249,10 +253,20 @@ let session_with setup =
 let query_both ?(optimize = Compiler.Opt_off) ?(strategy = Core.Runtime.Seminaive)
     setup goal label =
   let run exec =
+    (* sanitize on: every generated statement of the LFP loop is followed
+       by a structural audit, and a full invariant check closes the run *)
     let s = session_with setup in
+    E.set_sanitize (Session.engine s) true;
     let options = { Session.default_options with exec; optimize; strategy } in
     match Session.query_goal s ~options goal with
-    | Ok a -> a
+    | Ok a ->
+        (match E.check_invariants (Session.engine s) with
+        | [] -> ()
+        | vs ->
+            Alcotest.fail
+              (label ^ ": "
+              ^ String.concat "; " (List.map Rdbms.Invariants.violation_to_string vs)));
+        a
     | Error msg -> Alcotest.fail (label ^ ": " ^ msg)
   in
   let ai = run E.Interpreted in

@@ -67,7 +67,14 @@ let differential ~mode ~rules ~roots ~goals ~seed ~steps () =
           (Printf.sprintf "%s = from-scratch LFP after step %d" pred step)
           (List.map (List.map V.to_string) (query_rows s goal))
           (List.map (List.map V.to_string) (view s pred)))
-      goals
+      goals;
+    (* every step is a quiescent point: the full sanitizer (structural
+       audit + matcnt__/mat__ cross-checks) must hold *)
+    match Engine.check_invariants (Session.engine s) with
+    | [] -> ()
+    | vs ->
+        Alcotest.failf "invariants violated after step %d: %s" step
+          (String.concat "; " (List.map Rdbms.Invariants.violation_to_string vs))
   in
   check (-1);
   for step = 0 to steps - 1 do
@@ -302,6 +309,50 @@ let test_delete_fast_path_uses_index () =
   Alcotest.(check int) "scan path leaves probe count" (probes + 1)
     stats.Rdbms.Stats.index_probes
 
+(* ------------------------------------------------------------------ *)
+(* The sanitizer actually bites: corrupt the maintenance bookkeeping
+   through raw SQL and the audit (and Session.check) must report it. *)
+
+(* non-recursive, so materialization picks counting and keeps a
+   matcnt__hop table alongside mat__hop *)
+let hop_rules = [ "hop(X, Y) :- edge(X, Z), edge(Z, Y)." ]
+
+let corrupted_session () =
+  let s = setup hop_rules in
+  load_edges s [ (1, 2); (2, 3) ];
+  ignore (ok (Session.materialize s "hop"));
+  s
+
+let test_detects_count_corruption () =
+  let s = corrupted_session () in
+  Alcotest.(check (list string)) "clean before corruption" []
+    (List.map Rdbms.Invariants.violation_to_string
+       (Engine.check_invariants (Session.engine s)));
+  (* a derivation count of 0 is never legal *)
+  ignore (Engine.exec (Session.engine s) "UPDATE matcnt__hop SET dcount = 0 WHERE c1 = 1");
+  let vs = Engine.check_invariants (Session.engine s) in
+  Alcotest.(check bool) "violations reported" true (vs <> []);
+  Alcotest.(check bool) "attributed to matcnt__hop" true
+    (List.exists (fun v -> v.Rdbms.Invariants.v_table = "matcnt__hop") vs)
+
+let test_detects_missing_support () =
+  let s = corrupted_session () in
+  (* mat__anc loses a tuple the counts still claim *)
+  ignore (Engine.exec (Session.engine s) "DELETE FROM mat__hop WHERE c1 = 1 AND c2 = 3");
+  let vs = Engine.check_invariants (Session.engine s) in
+  Alcotest.(check bool) "violations reported" true (vs <> []);
+  Alcotest.(check bool) "attributed to mat__hop" true
+    (List.exists (fun v -> v.Rdbms.Invariants.v_table = "mat__hop") vs)
+
+let test_session_check_surfaces_e301 () =
+  let s = corrupted_session () in
+  ignore (Engine.exec (Session.engine s) "DELETE FROM mat__hop WHERE c1 = 1 AND c2 = 3");
+  let ds = Session.check s in
+  Alcotest.(check bool) "E301 diagnostic" true
+    (List.exists
+       (fun d -> d.Datalog.Lint.code = "E301" && d.Datalog.Lint.pred = "mat__hop")
+       ds)
+
 let () =
   Alcotest.run "incremental"
     [
@@ -323,6 +374,13 @@ let () =
             test_rollback_restores_views_and_counts;
           Alcotest.test_case "rollback restores dred view" `Quick
             test_rollback_restores_dred_view;
+        ] );
+      ( "sanitizer",
+        [
+          Alcotest.test_case "count corruption detected" `Quick test_detects_count_corruption;
+          Alcotest.test_case "missing support detected" `Quick test_detects_missing_support;
+          Alcotest.test_case "Session.check reports E301" `Quick
+            test_session_check_surfaces_e301;
         ] );
       ( "fallbacks",
         [

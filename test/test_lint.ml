@@ -1,0 +1,197 @@
+(* Tests for the rule-base lint engine: one fixture per diagnostic code,
+   plus clean programs that must produce no diagnostics at all. *)
+
+module L = Datalog.Lint
+module D = Rdbms.Datatype
+
+let graph_base = function
+  | "edge" -> true
+  | "num" | "name" -> true
+  | _ -> false
+
+let graph_types = function
+  | "edge" -> Some [ D.TInt; D.TInt ]
+  | "num" -> Some [ D.TInt ]
+  | "name" -> Some [ D.TStr ]
+  | _ -> None
+
+let run ?roots text = L.check_text ?roots ~base_types:graph_types ~is_base:graph_base text
+let codes ds = List.sort_uniq compare (List.map (fun d -> d.L.code) ds)
+let has code ds = List.exists (fun d -> d.L.code = code) ds
+
+let check_has text code ds =
+  Alcotest.(check bool) (code ^ " fires on " ^ text) true (has code ds)
+
+let check_codes text expected ds =
+  Alcotest.(check (list string)) ("codes of " ^ text) expected (codes ds)
+
+(* ---------------- errors ---------------- *)
+
+let test_e100_syntax () =
+  let text = "p(X :- edge(X, Y)." in
+  let ds = run text in
+  check_codes text [ "E100" ] ds;
+  match (List.hd ds).L.loc with
+  | Some pos -> Alcotest.(check bool) "position known" true (pos.Datalog.Lexer.line >= 1)
+  | None -> Alcotest.fail "E100 must carry a source position"
+
+let test_e101_unsafe () =
+  (* the unbound head variable is also a singleton: both diagnostics fire *)
+  let text = "p(X, Y) :- edge(X, X)." in
+  check_codes text [ "E101"; "W207" ] (run text)
+
+let test_e102_unstratified () =
+  let text = "p(X) :- edge(X, Y), not p(Y)." in
+  let ds = run text in
+  check_has text "E102" ds;
+  let d = List.find (fun d -> d.L.code = "E102") ds in
+  Alcotest.(check bool) "cycle spelled out" true
+    (Astring.String.is_infix ~affix:"p" d.L.message)
+
+let test_e103_arity_conflict () =
+  let text = "p(X) :- q(X), edge(X, X).\nq(A, B) :- edge(A, B).\n" in
+  let ds = run text in
+  check_has text "E103" ds;
+  (* the structural arity conflict must not double-report as E104 *)
+  Alcotest.(check bool) "E104 suppressed" true (not (has "E104" ds))
+
+let test_e103_against_base_schema () =
+  let text = "p(X) :- edge(X)." in
+  check_has text "E103" (run text)
+
+let test_e104_type_conflict () =
+  let text = "p(X) :- num(X), name(X)." in
+  check_has text "E104" (run text)
+
+(* ---------------- warnings ---------------- *)
+
+let test_w201_dead_rule () =
+  let text = "p(X) :- ghost(X)." in
+  check_has text "W201" (run text)
+
+let test_w201_self_recursion_unproductive () =
+  (* a predicate defined only by recursion on itself can never fire *)
+  let text = "p(X) :- p(X)." in
+  check_has text "W201" (run text)
+
+let test_w201_recursion_with_exit_is_live () =
+  let text = "t(X, Y) :- edge(X, Y).\nt(X, Y) :- t(X, Z), edge(Z, Y).\n?- t(1, W).\n" in
+  check_codes text [] (run text)
+
+let test_w202_unreachable_rule () =
+  let text = "p(X) :- edge(X, X).\nq(X) :- edge(X, X).\nr(X) :- q(X).\n?- p(W).\n" in
+  let ds = run text in
+  check_has text "W202" ds;
+  let d = List.find (fun d -> d.L.code = "W202") ds in
+  Alcotest.(check string) "on q's rule" "q" d.L.pred
+
+let test_w203_unused_pred () =
+  let text = "p(X) :- edge(X, X).\nq(X) :- edge(X, X).\n?- p(W).\n" in
+  let ds = run text in
+  check_has text "W203" ds;
+  let d = List.find (fun d -> d.L.code = "W203") ds in
+  Alcotest.(check string) "about q" "q" d.L.pred
+
+let test_reachability_needs_roots () =
+  (* without roots there is no reachability judgement: no W202/W203 *)
+  let text = "p(X) :- edge(X, X).\nq(X) :- edge(X, X).\n" in
+  check_codes text [] (run text)
+
+let test_w204_duplicate () =
+  let text = "p(X) :- edge(X, Y), edge(Y, X).\np(A) :- edge(A, B), edge(B, A).\n" in
+  check_codes text [ "W204" ] (run text)
+
+let test_w205_subsumed () =
+  let text = "p(X) :- edge(X, _Y).\np(X) :- edge(X, X).\n" in
+  let ds = run text in
+  check_has text "W205" ds
+
+let test_w206_cartesian () =
+  let text = "p(X, Y) :- edge(X, X), edge(Y, Y)." in
+  check_codes text [ "W206" ] (run text)
+
+let test_w207_singleton () =
+  let text = "p(X) :- edge(X, Y)." in
+  let ds = run text in
+  check_codes text [ "W207" ] ds;
+  let d = List.hd ds in
+  Alcotest.(check bool) "names the variable" true
+    (Astring.String.is_infix ~affix:"Y" d.L.message)
+
+let test_w207_underscore_exempt () =
+  let text = "p(X) :- edge(X, _Y)." in
+  check_codes text [] (run text)
+
+let test_w208_no_binding () =
+  let text = "p(X) :- p(Y), edge(Y, X)." in
+  check_has text "W208" (run text)
+
+let test_w208_bound_recursion_clean () =
+  let text = "p(X) :- edge(X, Y), p(Y).\np(X) :- num(X).\n?- p(1).\n" in
+  check_codes text [] (run text)
+
+(* ---------------- ordering, formatting, clean programs ---------------- *)
+
+let test_errors_sort_first () =
+  (* the warning is on line 1, the error on line 2: severity outranks position *)
+  let text = "a(X) :- edge(X, Y).\nb(X, Y) :- edge(X, X).\n" in
+  match run text with
+  | [] -> Alcotest.fail "expected diagnostics"
+  | first :: _ ->
+      Alcotest.(check bool) "an error leads" true (first.L.severity = L.Sev_error)
+
+let test_to_string_shape () =
+  let ds = run "p(X) :- edge(X, Y)." in
+  let s = L.to_string (List.hd ds) in
+  Alcotest.(check bool) ("line:col prefix in " ^ s) true
+    (Astring.String.is_prefix ~affix:"1:1: warning[W207]" s)
+
+let test_clean_program () =
+  let text =
+    "anc(X, Y) :- edge(X, Y).\nanc(X, Y) :- edge(X, Z), anc(Z, Y).\n?- anc(1, W).\n"
+  in
+  check_codes text [] (run text)
+
+let test_codes_table_covers_diagnostics () =
+  List.iter
+    (fun code ->
+      Alcotest.(check bool) (code ^ " documented") true (List.mem_assoc code L.codes))
+    [ "E100"; "E101"; "E102"; "E103"; "E104"; "W201"; "W202"; "W203"; "W204"; "W205";
+      "W206"; "W207"; "W208"; "E301" ]
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "errors",
+        [
+          Alcotest.test_case "E100 syntax" `Quick test_e100_syntax;
+          Alcotest.test_case "E101 unsafe" `Quick test_e101_unsafe;
+          Alcotest.test_case "E102 unstratified" `Quick test_e102_unstratified;
+          Alcotest.test_case "E103 arity conflict" `Quick test_e103_arity_conflict;
+          Alcotest.test_case "E103 vs base schema" `Quick test_e103_against_base_schema;
+          Alcotest.test_case "E104 type conflict" `Quick test_e104_type_conflict;
+        ] );
+      ( "warnings",
+        [
+          Alcotest.test_case "W201 dead rule" `Quick test_w201_dead_rule;
+          Alcotest.test_case "W201 pure recursion" `Quick test_w201_self_recursion_unproductive;
+          Alcotest.test_case "W201 exit keeps live" `Quick test_w201_recursion_with_exit_is_live;
+          Alcotest.test_case "W202 unreachable" `Quick test_w202_unreachable_rule;
+          Alcotest.test_case "W203 unused" `Quick test_w203_unused_pred;
+          Alcotest.test_case "roots gate reachability" `Quick test_reachability_needs_roots;
+          Alcotest.test_case "W204 duplicate" `Quick test_w204_duplicate;
+          Alcotest.test_case "W205 subsumed" `Quick test_w205_subsumed;
+          Alcotest.test_case "W206 cartesian" `Quick test_w206_cartesian;
+          Alcotest.test_case "W207 singleton" `Quick test_w207_singleton;
+          Alcotest.test_case "W207 underscore" `Quick test_w207_underscore_exempt;
+          Alcotest.test_case "W208 unbound recursion" `Quick test_w208_no_binding;
+          Alcotest.test_case "W208 bound recursion" `Quick test_w208_bound_recursion_clean;
+        ] );
+      ( "shape",
+        [
+          Alcotest.test_case "errors first" `Quick test_errors_sort_first;
+          Alcotest.test_case "to_string" `Quick test_to_string_shape;
+          Alcotest.test_case "clean program" `Quick test_clean_program;
+          Alcotest.test_case "codes table" `Quick test_codes_table_covers_diagnostics;
+        ] );
+    ]

@@ -16,7 +16,9 @@ let facts_of edges = function
 let is_base p = p = "edge"
 
 let solve edges goal =
-  TD.solve ~facts:(facts_of edges) ~is_base ~rules:tc_rules ~goal
+  (match TD.solve ~facts:(facts_of edges) ~is_base ~rules:tc_rules ~goal with
+  | Ok rows -> rows
+  | Error e -> Alcotest.fail (TD.error_to_string e))
   |> List.map (fun r ->
          match r with
          | [| V.Int a; V.Int b |] -> (a, b)
@@ -79,8 +81,12 @@ let test_program_facts () =
     | _ -> []
   in
   let got =
-    TD.solve ~facts ~is_base:(fun p -> p = "reports") ~rules
-      ~goal:(A.atom "vip" [ A.Var "X" ])
+    (match
+       TD.solve ~facts ~is_base:(fun p -> p = "reports") ~rules
+         ~goal:(A.atom "vip" [ A.Var "X" ])
+     with
+    | Ok rows -> rows
+    | Error e -> Alcotest.fail (TD.error_to_string e))
     |> List.map (fun r -> V.to_string r.(0))
     |> List.sort compare
   in
@@ -88,26 +94,30 @@ let test_program_facts () =
 
 let test_negation_rejected () =
   let rules = List.map P.parse_clause [ "p(X) :- edge(X, Y), not tcx(Y)." ] in
-  Alcotest.(check bool) "raises" true
-    (try
-       ignore
-         (TD.solve
-            ~facts:(facts_of [ (1, 2) ])
-            ~is_base ~rules
-            ~goal:(A.atom "p" [ A.Var "X" ]));
-       false
-     with TD.Unsupported _ -> true)
+  match
+    TD.solve ~facts:(facts_of [ (1, 2) ]) ~is_base ~rules ~goal:(A.atom "p" [ A.Var "X" ])
+  with
+  | Error (TD.Unsupported _) -> ()
+  | Error e -> Alcotest.fail ("wrong error: " ^ TD.error_to_string e)
+  | Ok _ -> Alcotest.fail "negation was not rejected"
 
 let test_missing_pred_rejected () =
-  Alcotest.(check bool) "raises" true
-    (try
-       ignore
-         (TD.solve
-            ~facts:(facts_of [])
-            ~is_base ~rules:tc_rules
-            ~goal:(A.atom "ghost" [ A.Var "X" ]));
-       false
-     with Invalid_argument _ -> true)
+  match
+    TD.solve ~facts:(facts_of []) ~is_base ~rules:tc_rules ~goal:(A.atom "ghost" [ A.Var "X" ])
+  with
+  | Error (TD.Undefined "ghost") -> ()
+  | Error e -> Alcotest.fail ("wrong error: " ^ TD.error_to_string e)
+  | Ok _ -> Alcotest.fail "undefined predicate was not rejected"
+
+let test_unsafe_rejected () =
+  (* head variable never bound by the body *)
+  let rules = List.map P.parse_clause [ "p(X, Y) :- edge(X, Z)." ] in
+  match
+    TD.solve ~facts:(facts_of [ (1, 2) ]) ~is_base ~rules ~goal:(A.atom "p" [ A.Var "X"; A.Var "Y" ])
+  with
+  | Error (TD.Unsafe _) -> ()
+  | Error e -> Alcotest.fail ("wrong error: " ^ TD.error_to_string e)
+  | Ok _ -> Alcotest.fail "unsafe rule was not rejected"
 
 (* equivalence with the bottom-up runtime *)
 let prop_matches_bottom_up =
@@ -153,6 +163,7 @@ let () =
           Alcotest.test_case "program facts" `Quick test_program_facts;
           Alcotest.test_case "negation rejected" `Quick test_negation_rejected;
           Alcotest.test_case "missing predicate" `Quick test_missing_pred_rejected;
+          Alcotest.test_case "unsafe rule rejected" `Quick test_unsafe_rejected;
         ] );
       ("equivalence", [ prop_matches_bottom_up ]);
     ]

@@ -110,6 +110,46 @@ let test_infer_fact_conflict () =
   let e = infer_err [ "seed(1)."; "seed(a)." ] in
   Alcotest.(check bool) "conflicting fact types" true (String.length e > 0)
 
+(* ---------------- partial inference (the Stored D/KB update path) -------- *)
+
+let partial texts = T.infer_partial ~base:base_env ~rules:(rules texts)
+
+let test_partial_forward_reference () =
+  (* a predicate defined only by a later batch is omitted, not an error *)
+  match partial [ "p(X) :- future(X)."; "q(X, Y) :- par(X, Y)." ] with
+  | Error e -> Alcotest.fail e
+  | Ok types ->
+      Alcotest.(check bool) "p omitted" true (not (List.mem_assoc "p" types));
+      Alcotest.(check (list ty)) "q typed" [ D.TStr; D.TStr ] (List.assoc "q" types)
+
+let test_partial_chain_through_unknown () =
+  (* undeterminedness propagates: r depends on p depends on the future *)
+  match partial [ "r(X) :- p(X)."; "p(X) :- future(X)." ] with
+  | Error e -> Alcotest.fail e
+  | Ok types -> Alcotest.(check bool) "both omitted" true (types = [])
+
+let test_partial_pure_recursion () =
+  match partial [ "loop(X) :- loop(X)." ] with
+  | Error e -> Alcotest.fail e
+  | Ok types -> Alcotest.(check bool) "omitted" true (not (List.mem_assoc "loop" types))
+
+let test_partial_hard_var_conflict () =
+  (* a variable typed both int and str fails even in lenient mode *)
+  match partial [ "p(X) :- num(X), par(X, _Y)." ] with
+  | Ok _ -> Alcotest.fail "expected a hard type conflict"
+  | Error e -> Alcotest.(check bool) "nonempty" true (String.length e > 0)
+
+let test_partial_rule_conflict () =
+  match partial [ "p(X) :- num(X)."; "p(X) :- par(X, _Y)." ] with
+  | Ok _ -> Alcotest.fail "expected conflicting rule heads to fail"
+  | Error e -> Alcotest.(check bool) "nonempty" true (String.length e > 0)
+
+let test_partial_arity_conflict () =
+  match partial [ "p(X) :- par(X)." ] with
+  | Ok _ -> Alcotest.fail "expected an arity error"
+  | Error e -> Alcotest.(check bool) "mentions arity" true
+      (Astring.String.is_infix ~affix:"arity" e)
+
 let () =
   Alcotest.run "typecheck"
     [
@@ -130,5 +170,14 @@ let () =
           Alcotest.test_case "pure recursion" `Quick test_infer_pure_recursion_underdetermined;
           Alcotest.test_case "recursion with exit" `Quick test_infer_recursion_with_exit;
           Alcotest.test_case "fact conflicts" `Quick test_infer_fact_conflict;
+        ] );
+      ( "partial inference",
+        [
+          Alcotest.test_case "forward reference" `Quick test_partial_forward_reference;
+          Alcotest.test_case "chain through unknown" `Quick test_partial_chain_through_unknown;
+          Alcotest.test_case "pure recursion" `Quick test_partial_pure_recursion;
+          Alcotest.test_case "hard variable conflict" `Quick test_partial_hard_var_conflict;
+          Alcotest.test_case "rule conflict" `Quick test_partial_rule_conflict;
+          Alcotest.test_case "arity conflict" `Quick test_partial_arity_conflict;
         ] );
     ]

@@ -227,6 +227,14 @@ let test_crash_matrix () =
         (fun (label, budget, expect) ->
           let wal = run_until_crash ~budget in
           let e2, replayed = ok (W.recover ~db:missing_db ~wal) in
+          (* whatever prefix survived, the recovered engine must satisfy
+             every structural invariant (indexes, tuple tables, stats) *)
+          (match E.check_invariants e2 with
+          | [] -> ()
+          | vs ->
+              Alcotest.fail
+                (label ^ ": invariants violated after recovery: "
+                ^ String.concat "; " (List.map Rdbms.Invariants.violation_to_string vs)));
           Alcotest.(check int) (label ^ ": replay count") expect replayed;
           Alcotest.(check string)
             (label ^ ": exactly the committed prefix")
