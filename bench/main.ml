@@ -13,6 +13,7 @@
      dune exec bench/main.exe -- joins        -- join-order/cost-model bench (writes BENCH_joins.json)
      dune exec bench/main.exe -- exec         -- compiled-vs-interpreted execution bench (writes BENCH_exec.json)
      dune exec bench/main.exe -- updates      -- incremental-maintenance bench (writes BENCH_updates.json)
+     dune exec bench/main.exe -- storage      -- paged-storage/buffer-pool bench (writes BENCH_storage.json)
      dune exec bench/main.exe -- bechamel     -- bechamel microbenchmarks *)
 
 let known =
@@ -33,6 +34,7 @@ let known =
     ("joins", fun scale -> Experiments.Joins.run ~scale ());
     ("exec", fun scale -> Experiments.Exec_bench.run ~scale ());
     ("updates", fun scale -> Experiments.Updates.run ~scale ());
+    ("storage", fun scale -> Experiments.Storage.run ~scale ());
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -122,7 +124,7 @@ let () =
             (fun (n, _) ->
               not
                 (List.mem n
-                   [ "ablation"; "cache"; "wal"; "profile"; "joins"; "exec"; "updates" ]))
+                   [ "ablation"; "cache"; "wal"; "profile"; "joins"; "exec"; "updates"; "storage" ]))
             known
       | names ->
           List.map

@@ -57,8 +57,14 @@ let help_text =
   .open <file>                   replace the session with a saved D/KB
   begin | commit | rollback      transaction control (rollback undoes since begin)
   .wal <file>                    attach a write-ahead log of committed work
-  .checkpoint <file>             save the D/KB to <file> and truncate the WAL
-  .recover <db> <wal>            rebuild the session from a checkpoint + WAL
+  .checkpoint <file>             save the D/KB to <file>, flush dirty pages,
+                                 and truncate the WAL
+  .recover <db> <wal> [dir]      rebuild the session from a checkpoint + WAL
+                                 (re-attaching paged storage at [dir])
+  .storage <dir> [pages]         put base tables on slotted-page heap files
+                                 under <dir> behind a [pages]-frame buffer
+                                 pool; page_reads become measured misses.
+                                 Bare .storage shows pool statistics
   .clear                         clear the workspace
   .help                          this message
   .quit                          leave|}
@@ -516,10 +522,49 @@ let rec handle st line =
         | Error msg -> report_error msg);
         true
     | ".recover", [ db; wal ] ->
-        on_result (Session.recover ~db ~wal) ~ok:(fun (session, replayed) ->
+        on_result (Session.recover ~db ~wal ()) ~ok:(fun (session, replayed) ->
             st.session <- session;
             Core.Precompiled.clear st.cache;
             printf "recovered from %s + %s (%d records replayed)\n" db wal replayed);
+        true
+    | ".recover", [ db; wal; dir ] ->
+        on_result (Session.recover ~storage:dir ~db ~wal ()) ~ok:(fun (session, replayed) ->
+            st.session <- session;
+            Core.Precompiled.clear st.cache;
+            printf "recovered from %s + %s (%d records replayed), storage at %s\n" db wal
+              replayed dir);
+        true
+    | ".storage", (([ _ ] | [ _; _ ]) as args) -> (
+        let dir = List.hd args in
+        let pool_pages =
+          match args with
+          | [ _; n ] -> int_of_string_opt n
+          | _ -> Some 64
+        in
+        match pool_pages with
+        | None | Some 0 -> report_error "usage: .storage <dir> [pool-pages > 0]"; true
+        | Some pool_pages ->
+            on_result (Session.attach_storage st.session ~dir ~pool_pages ()) ~ok:(fun () ->
+                printf "storage attached: %s (%d-page buffer pool)\n" dir pool_pages);
+            true)
+    | ".storage", [] ->
+        (match Rdbms.Engine.storage_dir (Session.engine st.session) with
+        | Some dir ->
+            let engine = Session.engine st.session in
+            let pool = Option.get (Rdbms.Engine.buffer_pool engine) in
+            let heaps = Rdbms.Engine.storage_heaps engine in
+            let resident =
+              List.fold_left (fun acc (_, h) -> acc + Rdbms.Heap.resident h) 0 heaps
+            in
+            printf
+              "storage at %s: %d heaps, %d/%d frames resident, %d hits / %d misses / %d \
+               writebacks\n"
+              dir (List.length heaps) resident
+              (Rdbms.Buffer_pool.size pool)
+              (Rdbms.Buffer_pool.hits pool)
+              (Rdbms.Buffer_pool.misses pool)
+              (Rdbms.Buffer_pool.writebacks pool)
+        | None -> printf "no storage attached (.storage <dir> [pool-pages])\n");
         true
     | cmd, _ ->
         report_error (Printf.sprintf "unknown command %s (try .help)" cmd);

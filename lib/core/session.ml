@@ -406,6 +406,22 @@ let checkpoint t ~db =
   | Some w -> Rdbms.Wal.checkpoint w t.engine ~db
 
 (* ------------------------------------------------------------------ *)
+(* Paged storage *)
+
+(* Every name-mangled table ("__" infix: the LFP scratch tables and the
+   mat__/matcnt__ maintenance pairs) is engine-internal churn — keep those
+   in memory and put only user base relations and the dictionary on disk. *)
+let persistable name =
+  let n = String.length name in
+  let rec mangled i = i + 1 < n && ((name.[i] = '_' && name.[i + 1] = '_') || mangled (i + 1)) in
+  not (mangled 0)
+
+let attach_storage t ~dir ?pool_pages ?mode () =
+  match Engine.attach_storage t.engine ~dir ?pool_pages ~persist:persistable ?mode () with
+  | () -> Ok ()
+  | exception Engine.Sql_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
 (* Structured tracing *)
 
 let trace t = t.trace
@@ -427,7 +443,7 @@ let attach_trace t path =
       Engine.set_trace_hook t.engine (Some (Trace.engine_event tr));
       Ok ()
 
-let recover ~db ~wal:wal_path =
+let recover ?storage ?pool_pages ~db ~wal:wal_path () =
   let base =
     if Sys.file_exists db then Rdbms.Persist.restore db
     else Ok (Rdbms.Engine.create ())
@@ -440,7 +456,14 @@ let recover ~db ~wal:wal_path =
          not the log. Ensure they exist before replaying records that
          reference them (the no-checkpoint-yet case). *)
       ignore (Stored_dkb.init engine : Stored_dkb.t);
-      match Rdbms.Wal.replay engine wal_path with
+      (* Storage attaches with [`Overwrite]: post-checkpoint evictions can
+         leave heap files ahead of the dump, and replay assumes exactly
+         the dump state — the log is the truth, the heaps are a cache. *)
+      (match storage with
+      | Some dir ->
+          Engine.attach_storage engine ~dir ?pool_pages ~persist:persistable ~mode:`Overwrite ()
+      | None -> ());
+      match Rdbms.Wal.replay ~subsumed:(Rdbms.Wal.subsumed ~db) engine wal_path with
       | Error _ as e -> e
       | Ok replayed -> (
           (* re-init so the ruleid counter resumes past replayed rules *)

@@ -176,15 +176,38 @@ val attach_wal : t -> string -> (unit, string) result
 val wal : t -> Rdbms.Wal.t option
 
 val checkpoint : t -> db:string -> (unit, string) result
-(** {!save} the whole D/KB to [db], then truncate the WAL: the
-    checkpoint subsumes the logged history. Errors if no WAL is
-    attached or a transaction is open. *)
+(** {!save} the whole D/KB to [db], write back every dirty buffer-pool
+    page, then truncate the WAL: the checkpoint subsumes the logged
+    history. Errors if no WAL is attached or a transaction is open. *)
 
-val recover : db:string -> wal:string -> (t * int, string) result
+val recover :
+  ?storage:string ->
+  ?pool_pages:int ->
+  db:string ->
+  wal:string ->
+  unit ->
+  (t * int, string) result
 (** Rebuild a session from checkpoint [db] (a fresh D/KB if the file is
     missing) plus the WAL's valid record prefix, then re-attach the WAL
-    so the recovered session keeps logging. Returns the session and the
-    number of records replayed. *)
+    so the recovered session keeps logging. [storage] re-attaches paged
+    storage at that directory before replay (heaps are rewritten from
+    the checkpoint state — they may be ahead of it if pages were evicted
+    after the last checkpoint, and replay must start from the dump).
+    Returns the session and the number of records replayed. *)
+
+(** {1 Paged storage}
+
+    See {!Rdbms.Engine.attach_storage}. The session persists user base
+    relations and the Stored D/KB dictionary to slotted-page heap files;
+    name-mangled engine-internal tables (the LFP scratch tables, the
+    [mat__]/[matcnt__] maintenance pairs) stay purely in memory. *)
+
+val attach_storage :
+  t -> dir:string -> ?pool_pages:int -> ?mode:[ `Auto | `Overwrite ] -> unit ->
+  (unit, string) result
+(** Put the session's persistent tables on disk under [dir] (created if
+    missing) behind a shared buffer pool (default 64 frames). Errors if
+    storage is already attached. *)
 
 (** {1 Observability: structured tracing}
 

@@ -298,7 +298,7 @@ let wal_overhead ?(json_path = "BENCH_wal.json") ~depth () =
   let db_path = Filename.temp_file "dkb_bench" ".db" in
   Sys.remove db_path;
   let recovery, rec_ms =
-    Dkb_util.Timer.time (fun () -> Common.ok (Session.recover ~db:db_path ~wal:wal_path))
+    Dkb_util.Timer.time (fun () -> Common.ok (Session.recover ~db:db_path ~wal:wal_path ()))
   in
   let recovered, replayed = recovery in
   let matches =

@@ -6,3 +6,11 @@
     statements for small deltas. Writes [BENCH_joins.json]. *)
 
 val run : ?json_path:string -> scale:Common.scale -> unit -> unit
+
+val skewed_setup : int -> unit -> Rdbms.Engine.t
+(** A fresh in-memory engine holding the skewed big/mid/small tables
+    ([n] / [n/3] / [n/25] rows) with every join column hash-indexed; the
+    storage bench re-uses the same dataset disk-backed. *)
+
+val skewed_sql : string
+(** The 3-way join written in the worst FROM order (largest first). *)

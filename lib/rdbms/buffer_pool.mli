@@ -1,0 +1,68 @@
+(** A shared buffer pool over page files: clock (second-chance) eviction,
+    pin counts, dirty-page writeback. Misses charge [page_reads] and
+    writebacks charge [page_writes] on the wired {!Stats.t} — these are
+    the measured I/O numbers the engine reports for disk-backed tables. *)
+
+type t
+
+type backend = {
+  read : int -> Bytes.t -> unit;
+      (** [read page_no buf] fills [buf] ({!Page.size} bytes) with the
+          page's on-disk image (zero-filled past end of file). *)
+  write : int -> Bytes.t -> unit;
+}
+
+val create : ?pages:int -> unit -> t
+(** A pool of [pages] frames (default 64, minimum 1). *)
+
+val size : t -> int
+(** Frame count. *)
+
+val set_stats : t -> Stats.t -> unit
+(** Wire the stats that misses/writebacks charge. *)
+
+val register : t -> backend -> int
+(** Register a page file; returns its file id. *)
+
+val unregister : t -> int -> unit
+(** Flush the file's dirty frames, drop them, and forget the backend. *)
+
+val pin : t -> int -> int -> Bytes.t
+(** [pin t file page_no] returns the frame holding the page, reading it
+    through the backend on a miss (charging one page read), and pins it:
+    it cannot be evicted until {!unpin}. Raises [Failure] when every
+    frame is pinned. *)
+
+val pin_fresh : t -> int -> int -> Bytes.t
+(** Like {!pin} for a newly allocated page: loads an empty page image
+    instead of reading disk, and marks the frame dirty. *)
+
+val unpin : t -> int -> int -> unit
+val mark_dirty : t -> int -> int -> unit
+
+val flush_file : t -> int -> unit
+(** Write back the file's dirty frames (they stay resident and clean). *)
+
+val flush_all : t -> unit
+
+val invalidate_file : t -> int -> unit
+(** Drop the file's frames without writeback (TRUNCATE/DROP). Raises
+    [Failure] if one is pinned. *)
+
+val suspended : t -> (unit -> 'a) -> 'a
+(** Run a thunk with stats charging suspended (sanitizer audits must not
+    pollute the measured counters). *)
+
+val resident : t -> int -> int
+(** Frames currently holding pages of the file. *)
+
+val pinned : t -> int
+(** Total pin count across frames (0 between statements). *)
+
+val hits : t -> int
+val misses : t -> int
+val writebacks : t -> int
+
+val check : t -> string list
+(** Structural audit: map/frame agreement, no negative or leaked pins,
+    no frames for unregistered files. ([[]] when consistent.) *)

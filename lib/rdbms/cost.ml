@@ -2,8 +2,15 @@ type est = { rows : float; cost : float }
 
 let cpu_per_row = 0.001
 
+(* Page-count estimate for a (possibly fractional) byte estimate.
+   Routed through the same integer [Stats.pages_of_bytes] the executors
+   charge with, so an estimate and a charge can never disagree by a page
+   on boundary sizes (the old float ceil rounded [n * page_size] bytes
+   differently from the int ceil for exact multiples reached via
+   fractional arithmetic). *)
 let pages_f bytes =
-  if bytes <= 0.0 then 0.0 else ceil (bytes /. float_of_int Stats.page_size)
+  if bytes <= 0.0 then 0.0
+  else float_of_int (Stats.pages_of_bytes (int_of_float (ceil bytes)))
 
 let table_rows (tbl : Catalog.table) =
   float_of_int (Relation.cardinal tbl.Catalog.tbl_relation)

@@ -1,6 +1,7 @@
-(** Cost model for physical plans, in the executor's simulated page-read
-    units ({!Stats.pages_of_bytes} and the per-operator charges of
-    {!Executor}): a sequential scan costs the relation's page count, an
+(** Cost model for physical plans, in page-read units ({!Stats.pages_of_bytes}
+    and the per-operator charges of {!Executor}): a sequential scan costs
+    the relation's page count — the *real* heap page count for a
+    disk-backed table, so estimates track measured buffer-pool I/O — an
     index probe costs one page plus the pages of the matched rows, and
     hash/nested-loop joins cost only their inputs. A tiny per-row CPU
     epsilon ({!cpu_per_row}) breaks page-count ties toward smaller
@@ -21,7 +22,10 @@ val cpu_per_row : float
 (** 0.001 — the tie-breaking CPU charge per estimated row. *)
 
 val pages_f : float -> float
-(** Fractional-input version of {!Stats.pages_of_bytes}. *)
+(** Fractional-input version of {!Stats.pages_of_bytes}: rounds the byte
+    estimate up to whole bytes, then applies the same integer page ceil
+    the executors charge with, so estimate and charge agree exactly on
+    boundary sizes. *)
 
 val table_rows : Catalog.table -> float
 (** Live row count. *)

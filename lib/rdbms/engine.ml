@@ -79,9 +79,20 @@ type trace_event =
       est : Cost.est option; (* planner estimate, when the stmt was planned *)
     }
 
+(* Paged storage: one slotted-page heap file per persisted base table,
+   sharing a buffer pool. Scratch/temp tables (the LFP loop's churn) stay
+   in-memory — [st_persist] decides by name. *)
+type storage = {
+  st_dir : string;
+  st_pool : Buffer_pool.t;
+  st_heaps : (string, Heap.t) Hashtbl.t; (* lowercase table name -> heap *)
+  st_persist : string -> bool;
+}
+
 type t = {
   catalog : Catalog.t;
   stats : Stats.t;
+  mutable storage : storage option;
   mutable join_order : Planner.join_order;
   mutable backend : exec_backend;
   stmt_cache : (string, prepared) Hashtbl.t; (* SQL text -> prepared *)
@@ -109,6 +120,7 @@ let create () =
   {
     catalog = Catalog.create ();
     stats = Stats.create ();
+    storage = None;
     join_order = Planner.Syntactic;
     backend = Compiled;
     stmt_cache = Hashtbl.create 64;
@@ -199,6 +211,103 @@ let or_fail = function
   | Error msg -> raise (Sql_error msg)
 
 (* ------------------------------------------------------------------ *)
+(* Paged storage: heap attachment and lifecycle *)
+
+let storage_key name = String.lowercase_ascii name
+let heap_path st name = Filename.concat st.st_dir (storage_key name ^ ".heap")
+
+(* Attach a heap to one table. [`Load] populates an empty relation from
+   an existing heap file (reopening a directory); [`Overwrite] truncates
+   the heap and writes the relation out (CREATE TABLE and recovery: the
+   catalog is authoritative, so a stale file left by a crash can never
+   resurrect rows). *)
+let attach_heap st (tbl : Catalog.table) mode =
+  let key = storage_key tbl.Catalog.tbl_name in
+  let h = Heap.create ~pool:st.st_pool (heap_path st tbl.Catalog.tbl_name) in
+  let mode =
+    match mode with
+    | `Auto ->
+        if Relation.cardinal tbl.Catalog.tbl_relation = 0 && Heap.page_count h > 0 then `Load
+        else `Overwrite
+    | (`Load | `Overwrite) as m -> m
+  in
+  Relation.attach tbl.Catalog.tbl_relation h mode;
+  Hashtbl.replace st.st_heaps key h
+
+let attach_storage t ~dir ?(pool_pages = 64) ?(persist = fun _ -> true) ?(mode = `Auto) () =
+  if t.storage <> None then fail "storage already attached";
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  if not (Sys.is_directory dir) then fail "not a directory: %s" dir;
+  let pool = Buffer_pool.create ~pages:pool_pages () in
+  Buffer_pool.set_stats pool t.stats;
+  let st = { st_dir = dir; st_pool = pool; st_heaps = Hashtbl.create 16; st_persist = persist } in
+  t.storage <- Some st;
+  List.iter
+    (fun (tbl : Catalog.table) ->
+      if persist tbl.Catalog.tbl_name then attach_heap st tbl mode)
+    (Catalog.tables t.catalog)
+
+(* CREATE TABLE (forward or as DROP-undo) puts persisted tables on disk
+   immediately; the new heap starts truncated. *)
+let maybe_attach_new_table t name =
+  match t.storage with
+  | Some st when st.st_persist name -> (
+      match Catalog.find_table t.catalog name with
+      | Some tbl -> attach_heap st tbl `Overwrite
+      | None -> ())
+  | _ -> ()
+
+(* DROP TABLE (forward or as CREATE-undo) deletes the heap file. *)
+let drop_heap t name =
+  match t.storage with
+  | Some st -> (
+      let key = storage_key name in
+      match Hashtbl.find_opt st.st_heaps key with
+      | Some h ->
+          Hashtbl.remove st.st_heaps key;
+          Heap.destroy h
+      | None -> ())
+  | None -> ()
+
+let flush_storage t =
+  match t.storage with
+  | Some st -> Buffer_pool.flush_all st.st_pool
+  | None -> ()
+
+(* Benchmark support: flush and drop every resident frame so the next
+   scans run against a cold cache. *)
+let drop_page_cache t =
+  match t.storage with
+  | Some st -> Hashtbl.iter (fun _ h -> Heap.evict h) st.st_heaps
+  | None -> ()
+
+let buffer_pool t = Option.map (fun st -> st.st_pool) t.storage
+let storage_dir t = Option.map (fun st -> st.st_dir) t.storage
+
+let storage_heaps t =
+  match t.storage with
+  | None -> []
+  | Some st -> Hashtbl.fold (fun name h acc -> (name, h) :: acc) st.st_heaps []
+
+(* Flush and close every heap, detach the relations (their in-memory
+   mirrors keep the rows), and drop the pool. *)
+let close_storage t =
+  match t.storage with
+  | None -> ()
+  | Some st ->
+      List.iter
+        (fun (tbl : Catalog.table) ->
+          if Relation.backed tbl.Catalog.tbl_relation then Relation.detach tbl.Catalog.tbl_relation)
+        (Catalog.tables t.catalog);
+      Hashtbl.iter (fun _ h -> Heap.close h) st.st_heaps;
+      Hashtbl.reset st.st_heaps;
+      t.storage <- None
+
+(* A relation whose page I/O is measured by the pool: skip the simulated
+   byte-arithmetic charges for it. *)
+let measured rel = Relation.backed rel
+
+(* ------------------------------------------------------------------ *)
 (* Transactions: logical undo logging and the commit hook *)
 
 (* [u] is a thunk so the (sometimes expensive) capture of old state only
@@ -226,11 +335,14 @@ let apply_undo t u =
       | Some rel -> List.iter (fun row -> ignore (Relation.insert rel row)) rows
       | None -> ())
   | U_create_table name -> (
-      match Catalog.drop_table t.catalog name with Ok () | Error _ -> ())
+      match Catalog.drop_table t.catalog name with
+      | Ok () -> drop_heap t name
+      | Error _ -> ())
   | U_drop_table { dt_name; dt_schema; dt_rows; dt_indexes } -> (
       match Catalog.create_table t.catalog dt_name dt_schema with
       | Error _ -> ()
       | Ok tbl ->
+          maybe_attach_new_table t dt_name;
           List.iter (fun row -> ignore (Relation.insert tbl.Catalog.tbl_relation row)) dt_rows;
           List.iter
             (fun (name, column, ordered) ->
@@ -324,9 +436,12 @@ let insert_iter ?(trust = false) t table_name iter =
           | false -> ()
           | exception Invalid_argument msg -> raise (Sql_error msg));
       if !count > 0 then begin
-        t.stats.Stats.page_writes <-
-          t.stats.Stats.page_writes
-          + max 1 (Stats.pages_of_bytes (Relation.byte_size rel - bytes0));
+        (* measured relations pay for writes when the pool writes dirty
+           pages back (eviction/flush), not per statement *)
+        if not (measured rel) then
+          t.stats.Stats.page_writes <-
+            t.stats.Stats.page_writes
+            + max 1 (Stats.pages_of_bytes (Relation.byte_size rel - bytes0));
         t.stats.Stats.rows_inserted <- t.stats.Stats.rows_inserted + !count
       end;
       Affected !count
@@ -349,11 +464,12 @@ let clear_table_raw t name =
       let rel = tbl.Catalog.tbl_relation in
       record t (fun () -> U_truncate (name, Relation.to_list rel));
       let n = Relation.cardinal rel in
-      if n > 0 then begin
-        t.stats.Stats.rows_deleted <- t.stats.Stats.rows_deleted + n;
-        t.stats.Stats.page_writes <- t.stats.Stats.page_writes + Relation.pages rel
-      end
-      else t.stats.Stats.page_writes <- t.stats.Stats.page_writes + 1;
+      if n > 0 then t.stats.Stats.rows_deleted <- t.stats.Stats.rows_deleted + n;
+      (* a measured TRUNCATE drops the heap's pool frames and the file —
+         there is no per-page writeback to simulate *)
+      if not (measured rel) then
+        t.stats.Stats.page_writes <-
+          t.stats.Stats.page_writes + (if n > 0 then Relation.pages rel else 1);
       t.stats.Stats.tables_truncated <- t.stats.Stats.tables_truncated + 1;
       Relation.clear rel
 
@@ -428,6 +544,7 @@ let run_stmt_raw t stmt =
   | Sql_ast.Create_table { name; columns } ->
       let schema = try Schema.make columns with Invalid_argument msg -> raise (Sql_error msg) in
       let (_ : Catalog.table) = or_fail (Catalog.create_table t.catalog name schema) in
+      maybe_attach_new_table t name;
       record t (fun () -> U_create_table name);
       t.stats.Stats.tables_created <- t.stats.Stats.tables_created + 1;
       t.stats.Stats.page_writes <- t.stats.Stats.page_writes + 1;
@@ -440,6 +557,7 @@ let run_stmt_raw t stmt =
       in
       (match Catalog.drop_table t.catalog name with
       | Ok () ->
+          drop_heap t name;
           (match saved with
           | Some u -> record t (fun () -> u)
           | None -> ());
@@ -461,9 +579,12 @@ let run_stmt_raw t stmt =
       in
       List.iter
         (fun tbl ->
-          (* collecting statistics reads the whole table once *)
-          t.stats.Stats.page_reads <-
-            t.stats.Stats.page_reads + Relation.pages tbl.Catalog.tbl_relation;
+          (* collecting statistics reads the whole table once; for a
+             measured relation the collection scan below charges its own
+             pool misses *)
+          if not (measured tbl.Catalog.tbl_relation) then
+            t.stats.Stats.page_reads <-
+              t.stats.Stats.page_reads + Relation.pages tbl.Catalog.tbl_relation;
           t.stats.Stats.tables_analyzed <- t.stats.Stats.tables_analyzed + 1;
           Catalog.set_stats t.catalog tbl (Table_stats.collect tbl.Catalog.tbl_relation))
         targets;
@@ -567,7 +688,11 @@ let run_stmt_raw t stmt =
               (fun row -> List.for_all (fun (_, pos, v) -> Value.equal row.(pos) v) eqs)
               matched
         | None -> (
-            t.stats.Stats.page_reads <- t.stats.Stats.page_reads + Relation.pages rel;
+            (* a measured relation's victim scan below charges its own
+               pool misses (the scratch Stats only swallows the scan's
+               simulated double-charge, never pool charges) *)
+            if not (measured rel) then
+              t.stats.Stats.page_reads <- t.stats.Stats.page_reads + Relation.pages rel;
             match where with
             | None -> Relation.to_list rel
             | Some cond ->
@@ -600,8 +725,11 @@ let run_stmt_raw t stmt =
           0 victims
       in
       if deleted > 0 then begin
-        let bytes = List.fold_left (fun acc r -> acc + Tuple.byte_size r) 0 victims in
-        t.stats.Stats.page_writes <- t.stats.Stats.page_writes + max 1 (Stats.pages_of_bytes bytes);
+        if not (measured rel) then begin
+          let bytes = List.fold_left (fun acc r -> acc + Tuple.byte_size r) 0 victims in
+          t.stats.Stats.page_writes <-
+            t.stats.Stats.page_writes + max 1 (Stats.pages_of_bytes bytes)
+        end;
         t.stats.Stats.rows_deleted <- t.stats.Stats.rows_deleted + deleted
       end;
       Affected deleted
@@ -641,7 +769,8 @@ let run_stmt_raw t stmt =
             (pos, value_of))
           sets
       in
-      t.stats.Stats.page_reads <- t.stats.Stats.page_reads + Relation.pages rel;
+      if not (measured rel) then
+        t.stats.Stats.page_reads <- t.stats.Stats.page_reads + Relation.pages rel;
       let victims =
         match where with
         | None -> Relation.to_list rel
@@ -676,7 +805,8 @@ let run_stmt_raw t stmt =
           0 victims
       in
       if updated > 0 then begin
-        t.stats.Stats.page_writes <- t.stats.Stats.page_writes + 1;
+        if not (measured rel) then
+          t.stats.Stats.page_writes <- t.stats.Stats.page_writes + 1;
         t.stats.Stats.rows_inserted <- t.stats.Stats.rows_inserted + updated;
         t.stats.Stats.rows_deleted <- t.stats.Stats.rows_deleted + updated
       end;
@@ -755,13 +885,27 @@ let clear_table t name = ignore (run_stmt t (Sql_ast.Truncate { name }) : result
    monotonicity of the schema version after each successful statement.
    Violations surface as [Sql_error] — the statement that corrupted the
    engine is the one that fails. *)
+(* Audit the catalog plus, when storage is attached, the buffer pool and
+   heaps — with pool charging suspended, so the audit's own page traffic
+   never pollutes the measured counters. *)
+let audit_invariants t base =
+  let audit () =
+    let vs = base () in
+    match t.storage with
+    | Some st -> vs @ Invariants.check_storage ~pool:st.st_pool ~heaps:(storage_heaps t)
+    | None -> vs
+  in
+  match t.storage with
+  | Some st -> Buffer_pool.suspended st.st_pool audit
+  | None -> audit ()
+
 let maybe_sanitize t =
   if t.sanitize then begin
     let v = Catalog.version t.catalog in
     if v < t.last_version then
       fail "sanitize: catalog version moved backwards (%d -> %d)" t.last_version v;
     t.last_version <- v;
-    match Invariants.check_catalog t.catalog with
+    match audit_invariants t (fun () -> Invariants.check_catalog t.catalog) with
     | [] -> ()
     | vs ->
         fail "sanitize: engine invariant violated: %s"
@@ -774,7 +918,7 @@ let set_sanitize t on =
 
 let sanitize_enabled t = t.sanitize
 
-let check_invariants t = Invariants.check t.catalog
+let check_invariants t = audit_invariants t (fun () -> Invariants.check t.catalog)
 
 let exec_stmt t stmt =
   t.stats.Stats.statements <- t.stats.Stats.statements + 1;

@@ -55,6 +55,54 @@ val stats : t -> Stats.t
 (** Cumulative counters; callers may snapshot with {!Stats.copy} and take
     {!Stats.diff}. *)
 
+(** {1 Paged storage}
+
+    With storage attached, each persisted base table is mirrored into a
+    slotted-page heap file ([<dir>/<table>.heap]) behind a shared buffer
+    pool, and whole-table scans read through it: [page_reads] are the
+    pool's actual cold misses and [page_writes] its dirty-page
+    writebacks, instead of the byte-derived simulated charges (which
+    in-memory relations keep). Index structures stay in memory — probe
+    charges remain simulated — and so do tables the [persist] predicate
+    rejects (the LFP scratch tables). *)
+
+val attach_storage :
+  t ->
+  dir:string ->
+  ?pool_pages:int ->
+  ?persist:(string -> bool) ->
+  ?mode:[ `Auto | `Overwrite ] ->
+  unit ->
+  unit
+(** Attach storage rooted at [dir] (created if missing; default pool of
+    64 frames; [persist] defaults to every table). Existing persisted
+    tables are attached immediately: under [`Auto] (the default) an
+    empty relation over a non-empty heap file loads from it (reopening a
+    directory) and anything else overwrites the heap from the relation;
+    [`Overwrite] rewrites every heap unconditionally — recovery uses it,
+    because evictions after the last checkpoint can leave heap files
+    ahead of the state dump, and replay must start from exactly the
+    dump. CREATE TABLE always starts its heap truncated either way.
+    Raises [Sql_error] if storage is already attached. *)
+
+val flush_storage : t -> unit
+(** Write back every dirty pool frame (the checkpoint path calls this
+    between the state dump and the WAL truncate). *)
+
+val drop_page_cache : t -> unit
+(** Flush, then drop every resident pool frame, so the next scans run
+    against a cold cache (benchmark support; no-op without storage). *)
+
+val close_storage : t -> unit
+(** Flush and close every heap, detach the relations (their in-memory
+    mirrors keep the rows), and drop the pool. *)
+
+val buffer_pool : t -> Buffer_pool.t option
+val storage_dir : t -> string option
+
+val storage_heaps : t -> (string * Heap.t) list
+(** The attached heaps, as (lowercased table name, heap). *)
+
 (** {1 Transactions}
 
     [BEGIN] / [COMMIT] / [ROLLBACK] (as SQL text or via the functions

@@ -37,12 +37,29 @@ module Key_tbl = Hashtbl.Make (struct
   let hash k = List.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 k
 end)
 
+(* Scan charge, mirroring Executor: simulated for in-memory relations;
+   for a heap-backed (measured) relation the buffer pool charges the
+   iteration's misses directly, so [scanning] only attributes the miss
+   delta to the profile node afterwards. *)
 let charge_scan stats node rel =
-  let pages = Relation.pages rel in
-  stats.Stats.page_reads <- stats.Stats.page_reads + pages;
-  match node with
-  | Some n -> n.Profile.reads <- n.Profile.reads + pages
-  | None -> ()
+  if not (Relation.backed rel) then begin
+    let pages = Relation.pages rel in
+    stats.Stats.page_reads <- stats.Stats.page_reads + pages;
+    match node with
+    | Some n -> n.Profile.reads <- n.Profile.reads + pages
+    | None -> ()
+  end
+
+let scanning stats node rel f =
+  charge_scan stats node rel;
+  let r0 = stats.Stats.page_reads in
+  let out = f () in
+  (match node with
+  | Some n ->
+      let d = stats.Stats.page_reads - r0 in
+      if d > 0 then n.Profile.reads <- n.Profile.reads + d
+  | None -> ());
+  out
 
 let charge_probe_bytes stats node bytes =
   let pages = 1 + Stats.pages_of_bytes bytes in
@@ -71,10 +88,15 @@ let identity_projection exprs input_width =
    stored relation: its rows are distinct (relations have set semantics)
    and membership is O(1) through the relation's own tuple table. The
    set operators below exploit both. Returns the relation plus the plan
-   chain (outermost first, scan last) for profile parity. *)
+   chain (outermost first, scan last) for profile parity.
+
+   Heap-backed relations are excluded: their scans must actually read the
+   heap so the page I/O is measured, and skipping the scan here would
+   make the compiled backend report less I/O than the interpreted oracle. *)
 let rec bare_relation plan =
   match plan with
-  | Plan.Seq_scan { table; filter = None; _ } ->
+  | Plan.Seq_scan { table; filter = None; _ }
+    when not (Relation.backed table.Catalog.tbl_relation) ->
       Some (table.Catalog.tbl_relation, [ plan ])
   | Plan.Project { input; exprs; _ }
     when identity_projection exprs (Array.length (Plan.header_of input)) ->
@@ -112,9 +134,12 @@ let compile stats plan =
         let rel = table.Catalog.tbl_relation in
         let keep = compile_filter filter in
         fun node ->
-          charge_scan stats node rel;
-          let out = Batch.create ~capacity:(Relation.cardinal rel) () in
-          Relation.iter (fun row -> if keep row then Batch.push out row) rel;
+          let out =
+            scanning stats node rel (fun () ->
+                let out = Batch.create ~capacity:(Relation.cardinal rel) () in
+                Relation.iter (fun row -> if keep row then Batch.push out row) rel;
+                out)
+          in
           produced (Batch.length out);
           out
     | Plan.Index_scan { index; key; filter; _ } ->
@@ -239,30 +264,31 @@ let compile stats plan =
         let keep = compile_filter residual in
         fun node ->
           let lb = lf node in
-          charge_scan stats node rel;
           let survives =
-            match key_inner with
-            | [] ->
-                (* no equality keys: test every inner row *)
-                let inner_rows = Relation.to_list rel in
-                fun l -> not (List.exists (fun r -> keep (concat_rows l r)) inner_rows)
-            | _ ->
-                let buckets = Key_tbl.create ((2 * Relation.cardinal rel) + 1) in
-                Relation.iter
-                  (fun r ->
-                    let k = List.map (fun i -> r.(i)) key_inner in
-                    match Key_tbl.find_opt buckets k with
-                    | Some bucket -> Batch.push bucket r
-                    | None ->
-                        let bucket = Batch.create ~capacity:4 () in
-                        Batch.push bucket r;
-                        Key_tbl.add buckets k bucket)
-                  rel;
-                fun l ->
-                  let k = List.map (fun i -> l.(i)) key_outer in
-                  (match Key_tbl.find_opt buckets k with
-                  | None -> true
-                  | Some bucket -> not (Batch.fold (fun hit r -> hit || keep (concat_rows l r)) false bucket))
+            scanning stats node rel (fun () ->
+                match key_inner with
+                | [] ->
+                    (* no equality keys: test every inner row *)
+                    let inner_rows = Relation.to_list rel in
+                    fun l -> not (List.exists (fun r -> keep (concat_rows l r)) inner_rows)
+                | _ ->
+                    let buckets = Key_tbl.create ((2 * Relation.cardinal rel) + 1) in
+                    Relation.iter
+                      (fun r ->
+                        let k = List.map (fun i -> r.(i)) key_inner in
+                        match Key_tbl.find_opt buckets k with
+                        | Some bucket -> Batch.push bucket r
+                        | None ->
+                            let bucket = Batch.create ~capacity:4 () in
+                            Batch.push bucket r;
+                            Key_tbl.add buckets k bucket)
+                      rel;
+                    fun l ->
+                      let k = List.map (fun i -> l.(i)) key_outer in
+                      (match Key_tbl.find_opt buckets k with
+                      | None -> true
+                      | Some bucket ->
+                          not (Batch.fold (fun hit r -> hit || keep (concat_rows l r)) false bucket)))
           in
           let out = Batch.create ~capacity:(Batch.length lb) () in
           Batch.iter (fun l -> if survives l then Batch.push out l) lb;

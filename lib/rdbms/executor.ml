@@ -8,12 +8,32 @@ type obs = {
   node : Profile.t option;
 }
 
+(* Scan charge. A heap-backed relation is measured, not simulated: its
+   reads are the buffer-pool misses of the iteration itself (the pool
+   charges stats directly), so nothing is charged up front — instead
+   [scanning] attributes the iteration's miss delta to the profile node
+   afterwards, keeping tree sums equal to the statement delta. *)
 let charge_scan obs rel =
-  let pages = Relation.pages rel in
-  obs.stats.Stats.page_reads <- obs.stats.Stats.page_reads + pages;
-  match obs.node with
-  | Some n -> n.Profile.reads <- n.Profile.reads + pages
-  | None -> ()
+  if not (Relation.backed rel) then begin
+    let pages = Relation.pages rel in
+    obs.stats.Stats.page_reads <- obs.stats.Stats.page_reads + pages;
+    match obs.node with
+    | Some n -> n.Profile.reads <- n.Profile.reads + pages
+    | None -> ()
+  end
+
+(* Wrap a relation iteration: charge a simulated scan (in-memory) or
+   attribute the measured miss delta (heap-backed) to the profile node. *)
+let scanning obs rel f =
+  charge_scan obs rel;
+  let r0 = obs.stats.Stats.page_reads in
+  let out = f () in
+  (match obs.node with
+  | Some n ->
+      let d = obs.stats.Stats.page_reads - r0 in
+      if d > 0 then n.Profile.reads <- n.Profile.reads + d
+  | None -> ());
+  out
 
 (* One probe charged at [bytes] worth of matched rows. Index probes pass the
    bucket's running byte counter; range scans still fold over the matches. *)
@@ -55,9 +75,9 @@ let rec go obs plan =
   match plan with
   | Plan.Seq_scan { table; filter; _ } ->
       let rel = table.Catalog.tbl_relation in
-      charge_scan obs rel;
       let out =
-        Relation.fold (fun acc row -> if keep filter row then row :: acc else acc) [] rel
+        scanning obs rel (fun () ->
+            Relation.fold (fun acc row -> if keep filter row then row :: acc else acc) [] rel)
       in
       let rows = List.rev out in
       produced obs (List.length rows);
@@ -144,8 +164,7 @@ let rec go obs plan =
   | Plan.Anti_join { left; table; key_outer; key_inner; residual; _ } ->
       let lrows = sub obs left in
       let rel = table.Catalog.tbl_relation in
-      charge_scan obs rel;
-      let inner_rows = Relation.to_list rel in
+      let inner_rows = scanning obs rel (fun () -> Relation.to_list rel) in
       let survives =
         match key_inner with
         | [] ->

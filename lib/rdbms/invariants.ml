@@ -114,6 +114,28 @@ let check_table (tbl : Catalog.table) =
 let check_catalog catalog =
   List.concat_map check_table (Catalog.tables catalog)
 
+(* Paged-storage audit: the buffer pool's frame accounting must be
+   internally consistent and agree with the heaps it caches — a file
+   can never have more resident frames than it has pages (a TRUNCATE or
+   DROP that forgot to invalidate its frames would leak exactly that). *)
+let check_storage ~pool ~heaps =
+  let pool_errs =
+    List.map (fun m -> { v_table = "<buffer pool>"; v_message = m }) (Buffer_pool.check pool)
+  in
+  let heap_errs =
+    List.concat_map
+      (fun (name, h) ->
+        let errs = ref [] in
+        let err fmt =
+          Printf.ksprintf (fun s -> errs := { v_table = name; v_message = s } :: !errs) fmt
+        in
+        let res = Heap.resident h and np = Heap.page_count h in
+        if res > np then err "pool holds %d frames for a %d-page heap" res np;
+        List.rev !errs)
+      heaps
+  in
+  pool_errs @ heap_errs
+
 (* A maintained view pair: matcnt__p holds (view columns..., dcount) with
    dcount >= 1 and one row per distinct tuple; mat__p holds exactly the
    distinct support. *)

@@ -24,6 +24,12 @@ val violation_to_string : violation -> string
 val check_catalog : Catalog.t -> violation list
 (** Structural audit of every table: safe after any single statement. *)
 
+val check_storage : pool:Buffer_pool.t -> heaps:(string * Heap.t) list -> violation list
+(** Paged-storage audit: the pool's frame accounting is internally
+    consistent (map/frame agreement, no leaked pins) and matches the
+    heaps' page counts (no file holds more resident frames than pages —
+    the frame leak a TRUNCATE/DROP without invalidation would cause). *)
+
 val check_views : Catalog.t -> violation list
 (** Maintained-view audit ([matcnt__p] / [mat__p] pairs): only valid at
     statement-sequence boundaries (after maintenance completes). *)

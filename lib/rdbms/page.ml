@@ -1,0 +1,157 @@
+(* A 4 KiB slotted page.
+
+   Layout (all integers little-endian):
+
+     offset 0   u16  nslots     slot directory entries (live + dead)
+     offset 2   u16  free_off   lowest byte used by tuple data
+     offset 4   slot directory: 4 bytes per slot (u16 off, u16 len)
+     ...        free space
+     free_off   tuple data, growing downward from the page end
+
+   A slot with len = 0 is dead (its tuple was deleted). Freed tuple space
+   is not reclaimed within a page: the heap is an append-mostly store and
+   relies on TRUNCATE / checkpoint rebuilds to compact. *)
+
+let size = Stats.page_size
+let header_bytes = 4
+let slot_bytes = 4
+
+let get_u16 (b : Bytes.t) off = Char.code (Bytes.get b off) lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+
+let set_u16 (b : Bytes.t) off v =
+  Bytes.set b off (Char.chr (v land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xff))
+
+(* (Re)initialize a zeroed buffer as an empty page. *)
+let init b = set_u16 b 2 size
+
+let create () =
+  let b = Bytes.make size '\000' in
+  init b;
+  b
+
+let nslots b = get_u16 b 0
+let free_off b = get_u16 b 2
+let slot_pos i = header_bytes + (i * slot_bytes)
+
+(* ------------------------------------------------------------------ *)
+(* Tuple codec: u16 arity, then per value a tag byte (0 = Int, 8-byte
+   little-endian two's complement; 1 = Str, u16 length + bytes). *)
+
+let encoded_size (row : Tuple.t) =
+  let n = ref 2 in
+  Array.iter
+    (fun v ->
+      n :=
+        !n
+        +
+        match v with
+        | Value.Int _ -> 9
+        | Value.Str s -> 3 + String.length s)
+    row;
+  !n
+
+let encode_at (b : Bytes.t) off (row : Tuple.t) =
+  set_u16 b off (Array.length row);
+  let p = ref (off + 2) in
+  Array.iter
+    (fun v ->
+      match v with
+      | Value.Int x ->
+          Bytes.set b !p '\000';
+          Bytes.set_int64_le b (!p + 1) (Int64.of_int x);
+          p := !p + 9
+      | Value.Str s ->
+          Bytes.set b !p '\001';
+          set_u16 b (!p + 1) (String.length s);
+          Bytes.blit_string s 0 b (!p + 3) (String.length s);
+          p := !p + 3 + String.length s)
+    row
+
+let decode_at (b : Bytes.t) off : Tuple.t =
+  let arity = get_u16 b off in
+  let p = ref (off + 2) in
+  Array.init arity (fun _ ->
+      match Bytes.get b !p with
+      | '\000' ->
+          let x = Int64.to_int (Bytes.get_int64_le b (!p + 1)) in
+          p := !p + 9;
+          Value.Int x
+      | '\001' ->
+          let len = get_u16 b (!p + 1) in
+          let s = Bytes.sub_string b (!p + 3) len in
+          p := !p + 3 + len;
+          Value.Str s
+      | c -> failwith (Printf.sprintf "Page.decode_at: bad value tag %d" (Char.code c)))
+
+(* ------------------------------------------------------------------ *)
+
+let free_space b =
+  let n = nslots b in
+  free_off b - (header_bytes + (n * slot_bytes))
+
+let insert b (row : Tuple.t) : int option =
+  let need = encoded_size row in
+  if need > 0xffff then invalid_arg "Page.insert: tuple too large for a u16 slot length";
+  (* a new slot costs [slot_bytes] of directory in addition to the data *)
+  if need + slot_bytes > free_space b then None
+  else begin
+    let i = nslots b in
+    let off = free_off b - need in
+    encode_at b off row;
+    set_u16 b (slot_pos i) off;
+    set_u16 b (slot_pos i + 2) need;
+    set_u16 b 0 (i + 1);
+    set_u16 b 2 off;
+    Some i
+  end
+
+let get b i =
+  if i < 0 || i >= nslots b then None
+  else
+    let len = get_u16 b (slot_pos i + 2) in
+    if len = 0 then None else Some (decode_at b (get_u16 b (slot_pos i)))
+
+let delete b i =
+  if i < 0 || i >= nslots b then false
+  else begin
+    let len = get_u16 b (slot_pos i + 2) in
+    if len = 0 then false
+    else begin
+      set_u16 b (slot_pos i + 2) 0;
+      true
+    end
+  end
+
+let iter f b =
+  let n = nslots b in
+  for i = 0 to n - 1 do
+    let len = get_u16 b (slot_pos i + 2) in
+    if len > 0 then f i (decode_at b (get_u16 b (slot_pos i)))
+  done
+
+let live b =
+  let n = ref 0 in
+  iter (fun _ _ -> incr n) b;
+  !n
+
+(* Structural audit for the sanitizer: slots must point into the data
+   area, data regions must not overlap the directory, and free_off must
+   equal the lowest data offset. *)
+let check b =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let n = nslots b in
+  let fo = free_off b in
+  if fo > size then err "free_off %d beyond the page end" fo;
+  if header_bytes + (n * slot_bytes) > fo then
+    err "slot directory (%d slots) overlaps the data area (free_off %d)" n fo;
+  for i = 0 to n - 1 do
+    let off = get_u16 b (slot_pos i) in
+    let len = get_u16 b (slot_pos i + 2) in
+    if len > 0 then begin
+      if off < fo then err "slot %d data at %d below free_off %d" i off fo;
+      if off + len > size then err "slot %d data [%d, %d) beyond the page end" i off (off + len)
+    end
+  done;
+  List.rev !errs

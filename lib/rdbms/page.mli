@@ -1,0 +1,41 @@
+(** A 4 KiB slotted page: a slot directory growing forward from a 4-byte
+    header, tuple data growing backward from the page end. Slot numbers
+    are stable; deleting a tuple zeroes its slot length (the space is not
+    reclaimed within the page — the heap compacts on TRUNCATE and on
+    checkpoint rebuilds). *)
+
+val size : int
+(** Page size in bytes (= {!Stats.page_size}). *)
+
+val create : unit -> Bytes.t
+(** A fresh, empty page image. *)
+
+val init : Bytes.t -> unit
+(** Initializes a zeroed [size]-byte buffer as an empty page in place. *)
+
+val nslots : Bytes.t -> int
+(** Slot-directory entries, live and dead. *)
+
+val live : Bytes.t -> int
+(** Live (undeleted) tuples. *)
+
+val free_space : Bytes.t -> int
+(** Bytes available between the slot directory and the data area. *)
+
+val insert : Bytes.t -> Tuple.t -> int option
+(** [insert page row] appends the row, returning its slot number, or
+    [None] when the page cannot hold it. Raises [Invalid_argument] on a
+    tuple whose encoding exceeds a u16 slot length. *)
+
+val get : Bytes.t -> int -> Tuple.t option
+(** Tuple in a slot; [None] for dead or out-of-range slots. *)
+
+val delete : Bytes.t -> int -> bool
+(** Marks a slot dead; [true] iff it was live. *)
+
+val iter : (int -> Tuple.t -> unit) -> Bytes.t -> unit
+(** Live tuples in slot order (= insertion order). *)
+
+val check : Bytes.t -> string list
+(** Structural audit: slot offsets inside the data area, no overlap with
+    the directory. Returns violation descriptions ([[]] when consistent). *)

@@ -1,9 +1,17 @@
+(* Heap backing: rows are mirrored into a slotted-page heap file, and
+   scans read through it (so their page I/O is measured by the buffer
+   pool). The in-memory side stays authoritative for ids and the tuple
+   table — those model the in-memory hash indexes of the simulated
+   engine. [bk_locs] maps a row id to its heap location (-1 = none). *)
+type backing = { bk_heap : Heap.t; mutable bk_locs : int array }
+
 type t = {
   schema : Schema.t;
   mutable rows : Tuple.t option array; (* slot per row id; None = tombstone *)
   mutable next_id : int;
   ids : Tuple_tbl.t; (* live tuple -> row id *)
   mutable bytes : int;
+  mutable backing : backing option;
   mutable insert_obs : (int -> Tuple.t -> unit) list;
   mutable delete_obs : (int -> Tuple.t -> unit) list;
   mutable clear_obs : (unit -> unit) list;
@@ -16,6 +24,7 @@ let create schema =
     next_id = 0;
     ids = Tuple_tbl.create ();
     bytes = 0;
+    backing = None;
     insert_obs = [];
     delete_obs = [];
     clear_obs = [];
@@ -24,7 +33,17 @@ let create schema =
 let schema t = t.schema
 let cardinal t = Tuple_tbl.length t.ids
 let byte_size t = t.bytes
-let pages t = max 1 (Stats.pages_of_bytes t.bytes)
+let backed t = t.backing <> None
+let heap t = Option.map (fun b -> b.bk_heap) t.backing
+
+(* Disk-backed relations report their real heap page count (including
+   slot overhead and dead space); in-memory ones simulate it from live
+   bytes. An empty relation occupies zero pages either way. *)
+let pages t =
+  match t.backing with
+  | Some b -> Heap.page_count b.bk_heap
+  | None -> Stats.pages_of_bytes t.bytes
+
 let mem t row = Tuple_tbl.mem t.ids row
 
 let ensure_capacity t =
@@ -37,6 +56,13 @@ let ensure_capacity t =
 (* The insert body without the schema check: the engine uses this for
    INSERT ... SELECT rows, whose types were already proven against the
    target schema when the source plan was type-checked. *)
+let ensure_locs b id =
+  if id >= Array.length b.bk_locs then begin
+    let bigger = Array.make (max (2 * Array.length b.bk_locs) (id + 1)) (-1) in
+    Array.blit b.bk_locs 0 bigger 0 (Array.length b.bk_locs);
+    b.bk_locs <- bigger
+  end
+
 let insert_unchecked t row =
   let id = t.next_id in
   if not (Tuple_tbl.insert_if_absent t.ids row id) then false
@@ -45,6 +71,11 @@ let insert_unchecked t row =
     t.rows.(id) <- Some row;
     t.next_id <- id + 1;
     t.bytes <- t.bytes + Tuple.byte_size row;
+    (match t.backing with
+    | Some b ->
+        ensure_locs b id;
+        b.bk_locs.(id) <- Heap.append b.bk_heap row
+    | None -> ());
     List.iter (fun f -> f id row) t.insert_obs;
     true
   end
@@ -61,6 +92,11 @@ let delete t row =
   | id ->
       t.rows.(id) <- None;
       t.bytes <- t.bytes - Tuple.byte_size row;
+      (match t.backing with
+      | Some b when id < Array.length b.bk_locs && b.bk_locs.(id) >= 0 ->
+          ignore (Heap.delete b.bk_heap b.bk_locs.(id));
+          b.bk_locs.(id) <- -1
+      | _ -> ());
       List.iter (fun f -> f id row) t.delete_obs;
       true
 
@@ -69,6 +105,13 @@ let clear t =
   t.next_id <- 0;
   Tuple_tbl.reset t.ids;
   t.bytes <- 0;
+  (match t.backing with
+  | Some b ->
+      (* the heap and its pool frames are freed with the rows: byte and
+         frame accounting shrink through the backing store uniformly *)
+      Heap.clear b.bk_heap;
+      b.bk_locs <- Array.make 16 (-1)
+  | None -> ());
   List.iter (fun f -> f ()) t.clear_obs
 
 let iteri f t =
@@ -78,7 +121,14 @@ let iteri f t =
     | None -> ()
   done
 
-let iter f t = iteri (fun _ row -> f row) t
+(* Whole-relation scans on a backed relation go through the heap, so
+   their page I/O is real: pool misses, not byte arithmetic. Id-addressed
+   access ([iteri], [get_row]) stays on the in-memory mirror — it models
+   the in-memory index plumbing, which is never charged per page. *)
+let iter f t =
+  match t.backing with
+  | Some b -> Heap.iter (fun _ row -> f row) b.bk_heap
+  | None -> iteri (fun _ row -> f row) t
 let fold f init t =
   let acc = ref init in
   iter (fun row -> acc := f !acc row) t;
@@ -91,6 +141,40 @@ let get_row t id = if id < 0 || id >= t.next_id then None else t.rows.(id)
 (* O(1) registration: observers are consed, so they run most-recently
    registered first. The order is unspecified in the interface; observers
    must be mutually independent (indexes are). *)
+(* Attach a heap backing. [`Load] requires an empty relation and
+   populates it from the heap's rows (observers fire, so indexes build);
+   [`Overwrite] truncates the heap and writes the relation's live rows
+   out (the recovery path: the restored catalog is authoritative and the
+   heap is rebuilt, compacted, from it). *)
+let attach t bk_heap mode =
+  (match t.backing with
+  | Some _ -> invalid_arg "Relation.attach: relation already backed"
+  | None -> ());
+  let b = { bk_heap; bk_locs = Array.make (max 16 (Array.length t.rows)) (-1) } in
+  (match mode with
+  | `Load ->
+      if cardinal t > 0 then invalid_arg "Relation.attach: `Load into a non-empty relation";
+      Heap.iter
+        (fun l row ->
+          if insert_unchecked t row then begin
+            let id = t.next_id - 1 in
+            ensure_locs b id;
+            b.bk_locs.(id) <- l
+          end)
+        bk_heap
+  | `Overwrite ->
+      Heap.clear bk_heap;
+      iteri
+        (fun id row ->
+          ensure_locs b id;
+          b.bk_locs.(id) <- Heap.append bk_heap row)
+        t);
+  t.backing <- Some b
+
+(* Drop the backing, keeping the (mirrored) in-memory rows. The heap
+   itself is the caller's to flush/close. *)
+let detach t = t.backing <- None
+
 let on_insert t f = t.insert_obs <- f :: t.insert_obs
 let on_delete t f = t.delete_obs <- f :: t.delete_obs
 let on_clear t f = t.clear_obs <- f :: t.clear_obs
@@ -120,4 +204,23 @@ let check t =
   if !live <> Tuple_tbl.length t.ids then
     err "%d live rows but the tuple table holds %d entries" !live (Tuple_tbl.length t.ids);
   if !bytes <> t.bytes then err "byte accounting drifted: rows sum to %d, recorded %d" !bytes t.bytes;
+  (match t.backing with
+  | None -> ()
+  | Some b ->
+      List.iter (fun m -> err "heap: %s" m) (Heap.check b.bk_heap);
+      let heap_live = Heap.live b.bk_heap in
+      if heap_live <> cardinal t then
+        err "heap holds %d live rows but the relation holds %d" heap_live (cardinal t);
+      for id = 0 to t.next_id - 1 do
+        match t.rows.(id) with
+        | None -> ()
+        | Some row ->
+            let l = if id < Array.length b.bk_locs then b.bk_locs.(id) else -1 in
+            if l < 0 then err "row %d has no heap location" id
+            else (
+              match Heap.get b.bk_heap l with
+              | Some row' when Tuple.equal row row' -> ()
+              | Some _ -> err "row %d disagrees with its heap image at %d" id l
+              | None -> err "row %d's heap location %d is dead" id l)
+      done);
   List.rev !errs

@@ -17,8 +17,27 @@ val byte_size : t -> int
 (** Simulated on-disk byte footprint of live rows. *)
 
 val pages : t -> int
-(** Simulated page count (see {!Stats.pages_of_bytes}); an empty relation
-    still occupies one page once created. *)
+(** Page count: the real heap page count for a disk-backed relation
+    (including slot overhead and unreclaimed dead space), otherwise the
+    simulated {!Stats.pages_of_bytes} of the live bytes. An empty
+    relation occupies zero pages. *)
+
+val backed : t -> bool
+(** Whether a heap backing is attached. *)
+
+val heap : t -> Heap.t option
+
+val attach : t -> Heap.t -> [ `Load | `Overwrite ] -> unit
+(** Attach a heap backing. [`Load] populates the (empty) relation from
+    the heap's rows — insert observers fire, so indexes build; raises
+    [Invalid_argument] on a non-empty relation. [`Overwrite] truncates
+    the heap and writes the relation's live rows out (the recovery path:
+    the restored catalog is authoritative). Raises [Invalid_argument] if
+    already backed. *)
+
+val detach : t -> unit
+(** Drop the backing, keeping the mirrored in-memory rows. The heap
+    itself is the caller's to flush/close. *)
 
 val mem : t -> Tuple.t -> bool
 
@@ -66,5 +85,7 @@ val check : t -> string list
 (** Structural audit for the sanitizer: live rows agree with the
     tuple -> id table (count and per-row round-trip), every live row
     satisfies the schema, no slot is populated beyond the id watermark,
-    and the byte accounting matches. Returns violation descriptions
-    ([[]] when consistent). *)
+    and the byte accounting matches. For a backed relation, additionally
+    audits every heap page and checks that each live row round-trips
+    through its heap location. Returns violation descriptions ([[]] when
+    consistent). *)

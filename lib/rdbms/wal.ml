@@ -128,13 +128,81 @@ let truncate_file path keep =
       0o644 path
       (fun oc -> output_string oc (String.sub contents 0 keep))
 
-let checkpoint t engine ~db =
+(* A checkpoint dump ends with a trailer naming the log prefix it
+   subsumes — length and Adler-32 of the log's bytes at dump time. The
+   trailer travels inside the dump file (written atomically with it), so
+   a crash anywhere in the checkpoint leaves a (dump, log) pair recovery
+   can always interpret: if the log still starts with exactly that
+   prefix, those records are already in the dump and only the tail
+   replays; once the truncate has happened (or the log was rebuilt), the
+   checksum no longer matches and the whole log replays. The trailer is
+   a SQL comment, so [Persist.restore] parses the dump unchanged. *)
+let subsumed_marker = "-- wal-subsumed "
+
+let log_state t =
+  if Sys.file_exists t.path then begin
+    let contents = In_channel.with_open_bin t.path In_channel.input_all in
+    let _, valid_end = scan contents in
+    (valid_end, adler32 (String.sub contents 0 valid_end))
+  end
+  else (0, adler32 "")
+
+let subsumed ~db =
+  if not (Sys.file_exists db) then None
+  else
+    let contents = In_channel.with_open_bin db In_channel.input_all in
+    let lines = String.split_on_char '\n' contents in
+    List.fold_left
+      (fun acc line ->
+        if String.length line > String.length subsumed_marker
+           && String.sub line 0 (String.length subsumed_marker) = subsumed_marker
+        then
+          match
+            String.split_on_char ' '
+              (String.sub line (String.length subsumed_marker)
+                 (String.length line - String.length subsumed_marker))
+          with
+          | [ off; ck ] -> (
+              match (int_of_string_opt off, int_of_string_opt ck) with
+              | Some off, Some ck -> Some (off, ck)
+              | _ -> acc)
+          | _ -> acc
+        else acc)
+      None lines
+
+let write_atomic path content =
+  let tmp = path ^ ".tmp" in
+  match open_out_bin tmp with
+  | exception Sys_error msg -> Error msg
+  | oc -> (
+      match
+        output_string oc content;
+        close_out oc;
+        Sys.rename tmp path
+      with
+      | () -> Ok ()
+      | exception Sys_error msg ->
+          (try Sys.remove tmp with Sys_error _ -> ());
+          Error msg)
+
+let checkpoint ?(on_flush = fun () -> ()) t engine ~db =
   if Engine.in_transaction engine then
     Error "cannot checkpoint inside an open transaction"
   else
-    match Persist.save engine db with
+    let offset, cksum = log_state t in
+    let content =
+      Persist.dump engine ^ Printf.sprintf "%s%d %d\n" subsumed_marker offset cksum
+    in
+    match write_atomic db content with
     | Error _ as e -> e
     | Ok () -> (
+        (* write back every dirty heap page before giving up the log: the
+           on-disk heaps now agree with the dump, so a crash anywhere past
+           this point recovers to the same state whether or not the
+           truncate below happened. [on_flush] is the fault-injection
+           point for exactly that window. *)
+        Engine.flush_storage engine;
+        on_flush ();
         (* the checkpoint now holds everything the log described *)
         close t;
         match open_out_gen [ Open_wronly; Open_trunc; Open_creat; Open_binary ] 0o644 t.path with
@@ -143,13 +211,20 @@ let checkpoint t engine ~db =
             Ok ()
         | exception Sys_error msg -> Error msg)
 
-let replay engine wal =
+let replay ?subsumed:(sub = None) engine wal =
   let records =
     if Sys.file_exists wal then begin
       let contents = In_channel.with_open_bin wal In_channel.input_all in
       let records, valid_end = scan contents in
       if valid_end < String.length contents then truncate_file wal valid_end;
-      records
+      (* skip the prefix a checkpoint dump already holds, but only if the
+         log still starts with exactly those bytes (a truncated-and-
+         regrown log is a new generation: replay it all) *)
+      match sub with
+      | Some (off, ck)
+        when off > 0 && valid_end >= off && adler32 (String.sub contents 0 off) = ck ->
+          fst (scan (String.sub contents off (valid_end - off)))
+      | _ -> records
     end
     else []
   in
@@ -168,13 +243,14 @@ let replay engine wal =
       stats.Stats.recoveries <- stats.Stats.recoveries + 1;
       Ok n
 
-let recover ~db ~wal =
+let recover ?(prepare = fun (_ : Engine.t) -> ()) ~db ~wal () =
   let base =
     if Sys.file_exists db then Persist.restore db else Ok (Engine.create ())
   in
   match base with
   | Error msg -> Error ("recovery: " ^ msg)
   | Ok engine -> (
-      match replay engine wal with
+      prepare engine;
+      match replay ~subsumed:(subsumed ~db) engine wal with
       | Error _ as e -> e
       | Ok n -> Ok (engine, n))

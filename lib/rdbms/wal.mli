@@ -46,23 +46,50 @@ val set_crash_after : t -> int option -> unit
     a budget equal to a record's framed size crashes just after it.
     [None] (the default) disables injection. *)
 
-val replay : Engine.t -> string -> (int, string) result
+val subsumed : db:string -> (int * int) option
+(** The [-- wal-subsumed <offset> <adler32>] trailer of a checkpoint
+    dump, if present: the byte length of the log prefix the dump already
+    contains and the checksum of those bytes. [None] if the file is
+    missing or carries no trailer (e.g. a plain [Persist.save]). *)
+
+val replay : ?subsumed:(int * int) option -> Engine.t -> string -> (int, string) result
 (** Truncate the log's torn tail (if any), execute its remaining records
     against the given engine in order, and bump {!Stats.t.recoveries}.
     Returns the number of records replayed (0 if the file is missing).
+    [subsumed] is the checkpoint trailer from {!subsumed}: when the log
+    still begins with exactly that checksummed prefix — the signature of
+    a crash after the dump was written but before the log was truncated —
+    those records are skipped, since the restored dump already holds
+    their effects. A shorter log or mismatched checksum means the log is
+    a new generation and replays in full.
     Building-block for {!recover}; callers that pre-populate the engine
     (e.g. a session whose dictionary tables predate the WAL) replay
     directly. *)
 
-val checkpoint : t -> Engine.t -> db:string -> (unit, string) result
-(** [Persist.save] the engine's current state to [db], then truncate the
-    log to empty: the checkpoint now subsumes every logged record.
-    Refuses to run inside an open transaction. *)
+val checkpoint :
+  ?on_flush:(unit -> unit) -> t -> Engine.t -> db:string -> (unit, string) result
+(** Write the engine's current dump to [db] atomically (tmp + rename),
+    with a trailer recording the log prefix it subsumes (see {!subsumed}),
+    flush every dirty buffer-pool page back to its heap file
+    ({!Engine.flush_storage}), then truncate the log to empty. A crash at
+    any point leaves a recoverable pair: before the rename, the old dump
+    and full log; after the rename but before the truncate, the new dump
+    whose trailer tells recovery to skip the subsumed records; after the
+    truncate, the new dump and an empty log. [on_flush] (a test
+    fault-injection point) runs after the page flush and before the
+    truncate. Refuses to run inside an open transaction. *)
 
-val recover : db:string -> wal:string -> (Engine.t * int, string) result
+val recover :
+  ?prepare:(Engine.t -> unit) ->
+  db:string ->
+  wal:string ->
+  unit ->
+  (Engine.t * int, string) result
 (** Rebuild an engine: restore the checkpoint [db] (a fresh engine if the
-    file does not exist), truncate the log's torn tail if any, replay the
-    remaining records in order, and bump {!Stats.t.recoveries}. Returns
-    the engine and the number of records replayed. No commit hook is
-    attached during or after replay — call {!open_log} / {!attach} to
-    resume logging. *)
+    file does not exist), run [prepare] on it (a session attaches paged
+    storage here, with [`Overwrite] — replay must start from exactly the
+    dump, and heap files may be ahead of it), truncate the log's torn
+    tail if any, replay the remaining records in order, and bump
+    {!Stats.t.recoveries}. Returns the engine and the number of records
+    replayed. No commit hook is attached during or after replay — call
+    {!open_log} / {!attach} to resume logging. *)

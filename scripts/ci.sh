@@ -32,11 +32,23 @@ fi
 echo "lint gate OK"
 
 echo "== bench smoke (quick scale) =="
-dune exec bench/main.exe -- wal cache profile joins exec updates quick
+dune exec bench/main.exe -- wal cache profile joins exec updates storage quick
 test -s BENCH_profile.json || { echo "BENCH_profile.json missing/empty"; exit 1; }
 test -s BENCH_joins.json || { echo "BENCH_joins.json missing/empty"; exit 1; }
 test -s BENCH_exec.json || { echo "BENCH_exec.json missing/empty"; exit 1; }
 test -s BENCH_updates.json || { echo "BENCH_updates.json missing/empty"; exit 1; }
+test -s BENCH_storage.json || { echo "BENCH_storage.json missing/empty"; exit 1; }
+
+# paged storage: the cold skewed join's measured page_reads must land
+# within 2x of the planner's cost estimate, and the dataset (4x the
+# buffer pool) must still complete with correct answers
+grep -q '"gate_cold_within_2x": true' BENCH_storage.json \
+  || { echo "storage bench: measured cold page_reads not within 2x of cost estimate"; exit 1; }
+grep -q '"gate_capacity_4x": true' BENCH_storage.json \
+  || { echo "storage bench: dataset 4x the pool did not complete correctly"; exit 1; }
+grep -q '"gate_lfp_answers": true' BENCH_storage.json \
+  || { echo "storage bench: disk-backed LFP answers diverged from in-memory"; exit 1; }
+echo "storage bench OK"
 
 # the cost-based planner must not regress against greedy by more than 10%
 # on the skewed 3-way join (and the LFP delta feedback must have helped)

@@ -52,10 +52,11 @@ let test_insertion_order () =
 let test_bytes_and_pages () =
   let r = R.create schema2 in
   Alcotest.(check int) "empty bytes" 0 (R.byte_size r);
-  Alcotest.(check int) "min one page" 1 (R.pages r);
+  Alcotest.(check int) "empty is zero pages" 0 (R.pages r);
   ignore (R.insert r (row 1 "abc"));
   (* 4 header + 4 int + 3 str *)
   Alcotest.(check int) "bytes" 11 (R.byte_size r);
+  Alcotest.(check int) "one page once non-empty" 1 (R.pages r);
   ignore (R.delete r (row 1 "abc"));
   Alcotest.(check int) "bytes restored" 0 (R.byte_size r)
 

@@ -145,7 +145,7 @@ let test_wal_roundtrip () =
     (List.length (W.read_records wal));
   Alcotest.(check int) "stats count records" (List.length script)
     (E.stats e).Rdbms.Stats.wal_records;
-  let e2, replayed = ok (W.recover ~db:missing_db ~wal) in
+  let e2, replayed = ok (W.recover ~db:missing_db ~wal ()) in
   Alcotest.(check int) "all records replayed" (List.length script) replayed;
   Alcotest.(check string) "recovered dump matches" (P.dump e) (P.dump e2);
   Alcotest.(check int) "recovery counted" 1 (E.stats e2).Rdbms.Stats.recoveries;
@@ -167,7 +167,7 @@ let test_wal_txn_record () =
   ignore (E.exec e "INSERT INTO t VALUES (3)");
   ignore (E.exec e "ROLLBACK");
   Alcotest.(check int) "DDL + one committed txn" 2 (List.length (W.read_records wal));
-  let e2, _ = ok (W.recover ~db:missing_db ~wal) in
+  let e2, _ = ok (W.recover ~db:missing_db ~wal ()) in
   Alcotest.(check string) "rolled-back txn invisible after recovery" (P.dump e) (P.dump e2);
   W.close w;
   Sys.remove wal
@@ -226,7 +226,7 @@ let test_crash_matrix () =
       List.iter
         (fun (label, budget, expect) ->
           let wal = run_until_crash ~budget in
-          let e2, replayed = ok (W.recover ~db:missing_db ~wal) in
+          let e2, replayed = ok (W.recover ~db:missing_db ~wal ()) in
           (* whatever prefix survived, the recovered engine must satisfy
              every structural invariant (indexes, tuple tables, stats) *)
           (match E.check_invariants e2 with
@@ -246,7 +246,7 @@ let test_crash_matrix () =
             (List.fold_left ( + ) 0 (List.filteri (fun i _ -> i < expect) sizes))
             (wal_file_length wal);
           (* recovery is idempotent *)
-          let e3, replayed' = ok (W.recover ~db:missing_db ~wal) in
+          let e3, replayed' = ok (W.recover ~db:missing_db ~wal ()) in
           Alcotest.(check int) (label ^ ": double recovery count") expect replayed';
           Alcotest.(check string)
             (label ^ ": double recovery dump")
@@ -267,7 +267,7 @@ let test_garbage_tail () =
   let oc = open_out_gen [ Open_append; Open_binary ] 0o644 wal in
   output_string oc "XXnot a record";
   close_out oc;
-  let e2, replayed = ok (W.recover ~db:missing_db ~wal) in
+  let e2, replayed = ok (W.recover ~db:missing_db ~wal ()) in
   Alcotest.(check int) "garbage ignored" (List.length script) replayed;
   Alcotest.(check string) "state intact" (P.dump e) (P.dump e2);
   Alcotest.(check int) "garbage truncated" len (wal_file_length wal);
@@ -290,7 +290,7 @@ let test_checkpoint () =
   Alcotest.(check int) "log truncated by checkpoint" 0 (List.length (W.read_records wal));
   ignore (E.exec e "INSERT INTO t VALUES (3)");
   Alcotest.(check int) "post-checkpoint work logged" 1 (List.length (W.read_records wal));
-  let e2, replayed = ok (W.recover ~db ~wal) in
+  let e2, replayed = ok (W.recover ~db ~wal ()) in
   Alcotest.(check int) "only the delta replays" 1 replayed;
   Alcotest.(check string) "checkpoint + delta = live state" (P.dump e) (P.dump e2);
   W.close w;
@@ -356,16 +356,107 @@ let test_session_recovery () =
   Alcotest.(check int) "queries add no WAL records" logged
     (Session.db_stats s).Rdbms.Stats.wal_records;
   (* crash now (no checkpoint was ever taken): recover from the log alone *)
-  let s2, _ = ok (Session.recover ~db ~wal) in
+  let s2, _ = ok (Session.recover ~db ~wal ()) in
   let a2 = ok (Session.query s2 "ancestor(john, W)") in
   let _, rows2 = Session.answer_rows a2 in
   Alcotest.(check int) "recovered session answers the query" 2 (List.length rows2);
   (* checkpoint, keep writing, recover again: checkpoint + delta *)
   ok (Session.checkpoint s2 ~db);
   ignore (ok (Session.add_fact s2 "parent" [ V.Str "sue"; V.Str "ann" ]));
-  let s3, _ = ok (Session.recover ~db ~wal) in
+  let s3, _ = ok (Session.recover ~db ~wal ()) in
   Alcotest.(check string) "checkpoint + delta = live state"
     (P.dump (Session.engine s2)) (P.dump (Session.engine s3));
+  Sys.remove wal;
+  Sys.remove db
+
+(* ------------------------------------------------------------------ *)
+(* Paged storage x durability *)
+
+let tmpdir name =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) name in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir)
+  else Unix.mkdir dir 0o755;
+  dir
+
+exception Crash_point
+
+(* Crash in the checkpoint window between the dirty-page writeback and
+   the WAL truncate: the dump and the heap files are written, the log
+   still holds every record. Recovery must produce the identical engine
+   whether or not the truncate happened. *)
+let test_checkpoint_crash_window () =
+  let wal = tmpfile "dkb_wal_storage.wal" in
+  let db = tmpfile "dkb_wal_storage.db" in
+  let dir = tmpdir "dkb_wal_storage_heaps" in
+  let e = E.create () in
+  E.attach_storage e ~dir ();
+  let w = W.open_log wal in
+  W.attach w e;
+  ignore (E.exec e "CREATE TABLE t (a integer, b char)");
+  ignore (E.exec e "INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z')");
+  ignore (E.exec e "DELETE FROM t WHERE a = 2");
+  let live = P.dump e in
+  (match W.checkpoint ~on_flush:(fun () -> raise Crash_point) w e ~db with
+  | exception Crash_point -> ()
+  | Ok () -> Alcotest.fail "fault injection did not fire"
+  | Error msg -> Alcotest.fail msg);
+  (* dirty pages reached the heap files before the "crash" *)
+  List.iter
+    (fun (_, h) -> Alcotest.(check (list string)) "heap consistent" [] (Rdbms.Heap.check h))
+    (E.storage_heaps e);
+  Alcotest.(check bool) "log survived the crash" true (List.length (W.read_records wal) > 0);
+  (* the crashed process is gone; recover over the same directory *)
+  E.close_storage e;
+  W.close w;
+  let prepare e2 = E.attach_storage e2 ~dir ~mode:`Overwrite () in
+  let e2, _ = ok (W.recover ~prepare ~db ~wal ()) in
+  Alcotest.(check string) "recovered state identical" live (P.dump e2);
+  Alcotest.(check (list string)) "recovered catalog clean" []
+    (List.map Rdbms.Invariants.violation_to_string
+       (Rdbms.Invariants.check_catalog (E.catalog e2)));
+  Alcotest.(check int) "recovered heap holds the live rows" 2
+    (E.scalar_int e2 "SELECT COUNT(*) FROM t");
+  (* recovering again from the already-truncated-tail state is a no-op *)
+  let e3, _ = ok (W.recover ~prepare:(fun _ -> ()) ~db ~wal ()) in
+  Alcotest.(check string) "recovery is idempotent" live (P.dump e3);
+  E.close_storage e2;
+  Sys.remove wal;
+  Sys.remove db
+
+(* A completed checkpoint followed by more work, then recovery with the
+   heap files left as the crash left them (possibly ahead of the dump):
+   replay must still land on the live state. *)
+let test_storage_recovery_checkpoint_delta () =
+  let wal = tmpfile "dkb_wal_storage2.wal" in
+  let db = tmpfile "dkb_wal_storage2.db" in
+  let dir = tmpdir "dkb_wal_storage2_heaps" in
+  (try Sys.remove db with Sys_error _ -> ());
+  let s = Session.create () in
+  ok (Session.attach_storage s ~dir ());
+  ok (Session.attach_wal s wal);
+  ok (Session.define_base s "parent" [ ("p", D.TStr); ("c", D.TStr) ] ~indexes:[ "p" ] ());
+  ignore
+    (ok
+       (Session.add_facts s "parent"
+          [ [ V.Str "john"; V.Str "mary" ]; [ V.Str "mary"; V.Str "sue" ] ]));
+  ok (Session.checkpoint s ~db);
+  (* post-checkpoint work: logged, and partially paged out to the heaps *)
+  ignore (ok (Session.add_fact s "parent" [ V.Str "sue"; V.Str "ann" ]));
+  E.flush_storage (Session.engine s);
+  let live = P.dump (Session.engine s) in
+  (* "crash": drop the session without another checkpoint *)
+  E.close_storage (Session.engine s);
+  let s2, replayed = ok (Session.recover ~storage:dir ~db ~wal ()) in
+  Alcotest.(check bool) "the delta replayed" true (replayed > 0);
+  Alcotest.(check string) "checkpoint + delta = live state" live (P.dump (Session.engine s2));
+  let a = ok (Session.query s2 "parent(sue, W)") in
+  let _, rows = Session.answer_rows a in
+  Alcotest.(check int) "replayed fact visible through the heap" 1 (List.length rows);
+  Alcotest.(check (list string)) "recovered engine audits clean" []
+    (List.map Rdbms.Invariants.violation_to_string
+       (E.check_invariants (Session.engine s2)));
+  E.close_storage (Session.engine s2);
   Sys.remove wal;
   Sys.remove db
 
@@ -394,5 +485,12 @@ let () =
           Alcotest.test_case "aborted update atomic" `Quick test_aborted_update_atomic;
           Alcotest.test_case "update in caller txn" `Quick test_update_rollback_via_txn;
           Alcotest.test_case "recovery" `Quick test_session_recovery;
+        ] );
+      ( "paged storage",
+        [
+          Alcotest.test_case "crash between flush and truncate" `Quick
+            test_checkpoint_crash_window;
+          Alcotest.test_case "checkpoint + delta over heaps" `Quick
+            test_storage_recovery_checkpoint_delta;
         ] );
     ]
