@@ -14,6 +14,7 @@
      dune exec bench/main.exe -- exec         -- compiled-vs-interpreted execution bench (writes BENCH_exec.json)
      dune exec bench/main.exe -- updates      -- incremental-maintenance bench (writes BENCH_updates.json)
      dune exec bench/main.exe -- storage      -- paged-storage/buffer-pool bench (writes BENCH_storage.json)
+     dune exec bench/main.exe -- server       -- concurrent-session server bench (writes BENCH_server.json)
      dune exec bench/main.exe -- bechamel     -- bechamel microbenchmarks *)
 
 let known =
@@ -35,6 +36,7 @@ let known =
     ("exec", fun scale -> Experiments.Exec_bench.run ~scale ());
     ("updates", fun scale -> Experiments.Updates.run ~scale ());
     ("storage", fun scale -> Experiments.Storage.run ~scale ());
+    ("server", fun scale -> Experiments.Server_bench.run ~scale ());
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -124,7 +126,7 @@ let () =
             (fun (n, _) ->
               not
                 (List.mem n
-                   [ "ablation"; "cache"; "wal"; "profile"; "joins"; "exec"; "updates"; "storage" ]))
+                   [ "ablation"; "cache"; "wal"; "profile"; "joins"; "exec"; "updates"; "storage"; "server" ]))
             known
       | names ->
           List.map

@@ -1,0 +1,66 @@
+(* dkbc — a thin command-line client for the dkbd wire protocol.
+
+   Reads one request per line from stdin, sends each to the server, and
+   prints the full framed response (status line, body lines, "."
+   terminator) to stdout:
+
+     printf 'PING\nQUIT\n' | dkbc --port 4242
+
+   Exits non-zero on a transport failure; protocol-level ERR responses
+   are printed like any other response and do not change the exit code
+   (the caller greps for them). *)
+
+module Client = Dkb_server.Client
+
+let usage () =
+  prerr_endline "usage: dkbc --port N [--host ADDR]";
+  exit 2
+
+let () =
+  let port = ref None in
+  let host = ref "127.0.0.1" in
+  let rec parse = function
+    | [] -> ()
+    | "--port" :: v :: rest -> (
+        match int_of_string_opt v with Some p -> port := Some p; parse rest | None -> usage ())
+    | "--host" :: v :: rest -> host := v; parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let port = match !port with Some p -> p | None -> usage () in
+  let c =
+    match Client.connect ~host:!host ~port () with
+    | Ok c -> c
+    | Error msg ->
+        Printf.eprintf "dkbc: cannot connect to %s:%d: %s\n" !host port msg;
+        exit 1
+  in
+  let print_response (r : Client.response) =
+    if r.Client.ok then begin
+      print_string "OK";
+      List.iter (fun (k, v) -> Printf.printf " %s=%s" k v) r.Client.fields;
+      print_newline ()
+    end
+    else Printf.printf "ERR %s\n" r.Client.message;
+    List.iter (fun fields -> print_endline (String.concat "\t" fields)) r.Client.body;
+    print_endline "."
+  in
+  let rec loop () =
+    match In_channel.input_line stdin with
+    | None -> ()
+    | Some "" -> loop ()
+    | Some line -> (
+        match Client.request c line with
+        | Ok r ->
+            print_response r;
+            if String.uppercase_ascii (String.trim line) = "QUIT"
+               || String.uppercase_ascii (String.trim line) = "SHUTDOWN"
+            then ()
+            else loop ()
+        | Error msg ->
+            Printf.eprintf "dkbc: %s\n" msg;
+            Client.close c;
+            exit 1)
+  in
+  loop ();
+  Client.close c

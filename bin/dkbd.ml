@@ -1,0 +1,58 @@
+(* dkbd — the D/KB wire-protocol daemon.
+
+   Serves the line protocol (see lib/server/protocol.ml) over TCP, one
+   session per connection on one shared engine. Intended usage:
+
+     dkbd [--port N] [--wal FILE] [--script FILE.dkb-sql]
+
+   --port 0 (the default) binds an ephemeral port; the chosen port is
+   printed on the "dkbd listening on PORT" line so a harness can parse
+   it. --wal attaches a write-ahead log before serving. --script runs a
+   ;-separated SQL bootstrap (schema + seed data) before serving. *)
+
+let usage () =
+  prerr_endline "usage: dkbd [--port N] [--host ADDR] [--wal FILE] [--script FILE]";
+  exit 2
+
+let () =
+  let port = ref 0 in
+  let host = ref "127.0.0.1" in
+  let wal = ref None in
+  let script = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--port" :: v :: rest -> (
+        match int_of_string_opt v with Some p -> port := p; parse rest | None -> usage ())
+    | "--host" :: v :: rest -> host := v; parse rest
+    | "--wal" :: v :: rest -> wal := Some v; parse rest
+    | "--script" :: v :: rest -> script := Some v; parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let session = Core.Session.create () in
+  let engine = Core.Session.engine session in
+  (match !wal with
+  | Some path -> (
+      match Core.Session.attach_wal session path with
+      | Ok () -> ()
+      | Error msg ->
+          Printf.eprintf "dkbd: cannot attach WAL %s: %s\n" path msg;
+          exit 1)
+  | None -> ());
+  (match !script with
+  | Some path -> (
+      let text = In_channel.with_open_text path In_channel.input_all in
+      match Rdbms.Engine.exec_script engine text with
+      | _ -> ()
+      | exception Rdbms.Engine.Sql_error msg ->
+          Printf.eprintf "dkbd: bootstrap script %s failed: %s\n" path msg;
+          exit 1)
+  | None -> ());
+  let server =
+    try Dkb_server.Server.create ~host:!host ~port:!port engine
+    with Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "dkbd: cannot bind %s:%d: %s\n" !host !port (Unix.error_message e);
+      exit 1
+  in
+  Printf.printf "dkbd listening on %d\n%!" (Dkb_server.Server.port server);
+  Dkb_server.Server.run server

@@ -5,6 +5,8 @@ module Timer = Dkb_util.Timer
 
 type t = {
   engine : Engine.t;
+  sid : int;  (* unique within the shared engine; tags trace events *)
+  stats : Rdbms.Stats.t;  (* this session's counter deltas only *)
   stored : Stored_dkb.t;
   workspace : Workspace.t;
   incr : Incremental.t;
@@ -15,11 +17,31 @@ type t = {
   mutable trace : Trace.t option;
 }
 
-let create () =
-  let engine = Engine.create () in
+(* Every name-mangled table ("__" infix: the LFP scratch tables and the
+   mat__/matcnt__ maintenance pairs) is engine-internal churn — keep those
+   in memory and put only user base relations and the dictionary on disk. *)
+let persistable name =
+  let n = String.length name in
+  let rec mangled i = i + 1 < n && ((name.[i] = '_' && name.[i + 1] = '_') || mangled (i + 1)) in
+  not (mangled 0)
+
+(* Snapshot versioning covers what a reader can observe: user base
+   relations, the dictionary, and the maintained-view pairs. The LFP
+   scratch tables are transient within one query — freezing copies of
+   them per writer iteration would be pure overhead. *)
+let versioned name =
+  let prefixed p =
+    String.length name >= String.length p && String.sub name 0 (String.length p) = p
+  in
+  persistable name || prefixed "mat__" || prefixed "matcnt__"
+
+let of_engine engine =
   let stored = Stored_dkb.init engine in
+  Engine.set_version_filter engine versioned;
   {
     engine;
+    sid = Engine.fresh_session_id engine;
+    stats = Rdbms.Stats.create ();
     stored;
     workspace = Workspace.create ();
     incr = Incremental.create stored;
@@ -30,10 +52,20 @@ let create () =
     trace = None;
   }
 
+let create () = of_engine (Engine.create ())
+
+(* Every engine-touching entry point runs under this bracket: statement
+   deltas accumulate into the session's own counters and trace events
+   carry the session id, so K sessions sharing one engine stay
+   distinguishable. *)
+let scoped t f = Engine.with_session t.engine ~sid:t.sid ~charge:t.stats f
+
 let engine t = t.engine
+let session_id t = t.sid
 let stored t = t.stored
 let workspace t = t.workspace
-let db_stats t = Engine.stats t.engine
+let db_stats t = t.stats
+let engine_stats t = Engine.stats t.engine
 let rule_epoch t = t.epoch
 let maintenance_mode t = t.maintenance
 let set_maintenance t mode = t.maintenance <- mode
@@ -49,6 +81,7 @@ let bump t pred =
 (* Extensional database *)
 
 let define_base t name cols ?(indexes = []) () =
+  scoped t @@ fun () ->
   match Datalog.Names.check_user_pred name with
   | Error _ as e -> e
   | Ok () -> (
@@ -89,6 +122,7 @@ let sanitize_views t =
   else Ok ()
 
 let apply_facts t ~inserts ~deletes () =
+  scoped t @@ fun () ->
   match Incremental.apply t.incr ~mode:t.maintenance ~inserts ~deletes () with
   | Ok report -> (
       (match t.trace with Some tr -> Trace.maintenance tr report | None -> ());
@@ -102,6 +136,7 @@ let delete_facts t name rows =
   apply_facts t ~inserts:[] ~deletes:(List.map (fun row -> (name, row)) rows) ()
 
 let add_fact t name values =
+  scoped t @@ fun () ->
   if Incremental.is_maintained t.incr then
     match insert_facts t name [ values ] with Ok _ -> Ok () | Error _ as e -> e
   else
@@ -114,6 +149,7 @@ let add_fact t name values =
     | _ -> Ok ()
 
 let add_facts t name rows =
+  scoped t @@ fun () ->
   if rows = [] then Ok 0
   else if Incremental.is_maintained t.incr then
     match insert_facts t name rows with
@@ -211,7 +247,8 @@ type answer = {
   total_ms : float;
 }
 
-let query_goal t ?(options = default_options) goal =
+let query_goal t ?(options = default_options) ?on_iteration goal =
+  scoped t @@ fun () ->
   let goal_text = Ast.atom_to_string goal in
   (match t.trace with Some tr -> Trace.query_begin tr goal_text | None -> ());
   let t0 = Timer.now_ms () in
@@ -245,10 +282,17 @@ let query_goal t ?(options = default_options) goal =
   | exception Failure msg -> finish (Error msg)
   | Error _ as e -> finish e
   | Ok compiled -> (
+      (* the trace's iteration event and the caller's pump (the server
+         serves snapshot reads between LFP iterations through this)
+         share one runtime observer slot *)
       let observer =
-        match t.trace with
-        | Some tr -> Some (fun ip -> Trace.iteration tr ip)
-        | None -> None
+        match (t.trace, on_iteration) with
+        | None, None -> None
+        | tr, cb ->
+            Some
+              (fun ip ->
+                (match tr with Some tr -> Trace.iteration tr ip | None -> ());
+                match cb with Some f -> f ip | None -> ())
       in
       match
         Runtime.execute t.engine ~strategy:options.strategy
@@ -262,20 +306,49 @@ let query_goal t ?(options = default_options) goal =
           finish
             (Ok { compiled; run; total_ms = compiled.Compiler.compile_ms +. run.Runtime.exec_ms }))
 
-let query t ?options text =
+let query t ?options ?on_iteration text =
   match Datalog.Parser.parse_query text with
   | exception Datalog.Parser.Parse_error (msg, pos) ->
       Error (Printf.sprintf "parse error at %s: %s" (Datalog.Lexer.pos_to_string pos) msg)
   | exception Datalog.Lexer.Lex_error (msg, pos) ->
       Error (Printf.sprintf "lex error at %s: %s" (Datalog.Lexer.pos_to_string pos) msg)
-  | goal -> query_goal t ?options goal
+  | goal -> query_goal t ?options ?on_iteration goal
 
 let answer_rows a = (a.run.Runtime.columns, a.run.Runtime.rows)
+
+(* ------------------------------------------------------------------ *)
+(* Raw SQL and snapshot transactions (the server's entry points) *)
+
+let sql t text =
+  scoped t @@ fun () ->
+  match Engine.exec t.engine text with
+  | r -> Ok r
+  | exception Engine.Sql_error msg -> Error msg
+
+let begin_snapshot t =
+  scoped t @@ fun () ->
+  match Engine.begin_snapshot t.engine with
+  | ts -> Ok ts
+  | exception Engine.Sql_error msg -> Error msg
+
+let end_snapshot t ts =
+  scoped t @@ fun () ->
+  match Engine.release_snapshot t.engine ts with
+  | () -> Ok ()
+  | exception Engine.Sql_error msg -> Error msg
+
+let snapshot_query t ~ts text =
+  scoped t @@ fun () ->
+  match Engine.exec_snapshot t.engine ~ts text with
+  | Engine.Rows { columns; rows } -> Ok (columns, rows)
+  | Engine.Affected _ | Engine.Done -> Error "expected a SELECT statement"
+  | exception Engine.Sql_error msg -> Error msg
 
 (* ------------------------------------------------------------------ *)
 (* Stored D/KB updates *)
 
 let update_stored t ?compiled_storage ?(clear = false) () =
+  scoped t @@ fun () ->
   match Update.update ~stored:t.stored ~workspace:t.workspace ?compiled_storage () with
   | Ok report -> (
       List.iter (fun p -> bump t p) (Workspace.head_predicates t.workspace);
@@ -292,12 +365,14 @@ let update_stored t ?compiled_storage ?(clear = false) () =
 (* Incremental view maintenance *)
 
 let materialize t root =
+  scoped t @@ fun () ->
   match Incremental.materialize t.incr ~mode:t.maintenance root with
   | Ok regs -> ( match sanitize_views t with Ok () -> Ok regs | Error _ as e -> e)
   | Error _ as e -> e
 let views t = Incremental.registered t.incr
-let view_rows t pred = Incremental.view_rows t.incr pred
+let view_rows t pred = scoped t @@ fun () -> Incremental.view_rows t.incr pred
 let refresh_views t =
+  scoped t @@ fun () ->
   match Incremental.refresh t.incr with
   | Ok () -> sanitize_views t
   | Error _ as e -> e
@@ -306,6 +381,7 @@ let refresh_views t =
 (* Inspection *)
 
 let check t =
+  scoped t @@ fun () ->
   let ws = Workspace.located t.workspace in
   let ws_clauses = List.map fst ws in
   (* stored rules already loaded into the workspace would double-report *)
@@ -333,6 +409,7 @@ let check t =
   List.stable_sort Datalog.Lint.compare_diagnostic (invariants @ lint)
 
 let explain t ?(options = default_options) text =
+  scoped t @@ fun () ->
   match Datalog.Parser.parse_query text with
   | exception Datalog.Parser.Parse_error (msg, pos) ->
       Error (Printf.sprintf "parse error at %s: %s" (Datalog.Lexer.pos_to_string pos) msg)
@@ -367,20 +444,6 @@ let explain t ?(options = default_options) text =
 
 let save t path = Rdbms.Persist.save t.engine path
 
-let of_engine engine =
-  let stored = Stored_dkb.init engine in
-  {
-    engine;
-    stored;
-    workspace = Workspace.create ();
-    incr = Incremental.create stored;
-    epoch = 0;
-    changes = [];
-    maintenance = Incremental.Auto;
-    wal = None;
-    trace = None;
-  }
-
 let restore path =
   match Rdbms.Persist.restore path with
   | Error _ as e -> e
@@ -407,14 +470,6 @@ let checkpoint t ~db =
 
 (* ------------------------------------------------------------------ *)
 (* Paged storage *)
-
-(* Every name-mangled table ("__" infix: the LFP scratch tables and the
-   mat__/matcnt__ maintenance pairs) is engine-internal churn — keep those
-   in memory and put only user base relations and the dictionary on disk. *)
-let persistable name =
-  let n = String.length name in
-  let rec mangled i = i + 1 < n && ((name.[i] = '_' && name.[i + 1] = '_') || mangled (i + 1)) in
-  not (mangled 0)
 
 let attach_storage t ~dir ?pool_pages ?mode () =
   match Engine.attach_storage t.engine ~dir ?pool_pages ~persist:persistable ?mode () with

@@ -7,15 +7,28 @@ type t
 
 val create : unit -> t
 
+val of_engine : Rdbms.Engine.t -> t
+(** A fresh session over an existing engine (empty workspace, its own
+    counters and session id). Several sessions may share one engine —
+    the server multiplexes connections this way; each session's
+    statements are charged to its own {!db_stats} and tagged with its
+    {!session_id} in trace events. *)
+
 val engine : t -> Rdbms.Engine.t
+val session_id : t -> int
+(** Unique among sessions of the same engine. *)
+
 val stored : t -> Stored_dkb.t
 val workspace : t -> Workspace.t
 
 val db_stats : t -> Rdbms.Stats.t
-(** The engine's cumulative execution counters, including the statement
-    cache's [plan_cache_hits] / [plan_cache_misses] and
-    [tables_truncated]; snapshot with {!Rdbms.Stats.copy} and compare
-    with {!Rdbms.Stats.diff}. *)
+(** This session's cumulative execution counters — only the statements
+    issued through this session, not other sessions sharing the engine;
+    snapshot with {!Rdbms.Stats.copy} and compare with
+    {!Rdbms.Stats.diff}. *)
+
+val engine_stats : t -> Rdbms.Stats.t
+(** The shared engine's counters: every session's work interleaved. *)
 
 val rule_epoch : t -> int
 (** Bumped whenever the rule base (workspace or stored) changes; used by
@@ -117,17 +130,50 @@ type answer = {
   total_ms : float;  (** t_c + t_e *)
 }
 
-val query : t -> ?options:options -> string -> (answer, string) result
+val query : t ->
+  ?options:options ->
+  ?on_iteration:(Runtime.iteration_profile -> unit) ->
+  string ->
+  (answer, string) result
 (** Compiles and executes a goal given as text (e.g.
     ["ancestor(john, W)"] or ["?- ancestor(john, W)."]). Never raises for
     a failed query: evaluation errors — including an exceeded iteration
     cap, a corrupt Stored D/KB ({!Stored_dkb.Corrupt}), and internal
-    [Failure]s — come back as [Error msg]. *)
+    [Failure]s — come back as [Error msg]. [on_iteration] is called after
+    every LFP iteration (in addition to any attached trace sink) — the
+    server pumps pending snapshot reads through it so long derivations
+    never block readers. *)
 
-val query_goal : t -> ?options:options -> Datalog.Ast.atom -> (answer, string) result
+val query_goal : t ->
+  ?options:options ->
+  ?on_iteration:(Runtime.iteration_profile -> unit) ->
+  Datalog.Ast.atom ->
+  (answer, string) result
 
 val answer_rows : answer -> (string list * Rdbms.Tuple.t list)
 (** Column names and rows of an answer. *)
+
+(** {1 Raw SQL and snapshot transactions}
+
+    The wire server's entry points. All of them charge this session's
+    counters and tag trace events with its id. *)
+
+val sql : t -> string -> (Rdbms.Engine.result, string) result
+(** Execute one SQL statement (through the engine's statement cache). *)
+
+val begin_snapshot : t -> (int, string) result
+(** Open a snapshot transaction pinning the current committed state;
+    returns its timestamp. See {!Rdbms.Engine.begin_snapshot}. *)
+
+val end_snapshot : t -> int -> (unit, string) result
+(** Release the snapshot and prune the relation versions only it could
+    still reach. *)
+
+val snapshot_query :
+  t -> ts:int -> string -> (string list * Rdbms.Tuple.t list, string) result
+(** Run a SELECT against the state as of the snapshot — never blocked
+    by, and never blocking, concurrent writers on the same engine.
+    Non-SELECT statements are refused (snapshots are read-only). *)
 
 (** {1 Stored D/KB updates} *)
 

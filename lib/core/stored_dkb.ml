@@ -160,7 +160,16 @@ let store_rule t clause =
   match dup with
   | Some row -> ( match row.(0) with Value.Int id -> id | _ -> assert false)
   | None ->
-      let id = t.next_ruleid in
+      (* the cached counter alone is not enough: another session sharing
+         this engine may have stored rules since we resumed it — allocate
+         past whatever the table actually holds *)
+      let stored_max =
+        List.fold_left
+          (fun acc row -> match row.(0) with Value.Int n -> max acc n | Value.Str _ -> acc)
+          0
+          (Engine.query t.engine "SELECT ruleid FROM rulesource")
+      in
+      let id = max t.next_ruleid (stored_max + 1) in
       t.next_ruleid <- id + 1;
       exec t
         (Printf.sprintf "INSERT INTO rulesource VALUES (%d, %s, %s)" id (sq head) (sq text));

@@ -50,7 +50,7 @@ let engine_event t (ev : Rdbms.Engine.trace_event) =
   match ev with
   | Rdbms.Engine.Tr_stmt_begin { sql } -> emit t "stmt_begin" [ ("sql", str sql) ]
   | Rdbms.Engine.Tr_plan { sql; tree } -> emit t "plan" [ ("sql", str sql); ("tree", str tree) ]
-  | Rdbms.Engine.Tr_stmt_end { sql; ms; rows; ok; delta; est } ->
+  | Rdbms.Engine.Tr_stmt_end { sql; ms; rows; ok; delta; est; sid } ->
       emit t "stmt_end"
         ([ ("sql", str sql); ("ms", flt ms) ]
         @ (match rows with Some n -> [ ("rows", int n) ] | None -> [])
@@ -58,6 +58,7 @@ let engine_event t (ev : Rdbms.Engine.trace_event) =
           | Some e ->
               [ ("est_rows", flt e.Rdbms.Cost.rows); ("est_cost", flt e.Rdbms.Cost.cost) ]
           | None -> [])
+        @ (match sid with Some n -> [ ("sid", int n) ] | None -> [])
         @ [ ("ok", bool ok); ("io", io_json delta) ])
 
 let iteration t (ip : Runtime.iteration_profile) =

@@ -73,10 +73,6 @@ type table = {
   seen : Rdbms.Tuple.Hashset.t;
 }
 
-let last_subgoal_count = ref 0
-
-let subgoal_count () = !last_subgoal_count
-
 let solve_exn ~facts ~is_base ~rules ~goal =
   let tables : (subgoal, table) Hashtbl.t = Hashtbl.create 32 in
   let changed = ref true in
@@ -250,11 +246,13 @@ let solve_exn ~facts ~is_base ~rules ~goal =
               raise (Abort (Undefined sg.sg_pred)))
       snapshot
   done;
-  last_subgoal_count := Hashtbl.length tables;
   let root_table = Hashtbl.find tables root in
-  List.rev root_table.answers
+  (List.rev root_table.answers, Hashtbl.length tables)
+
+let solve_counted ~facts ~is_base ~rules ~goal =
+  match solve_exn ~facts ~is_base ~rules ~goal with
+  | result -> Ok result
+  | exception Abort e -> Error e
 
 let solve ~facts ~is_base ~rules ~goal =
-  match solve_exn ~facts ~is_base ~rules ~goal with
-  | rows -> Ok rows
-  | exception Abort e -> Error e
+  Result.map fst (solve_counted ~facts ~is_base ~rules ~goal)

@@ -40,6 +40,13 @@ val solve :
     reported through the typed {!error} channel — nothing escapes as a
     raw exception. *)
 
-val subgoal_count : unit -> int
-(** Number of distinct subgoals tabled by the most recent {!solve} call
-    (instrumentation for the relevance comparison with magic sets). *)
+val solve_counted :
+  facts:(string -> Rdbms.Value.t list list) ->
+  is_base:(string -> bool) ->
+  rules:Ast.clause list ->
+  goal:Ast.atom ->
+  (Rdbms.Value.t array list * int, error) result
+(** {!solve}, additionally returning the number of distinct subgoals the
+    call tabled (instrumentation for the relevance comparison with magic
+    sets). Returned rather than kept in evaluator state, so concurrent
+    solves on different goals stay independent. *)

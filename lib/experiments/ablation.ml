@@ -122,15 +122,20 @@ let topdown_vs_bottom_up ~depth =
   in
   let facts _ = List.map (fun (a, b) -> [ Rdbms.Value.Int a; Rdbms.Value.Int b ]) tree.Graphgen.t_edges in
   let td_rows = ref 0 in
+  let td_subgoals = ref 0 in
   let td_ms =
     Common.measure ~repeat:3 (fun () ->
-        let rows, ms =
+        let (rows, subgoals), ms =
           Dkb_util.Timer.time (fun () ->
-              match Datalog.Topdown.solve ~facts ~is_base:(fun p -> p = "parent") ~rules ~goal with
-              | Ok rows -> rows
+              match
+                Datalog.Topdown.solve_counted ~facts ~is_base:(fun p -> p = "parent") ~rules
+                  ~goal
+              with
+              | Ok result -> result
               | Error e -> failwith (Datalog.Topdown.error_to_string e))
         in
         td_rows := List.length rows;
+        td_subgoals := subgoals;
         ms)
   in
   let rows =
@@ -144,7 +149,7 @@ let topdown_vs_bottom_up ~depth =
     (Common.shape "all four strategies agree on the answer count"
        (List.for_all (fun n -> n = List.hd answers) answers));
   Printf.printf "  top-down tabled %d subgoals; magic sets restrict the same way declaratively\n"
-    (Datalog.Topdown.subgoal_count ())
+    !td_subgoals
 
 let join_ordering ~depth =
   Common.section "Ablation 5 (conclusion #6d)"

@@ -4,13 +4,7 @@ type scale =
   | Quick
   | Full
 
-let median samples =
-  match List.sort compare samples with
-  | [] -> 0.0
-  | sorted ->
-      let n = List.length sorted in
-      if n mod 2 = 1 then List.nth sorted (n / 2)
-      else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.0
+let median = Dkb_util.Percentile.median
 
 let measure ~repeat f = median (List.init repeat (fun _ -> f ()))
 

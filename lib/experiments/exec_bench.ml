@@ -76,12 +76,12 @@ let analyze_timings depth =
 (* ------------------------------------------------------------------ *)
 (* Part 2: ad hoc SQL throughput *)
 
-let adhoc_ms depth repeat backend =
+let adhoc_samples depth repeat backend =
   let s, _ = tree_session depth in
   let engine = Session.engine s in
   Engine.set_exec_backend engine backend;
   ignore (Engine.exec engine grandparent_sql : Engine.result);
-  Common.measure ~repeat (fun () ->
+  List.init repeat (fun _ ->
       Dkb_util.Timer.time_unit (fun () ->
           ignore (Engine.exec engine grandparent_sql : Engine.result)))
 
@@ -153,8 +153,10 @@ let run ?(json_path = "BENCH_exec.json") ~scale () =
        ops);
 
   (* --- part 2: ad hoc throughput ------------------------------------ *)
-  let adhoc_i = adhoc_ms depth repeat Engine.Interpreted in
-  let adhoc_c = adhoc_ms depth repeat Engine.Compiled in
+  let samples_i = adhoc_samples depth repeat Engine.Interpreted in
+  let samples_c = adhoc_samples depth repeat Engine.Compiled in
+  let adhoc_i = Dkb_util.Percentile.median samples_i in
+  let adhoc_c = Dkb_util.Percentile.median samples_c in
   let adhoc_speedup = if adhoc_c > 0.0 then adhoc_i /. adhoc_c else 1.0 in
   Printf.printf "\n  ad hoc self-join: interpreted %s, compiled %s (%.2fx)\n"
     (Common.fmt_ms adhoc_i) (Common.fmt_ms adhoc_c) adhoc_speedup;
@@ -212,7 +214,9 @@ let run ?(json_path = "BENCH_exec.json") ~scale () =
       %s
     ]
   },
-  "adhoc_join": { "repeat": %d, "interpreted_ms": %.3f, "compiled_ms": %.3f, "speedup": %.2f },
+  "adhoc_join": { "repeat": %d, "interpreted_ms": %.3f, "compiled_ms": %.3f, "speedup": %.2f,
+    "interpreted_latency": %s,
+    "compiled_latency": %s },
   "lfp_magic": {
     "workload": "magic-sets ancestor from the root of a full binary tree",
     "edges": %d,
@@ -230,6 +234,8 @@ let run ?(json_path = "BENCH_exec.json") ~scale () =
       edges
       (String.concat ",\n      " (List.map op_json ops))
       repeat adhoc_i adhoc_c adhoc_speedup
+      (Dkb_util.Percentile.json (Dkb_util.Percentile.summarize samples_i))
+      (Dkb_util.Percentile.json (Dkb_util.Percentile.summarize samples_c))
       edges compiled.lr_answers interp.lr_ms compiled.lr_ms speedup target met
   in
   let oc = open_out json_path in

@@ -1,0 +1,6 @@
+(** Server bench: one in-process wire-protocol server, real TCP clients.
+    Measures N-client throughput scaling over single-client, and a
+    snapshot reader's latency with and without a concurrent LFP writer.
+    Writes [BENCH_server.json]. *)
+
+val run : ?json_path:string -> scale:Common.scale -> unit -> unit

@@ -50,6 +50,7 @@ let spread n edges =
 
 type column = {
   c_per_update_ms : float;  (** median wall-clock per single-edge update *)
+  c_latency : Dkb_util.Percentile.summary;  (** full per-update latency distribution *)
   c_maintained : int;
   c_fallbacks : int;
   c_ok : bool;  (** views tuple-identical to a from-scratch LFP at the end *)
@@ -91,6 +92,7 @@ let drive ~edges ~rules ~roots ~goals ~traffic ~mode () =
   done;
   {
     c_per_update_ms = Common.median !samples;
+    c_latency = Dkb_util.Percentile.summarize !samples;
     c_maintained = !maintained;
     c_fallbacks = stats.Stats.maint_fallbacks - fallbacks0;
     c_ok = check_views s goals;
@@ -122,11 +124,15 @@ let scenario ~name ~strategy ~edges ~rules ~roots ~goals ~traffic ~mode =
 
 let scenario_json sc =
   Printf.sprintf
-    {|    { "name": "%s", "strategy": "%s", "edges": %d, "incremental_ms": %.4f, "recompute_ms": %.4f, "speedup": %.2f, "maintained": %d, "fallbacks": %d, "ok": %b }|}
+    {|    { "name": "%s", "strategy": "%s", "edges": %d, "incremental_ms": %.4f, "recompute_ms": %.4f, "speedup": %.2f, "maintained": %d, "fallbacks": %d, "ok": %b,
+      "incremental_latency": %s,
+      "recompute_latency": %s }|}
     sc.sc_name sc.sc_strategy sc.sc_edges sc.sc_incr.c_per_update_ms
     sc.sc_recomp.c_per_update_ms (speedup sc) sc.sc_incr.c_maintained
     sc.sc_incr.c_fallbacks
     (sc.sc_incr.c_ok && sc.sc_recomp.c_ok)
+    (Dkb_util.Percentile.json sc.sc_incr.c_latency)
+    (Dkb_util.Percentile.json sc.sc_recomp.c_latency)
 
 let run ?(json_path = "BENCH_updates.json") ~scale () =
   Common.section "Updates bench (incremental view maintenance)"

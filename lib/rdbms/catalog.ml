@@ -10,11 +10,38 @@ type t = {
   by_name : (string, table) Hashtbl.t;
   index_owner : (string, table) Hashtbl.t; (* index name -> owning table *)
   mutable version : int;
+  mutable version_wiring : (string -> Relation.version_ctl option) option;
+      (* decides, per table name at creation time, whether the relation
+         participates in snapshot versioning (the engine installs this) *)
 }
 
 let key = String.lowercase_ascii
 
-let create () = { by_name = Hashtbl.create 32; index_owner = Hashtbl.create 32; version = 0 }
+let create () =
+  {
+    by_name = Hashtbl.create 32;
+    index_owner = Hashtbl.create 32;
+    version = 0;
+    version_wiring = None;
+  }
+
+(* Install the snapshot wiring and (re)wire existing tables under it. New
+   tables are wired as they are created; the decision is cached in the
+   relation, so changing the wiring later only affects future tables plus
+   this explicit re-sweep. *)
+let set_version_wiring t wiring =
+  t.version_wiring <- wiring;
+  Hashtbl.iter
+    (fun _ tbl ->
+      match wiring with
+      | None -> Relation.set_version_ctl tbl.tbl_relation None
+      | Some f -> Relation.set_version_ctl tbl.tbl_relation (f tbl.tbl_name))
+    t.by_name
+
+let wire_versions t tbl =
+  match t.version_wiring with
+  | None -> ()
+  | Some f -> Relation.set_version_ctl tbl.tbl_relation (f tbl.tbl_name)
 
 let version t = t.version
 let bump t = t.version <- t.version + 1
@@ -39,6 +66,7 @@ let create_table t name schema =
         tbl_stats = None;
       }
     in
+    wire_versions t tbl;
     Hashtbl.add t.by_name (key name) tbl;
     bump t;
     Ok tbl
@@ -123,3 +151,35 @@ let set_stats t tbl stats =
 let tables t =
   Hashtbl.fold (fun _ tbl acc -> tbl :: acc) t.by_name []
   |> List.sort (fun a b -> String.compare a.tbl_name b.tbl_name)
+
+(* A read-only catalog view as of snapshot timestamp [ts]: tables whose
+   relation pins a frozen version for [ts] are presented as bare
+   relations — no indexes, so the planner can only choose scans over them
+   (index structures track the live rows and would leak post-snapshot
+   state); the ANALYZE statistics are carried over for cost estimates.
+   Unmutated tables share the live table record, indexes and all. Plans
+   built against an overlay must never enter a plan cache. *)
+let overlay t ~as_of =
+  let o =
+    {
+      by_name = Hashtbl.create (Hashtbl.length t.by_name);
+      index_owner = t.index_owner;
+      version = t.version;
+      version_wiring = None;
+    }
+  in
+  Hashtbl.iter
+    (fun k tbl ->
+      match as_of tbl.tbl_relation with
+      | None -> Hashtbl.add o.by_name k tbl
+      | Some frozen ->
+          Hashtbl.add o.by_name k
+            {
+              tbl_name = tbl.tbl_name;
+              tbl_relation = frozen;
+              tbl_indexes = [];
+              tbl_ordered = [];
+              tbl_stats = tbl.tbl_stats;
+            })
+    t.by_name;
+  o

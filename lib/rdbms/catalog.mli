@@ -54,3 +54,18 @@ val set_stats : t -> table -> Table_stats.t -> unit
 
 val tables : t -> table list
 (** All tables sorted by name. *)
+
+(** {1 Snapshot support (MVCC-lite)} *)
+
+val set_version_wiring : t -> (string -> Relation.version_ctl option) option -> unit
+(** Install the per-table versioning decision (the engine wires its
+    snapshot registry through this). Existing tables are re-wired under
+    the new decision; future tables are wired as they are created. *)
+
+val overlay : t -> as_of:(Relation.t -> Relation.t option) -> t
+(** A read-only catalog view for one snapshot: tables for which [as_of]
+    returns a frozen version are presented as bare relations (no indexes
+    — index structures track live rows — but with the live ANALYZE
+    statistics for cost estimates); unmutated tables share the live
+    record. Plans built against an overlay must not be cached, and no
+    DDL/DML may run against it. *)

@@ -12,7 +12,7 @@ let to_string = function
 let of_string s =
   match String.lowercase_ascii s with
   | "integer" | "int" -> Some TInt
-  | "char" | "varchar" | "string" | "text" -> Some TStr
+  | "char" | "varchar" | "string" | "str" | "text" -> Some TStr
   | _ -> None
 
 let of_value = function

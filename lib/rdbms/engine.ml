@@ -77,6 +77,7 @@ type trace_event =
       ok : bool;
       delta : Stats.t;
       est : Cost.est option; (* planner estimate, when the stmt was planned *)
+      sid : int option; (* issuing session id, when one is registered *)
     }
 
 (* Paged storage: one slotted-page heap file per persisted base table,
@@ -92,6 +93,11 @@ type storage = {
 type t = {
   catalog : Catalog.t;
   stats : Stats.t;
+  snaps : Snapshots.t; (* snapshot clock, active set, chained relations *)
+  mutable version_filter : string -> bool; (* which tables version for snapshots *)
+  mutable charge : Stats.t option; (* per-session sink: entry points add their delta *)
+  mutable cur_sid : int option; (* issuing session id, for trace events *)
+  mutable next_sid : int; (* session-id allocator (engine-scoped, not global) *)
   mutable storage : storage option;
   mutable join_order : Planner.join_order;
   mutable backend : exec_backend;
@@ -117,9 +123,15 @@ type result =
 let stmt_cache_capacity = 512
 
 let create () =
+  let t =
   {
     catalog = Catalog.create ();
     stats = Stats.create ();
+    snaps = Snapshots.create ();
+    version_filter = (fun _ -> true);
+    charge = None;
+    cur_sid = None;
+    next_sid = 0;
     storage = None;
     join_order = Planner.Syntactic;
     backend = Compiled;
@@ -139,6 +151,23 @@ let create () =
       | _ -> false);
     last_version = 0;
   }
+  in
+  Snapshots.set_capture_hook t.snaps (fun n ->
+      t.stats.Stats.versions_captured <- t.stats.Stats.versions_captured + n);
+  let ctl = Snapshots.ctl t.snaps in
+  Catalog.set_version_wiring t.catalog
+    (Some (fun name -> if t.version_filter name then Some ctl else None));
+  t
+
+(* Which tables participate in snapshot versioning. Everything does by
+   default; a session excludes its LFP scratch families (freezing a
+   per-iteration delta table for every snapshot would put a copy on the
+   hot loop). Existing tables are re-wired under the new decision. *)
+let set_version_filter t f =
+  t.version_filter <- f;
+  let ctl = Snapshots.ctl t.snaps in
+  Catalog.set_version_wiring t.catalog
+    (Some (fun name -> if t.version_filter name then Some ctl else None))
 
 let set_trace_hook t hook = t.trace_hook <- hook
 
@@ -174,7 +203,15 @@ let traced t sql run =
         t.cur_est <- saved_est;
         hook
           (Tr_stmt_end
-             { sql; ms = Timer.now_ms () -. t0; rows; ok; delta = Stats.diff t.stats before; est })
+             {
+               sql;
+               ms = Timer.now_ms () -. t0;
+               rows;
+               ok;
+               delta = Stats.diff t.stats before;
+               est;
+               sid = t.cur_sid;
+             })
       in
       (match run () with
       | result ->
@@ -189,6 +226,43 @@ let traced t sql run =
       | exception e ->
           finish false None;
           raise e)
+
+(* ------------------------------------------------------------------ *)
+(* Per-session accounting *)
+
+(* While a charge sink is registered, the engine-global Stats movement of
+   each top-level entry point is also added to the sink. The sink is
+   cleared for the duration (one Stats diff per outermost entry, none for
+   nested ones), so an [exec] that lands in [exec_prepared] charges
+   once. *)
+let charged t f =
+  match t.charge with
+  | None -> f ()
+  | Some sink ->
+      t.charge <- None;
+      let before = Stats.copy t.stats in
+      Fun.protect
+        ~finally:(fun () ->
+          Stats.add sink (Stats.diff t.stats before);
+          t.charge <- Some sink)
+        f
+
+let fresh_session_id t =
+  t.next_sid <- t.next_sid + 1;
+  t.next_sid
+
+(* Run [f] attributed to one session: its statements charge [charge] and
+   trace events carry [sid]. Save/restore makes nesting and interleaving
+   (K sessions taking turns on one engine) safe. *)
+let with_session t ~sid ~charge f =
+  let saved_charge = t.charge and saved_sid = t.cur_sid in
+  t.charge <- Some charge;
+  t.cur_sid <- Some sid;
+  Fun.protect
+    ~finally:(fun () ->
+      t.charge <- saved_charge;
+      t.cur_sid <- saved_sid)
+    f
 
 let set_join_order t mode = t.join_order <- mode
 let join_order t = t.join_order
@@ -888,9 +962,14 @@ let clear_table t name = ignore (run_stmt t (Sql_ast.Truncate { name }) : result
 (* Audit the catalog plus, when storage is attached, the buffer pool and
    heaps — with pool charging suspended, so the audit's own page traffic
    never pollutes the measured counters. *)
+let snapshot_violations t =
+  List.map
+    (fun msg -> { Invariants.v_table = "<snapshots>"; v_message = msg })
+    (Snapshots.check t.snaps)
+
 let audit_invariants t base =
   let audit () =
-    let vs = base () in
+    let vs = base () @ snapshot_violations t in
     match t.storage with
     | Some st -> vs @ Invariants.check_storage ~pool:st.st_pool ~heaps:(storage_heaps t)
     | None -> vs
@@ -921,6 +1000,7 @@ let sanitize_enabled t = t.sanitize
 let check_invariants t = audit_invariants t (fun () -> Invariants.check t.catalog)
 
 let exec_stmt t stmt =
+  charged t @@ fun () ->
   t.stats.Stats.statements <- t.stats.Stats.statements + 1;
   let result =
     match t.trace_hook with
@@ -936,9 +1016,66 @@ let parse_or_fail sql =
   | Sql_lexer.Lex_error (msg, pos) -> fail "lex error at offset %d: %s" pos msg
 
 (* ------------------------------------------------------------------ *)
+(* Snapshot transactions (MVCC-lite)
+
+   A snapshot pins the state visible at its begin timestamp: relations
+   freeze a copy-on-write version on their first mutation afterwards
+   (see {!Relation}), and snapshot SELECTs plan against a catalog
+   overlay presenting those frozen versions. Writers never wait —
+   serialization stays on the WAL commit path — and releasing the
+   snapshot prunes every version nobody else can reach. *)
+
+let begin_snapshot t =
+  charged t @@ fun () ->
+  (* the live state inside an open transaction is uncommitted; pinning it
+     would hand dirty reads to a "consistent" snapshot *)
+  if t.txn <> None then fail "cannot begin a snapshot while a transaction is open";
+  t.stats.Stats.snapshots_begun <- t.stats.Stats.snapshots_begun + 1;
+  Snapshots.begin_snapshot t.snaps
+
+let release_snapshot t ts =
+  charged t @@ fun () ->
+  try Snapshots.release t.snaps ts with Invalid_argument msg -> raise (Sql_error msg)
+
+let snapshots_active t = Snapshots.active_count t.snaps
+let snapshot_versions t = Snapshots.chained_versions t.snaps
+
+(* One SELECT against the state as of snapshot [ts]. Plans are built
+   against the overlay and deliberately never cached: they embed frozen
+   table records that are garbage once the snapshot releases, and the
+   shared statement cache must only ever hold live-catalog plans. *)
+let exec_snapshot t ~ts sql =
+  charged t @@ fun () ->
+  match parse_or_fail sql with
+  | Sql_ast.Select { query; order_by } ->
+      t.stats.Stats.statements <- t.stats.Stats.statements + 1;
+      t.stats.Stats.snapshot_queries <- t.stats.Stats.snapshot_queries + 1;
+      traced t sql (fun () ->
+          let cat = Catalog.overlay t.catalog ~as_of:(fun rel -> Relation.as_of rel ts) in
+          let plan =
+            try Planner.plan_select_stmt ~join_order:t.join_order cat query order_by with
+            | Planner.Plan_error msg -> raise (Sql_error msg)
+            | Failure msg -> raise (Sql_error msg)
+          in
+          emit_plan t plan;
+          note_est_of_plan t plan;
+          let rows = run_plan t plan in
+          let columns =
+            Array.to_list (Array.map (fun c -> c.Plan.h_name) (Plan.header_of plan))
+          in
+          Rows { columns; rows })
+  | _ -> fail "snapshot transactions are read-only: only SELECT is allowed"
+
+let query_snapshot t ~ts sql =
+  match exec_snapshot t ~ts sql with
+  | Rows { rows; _ } -> rows
+  | Affected _ | Done -> fail "expected a SELECT statement"
+
+(* ------------------------------------------------------------------ *)
 (* Prepared statements and the statement cache *)
 
 let prepare t sql =
+  charged t @@ fun () ->
   let stmt = parse_or_fail sql in
   t.stats.Stats.statements_prepared <- t.stats.Stats.statements_prepared + 1;
   {
@@ -1049,6 +1186,7 @@ let insert_select_plan_of_prepared t p table query =
       plan)
 
 let exec_prepared t p =
+  charged t @@ fun () ->
   t.stats.Stats.statements <- t.stats.Stats.statements + 1;
   let result =
     traced t p.p_sql (fun () ->
@@ -1138,6 +1276,7 @@ let cached_prepared t sql =
           Some p)
 
 let exec t sql =
+  charged t @@ fun () ->
   if not t.cache_enabled then exec_stmt t (parse_or_fail sql)
   else
     match cached_prepared t sql with
@@ -1197,6 +1336,7 @@ let run_profiled_dispatch t plan =
   | Compiled -> Exec_compiled.run_profiled (Exec_compiled.compile t.stats plan)
 
 let exec_analyze t sql =
+  charged t @@ fun () ->
   let stmt = parse_or_fail sql in
   t.stats.Stats.statements <- t.stats.Stats.statements + 1;
   match stmt with

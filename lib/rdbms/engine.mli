@@ -55,6 +55,24 @@ val stats : t -> Stats.t
 (** Cumulative counters; callers may snapshot with {!Stats.copy} and take
     {!Stats.diff}. *)
 
+(** {1 Sessions}
+
+    Several sessions can share one engine (the server multiplexes
+    connections this way). The engine itself keeps no per-session state
+    beyond the identifiers handed out here; a session brackets each of
+    its calls with {!with_session}, which routes the statement's counter
+    deltas into the session's own {!Stats.t} sink and tags trace events
+    with the session id. *)
+
+val fresh_session_id : t -> int
+(** Allocate a session id unique within this engine. *)
+
+val with_session : t -> sid:int -> charge:Stats.t -> (unit -> 'a) -> 'a
+(** Run [f] with statement deltas accumulated into [charge] (in addition
+    to the engine-global counters) and [sid] attached to trace events.
+    Saves and restores any enclosing session, so nested engines-within-
+    engines compositions stay correct. *)
+
 (** {1 Paged storage}
 
     With storage attached, each persisted base table is mirrored into a
@@ -244,6 +262,9 @@ type trace_event =
           (** the planner's cost estimate for the statement's plan, when
               one was planned (SELECT / INSERT ... SELECT); lets a trace
               consumer compare estimated against measured page I/O *)
+      sid : int option;
+          (** issuing session id when the statement ran under
+              {!with_session} *)
     }
 
 val set_trace_hook : t -> (trace_event -> unit) option -> unit
@@ -252,3 +273,44 @@ val set_trace_hook : t -> (trace_event -> unit) option -> unit
 
 val table_cardinality : t -> string -> int
 (** Live row count of a table. *)
+
+(** {1 Snapshot transactions (MVCC-lite)}
+
+    A snapshot pins the committed state visible at its begin timestamp.
+    Relations freeze a copy-on-write version on their first mutation
+    after the snapshot begins (charged to {!Stats.versions_captured}),
+    so long analytical readers and the LFP writer proceed without
+    blocking each other; writers keep serializing through the ordinary
+    WAL commit path. Snapshot SELECTs plan against a catalog overlay of
+    the frozen versions ({!Catalog.overlay}); those plans are never
+    cached. Releasing a snapshot prunes every version no other active
+    snapshot can still reach. *)
+
+val set_version_filter : t -> (string -> bool) -> unit
+(** Choose which tables participate in versioning (default: all).
+    Excluded tables — e.g. the LFP scratch tables, which are transient
+    by construction — read as their live state under a snapshot. *)
+
+val begin_snapshot : t -> int
+(** Open a snapshot and return its timestamp. Raises [Sql_error] while
+    an explicit transaction is open (its uncommitted state must not be
+    pinned). Counted in {!Stats.snapshots_begun}. *)
+
+val release_snapshot : t -> int -> unit
+(** End the snapshot and prune versions only it could reach. Raises
+    [Sql_error] if the timestamp is not an active snapshot. *)
+
+val exec_snapshot : t -> ts:int -> string -> result
+(** Execute one SELECT against the state as of snapshot [ts]. Any other
+    statement kind raises [Sql_error] (snapshot transactions are
+    read-only). Counted in {!Stats.snapshot_queries}. *)
+
+val query_snapshot : t -> ts:int -> string -> Tuple.t list
+(** {!exec_snapshot} returning the rows. *)
+
+val snapshots_active : t -> int
+(** Number of currently active snapshots. *)
+
+val snapshot_versions : t -> int
+(** Total frozen relation versions currently retained (0 when no
+    snapshot is active — the sanitizer audits this). *)

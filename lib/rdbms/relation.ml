@@ -5,7 +5,25 @@
    engine. [bk_locs] maps a row id to its heap location (-1 = none). *)
 type backing = { bk_heap : Heap.t; mutable bk_locs : int array }
 
-type t = {
+(* MVCC-lite: a versioned relation keeps a copy-on-write chain of frozen
+   versions so snapshot readers can see the state as of their begin
+   timestamp while writers keep mutating the live side. The control block
+   is injected by whoever owns the snapshot clock (the engine, through the
+   catalog) — this module never learns about sessions or transactions.
+
+   [vc_demand] answers "the highest snapshot timestamp currently active"
+   ([min_int] when none). The chain invariant: a frozen entry [(ts, copy)]
+   holds the live state as it was for every snapshot that began at or
+   before [ts] and after the next-older entry's tag. [vfloor] is the
+   highest timestamp already covered — a mutation only freezes a copy when
+   a newer snapshot has appeared since the last freeze. *)
+type version_ctl = {
+  vc_demand : unit -> int;  (* max active snapshot ts; min_int if none *)
+  vc_chained : t -> unit;  (* first entry pushed: register for pruning *)
+  vc_captured : unit -> unit;  (* each freeze, for Stats accounting *)
+}
+
+and t = {
   schema : Schema.t;
   mutable rows : Tuple.t option array; (* slot per row id; None = tombstone *)
   mutable next_id : int;
@@ -15,6 +33,9 @@ type t = {
   mutable insert_obs : (int -> Tuple.t -> unit) list;
   mutable delete_obs : (int -> Tuple.t -> unit) list;
   mutable clear_obs : (unit -> unit) list;
+  mutable vctl : version_ctl option;
+  mutable vchain : (int * t) list; (* (ts tag, frozen copy), newest first *)
+  mutable vfloor : int; (* highest snapshot ts already covered *)
 }
 
 let create schema =
@@ -28,6 +49,9 @@ let create schema =
     insert_obs = [];
     delete_obs = [];
     clear_obs = [];
+    vctl = None;
+    vchain = [];
+    vfloor = min_int;
   }
 
 let schema t = t.schema
@@ -63,7 +87,79 @@ let ensure_locs b id =
     b.bk_locs <- bigger
   end
 
+(* A detached, immutable copy of the live state: no backing (scans read
+   the in-memory mirror), no observers, no version machinery of its own.
+   Tuples are shared — they are never mutated in place anywhere in the
+   engine — so the copy costs three array copies plus the tuple table. *)
+let freeze t =
+  {
+    schema = t.schema;
+    rows = Array.copy t.rows;
+    next_id = t.next_id;
+    ids = Tuple_tbl.copy t.ids;
+    bytes = t.bytes;
+    backing = None;
+    insert_obs = [];
+    delete_obs = [];
+    clear_obs = [];
+    vctl = None;
+    vchain = [];
+    vfloor = min_int;
+  }
+
+(* Called at the top of every mutator, before the mutation lands: if a
+   snapshot began after the last freeze, the current live state is exactly
+   what that snapshot must keep seeing — pin it. One freeze covers every
+   active snapshot up to the demand timestamp, so the cost is bounded by
+   one copy per (relation, snapshot generation), not per row. *)
+let maybe_capture t =
+  match t.vctl with
+  | None -> ()
+  | Some ctl ->
+      let d = ctl.vc_demand () in
+      if d > t.vfloor then begin
+        if t.vchain = [] then ctl.vc_chained t;
+        t.vchain <- (d, freeze t) :: t.vchain;
+        t.vfloor <- d;
+        ctl.vc_captured ()
+      end
+
+let set_version_ctl t ctl = t.vctl <- ctl
+
+(* The frozen version a snapshot that began at [ts] must read: the entry
+   with the smallest tag >= ts (the chain is newest-first, so the last
+   qualifying entry wins). [None] = the snapshot reads the live state —
+   nothing has been mutated since it began. *)
+let as_of t ts =
+  let rec go best = function
+    | [] -> best
+    | (tag, copy) :: rest -> if tag >= ts then go (Some copy) rest else best
+  in
+  go None t.vchain
+
+let versions t = List.length t.vchain
+
+(* Drop chain entries no active snapshot can reach. [needed ~lo ~hi] asks
+   the snapshot registry whether any active snapshot began in (lo, hi] —
+   the half-open interval an entry serves (its own tag down to, exclusive,
+   the next-older entry's tag). Dropping a middle entry is safe: the
+   timestamps it served are exactly the ones no longer active, and the
+   clock never reissues them. Returns [true] when the chain emptied (the
+   registry unlinks the relation). [vfloor] stays put — it tracks the
+   highest timestamp ever covered, pruned or not. *)
+let prune_versions t ~needed =
+  let rec go = function
+    | [] -> []
+    | (tag, copy) :: rest ->
+        let lo = match rest with [] -> min_int | (prev, _) :: _ -> prev in
+        let rest' = go rest in
+        if needed ~lo ~hi:tag then (tag, copy) :: rest' else rest'
+  in
+  t.vchain <- go t.vchain;
+  t.vchain = []
+
 let insert_unchecked t row =
+  maybe_capture t;
   let id = t.next_id in
   if not (Tuple_tbl.insert_if_absent t.ids row id) then false
   else begin
@@ -87,6 +183,7 @@ let insert t row =
   insert_unchecked t row
 
 let delete t row =
+  maybe_capture t;
   match Tuple_tbl.remove t.ids row with
   | -1 -> false
   | id ->
@@ -101,6 +198,7 @@ let delete t row =
       true
 
 let clear t =
+  maybe_capture t;
   t.rows <- Array.make 16 None;
   t.next_id <- 0;
   Tuple_tbl.reset t.ids;
@@ -181,7 +279,7 @@ let on_clear t f = t.clear_obs <- f :: t.clear_obs
 
 (* Structural audit for the sanitizer: the rows array, the tuple -> id
    table, and the byte accounting must tell the same story. *)
-let check t =
+let rec check t =
   let errs = ref [] in
   let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
   List.iter (fun m -> err "tuple table: %s" m) (Tuple_tbl.check t.ids);
@@ -223,4 +321,22 @@ let check t =
               | Some _ -> err "row %d disagrees with its heap image at %d" id l
               | None -> err "row %d's heap location %d is dead" id l)
       done);
+  (* version chain: tags strictly decreasing (newest first), every tag
+     covered by the floor, and each frozen copy internally consistent *)
+  (match t.vchain with
+  | [] -> ()
+  | (newest, _) :: _ ->
+      if t.vfloor < newest then
+        err "version floor %d is below the newest chain tag %d" t.vfloor newest;
+      let rec tags = function
+        | (a, _) :: ((b, _) :: _ as rest) ->
+            if a <= b then err "version chain tags not strictly decreasing (%d then %d)" a b;
+            tags rest
+        | _ -> ()
+      in
+      tags t.vchain;
+      List.iter
+        (fun (tag, copy) ->
+          List.iter (fun m -> err "frozen version %d: %s" tag m) (check copy))
+        t.vchain);
   List.rev !errs

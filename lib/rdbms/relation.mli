@@ -81,6 +81,45 @@ val on_delete : t -> (int -> Tuple.t -> unit) -> unit
 val on_clear : t -> (unit -> unit) -> unit
 (** Same contract as {!on_insert}, for {!clear}. *)
 
+(** {1 Copy-on-write snapshot versions (MVCC-lite)}
+
+    A versioned relation pins frozen copies of its live state so snapshot
+    readers keep seeing the state as of their begin timestamp while
+    writers mutate freely. The control block is injected from above (the
+    engine's snapshot registry, through the catalog): [vc_demand] reports
+    the highest active snapshot timestamp ([min_int] when none),
+    [vc_chained] is called when a relation grows its first chain entry
+    (so the registry can find it for pruning), [vc_captured] on every
+    freeze (Stats accounting). Every mutator checks the demand before
+    touching the rows and freezes one copy per (relation, snapshot
+    generation) — the cost is bounded by snapshot churn, not row churn. *)
+
+type version_ctl = {
+  vc_demand : unit -> int;
+  vc_chained : t -> unit;
+  vc_captured : unit -> unit;
+}
+
+val set_version_ctl : t -> version_ctl option -> unit
+(** Wire (or unwire) the snapshot control block. [None] (the default)
+    disables versioning — mutators pay one match on the field. *)
+
+val freeze : t -> t
+(** A detached, immutable copy of the live state: shares tuples, drops
+    backing/observers/versioning. *)
+
+val as_of : t -> int -> t option
+(** The frozen version a snapshot that began at the given timestamp must
+    read, or [None] when the live state still serves it. *)
+
+val versions : t -> int
+(** Chain length (0 = no pinned versions). *)
+
+val prune_versions : t -> needed:(lo:int -> hi:int -> bool) -> bool
+(** Drop chain entries for which [needed ~lo ~hi] is false — no active
+    snapshot began in the half-open interval [(lo, hi]] the entry
+    serves. Returns [true] when the chain is now empty. *)
+
 val check : t -> string list
 (** Structural audit for the sanitizer: live rows agree with the
     tuple -> id table (count and per-row round-trip), every live row

@@ -1,0 +1,73 @@
+(* The engine's snapshot registry: a monotone timestamp clock, the set of
+   active snapshots, and the list of relations currently holding frozen
+   version chains. Relations pull the demand ("highest active snapshot
+   timestamp") through the {!Relation.version_ctl} closure this module
+   hands out; releasing a snapshot prunes every chain entry no remaining
+   snapshot can reach. Timestamps are never reissued, which is what makes
+   pruning middle entries safe (see {!Relation.prune_versions}). *)
+
+type t = {
+  mutable clock : int;
+  mutable active : int list; (* begin timestamps of open snapshots *)
+  mutable demand : int; (* max of [active]; min_int when none *)
+  mutable chained : Relation.t list; (* relations with non-empty chains *)
+  mutable captured : int -> unit; (* freeze notification (Stats) *)
+}
+
+let create () =
+  { clock = 0; active = []; demand = min_int; chained = []; captured = (fun _ -> ()) }
+
+let set_capture_hook t f = t.captured <- f
+
+(* The control block wired into each versioned relation. One closure set
+   per registry, shared by every relation — the per-mutation cost is one
+   indirect call returning a cached int. *)
+let ctl t =
+  {
+    Relation.vc_demand = (fun () -> t.demand);
+    vc_chained = (fun rel -> t.chained <- rel :: t.chained);
+    vc_captured = (fun () -> t.captured 1);
+  }
+
+let begin_snapshot t =
+  t.clock <- t.clock + 1;
+  t.active <- t.clock :: t.active;
+  (* the clock is monotone, so a fresh snapshot is always the new max *)
+  t.demand <- t.clock;
+  t.clock
+
+let active_count t = List.length t.active
+let active t = t.active
+
+let chained_versions t =
+  List.fold_left (fun acc rel -> acc + Relation.versions rel) 0 t.chained
+
+let release t ts =
+  if not (List.mem ts t.active) then
+    invalid_arg (Printf.sprintf "Snapshots.release: %d is not an active snapshot" ts);
+  t.active <- List.filter (fun a -> a <> ts) t.active;
+  t.demand <- List.fold_left max min_int t.active;
+  let needed ~lo ~hi = List.exists (fun a -> lo < a && a <= hi) t.active in
+  t.chained <- List.filter (fun rel -> not (Relation.prune_versions rel ~needed)) t.chained
+
+(* Registry invariant audit: with no snapshots active every chain must
+   have been pruned away — a surviving entry is a leaked version (the
+   failure mode a ROLLBACK- or error-path bug would produce). *)
+let check t =
+  let errs = ref [] in
+  if t.active = [] && t.chained <> [] then
+    List.iter
+      (fun rel ->
+        if Relation.versions rel > 0 then
+          errs :=
+            Printf.sprintf "%d frozen versions survive with no active snapshot"
+              (Relation.versions rel)
+            :: !errs)
+      t.chained;
+  (match t.active with
+  | [] -> if t.demand <> min_int then errs := "demand set with no active snapshot" :: !errs
+  | l ->
+      let m = List.fold_left max min_int l in
+      if t.demand <> m then
+        errs := Printf.sprintf "demand %d but max active is %d" t.demand m :: !errs);
+  List.rev !errs

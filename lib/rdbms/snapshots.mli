@@ -1,0 +1,37 @@
+(** The engine's snapshot registry (MVCC-lite): a monotone timestamp
+    clock, the active-snapshot set, and the relations currently pinning
+    copy-on-write version chains. {!Relation} pulls the demand signal
+    through the control block {!ctl} builds; {!release} prunes every
+    chain entry no remaining snapshot can reach, so with no snapshots
+    open no frozen version survives. *)
+
+type t
+
+val create : unit -> t
+
+val ctl : t -> Relation.version_ctl
+(** The control block to wire into each versioned relation (one shared
+    closure set per registry). *)
+
+val set_capture_hook : t -> (int -> unit) -> unit
+(** Called with the number of versions frozen on each capture (Stats
+    accounting lives above this module). *)
+
+val begin_snapshot : t -> int
+(** Advance the clock and register a new active snapshot; returns its
+    begin timestamp. Timestamps are never reissued. *)
+
+val release : t -> int -> unit
+(** Deactivate a snapshot and prune unreachable chain entries. Raises
+    [Invalid_argument] if the timestamp is not active. *)
+
+val active_count : t -> int
+val active : t -> int list
+
+val chained_versions : t -> int
+(** Total frozen versions across all chained relations (0 means every
+    chain has been pruned away). *)
+
+val check : t -> string list
+(** Registry audit: no leaked versions once the active set is empty, and
+    the cached demand equals the max active timestamp. *)

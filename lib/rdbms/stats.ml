@@ -27,6 +27,9 @@ type t = {
   mutable maint_deletions : int;
   mutable maint_rederived : int;
   mutable maint_fallbacks : int;
+  mutable snapshots_begun : int;
+  mutable snapshot_queries : int;
+  mutable versions_captured : int;
 }
 
 let create () =
@@ -55,6 +58,9 @@ let create () =
     maint_deletions = 0;
     maint_rederived = 0;
     maint_fallbacks = 0;
+    snapshots_begun = 0;
+    snapshot_queries = 0;
+    versions_captured = 0;
   }
 
 let reset t =
@@ -81,7 +87,10 @@ let reset t =
   t.maint_insertions <- 0;
   t.maint_deletions <- 0;
   t.maint_rederived <- 0;
-  t.maint_fallbacks <- 0
+  t.maint_fallbacks <- 0;
+  t.snapshots_begun <- 0;
+  t.snapshot_queries <- 0;
+  t.versions_captured <- 0
 
 let copy t = { t with page_reads = t.page_reads }
 
@@ -111,6 +120,9 @@ let diff a b =
     maint_deletions = a.maint_deletions - b.maint_deletions;
     maint_rederived = a.maint_rederived - b.maint_rederived;
     maint_fallbacks = a.maint_fallbacks - b.maint_fallbacks;
+    snapshots_begun = a.snapshots_begun - b.snapshots_begun;
+    snapshot_queries = a.snapshot_queries - b.snapshot_queries;
+    versions_captured = a.versions_captured - b.versions_captured;
   }
 
 let add acc x =
@@ -137,7 +149,10 @@ let add acc x =
   acc.maint_insertions <- acc.maint_insertions + x.maint_insertions;
   acc.maint_deletions <- acc.maint_deletions + x.maint_deletions;
   acc.maint_rederived <- acc.maint_rederived + x.maint_rederived;
-  acc.maint_fallbacks <- acc.maint_fallbacks + x.maint_fallbacks
+  acc.maint_fallbacks <- acc.maint_fallbacks + x.maint_fallbacks;
+  acc.snapshots_begun <- acc.snapshots_begun + x.snapshots_begun;
+  acc.snapshot_queries <- acc.snapshot_queries + x.snapshot_queries;
+  acc.versions_captured <- acc.versions_captured + x.versions_captured
 
 let total_io t = t.page_reads + t.page_writes
 
@@ -146,9 +161,11 @@ let to_string t =
     "reads=%d writes=%d probes=%d rows_read=%d ins=%d del=%d create=%d drop=%d trunc=%d \
      stmts=%d prepared=%d cache_hits=%d cache_misses=%d commits=%d rollbacks=%d \
      wal_records=%d wal_bytes=%d recoveries=%d analyzed=%d card_replans=%d \
-     maint_ins=%d maint_del=%d maint_rederived=%d maint_fallbacks=%d"
+     maint_ins=%d maint_del=%d maint_rederived=%d maint_fallbacks=%d \
+     snapshots=%d snapshot_queries=%d versions_captured=%d"
     t.page_reads t.page_writes t.index_probes t.rows_read t.rows_inserted t.rows_deleted
     t.tables_created t.tables_dropped t.tables_truncated t.statements t.statements_prepared
     t.plan_cache_hits t.plan_cache_misses t.txns_committed t.txns_rolled_back t.wal_records
     t.wal_bytes t.recoveries t.tables_analyzed t.card_replans t.maint_insertions
-    t.maint_deletions t.maint_rederived t.maint_fallbacks
+    t.maint_deletions t.maint_rederived t.maint_fallbacks t.snapshots_begun
+    t.snapshot_queries t.versions_captured

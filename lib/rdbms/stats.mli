@@ -59,6 +59,11 @@ type t = {
       (** maintenance passes that fell back to a full recompute (large
           delta, unsupported program shape, or an affected
           recompute-strategy predicate) *)
+  mutable snapshots_begun : int;  (** snapshot transactions opened *)
+  mutable snapshot_queries : int;
+      (** SELECTs executed against a pinned snapshot ({!Engine.exec_snapshot}) *)
+  mutable versions_captured : int;
+      (** copy-on-write relation versions frozen for snapshot readers *)
 }
 
 val create : unit -> t

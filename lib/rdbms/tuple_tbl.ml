@@ -127,6 +127,19 @@ let remove t key =
   in
   probe (h land mask)
 
+(* An independent table with the same bindings: used by [Relation.freeze]
+   to pin a copy-on-write snapshot version. Slot states survive a plain
+   array copy — the sentinels are recognized physically, and [Array.copy]
+   shares the very same sentinel values. *)
+let copy t =
+  {
+    hashes = Array.copy t.hashes;
+    keys = Array.copy t.keys;
+    vals = Array.copy t.vals;
+    size = t.size;
+    fill = t.fill;
+  }
+
 let reset t =
   t.hashes <- Array.make initial_capacity 0;
   t.keys <- Array.make initial_capacity empty_slot;

@@ -26,6 +26,10 @@ val remove : t -> Tuple.t -> int
 
 val reset : t -> unit
 
+val copy : t -> t
+(** An independent table holding the same bindings (O(capacity) array
+    copies, no rehashing). *)
+
 val add : t -> Tuple.t -> bool
 (** Set view: [insert_if_absent t key 0]. [true] iff newly added. *)
 

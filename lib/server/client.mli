@@ -1,0 +1,42 @@
+(** A thin blocking client for the {!Protocol} wire grammar: one request
+    line out, one framed response back. *)
+
+type t
+
+type response = {
+  ok : bool;
+  fields : (string * string) list;  (** [key=value] pairs off the status line *)
+  message : string;  (** the [ERR] text when [ok] is false *)
+  body : string list list;  (** decoded body lines: header first, then rows *)
+}
+
+val connect : ?host:string -> port:int -> unit -> (t, string) result
+val close : t -> unit
+
+val request : t -> string -> (response, string) result
+(** Send one raw request line, read one framed response. [Error] is a
+    transport failure; a protocol-level refusal comes back as
+    [Ok {ok = false; message; _}]. *)
+
+val command : t -> string -> (response, string) result
+(** {!request} with protocol-level [ERR] folded into [Error]. *)
+
+val field : response -> string -> string option
+val rows : response -> string list list
+(** Body minus the header line. *)
+
+val sql : t -> string -> (response, string) result
+
+val base : t -> string -> (string * string) list -> (response, string) result
+(** [base t name [(col, "int"|"str"); ...]] — define a base relation. *)
+
+val query : t -> string -> (response, string) result
+val rule : t -> string -> (response, string) result
+val ping : t -> (unit, string) result
+val begin_snapshot : t -> (int, string) result
+val commit : t -> (unit, string) result
+val rollback : t -> (unit, string) result
+val prepare : t -> string -> string -> (response, string) result
+val exec : t -> string -> string list -> (response, string) result
+(** [exec t name args] — arguments with spaces or quotes are re-quoted
+    for the wire tokenizer. *)

@@ -1,0 +1,33 @@
+(** The multi-session D/KB server: one shared {!Rdbms.Engine}, one
+    {!Core.Session} per TCP connection, the {!Protocol} wire grammar.
+
+    The loop is single-threaded and cooperative ([Unix.select]); each
+    request runs to completion (statement-granularity atomicity).
+    Explicit write transactions serialize — a second connection's write
+    while one holds BEGIN gets ["ERR busy"] — while snapshot readers
+    never wait: snapshot SELECTs are served even during another
+    connection's LFP derivation, drained between iterations against
+    frozen copy-on-write relation versions. *)
+
+type t
+
+val create : ?host:string -> ?port:int -> Rdbms.Engine.t -> t
+(** Bind and listen. [port] 0 (the default) picks an ephemeral port —
+    read it back with {!port}. The engine outlives the server; sessions
+    are created per connection. *)
+
+val port : t -> int
+val engine : t -> Rdbms.Engine.t
+
+val run : t -> unit
+(** Serve until a client sends [SHUTDOWN] (or {!stop} is called from a
+    signal/other thread), then close every connection and the listening
+    socket. *)
+
+val step : t -> timeout:float -> unit
+(** One poll-and-serve round (embedding the loop elsewhere). *)
+
+val stop : t -> unit
+(** Make {!run} return after the current round. *)
+
+val connections : t -> int

@@ -1,0 +1,53 @@
+(* Latency percentiles over raw wall-clock samples: one shared
+   implementation for every bench JSON emitter, so "p95" means the same
+   thing in BENCH_server.json as everywhere else. *)
+
+let sorted samples = List.sort compare samples
+
+(* nearest-rank on the sorted samples: the smallest value with at least
+   p% of the distribution at or below it *)
+let percentile p samples =
+  match sorted samples with
+  | [] -> 0.0
+  | xs ->
+      let n = List.length xs in
+      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+      let idx = min (n - 1) (max 0 (rank - 1)) in
+      List.nth xs idx
+
+(* classical median: averages the two middle samples for even n *)
+let median samples =
+  match sorted samples with
+  | [] -> 0.0
+  | xs ->
+      let n = List.length xs in
+      if n mod 2 = 1 then List.nth xs (n / 2)
+      else (List.nth xs ((n / 2) - 1) +. List.nth xs (n / 2)) /. 2.0
+
+type summary = {
+  n : int;
+  mean_ms : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+let summarize samples =
+  match sorted samples with
+  | [] -> { n = 0; mean_ms = 0.0; p50_ms = 0.0; p95_ms = 0.0; p99_ms = 0.0; max_ms = 0.0 }
+  | xs ->
+      let n = List.length xs in
+      {
+        n;
+        mean_ms = List.fold_left ( +. ) 0.0 xs /. float_of_int n;
+        p50_ms = percentile 50.0 xs;
+        p95_ms = percentile 95.0 xs;
+        p99_ms = percentile 99.0 xs;
+        max_ms = List.nth xs (n - 1);
+      }
+
+let json s =
+  Printf.sprintf
+    {|{ "n": %d, "mean_ms": %.4f, "p50_ms": %.4f, "p95_ms": %.4f, "p99_ms": %.4f, "max_ms": %.4f }|}
+    s.n s.mean_ms s.p50_ms s.p95_ms s.p99_ms s.max_ms

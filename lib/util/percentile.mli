@@ -1,0 +1,25 @@
+(** Latency percentiles over raw wall-clock samples — the shared helper
+    behind every bench JSON emitter's latency numbers. *)
+
+val percentile : float -> float list -> float
+(** [percentile p samples] — nearest-rank percentile ([p] in 0..100):
+    the smallest sample with at least [p]%% of the distribution at or
+    below it. 0.0 on an empty list. *)
+
+val median : float list -> float
+(** Classical median (averages the two middle samples for even [n]). *)
+
+type summary = {
+  n : int;
+  mean_ms : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+val summarize : float list -> summary
+
+val json : summary -> string
+(** One JSON object literal:
+    [{ "n": …, "mean_ms": …, "p50_ms": …, "p95_ms": …, "p99_ms": …, "max_ms": … }]. *)

@@ -32,12 +32,13 @@ fi
 echo "lint gate OK"
 
 echo "== bench smoke (quick scale) =="
-dune exec bench/main.exe -- wal cache profile joins exec updates storage quick
+dune exec bench/main.exe -- wal cache profile joins exec updates storage server quick
 test -s BENCH_profile.json || { echo "BENCH_profile.json missing/empty"; exit 1; }
 test -s BENCH_joins.json || { echo "BENCH_joins.json missing/empty"; exit 1; }
 test -s BENCH_exec.json || { echo "BENCH_exec.json missing/empty"; exit 1; }
 test -s BENCH_updates.json || { echo "BENCH_updates.json missing/empty"; exit 1; }
 test -s BENCH_storage.json || { echo "BENCH_storage.json missing/empty"; exit 1; }
+test -s BENCH_server.json || { echo "BENCH_server.json missing/empty"; exit 1; }
 
 # paged storage: the cold skewed join's measured page_reads must land
 # within 2x of the planner's cost estimate, and the dataset (4x the
@@ -102,11 +103,67 @@ awk '
   }
 ' BENCH_updates.json
 
+# the concurrent server: 8-client aggregate throughput must be at least
+# 2x the single-client baseline, a snapshot reader's p95 latency under a
+# churning LFP writer must stay within 3x of idle, and every pinned read
+# must have seen the exact snapshot state
+awk '
+  /"multi_client"/ { sect = "multi" }
+  /"interference"/ { sect = "intf" }
+  sect == "multi" && /"met"/ { multi_met = index($0, "\"met\": true") > 0 }
+  sect == "intf" && /"met"/ {
+    intf_met = index($0, "\"met\": true") > 0
+    consistent = index($0, "\"consistent\": true") > 0
+  }
+  END {
+    if (!multi_met) { print "server bench: multi-client scaling gate failed"; exit 1 }
+    if (!intf_met) { print "server bench: reader/writer interference gate failed"; exit 1 }
+    if (!consistent) { print "server bench: snapshot reads were not consistent"; exit 1 }
+    print "server bench OK: scaling and interference gates met"
+  }
+' BENCH_server.json
+
+echo "== server smoke (dkbd + concurrent dkbc clients) =="
+DLOG=$(mktemp /tmp/dkb_ci_dkbd.XXXXXX)
+SEED=$(mktemp /tmp/dkb_ci_seed.XXXXXX)
+C1=$(mktemp /tmp/dkb_ci_c1.XXXXXX)
+C2=$(mktemp /tmp/dkb_ci_c2.XXXXXX)
+trap 'rm -f "$DLOG" "$SEED" "$C1" "$C2"' EXIT
+
+echo "CREATE TABLE acct (id integer, bal integer); INSERT INTO acct VALUES (1, 10), (2, 20), (3, 30)" > "$SEED"
+./_build/default/bin/dkbd.exe --port 0 --script "$SEED" > "$DLOG" 2>&1 &
+DKBD=$!
+PORT=""
+i=0
+while [ $i -lt 100 ]; do
+  PORT=$(sed -n 's/^dkbd listening on \([0-9][0-9]*\)$/\1/p' "$DLOG")
+  [ -n "$PORT" ] && break
+  i=$((i + 1))
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "dkbd did not start"; cat "$DLOG"; exit 1; }
+# two clients at once: one defines a base and runs a derivation, the
+# other holds a snapshot over the seeded table
+printf 'BASE parent p:str c:str\nSQL INSERT INTO parent VALUES (%s), (%s)\nRULE anc(X,Y) :- parent(X,Y).\nRULE anc(X,Y) :- parent(X,Z), anc(Z,Y).\nQUERY anc(a, W)\nQUIT\n' \
+  "'a', 'b'" "'b', 'c'" | ./_build/default/bin/dkbc.exe --port "$PORT" > "$C1" &
+P1=$!
+printf 'PING\nBEGIN SNAPSHOT\nSQL SELECT COUNT(*) FROM acct\nCOMMIT\nQUIT\n' \
+  | ./_build/default/bin/dkbc.exe --port "$PORT" > "$C2" &
+P2=$!
+wait $P1 || { echo "client 1 transport failure"; cat "$C1"; exit 1; }
+wait $P2 || { echo "client 2 transport failure"; cat "$C2"; exit 1; }
+grep -q "^OK rows=2$" "$C1" || { echo "derivation over the wire failed"; cat "$C1"; exit 1; }
+grep -q "^3$" "$C2" || { echo "snapshot count over the wire failed"; cat "$C2"; exit 1; }
+if grep -q "^ERR" "$C1" "$C2"; then echo "server smoke: unexpected ERR"; cat "$C1" "$C2"; exit 1; fi
+printf 'SHUTDOWN\n' | ./_build/default/bin/dkbc.exe --port "$PORT" > /dev/null
+wait $DKBD || { echo "dkbd did not shut down cleanly"; exit 1; }
+echo "server smoke OK: port $PORT, 2 concurrent clients, clean shutdown"
+
 echo "== shell observability smoke =="
 TRACE=$(mktemp /tmp/dkb_ci_trace.XXXXXX)
 SCRIPT=$(mktemp /tmp/dkb_ci_script.XXXXXX)
 OUT=$(mktemp /tmp/dkb_ci_out.XXXXXX)
-trap 'rm -f "$TRACE" "$SCRIPT" "$OUT"' EXIT
+trap 'rm -f "$TRACE" "$SCRIPT" "$OUT" "$DLOG" "$SEED" "$C1" "$C2"' EXIT
 : > "$TRACE"
 cat > "$SCRIPT" <<EOF
 .base parent(par int, child int)

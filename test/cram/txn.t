@@ -21,7 +21,7 @@ shell. Timing values are masked (they vary run to run).
   ann
   (3 rows)
   checkpoint written to txn_test.db
-  reads=60 writes=50 probes=27 rows_read=79 ins=33 del=12 create=12 drop=4 trunc=9 stmts=103 prepared=51 cache_hits=32 cache_misses=52 commits=2 rollbacks=1 wal_records=9 wal_bytes=931 recoveries=0 analyzed=0 card_replans=0 maint_ins=0 maint_del=0 maint_rederived=0 maint_fallbacks=0
+  reads=61 writes=50 probes=27 rows_read=80 ins=33 del=12 create=12 drop=4 trunc=9 stmts=105 prepared=52 cache_hits=33 cache_misses=53 commits=2 rollbacks=1 wal_records=9 wal_bytes=931 recoveries=0 analyzed=0 card_replans=0 maint_ins=0 maint_del=0 maint_rederived=0 maint_fallbacks=0 snapshots=0 snapshot_queries=0 versions_captured=0
 
 A "fresh process" rebuilds the same D/KB from the checkpoint plus the
 records logged after it (the rolled-back transaction was never logged):

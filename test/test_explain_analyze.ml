@@ -121,7 +121,7 @@ let test_trace_hook_events () =
   let evs = List.rev !events in
   (match evs with
   | [ Engine.Tr_stmt_begin { sql = b }; Engine.Tr_plan { sql = p; tree };
-      Engine.Tr_stmt_end { sql = f; ok; rows; delta; ms; est } ] ->
+      Engine.Tr_stmt_end { sql = f; ok; rows; delta; ms; est; _ } ] ->
       Alcotest.(check bool) "same sql on begin/plan/end" true (b = p && p = f);
       Alcotest.(check bool) "plan tree rendered" true (String.length tree > 0);
       Alcotest.(check bool) "ok" true ok;

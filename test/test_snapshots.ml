@@ -1,0 +1,319 @@
+(* Snapshot isolation (MVCC-lite): pinned reads under writer churn,
+   version pruning on release, and multi-session coexistence on one
+   engine. *)
+
+module E = Rdbms.Engine
+module V = Rdbms.Value
+module D = Rdbms.Datatype
+module Session = Core.Session
+
+let sorted_rows e sql =
+  List.sort compare (List.map Array.to_list (E.query e sql))
+
+let snap_rows e ts sql =
+  List.sort compare (List.map Array.to_list (E.query_snapshot e ~ts sql))
+
+let setup () =
+  let e = E.create () in
+  ignore (E.exec e "CREATE TABLE t (a integer, b integer)");
+  ignore (E.exec e "CREATE INDEX idx_t_a ON t (a)");
+  List.iter
+    (fun (a, b) -> ignore (E.exec e (Printf.sprintf "INSERT INTO t VALUES (%d, %d)" a b)))
+    [ (1, 10); (2, 20); (3, 30) ];
+  e
+
+let test_snapshot_pins_state () =
+  let e = setup () in
+  let before = sorted_rows e "SELECT a, b FROM t" in
+  let ts = E.begin_snapshot e in
+  ignore (E.exec e "INSERT INTO t VALUES (4, 40)");
+  ignore (E.exec e "DELETE FROM t WHERE a = 1");
+  Alcotest.(check bool) "a version was frozen" true (E.snapshot_versions e > 0);
+  Alcotest.(check (list (list string)))
+    "snapshot sees the pinned state"
+    (List.map (List.map V.to_string) before)
+    (List.map (List.map V.to_string) (snap_rows e ts "SELECT a, b FROM t"));
+  Alcotest.(check int) "live reads see the churn" 3
+    (E.scalar_int e "SELECT COUNT(*) FROM t");
+  E.release_snapshot e ts;
+  Alcotest.(check int) "release prunes every version" 0 (E.snapshot_versions e);
+  Alcotest.(check (list string)) "no invariant violations" []
+    (List.map Rdbms.Invariants.violation_to_string (E.check_invariants e))
+
+let test_overlapping_snapshots () =
+  let e = setup () in
+  let ts1 = E.begin_snapshot e in
+  ignore (E.exec e "INSERT INTO t VALUES (4, 40)");
+  let ts2 = E.begin_snapshot e in
+  ignore (E.exec e "INSERT INTO t VALUES (5, 50)");
+  ignore (E.exec e "DELETE FROM t WHERE a = 2");
+  Alcotest.(check int) "ts1 sees 3 rows" 3
+    (List.length (snap_rows e ts1 "SELECT a FROM t"));
+  Alcotest.(check int) "ts2 sees 4 rows" 4
+    (List.length (snap_rows e ts2 "SELECT a FROM t"));
+  Alcotest.(check int) "live sees 4 rows (one deleted)" 4
+    (E.scalar_int e "SELECT COUNT(*) FROM t");
+  (* release out of order: the older snapshot must stay readable *)
+  E.release_snapshot e ts2;
+  Alcotest.(check int) "ts1 still sees 3 rows after ts2 released" 3
+    (List.length (snap_rows e ts1 "SELECT a FROM t"));
+  E.release_snapshot e ts1;
+  Alcotest.(check int) "all versions pruned" 0 (E.snapshot_versions e);
+  Alcotest.(check int) "no snapshots active" 0 (E.snapshots_active e)
+
+let test_snapshot_rules () =
+  let e = setup () in
+  let ts = E.begin_snapshot e in
+  (* read-only: writes through the snapshot API are refused *)
+  (match E.exec_snapshot e ~ts "INSERT INTO t VALUES (9, 90)" with
+  | exception E.Sql_error _ -> ()
+  | _ -> Alcotest.fail "snapshot write not refused");
+  (* double release is an error *)
+  E.release_snapshot e ts;
+  (match E.release_snapshot e ts with
+  | exception E.Sql_error _ -> ()
+  | () -> Alcotest.fail "double release not refused");
+  (* no snapshot inside an open transaction *)
+  E.begin_txn e;
+  (match E.begin_snapshot e with
+  | exception E.Sql_error _ -> ()
+  | _ -> Alcotest.fail "snapshot inside txn not refused");
+  E.rollback_txn e
+
+let test_rollback_leaks_nothing () =
+  let e = setup () in
+  let ts = E.begin_snapshot e in
+  E.begin_txn e;
+  ignore (E.exec e "INSERT INTO t VALUES (7, 70)");
+  ignore (E.exec e "DELETE FROM t WHERE a = 3");
+  E.rollback_txn e;
+  Alcotest.(check int) "live state restored" 3 (E.scalar_int e "SELECT COUNT(*) FROM t");
+  Alcotest.(check int) "snapshot still consistent" 3
+    (List.length (snap_rows e ts "SELECT a FROM t"));
+  E.release_snapshot e ts;
+  Alcotest.(check int) "rollback leaked no versions" 0 (E.snapshot_versions e);
+  Alcotest.(check (list string)) "registry audit clean" []
+    (List.map Rdbms.Invariants.violation_to_string (E.check_invariants e))
+
+(* DDL during a snapshot: a table created after the snapshot began is
+   visible to it (schema is not versioned — only row state is), and a
+   frozen table's version survives the live table being truncated. *)
+let test_truncate_under_snapshot () =
+  let e = setup () in
+  let ts = E.begin_snapshot e in
+  ignore (E.exec e "TRUNCATE TABLE t");
+  Alcotest.(check int) "snapshot still sees 3 rows" 3
+    (List.length (snap_rows e ts "SELECT a FROM t"));
+  Alcotest.(check int) "live is empty" 0 (E.scalar_int e "SELECT COUNT(*) FROM t");
+  E.release_snapshot e ts;
+  Alcotest.(check int) "pruned" 0 (E.snapshot_versions e)
+
+(* ---------------- property: interleaved writer churn ---------------- *)
+
+(* A random interleaving of inserts, deletes, snapshot begins/releases
+   and reads, mirrored against a pure-OCaml model. Every snapshot must
+   read exactly the model state at its begin; when the last snapshot
+   releases, zero versions may remain. *)
+
+type op = Insert of int | Delete of int | Begin_snap | Release_snap | Read_snap | Txn_churn
+
+let op_gen =
+  QCheck2.Gen.(
+    frequency
+      [
+        (4, map (fun n -> Insert n) (int_bound 30));
+        (3, map (fun n -> Delete n) (int_bound 30));
+        (2, pure Begin_snap);
+        (2, pure Release_snap);
+        (3, pure Read_snap);
+        (1, pure Txn_churn);
+      ])
+
+let prop_interleaved_consistency =
+  let gen = QCheck2.Gen.(list_size (int_range 10 60) op_gen) in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:60 ~name:"snapshots read COMMIT-consistent state under churn" gen
+       (fun ops ->
+         let e = E.create () in
+         ignore (E.exec e "CREATE TABLE t (a integer)");
+         let model = Hashtbl.create 16 in
+         let snaps = ref [] in (* (ts, pinned model contents) newest first *)
+         let model_rows () =
+           List.sort compare (Hashtbl.fold (fun k () acc -> [ V.Int k ] :: acc) model [])
+         in
+         let check_snapshot (ts, pinned) =
+           let got = snap_rows e ts "SELECT a FROM t" in
+           if got <> pinned then
+             QCheck2.Test.fail_reportf "snapshot ts=%d diverged: %d rows vs %d pinned" ts
+               (List.length got) (List.length pinned)
+         in
+         List.iter
+           (fun op ->
+             match op with
+             | Insert n ->
+                 ignore (E.exec e (Printf.sprintf "INSERT INTO t VALUES (%d)" n));
+                 Hashtbl.replace model n ()
+             | Delete n ->
+                 ignore (E.exec e (Printf.sprintf "DELETE FROM t WHERE a = %d" n));
+                 Hashtbl.remove model n
+             | Begin_snap -> snaps := (E.begin_snapshot e, model_rows ()) :: !snaps
+             | Release_snap -> (
+                 match !snaps with
+                 | [] -> ()
+                 | s :: rest ->
+                     (* verify at the last possible moment, then release *)
+                     check_snapshot s;
+                     E.release_snapshot e (fst s);
+                     snaps := rest)
+             | Read_snap -> List.iter check_snapshot !snaps
+             | Txn_churn ->
+                 (* a rolled-back transaction must be invisible to every
+                    snapshot AND to the live state *)
+                 E.begin_txn e;
+                 ignore (E.exec e "INSERT INTO t VALUES (97)");
+                 ignore (E.exec e "DELETE FROM t WHERE a < 5");
+                 E.rollback_txn e)
+           ops;
+         List.iter check_snapshot !snaps;
+         List.iter (fun (ts, _) -> E.release_snapshot e ts) !snaps;
+         if E.snapshot_versions e <> 0 then
+           QCheck2.Test.fail_reportf "released all snapshots but %d versions remain"
+             (E.snapshot_versions e);
+         (match E.check_invariants e with
+         | [] -> ()
+         | vs ->
+             QCheck2.Test.fail_reportf "invariants: %s"
+               (String.concat "; " (List.map Rdbms.Invariants.violation_to_string vs)));
+         E.scalar_int e "SELECT COUNT(*) FROM t" = List.length (model_rows ())))
+
+(* ---------------- snapshots vs the LFP writer ---------------- *)
+
+(* A session derives ancestor/2 over a chain while a second session holds
+   a snapshot. The snapshot read, taken mid-derivation from the LFP
+   iteration observer, must still see the pre-derivation base state. *)
+let test_snapshot_during_lfp () =
+  let writer = Session.create () in
+  let engine = Session.engine writer in
+  let reader = Session.of_engine engine in
+  (match Session.define_base writer "parent" [ ("p", D.TStr); ("c", D.TStr) ] () with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  let chain = List.init 30 (fun i -> [ V.Str (Printf.sprintf "n%d" i); V.Str (Printf.sprintf "n%d" (i + 1)) ]) in
+  (match Session.add_facts writer "parent" chain with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg);
+  (match Session.load_rules writer "anc(X,Y) :- parent(X,Y). anc(X,Y) :- parent(X,Z), anc(Z,Y)." with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  let ts = match Session.begin_snapshot reader with Ok ts -> ts | Error m -> Alcotest.fail m in
+  let mid_reads = ref [] in
+  let pump _ip =
+    (* a mid-LFP write beside the derivation: the snapshot must not see it *)
+    (match Session.snapshot_query reader ~ts "SELECT COUNT(*) FROM parent" with
+    | Ok (_, [ [| V.Int n |] ]) -> mid_reads := n :: !mid_reads
+    | Ok _ -> Alcotest.fail "bad snapshot count shape"
+    | Error msg -> Alcotest.fail ("snapshot read during LFP: " ^ msg))
+  in
+  (* churn the base table from the writer session first, so the snapshot
+     actually pins a frozen version *)
+  (match Session.add_facts writer "parent" [ [ V.Str "extra"; V.Str "row" ] ] with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg);
+  (match Session.query writer ~on_iteration:pump "anc(n0, W)" with
+  | Ok answer ->
+      let _, rows = Session.answer_rows answer in
+      Alcotest.(check int) "derivation answers" 30 (List.length rows)
+  | Error msg -> Alcotest.fail msg);
+  Alcotest.(check bool) "snapshot reads happened mid-derivation" true (!mid_reads <> []);
+  List.iter
+    (fun n -> Alcotest.(check int) "mid-LFP snapshot read pinned at 30" 30 n)
+    !mid_reads;
+  (match Session.end_snapshot reader ts with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  Alcotest.(check int) "no leaked versions" 0 (E.snapshot_versions engine)
+
+(* ---------------- multi-session differential ---------------- *)
+
+(* Two sessions interleaved on one engine must produce the same D/KB as
+   one session doing all the work, and their per-session stats must
+   split the engine totals. *)
+let test_two_sessions_differential () =
+  let a = Session.create () in
+  let engine = Session.engine a in
+  let b = Session.of_engine engine in
+  Alcotest.(check bool) "distinct session ids" true
+    (Session.session_id a <> Session.session_id b);
+  (match Session.define_base a "parent" [ ("p", D.TStr); ("c", D.TStr) ] () with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  let a_stmts_before = (Session.db_stats a).Rdbms.Stats.statements in
+  (match Session.add_facts a "parent" [ [ V.Str "john"; V.Str "mary" ] ] with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  (match Session.add_facts b "parent" [ [ V.Str "mary"; V.Str "sue" ] ] with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  (match Session.load_rules b "anc(X,Y) :- parent(X,Y). anc(X,Y) :- parent(X,Z), anc(Z,Y)." with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  (* session B's rules live in B's workspace; A queries its own (empty)
+     workspace but the same base data *)
+  (match Session.query b "anc(john, W)" with
+  | Ok answer ->
+      let _, rows = Session.answer_rows answer in
+      Alcotest.(check int) "b sees both sessions' facts" 2 (List.length rows)
+  | Error m -> Alcotest.fail m);
+  (* the twin: one session, same operations *)
+  let solo = Session.create () in
+  (match Session.define_base solo "parent" [ ("p", D.TStr); ("c", D.TStr) ] () with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  (match
+     Session.add_facts solo "parent"
+       [ [ V.Str "john"; V.Str "mary" ]; [ V.Str "mary"; V.Str "sue" ] ]
+   with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  (match Session.load_rules solo "anc(X,Y) :- parent(X,Y). anc(X,Y) :- parent(X,Z), anc(Z,Y)." with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  (match (Session.query b "anc(john, W)", Session.query solo "anc(john, W)") with
+  | Ok shared, Ok alone ->
+      let _, r1 = Session.answer_rows shared in
+      let _, r2 = Session.answer_rows alone in
+      Alcotest.(check (list (list string)))
+        "two interleaved sessions match the solo twin"
+        (List.sort compare (List.map (fun r -> Array.to_list (Array.map V.to_string r)) r2))
+        (List.sort compare (List.map (fun r -> Array.to_list (Array.map V.to_string r)) r1))
+  | Error m, _ | _, Error m -> Alcotest.fail m);
+  (* per-session charging: A's statement counter moved only for A's work *)
+  let a_stmts = (Session.db_stats a).Rdbms.Stats.statements - a_stmts_before in
+  let b_stmts = (Session.db_stats b).Rdbms.Stats.statements in
+  Alcotest.(check bool) "a charged for its insert" true (a_stmts >= 1);
+  Alcotest.(check bool) "b charged much more (rules + queries)" true (b_stmts > a_stmts);
+  let total = (Session.engine_stats a).Rdbms.Stats.statements in
+  Alcotest.(check bool) "engine total covers both sessions" true
+    (total >= a_stmts + b_stmts);
+  (* with the engine quiescent, the full audit must be clean *)
+  Alcotest.(check (list string)) "shared-engine invariants" []
+    (List.map Rdbms.Invariants.violation_to_string (E.check_invariants engine))
+
+let () =
+  Alcotest.run "snapshots"
+    [
+      ( "mvcc",
+        [
+          Alcotest.test_case "snapshot pins state" `Quick test_snapshot_pins_state;
+          Alcotest.test_case "overlapping snapshots" `Quick test_overlapping_snapshots;
+          Alcotest.test_case "snapshot rules" `Quick test_snapshot_rules;
+          Alcotest.test_case "rollback leaks nothing" `Quick test_rollback_leaks_nothing;
+          Alcotest.test_case "truncate under snapshot" `Quick test_truncate_under_snapshot;
+          prop_interleaved_consistency;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "snapshot read during LFP" `Quick test_snapshot_during_lfp;
+          Alcotest.test_case "two sessions differential" `Quick test_two_sessions_differential;
+        ] );
+    ]
